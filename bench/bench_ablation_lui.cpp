@@ -1,0 +1,74 @@
+// Ablation (paper Section 7: "other extensive experiments ... varying the
+// lazy update interval"): the lazy-update interval T_L is the
+// consistency/timeliness tuning knob of the two-level replica
+// organization. Sweeping it shows the trade:
+//   * small T_L  -> secondaries rarely stale -> few deferred reads, few
+//     replicas needed, few timing failures;
+//   * large T_L  -> secondaries stale most of the time -> the model leans
+//     on the (few) primaries, selects more replicas, and timing failures
+//     rise at tight deadlines.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/scenario.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+using namespace aqueduct;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const std::vector<double> luis_sec = {1.0, 2.0, 4.0, 8.0};
+
+  std::cout << "=== Ablation: lazy-update interval sweep ===\n"
+            << "client QoS fixed at a=2, d=140ms, Pc=0.9; "
+            << opt.requests << " requests\n\n";
+
+  harness::Table table({"LUI_s", "avg_replicas_selected", "timing_failure_prob",
+                        "95%_CI", "deferred_fraction", "avg_read_ms",
+                        "staleness_violations"});
+
+  for (const double lui : luis_sec) {
+    harness::ScenarioConfig config;
+    config.seed = opt.seed;
+    config.lazy_update_interval = sim::from_sec(lui);
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 4,
+                .deadline = std::chrono::milliseconds(200),
+                .min_probability = 0.1},
+        .request_delay = std::chrono::milliseconds(1000),
+        .num_requests = opt.requests,
+    });
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 2,
+                .deadline = std::chrono::milliseconds(140),
+                .min_probability = 0.9},
+        .request_delay = std::chrono::milliseconds(1000),
+        .num_requests = opt.requests,
+    });
+    harness::Scenario scenario(std::move(config));
+    auto results = scenario.run();
+    const auto& stats = results[1].stats;
+    const auto ci = harness::binomial_ci_normal(stats.timing_failures,
+                                                stats.reads_completed);
+    table.add_row(
+        {harness::Table::num(lui, 0),
+         harness::Table::num(stats.avg_replicas_selected(), 2),
+         harness::Table::num(ci.point, 3),
+         "[" + harness::Table::num(ci.lower, 3) + "," +
+             harness::Table::num(ci.upper, 3) + "]",
+         harness::Table::num(
+             stats.reads_completed == 0
+                 ? 0.0
+                 : static_cast<double>(stats.deferred_replies) /
+                       static_cast<double>(stats.reads_completed),
+             3),
+         harness::Table::num(sim::to_ms(stats.avg_response_time()), 1),
+         std::to_string(stats.staleness_violations)});
+  }
+  table.print();
+  if (opt.csv) table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation (paper Section 7: "varying ... request delay"): the request
+// delay controls the update arrival rate λ_u and the load on the replicas.
+// Shorter delays mean more updates per lazy interval (secondaries stale
+// sooner, staleness factor drops) and more queueing, so the model must
+// select more replicas to hold the failure probability.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/scenario.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+using namespace aqueduct;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const std::vector<int> delays_ms = {250, 500, 1000, 2000};
+
+  std::cout << "=== Ablation: request-delay sweep ===\n"
+            << "client QoS fixed at a=2, d=140ms, Pc=0.9; LUI=4s; "
+            << opt.requests << " requests\n\n";
+
+  harness::Table table({"request_delay_ms", "est_lambda_u_per_s",
+                        "avg_replicas_selected", "timing_failure_prob",
+                        "deferred_fraction", "avg_read_ms"});
+
+  for (const int delay : delays_ms) {
+    harness::ScenarioConfig config;
+    config.seed = opt.seed;
+    config.lazy_update_interval = std::chrono::seconds(4);
+    for (int c = 0; c < 2; ++c) {
+      config.clients.push_back(harness::ClientSpec{
+          .qos = {.staleness_threshold = c == 0 ? 4u : 2u,
+                  .deadline = std::chrono::milliseconds(c == 0 ? 200 : 140),
+                  .min_probability = c == 0 ? 0.1 : 0.9},
+          .request_delay = std::chrono::milliseconds(delay),
+          .num_requests = opt.requests,
+      });
+    }
+    harness::Scenario scenario(std::move(config));
+    auto results = scenario.run();
+    const auto& stats = results[1].stats;
+    // Ground truth: each client issues one update per (write+read) pair,
+    // i.e. roughly 1 update per 2*(delay + response) per client.
+    table.add_row(
+        {std::to_string(delay),
+         harness::Table::num(
+             2.0 / (2.0 * (delay / 1000.0 + 0.11)), 2),
+         harness::Table::num(stats.avg_replicas_selected(), 2),
+         harness::Table::num(stats.timing_failure_probability(), 3),
+         harness::Table::num(
+             stats.reads_completed == 0
+                 ? 0.0
+                 : static_cast<double>(stats.deferred_replies) /
+                       static_cast<double>(stats.reads_completed),
+             3),
+         harness::Table::num(sim::to_ms(stats.avg_response_time()), 1)});
+  }
+  table.print();
+  if (opt.csv) table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Baseline comparison (paper Section 5's motivation): the probabilistic
+// state-based selection of Algorithm 1 against
+//   * select-all   — every request goes to every replica ("not scalable,
+//                     increases the load on all the replicas"),
+//   * select-one   — a single replica per request (random / LRU; "a
+//                     failure or slow replica results in unacceptable
+//                     delay"),
+//   * fixed-k      — a static subset of the k best replicas,
+// plus ablations of Algorithm 1's two design choices:
+//   * no-failure-allowance — drop the maxCDF-exclusion rule,
+//   * greedy-cdf-order     — drop the ert (LRU) sort.
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/scenario.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+using namespace aqueduct;
+
+namespace {
+
+struct Entry {
+  std::string name;
+  harness::SelectorFactory factory;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+
+  std::vector<Entry> entries;
+  entries.push_back({"probabilistic (Algorithm 1)", [] {
+                       return std::make_unique<core::ProbabilisticSelector>();
+                     }});
+  entries.push_back({"probabilistic, no failure allowance", [] {
+                       return std::make_unique<core::ProbabilisticSelector>(
+                           core::ProbabilisticOptions{
+                               .tolerate_one_failure = false});
+                     }});
+  entries.push_back({"probabilistic, greedy CDF order", [] {
+                       return std::make_unique<core::ProbabilisticSelector>(
+                           core::ProbabilisticOptions{.sort_by_ert = false});
+                     }});
+  entries.push_back({"select-all", [] {
+                       return std::make_unique<core::SelectAllSelector>();
+                     }});
+  entries.push_back({"select-one (random)", [] {
+                       return std::make_unique<core::SelectOneSelector>(
+                           core::SelectOneSelector::Policy::kRandom);
+                     }});
+  entries.push_back({"select-one (LRU)", [] {
+                       return std::make_unique<core::SelectOneSelector>(
+                           core::SelectOneSelector::Policy::kLeastRecentlyUsed);
+                     }});
+  entries.push_back(
+      {"fixed-k (k=3)", [] { return std::make_unique<core::FixedKSelector>(3); }});
+
+  std::cout << "=== Baseline selector comparison ===\n"
+            << "client QoS: a=2, d=140ms, Pc=0.9; LUI=4s; "
+            << opt.requests << " requests; both clients use the listed "
+               "selector\n\n";
+
+  harness::Table table({"selector", "avg_replicas_selected",
+                        "timing_failure_prob", "95%_CI", "avg_read_ms",
+                        "p99_read_ms", "replica_msgs_per_read"});
+
+  for (const Entry& entry : entries) {
+    harness::ScenarioConfig config;
+    config.seed = opt.seed;
+    config.lazy_update_interval = std::chrono::seconds(4);
+    for (int c = 0; c < 2; ++c) {
+      config.clients.push_back(harness::ClientSpec{
+          .qos = {.staleness_threshold = c == 0 ? 4u : 2u,
+                  .deadline = std::chrono::milliseconds(c == 0 ? 200 : 140),
+                  .min_probability = c == 0 ? 0.1 : 0.9},
+          .request_delay = std::chrono::milliseconds(1000),
+          .num_requests = opt.requests,
+          .selector = entry.factory,
+      });
+    }
+    harness::Scenario scenario(std::move(config));
+    auto results = scenario.run();
+    const auto& stats = results[1].stats;
+    const auto ci = harness::binomial_ci_normal(stats.timing_failures,
+                                                stats.reads_completed);
+    // Load proxy: how many replica services each read consumed.
+    std::uint64_t reads_served = 0;
+    for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+      reads_served += scenario.replica(i).stats().reads_served;
+    }
+    const std::uint64_t total_reads =
+        results[0].stats.reads_completed + results[1].stats.reads_completed;
+    table.add_row(
+        {entry.name, harness::Table::num(stats.avg_replicas_selected(), 2),
+         harness::Table::num(ci.point, 3),
+         "[" + harness::Table::num(ci.lower, 3) + "," +
+             harness::Table::num(ci.upper, 3) + "]",
+         harness::Table::num(sim::to_ms(stats.avg_response_time()), 1),
+         harness::Table::num(
+             harness::percentile(results[1].read_response_times, 0.99) * 1000.0,
+             1),
+         harness::Table::num(total_reads == 0
+                                 ? 0.0
+                                 : static_cast<double>(reads_served) /
+                                       static_cast<double>(total_reads),
+                             2)});
+  }
+  table.print();
+  if (opt.csv) table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Shared helpers for the experiment-reproduction binaries.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace aqueduct::bench {
+
+/// Command-line options shared by the harness-driven benches.
+struct Options {
+  /// Requests per client per run (the paper uses 1000 alternating
+  /// write/read requests).
+  std::size_t requests = 1000;
+  std::uint64_t seed = 42;
+  bool csv = false;  // also emit CSV blocks
+
+  static Options parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        opt.requests = 200;
+      } else if (arg == "--requests" && i + 1 < argc) {
+        opt.requests = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--seed" && i + 1 < argc) {
+        opt.seed = std::stoull(argv[++i]);
+      } else if (arg == "--csv") {
+        opt.csv = true;
+      }
+    }
+    return opt;
+  }
+};
+
+}  // namespace aqueduct::bench

@@ -1,0 +1,147 @@
+// Reproduces Figure 4 of the paper: adaptivity of the probabilistic model.
+//
+// Setup (paper Section 6.1): 10 server replicas plus a sequencer — 4
+// primary, 6 secondary; background load simulated by a normally
+// distributed service delay (mean 100 ms); two clients issuing 1000
+// alternating write/read requests with a 1000 ms request delay.
+//   * Client 1 keeps QoS (a=4, d=200 ms, Pc=0.1) for every run.
+//   * Client 2 keeps a=2 and sweeps the deadline 80..220 ms; its requested
+//     probability Pc and the lazy-update interval (LUI) select one of four
+//     configurations: (Pc, LUI) in {0.9, 0.5} x {4 s, 2 s}.
+//
+// Figure 4a: average number of replicas selected for client 2 vs deadline.
+// Figure 4b: observed probability of timing failure for client 2 vs
+//            deadline, with 95% binomial confidence intervals.
+//
+// Expected shape (paper): fewer replicas as the QoS loosens; observed
+// failure probability below 1 - Pc in every configuration; larger LUI =>
+// more timing failures at tight deadlines (stale secondaries defer).
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/scenario.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+using namespace aqueduct;
+
+namespace {
+
+struct Config {
+  double pc;
+  sim::Duration lui;
+  std::string label() const {
+    return "(prob: " + harness::Table::num(pc, 1) +
+           ", LUI: " + harness::Table::num(sim::to_sec(lui), 0) + " secs)";
+  }
+};
+
+struct RunResult {
+  double avg_selected = 0.0;
+  harness::ConfidenceInterval failure;
+  double deferred_fraction = 0.0;
+  std::uint64_t staleness_violations = 0;
+};
+
+RunResult run_one(double pc, sim::Duration lui, sim::Duration deadline,
+                  const bench::Options& opt) {
+  harness::ScenarioConfig config;
+  config.seed = opt.seed;
+  config.lazy_update_interval = lui;
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 4,
+              .deadline = std::chrono::milliseconds(200),
+              .min_probability = 0.1},
+      .request_delay = std::chrono::milliseconds(1000),
+      .num_requests = opt.requests,
+  });
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 2,
+              .deadline = deadline,
+              .min_probability = pc},
+      .request_delay = std::chrono::milliseconds(1000),
+      .num_requests = opt.requests,
+  });
+  harness::Scenario scenario(std::move(config));
+  auto results = scenario.run();
+  const auto& stats = results[1].stats;  // client 2 is the measured client
+  RunResult out;
+  out.avg_selected = stats.avg_replicas_selected();
+  out.failure =
+      harness::binomial_ci_normal(stats.timing_failures, stats.reads_completed);
+  out.deferred_fraction =
+      stats.reads_completed == 0
+          ? 0.0
+          : static_cast<double>(stats.deferred_replies) /
+                static_cast<double>(stats.reads_completed);
+  out.staleness_violations = stats.staleness_violations;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const std::vector<Config> configs = {
+      {0.9, std::chrono::seconds(4)},
+      {0.5, std::chrono::seconds(4)},
+      {0.9, std::chrono::seconds(2)},
+      {0.5, std::chrono::seconds(2)},
+  };
+  const std::vector<int> deadlines_ms = {80, 100, 120, 140, 160, 180, 200, 220};
+
+  std::cout << "=== Figure 4: adaptivity of the probabilistic model ===\n"
+            << "setup: sequencer + 4 primaries + 6 secondaries; service ~ "
+               "N(100ms, 50ms); 2 clients, "
+            << opt.requests << " alternating write/read requests each\n"
+            << "client 1 QoS: a=4, d=200ms, Pc=0.1 (fixed); client 2: a=2, "
+               "d swept, Pc per config\n\n";
+
+  harness::Table fig4a({"deadline_ms", configs[0].label(), configs[1].label(),
+                        configs[2].label(), configs[3].label()});
+  harness::Table fig4b({"deadline_ms", configs[0].label() + " [95% CI]",
+                        configs[1].label() + " [95% CI]",
+                        configs[2].label() + " [95% CI]",
+                        configs[3].label() + " [95% CI]"});
+  harness::Table extras({"deadline_ms", "config", "deferred_fraction",
+                         "staleness_violations", "within_1-Pc"});
+
+  for (const int d : deadlines_ms) {
+    std::vector<std::string> row_a = {std::to_string(d)};
+    std::vector<std::string> row_b = {std::to_string(d)};
+    for (const Config& c : configs) {
+      const RunResult r =
+          run_one(c.pc, c.lui, std::chrono::milliseconds(d), opt);
+      row_a.push_back(harness::Table::num(r.avg_selected, 2));
+      row_b.push_back(harness::Table::num(r.failure.point, 3) + " [" +
+                      harness::Table::num(r.failure.lower, 3) + "," +
+                      harness::Table::num(r.failure.upper, 3) + "]");
+      extras.add_row({std::to_string(d), c.label(),
+                      harness::Table::num(r.deferred_fraction, 3),
+                      std::to_string(r.staleness_violations),
+                      r.failure.point <= (1.0 - c.pc) + 0.02 ? "yes" : "NO"});
+    }
+    fig4a.add_row(std::move(row_a));
+    fig4b.add_row(std::move(row_b));
+  }
+
+  std::cout << "--- Figure 4a: average number of replicas selected "
+               "(client 2) ---\n";
+  fig4a.print();
+  std::cout << "\n--- Figure 4b: observed probability of timing failure "
+               "(client 2) ---\n";
+  fig4b.print();
+  std::cout << "\n--- supplementary: deferral rate, staleness-bound check, "
+               "QoS satisfaction ---\n";
+  extras.print();
+  if (opt.csv) {
+    std::cout << "\nCSV fig4a\n";
+    fig4a.print_csv(std::cout);
+    std::cout << "\nCSV fig4b\n";
+    fig4b.print_csv(std::cout);
+  }
+  return 0;
+}

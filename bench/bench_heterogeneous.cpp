@@ -1,0 +1,108 @@
+// Heterogeneous-testbed study. The paper's LAN mixed 300 MHz–1 GHz hosts
+// (a ~3x service-speed spread); the probabilistic model learns each
+// replica's response-time distribution individually and should route
+// around slow hosts without starving them entirely (the ert sort keeps
+// probing the least-recently-used replicas).
+//
+// Three pools with equal aggregate capacity, increasingly skewed, plus a
+// "fast-primaries" vs "slow-primaries" placement comparison.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/scenario.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+using namespace aqueduct;
+
+namespace {
+
+struct PoolSpec {
+  std::string name;
+  std::vector<double> speed_factors;  // sequencer + 4 primaries + 6 secondaries
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+
+  const std::vector<PoolSpec> pools = {
+      {"homogeneous (all 1.0x)",
+       {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
+      {"mixed (paper-like 0.55x-1.8x)",
+       {1, 1.8, 1.25, 0.8, 0.55, 1.8, 1.25, 1.0, 0.8, 0.65, 0.55}},
+      {"fast primaries, slow secondaries",
+       {1, 1.8, 1.8, 1.8, 1.8, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6}},
+      {"slow primaries, fast secondaries",
+       {1, 0.6, 0.6, 0.6, 0.6, 1.8, 1.8, 1.8, 1.8, 1.8, 1.8}},
+  };
+
+  std::cout << "=== Heterogeneous hosts: per-replica speed spread ===\n"
+            << "client QoS: a=2, d=140ms, Pc=0.9; LUI=4s; " << opt.requests
+            << " requests; speeds scale the N(100ms,50ms) service delay\n\n";
+
+  harness::Table table({"pool", "timing_failure_prob", "95%_CI",
+                        "avg_replicas_selected", "avg_read_ms", "p99_read_ms",
+                        "slowest_replica_share"});
+
+  for (const PoolSpec& pool : pools) {
+    harness::ScenarioConfig config;
+    config.seed = opt.seed;
+    config.lazy_update_interval = std::chrono::seconds(4);
+    config.speed_factors = pool.speed_factors;
+    for (int c = 0; c < 2; ++c) {
+      config.clients.push_back(harness::ClientSpec{
+          .qos = {.staleness_threshold = c == 0 ? 4u : 2u,
+                  .deadline = std::chrono::milliseconds(c == 0 ? 200 : 140),
+                  .min_probability = c == 0 ? 0.1 : 0.9},
+          .request_delay = std::chrono::milliseconds(1000),
+          .num_requests = opt.requests,
+      });
+    }
+    harness::Scenario scenario(std::move(config));
+    auto results = scenario.run();
+    const auto& stats = results[1].stats;
+    const auto ci = harness::binomial_ci_normal(stats.timing_failures,
+                                                stats.reads_completed);
+
+    // How much read work landed on the slowest replica vs its fair share.
+    std::size_t slowest = 1;
+    for (std::size_t i = 1; i < scenario.num_replicas(); ++i) {
+      const double f = i < pool.speed_factors.size() ? pool.speed_factors[i] : 1.0;
+      const double fs = slowest < pool.speed_factors.size()
+                            ? pool.speed_factors[slowest]
+                            : 1.0;
+      if (f < fs) slowest = i;
+    }
+    std::uint64_t total_reads = 0;
+    for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+      total_reads += scenario.replica(i).stats().reads_served;
+    }
+    const double share =
+        total_reads == 0
+            ? 0.0
+            : static_cast<double>(scenario.replica(slowest).stats().reads_served) /
+                  static_cast<double>(total_reads);
+
+    table.add_row({pool.name, harness::Table::num(ci.point, 3),
+                   "[" + harness::Table::num(ci.lower, 3) + "," +
+                       harness::Table::num(ci.upper, 3) + "]",
+                   harness::Table::num(stats.avg_replicas_selected(), 2),
+                   harness::Table::num(sim::to_ms(stats.avg_response_time()), 1),
+                   harness::Table::num(
+                       harness::percentile(results[1].read_response_times, 0.99) *
+                           1000.0,
+                       1),
+                   harness::Table::num(100.0 * share, 1) + "%"});
+  }
+  table.print();
+  std::cout << "\nexpected shape: the model absorbs moderate skew (mixed pool "
+               "close to homogeneous);\nslow *primaries* hurt most — tight-"
+               "staleness reads depend on them — while slow\nsecondaries are "
+               "routed around. The slowest replica still serves some reads "
+               "(ert probing),\njust less than its 1/10 fair share.\n";
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Configurable scenario runner: explore the QoS/consistency trade-offs
+// from the command line without writing code.
+//
+//   scenario_cli [--primaries N] [--secondaries N] [--requests N]
+//                [--deadline-ms D] [--staleness A] [--probability P]
+//                [--lui-ms L] [--request-delay-ms R] [--clients N]
+//                [--service-mean-ms M] [--service-std-ms S]
+//                [--seed S] [--crash INDEX@SECONDS]... [--csv]
+//
+// Example: reproduce one Figure-4 point:
+//   scenario_cli --deadline-ms 140 --probability 0.9 --lui-ms 4000
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "harness/stats.hpp"
+#include "harness/table.hpp"
+
+using namespace aqueduct;
+
+namespace {
+
+struct CliCrash {
+  std::size_t index;
+  double at_seconds;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: scenario_cli [--primaries N] [--secondaries N] "
+               "[--requests N]\n"
+               "  [--deadline-ms D] [--staleness A] [--probability P] "
+               "[--lui-ms L]\n"
+               "  [--request-delay-ms R] [--clients N] [--service-mean-ms M]\n"
+               "  [--service-std-ms S] [--seed S] [--open-loop] "
+               "[--crash INDEX@SECONDS] [--csv]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ScenarioConfig config;
+  config.seed = 42;
+  std::size_t clients = 2;
+  std::size_t requests = 400;
+  double deadline_ms = 140;
+  core::Staleness staleness = 2;
+  double probability = 0.9;
+  double request_delay_ms = 1000;
+  bool open_loop = false;
+  bool csv = false;
+  std::vector<CliCrash> crashes;
+
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage();
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--primaries") {
+      config.num_primaries = std::stoul(next_value(i));
+    } else if (arg == "--secondaries") {
+      config.num_secondaries = std::stoul(next_value(i));
+    } else if (arg == "--requests") {
+      requests = std::stoul(next_value(i));
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::stod(next_value(i));
+    } else if (arg == "--staleness") {
+      staleness = std::stoull(next_value(i));
+    } else if (arg == "--probability") {
+      probability = std::stod(next_value(i));
+    } else if (arg == "--lui-ms") {
+      config.lazy_update_interval = sim::from_ms(std::stod(next_value(i)));
+    } else if (arg == "--request-delay-ms") {
+      request_delay_ms = std::stod(next_value(i));
+    } else if (arg == "--clients") {
+      clients = std::stoul(next_value(i));
+    } else if (arg == "--service-mean-ms") {
+      config.service_mean = sim::from_ms(std::stod(next_value(i)));
+    } else if (arg == "--service-std-ms") {
+      config.service_std = sim::from_ms(std::stod(next_value(i)));
+    } else if (arg == "--seed") {
+      config.seed = std::stoull(next_value(i));
+    } else if (arg == "--open-loop") {
+      open_loop = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--crash") {
+      const std::string spec = next_value(i);
+      const auto at = spec.find('@');
+      if (at == std::string::npos) usage();
+      crashes.push_back({std::stoul(spec.substr(0, at)),
+                         std::stod(spec.substr(at + 1))});
+    } else {
+      usage();
+    }
+  }
+
+  for (std::size_t c = 0; c < clients; ++c) {
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = staleness,
+                .deadline = sim::from_ms(deadline_ms),
+                .min_probability = probability},
+        .request_delay = sim::from_ms(request_delay_ms),
+        .num_requests = requests,
+        .arrival = open_loop ? harness::Arrival::kOpenPoisson
+                             : harness::Arrival::kClosedLoop,
+    });
+  }
+
+  harness::Scenario scenario(std::move(config));
+  for (const CliCrash& crash : crashes) {
+    if (crash.index >= scenario.num_replicas()) usage();
+    scenario.schedule_crash(crash.index,
+                            sim::kEpoch + sim::from_sec(crash.at_seconds));
+  }
+  auto results = scenario.run();
+
+  harness::Table table({"client", "reads", "timing_failure_prob", "95%_CI",
+                        "avg_replicas", "avg_read_ms", "p99_read_ms",
+                        "deferred", "staleness_violations", "abandoned"});
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    const auto& stats = results[c].stats;
+    const auto ci = harness::binomial_ci_normal(stats.timing_failures,
+                                                stats.reads_completed);
+    table.add_row(
+        {std::to_string(c), std::to_string(stats.reads_completed),
+         harness::Table::num(ci.point, 3),
+         "[" + harness::Table::num(ci.lower, 3) + "," +
+             harness::Table::num(ci.upper, 3) + "]",
+         harness::Table::num(stats.avg_replicas_selected(), 2),
+         harness::Table::num(sim::to_ms(stats.avg_response_time()), 1),
+         harness::Table::num(
+             harness::percentile(results[c].read_response_times, 0.99) * 1000.0,
+             1),
+         std::to_string(stats.deferred_replies),
+         std::to_string(stats.staleness_violations),
+         std::to_string(stats.reads_abandoned)});
+  }
+  std::printf("simulated %s, %llu events\n",
+              sim::format(scenario.simulator().now()).c_str(),
+              static_cast<unsigned long long>(
+                  scenario.simulator().events_executed()));
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print();
+  }
+  return 0;
+}

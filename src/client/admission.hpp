@@ -1,0 +1,72 @@
+// Admission control (paper Section 7: "with some modifications, we can
+// also use our framework to perform admission control, in order to
+// determine the clients that can be admitted based on the current
+// availability of the replicas").
+//
+// A client (or a front-end on its behalf) asks, before issuing a stream
+// of reads with a given QoS spec, whether the *entire* current replica
+// pool could satisfy it. If even K = all replicas cannot reach Pc(d),
+// admitting the client only produces guaranteed QoS-alarm noise.
+#pragma once
+
+#include "client/repository.hpp"
+#include "core/qos.hpp"
+#include "core/selection.hpp"
+
+namespace aqueduct::client {
+
+struct AdmissionDecision {
+  bool admitted = false;
+  /// P_K(d) over the full replica pool (with the single-failure allowance
+  /// of Algorithm 1 if `tolerate_one_failure`).
+  double achievable_probability = 0.0;
+  /// Replicas the pool currently has.
+  std::size_t available_replicas = 0;
+};
+
+class AdmissionController {
+ public:
+  /// `headroom`: extra margin demanded above Pc(d) — e.g. 0.05 admits only
+  /// clients whose spec is achievable with 5 points to spare.
+  explicit AdmissionController(double headroom = 0.0,
+                               bool tolerate_one_failure = true)
+      : headroom_(headroom), tolerate_one_failure_(tolerate_one_failure) {}
+
+  /// Evaluates `qos` against the repository's current view of the pool.
+  AdmissionDecision evaluate(const InfoRepository& repository,
+                             const core::QoSSpec& qos,
+                             sim::TimePoint now) const {
+    AdmissionDecision decision;
+    auto candidates = repository.candidates(qos, now);
+    decision.available_replicas = candidates.size();
+    if (candidates.empty()) return decision;
+
+    const double stale_factor =
+        repository.stale_factor(qos.staleness_threshold, now);
+
+    // P_K(d) with K = the whole pool, minus the best member if the
+    // failure allowance is on (mirrors Algorithm 1's guarantee).
+    if (tolerate_one_failure_ && candidates.size() > 1) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < candidates.size(); ++i) {
+        if (candidates[i].immediate_cdf > candidates[best].immediate_cdf) {
+          best = i;
+        }
+      }
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+    core::SelectAllSelector all;
+    sim::Rng rng(0);  // unused by SelectAll
+    const auto result = all.select(std::move(candidates), stale_factor, qos, rng);
+    decision.achievable_probability = result.predicted_probability;
+    decision.admitted =
+        decision.achievable_probability >= qos.min_probability + headroom_;
+    return decision;
+  }
+
+ private:
+  double headroom_;
+  bool tolerate_one_failure_;
+};
+
+}  // namespace aqueduct::client

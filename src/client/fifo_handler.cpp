@@ -1,0 +1,146 @@
+#include "client/fifo_handler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::client {
+
+FifoClientHandler::FifoClientHandler(sim::Simulator& sim,
+                                     gcs::Endpoint& endpoint,
+                                     replication::ServiceGroups groups,
+                                     std::size_t window_size)
+    : sim_(sim),
+      endpoint_(endpoint),
+      groups_(groups),
+      rng_(sim.rng().split()),
+      repository_(window_size, std::chrono::milliseconds(1)) {}
+
+void FifoClientHandler::start() {
+  qos_member_ = &endpoint_.member(groups_.qos);
+  qos_member_->set_on_deliver(
+      [this](net::NodeId from, const net::MessagePtr& msg) {
+        on_deliver(from, msg);
+      });
+  qos_member_->join();
+}
+
+void FifoClientHandler::update(net::MessagePtr op, UpdateCallback done) {
+  AQUEDUCT_CHECK(op != nullptr);
+  if (!has_roles_) {
+    pending_.push_back([this, op = std::move(op), done = std::move(done)]() mutable {
+      update(std::move(op), std::move(done));
+    });
+    return;
+  }
+  const replication::RequestId id{this->id(), ++next_seq_};
+  my_update_horizon_ = id.seq;
+  Outstanding& req = outstanding_[id];
+  req.is_read = false;
+  req.update_done = std::move(done);
+  req.t0 = sim_.now();
+  req.tm = req.t0;
+
+  auto request = std::make_shared<replication::FifoUpdateRequest>();
+  request->id = id;
+  request->op = std::move(op);
+  qos_member_->send_to_set(roles_.primaries, request);
+}
+
+void FifoClientHandler::read(net::MessagePtr op, const core::QoSSpec& qos,
+                             bool read_your_writes, ReadCallback done) {
+  qos.validate();
+  AQUEDUCT_CHECK(op != nullptr);
+  if (!has_roles_) {
+    pending_.push_back([this, op = std::move(op), qos, read_your_writes,
+                        done = std::move(done)]() mutable {
+      read(std::move(op), qos, read_your_writes, std::move(done));
+    });
+    return;
+  }
+  const replication::RequestId id{this->id(), ++next_seq_};
+  Outstanding& req = outstanding_[id];
+  req.is_read = true;
+  req.qos = qos;
+  req.read_done = std::move(done);
+  req.t0 = sim_.now();
+  req.tm = req.t0;
+
+  // FIFO consistency has no global staleness: the stale factor is 1; the
+  // deferred-read distributions still account for read-your-writes waits.
+  auto candidates = repository_.candidates(qos, sim_.now());
+  auto selection = selector_.select(std::move(candidates), 1.0, qos, rng_);
+  req.replicas_selected = selection.selected.size();
+
+  auto request = std::make_shared<replication::FifoReadRequest>();
+  request->id = id;
+  request->op = std::move(op);
+  request->horizon = read_your_writes ? my_update_horizon_ : 0;
+  qos_member_->send_to_set(selection.selected, request);
+
+  req.deadline_timer = sim_.at(req.t0 + qos.deadline, [this, id] {
+    auto it = outstanding_.find(id);
+    if (it != outstanding_.end() && !it->second.completed) {
+      it->second.timing_failure = true;
+    }
+  });
+}
+
+void FifoClientHandler::drain_pending() {
+  std::deque<std::function<void()>> pending;
+  pending.swap(pending_);
+  for (auto& fn : pending) fn();
+}
+
+void FifoClientHandler::on_deliver(net::NodeId /*from*/,
+                                   const net::MessagePtr& msg) {
+  const sim::TimePoint now = sim_.now();
+  if (auto reply = net::message_cast<replication::FifoReply>(msg)) {
+    auto it = outstanding_.find(reply->id);
+    if (it == outstanding_.end()) return;
+    Outstanding& req = it->second;
+    const sim::Duration tg =
+        std::max(sim::Duration::zero(), (now - req.tm) - reply->t1);
+    repository_.record_reply(reply->replica, tg, now);
+    if (req.completed) return;
+    req.completed = true;
+    sim_.cancel(req.deadline_timer);
+    const sim::Duration tr = now - req.t0;
+    if (req.is_read) {
+      FifoReadOutcome outcome;
+      outcome.result = reply->result;
+      outcome.response_time = tr;
+      outcome.timing_failure = req.timing_failure || tr > req.qos.deadline;
+      outcome.deferred = reply->deferred;
+      outcome.responder = reply->replica;
+      outcome.replicas_selected = req.replicas_selected;
+      ++stats_.reads_completed;
+      stats_.replicas_selected_total += req.replicas_selected;
+      if (outcome.timing_failure) ++stats_.timing_failures;
+      if (req.read_done) req.read_done(outcome);
+    } else {
+      ++stats_.updates_completed;
+      if (req.update_done) req.update_done(tr);
+    }
+    outstanding_.erase(it);
+  } else if (auto perf = net::message_cast<replication::PerfPublication>(msg)) {
+    repository_.record_publication(*perf, now);
+  } else if (auto info = net::message_cast<replication::FifoGroupInfo>(msg)) {
+    if (has_roles_ && info->epoch <= roles_.epoch) return;
+    roles_ = *info;
+    // Selection candidates come from the repository's GroupInfo; adapt the
+    // FIFO role map into the sequential one (no sequencer).
+    replication::GroupInfo compat;
+    compat.epoch = info->epoch;
+    compat.primaries = info->primaries;
+    compat.secondaries = info->secondaries;
+    compat.lazy_publisher = info->lazy_publisher;
+    repository_.record_group_info(compat);
+    const bool first = !has_roles_;
+    has_roles_ = true;
+    if (first) drain_pending();
+  }
+}
+
+}  // namespace aqueduct::client

@@ -1,0 +1,118 @@
+// Client-side gateway for the FIFO timed consistency handler.
+//
+// Mirrors ClientHandler but speaks the FIFO protocol: updates go to all
+// primaries with per-client ordering only (the GCS p2p channels already
+// deliver them FIFO), and reads carry the client's own update horizon so
+// replicas can honour read-your-writes. Replica selection reuses the same
+// probabilistic machinery; because FIFO consistency has no global
+// staleness measure, the secondary-group staleness factor is fixed at 1
+// and deferral risk is carried by the deferred-read distributions alone.
+//
+// Scope note: this handler demonstrates the framework's pluggable-
+// ordering design (paper Figure 2). It relies on the GCS channels for
+// reliability but — unlike ClientHandler — has no re-selection/retry
+// path, so a read whose entire selected set crashes is not re-issued.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "client/repository.hpp"
+#include "core/qos.hpp"
+#include "core/selection.hpp"
+#include "gcs/endpoint.hpp"
+#include "replication/fifo.hpp"
+#include "replication/service.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::client {
+
+struct FifoReadOutcome {
+  net::MessagePtr result;
+  sim::Duration response_time = sim::Duration::zero();
+  bool timing_failure = false;
+  bool deferred = false;
+  net::NodeId responder;
+  std::size_t replicas_selected = 0;
+};
+
+struct FifoClientStats {
+  std::uint64_t reads_completed = 0;
+  std::uint64_t updates_completed = 0;
+  std::uint64_t timing_failures = 0;
+  std::uint64_t replicas_selected_total = 0;
+
+  double avg_replicas_selected() const {
+    return reads_completed == 0
+               ? 0.0
+               : static_cast<double>(replicas_selected_total) /
+                     static_cast<double>(reads_completed);
+  }
+};
+
+class FifoClientHandler {
+ public:
+  using ReadCallback = std::function<void(const FifoReadOutcome&)>;
+  using UpdateCallback = std::function<void(sim::Duration response_time)>;
+
+  FifoClientHandler(sim::Simulator& sim, gcs::Endpoint& endpoint,
+                    replication::ServiceGroups groups,
+                    std::size_t window_size = 20);
+
+  FifoClientHandler(const FifoClientHandler&) = delete;
+  FifoClientHandler& operator=(const FifoClientHandler&) = delete;
+
+  void start();
+
+  /// FIFO-ordered update; completes on the first primary reply.
+  void update(net::MessagePtr op, UpdateCallback done);
+
+  /// Read with read-your-writes session freshness: if `read_your_writes`
+  /// is true, the serving replica must have applied this client's latest
+  /// update (possibly deferring to a lazy propagation on a secondary).
+  void read(net::MessagePtr op, const core::QoSSpec& qos,
+            bool read_your_writes, ReadCallback done);
+
+  bool ready() const { return has_roles_; }
+  net::NodeId id() const { return endpoint_.id(); }
+  const FifoClientStats& stats() const { return stats_; }
+
+ private:
+  struct Outstanding {
+    bool is_read = false;
+    core::QoSSpec qos;
+    ReadCallback read_done;
+    UpdateCallback update_done;
+    sim::TimePoint t0;
+    sim::TimePoint tm;
+    bool completed = false;
+    bool timing_failure = false;
+    std::size_t replicas_selected = 0;
+    sim::EventHandle deadline_timer;
+  };
+
+  void on_deliver(net::NodeId from, const net::MessagePtr& msg);
+  void drain_pending();
+
+  sim::Simulator& sim_;
+  gcs::Endpoint& endpoint_;
+  replication::ServiceGroups groups_;
+  sim::Rng rng_;
+  gcs::Member* qos_member_ = nullptr;
+  InfoRepository repository_;
+  core::ProbabilisticSelector selector_;
+
+  bool has_roles_ = false;
+  replication::FifoGroupInfo roles_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t my_update_horizon_ = 0;  // seq of my latest update
+  std::unordered_map<replication::RequestId, Outstanding> outstanding_;
+  std::deque<std::function<void()>> pending_;  // issued before roles known
+  FifoClientStats stats_;
+};
+
+}  // namespace aqueduct::client

@@ -1,0 +1,292 @@
+#include "client/handler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::client {
+
+namespace {
+/// How long a completed request's bookkeeping lingers so late replies from
+/// the other selected replicas still contribute t_g / ert measurements.
+constexpr sim::Duration kLinger = std::chrono::seconds(10);
+}  // namespace
+
+ClientHandler::ClientHandler(sim::Simulator& sim, gcs::Endpoint& endpoint,
+                             replication::ServiceGroups groups,
+                             ClientConfig config)
+    : sim_(sim),
+      endpoint_(endpoint),
+      groups_(groups),
+      config_(std::move(config)),
+      rng_(sim.rng().split()),
+      repository_(config_.window_size, config_.pmf_resolution) {
+  if (config_.selector == nullptr) {
+    config_.selector = std::make_unique<core::ProbabilisticSelector>();
+  }
+  AQUEDUCT_CHECK(config_.window_size > 0);
+  AQUEDUCT_CHECK(config_.retry_timeout > sim::Duration::zero());
+}
+
+ClientHandler::~ClientHandler() = default;
+
+void ClientHandler::start() {
+  qos_member_ = &endpoint_.member(groups_.qos);
+  qos_member_->set_on_deliver(
+      [this](net::NodeId from, const net::MessagePtr& msg) {
+        on_deliver(from, msg);
+      });
+  qos_member_->join();
+}
+
+// ---------------------------------------------------------------------------
+// Application entry points
+// ---------------------------------------------------------------------------
+
+void ClientHandler::read(net::MessagePtr op, const core::QoSSpec& qos,
+                         ReadCallback done) {
+  qos.validate();
+  AQUEDUCT_CHECK(op != nullptr);
+  const sim::TimePoint t0 = sim_.now();
+  if (!ready()) {
+    pending_.push_back({true, std::move(op), qos, std::move(done), {}, t0});
+    return;
+  }
+  const replication::RequestId id{this->id(), ++next_seq_};
+  OutstandingRequest& req = outstanding_[id];
+  req.is_read = true;
+  req.op = std::move(op);
+  req.qos = qos;
+  req.read_done = std::move(done);
+  req.t0 = t0;
+  ++stats_.reads_issued;
+  transmit_read(id, req);
+  req.deadline_timer = sim_.at(t0 + qos.deadline, [this, id] { on_deadline(id); });
+}
+
+void ClientHandler::update(net::MessagePtr op, UpdateCallback done) {
+  AQUEDUCT_CHECK(op != nullptr);
+  const sim::TimePoint t0 = sim_.now();
+  if (!ready()) {
+    pending_.push_back({false, std::move(op), {}, {}, std::move(done), t0});
+    return;
+  }
+  const replication::RequestId id{this->id(), ++next_seq_};
+  OutstandingRequest& req = outstanding_[id];
+  req.is_read = false;
+  req.op = std::move(op);
+  req.update_done = std::move(done);
+  req.t0 = t0;
+  ++stats_.updates_issued;
+  transmit_update(id, req);
+}
+
+void ClientHandler::drain_pending() {
+  std::deque<PendingApp> pending;
+  pending.swap(pending_);
+  for (PendingApp& p : pending) {
+    // Re-enter through the public API; t0 conservatively restarts now
+    // (start-up transient only).
+    if (p.is_read) {
+      read(std::move(p.op), p.qos, std::move(p.read_done));
+    } else {
+      update(std::move(p.op), std::move(p.update_done));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transmission and retries
+// ---------------------------------------------------------------------------
+
+void ClientHandler::transmit_read(const replication::RequestId& id,
+                                  OutstandingRequest& req) {
+  const auto& roles = repository_.roles();
+  const sim::TimePoint now = sim_.now();
+
+  auto candidates = repository_.candidates(req.qos, now);
+  const double stale_factor =
+      repository_.stale_factor(req.qos.staleness_threshold, now);
+  auto selection =
+      config_.selector->select(std::move(candidates), stale_factor, req.qos, rng_);
+
+  req.replicas_selected = selection.selected.size();
+  req.selection_satisfied = selection.satisfied;
+  req.predicted_probability = selection.predicted_probability;
+  if (req.attempts == 0) {
+    stats_.replicas_selected_total += selection.selected.size();
+  }
+
+  auto request = std::make_shared<replication::ReadRequest>();
+  request->id = id;
+  request->op = req.op;
+  request->staleness_threshold = req.qos.staleness_threshold;
+
+  req.tm = now;
+  ++req.attempts;
+  // The selected set K plus the sequencer (Algorithm 1 lines 13/16).
+  qos_member_->send_to_set(selection.selected, request);
+  if (roles.sequencer.valid() &&
+      std::find(selection.selected.begin(), selection.selected.end(),
+                roles.sequencer) == selection.selected.end()) {
+    qos_member_->send_to(roles.sequencer, request);
+  }
+  arm_retry(id);
+}
+
+void ClientHandler::transmit_update(const replication::RequestId& id,
+                                    OutstandingRequest& req) {
+  const auto& roles = repository_.roles();
+  auto request = std::make_shared<replication::UpdateRequest>();
+  request->id = id;
+  request->op = req.op;
+
+  req.tm = sim_.now();
+  ++req.attempts;
+  // Updates go to every member of the primary group, sequencer included
+  // (Section 4.1.1).
+  qos_member_->send_to_set(roles.primaries, request);
+  if (roles.sequencer.valid()) qos_member_->send_to(roles.sequencer, request);
+  arm_retry(id);
+}
+
+void ClientHandler::arm_retry(const replication::RequestId& id) {
+  OutstandingRequest& req = outstanding_.at(id);
+  sim_.cancel(req.retry_timer);
+  req.retry_timer = sim_.after(config_.retry_timeout, [this, id] { on_retry(id); });
+}
+
+void ClientHandler::on_retry(const replication::RequestId& id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end() || it->second.completed) return;
+  OutstandingRequest& req = it->second;
+  if (req.attempts > config_.max_retries) {
+    // Give up: report failure to the application.
+    req.completed = true;
+    sim_.cancel(req.deadline_timer);
+    if (req.is_read) {
+      ++stats_.reads_abandoned;
+      ReadOutcome outcome;
+      outcome.response_time = sim_.now() - req.t0;
+      outcome.timing_failure = true;
+      outcome.replicas_selected = req.replicas_selected;
+      outcome.selection_satisfied = req.selection_satisfied;
+      outcome.predicted_probability = req.predicted_probability;
+      if (req.read_done) req.read_done(outcome);
+    } else if (req.update_done) {
+      UpdateOutcome outcome;
+      outcome.response_time = sim_.now() - req.t0;
+      req.update_done(outcome);
+    }
+    outstanding_.erase(it);
+    return;
+  }
+  ++stats_.retries;
+  if (req.is_read) {
+    transmit_read(id, req);
+  } else {
+    transmit_update(id, req);
+  }
+}
+
+void ClientHandler::on_deadline(const replication::RequestId& id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end() || it->second.completed) return;
+  // No response within d: a timing failure for this client, regardless of
+  // when (or whether) a reply eventually arrives.
+  it->second.timing_failure = true;
+}
+
+// ---------------------------------------------------------------------------
+// Replies and publications
+// ---------------------------------------------------------------------------
+
+void ClientHandler::on_deliver(net::NodeId /*from*/, const net::MessagePtr& msg) {
+  const sim::TimePoint now = sim_.now();
+  if (auto reply = net::message_cast<replication::Reply>(msg)) {
+    handle_reply(reply);
+  } else if (auto perf = net::message_cast<replication::PerfPublication>(msg)) {
+    repository_.record_publication(*perf, now);
+  } else if (auto info = net::message_cast<replication::GroupInfo>(msg)) {
+    const bool was_ready = ready();
+    repository_.record_group_info(*info);
+    if (!was_ready && ready()) drain_pending();
+  }
+}
+
+void ClientHandler::handle_reply(
+    const std::shared_ptr<const replication::Reply>& reply) {
+  auto it = outstanding_.find(reply->id);
+  if (it == outstanding_.end()) return;  // linger expired
+  OutstandingRequest& req = it->second;
+
+  // Gateway-delay measurement: t_g = t_p - t_m - t_1 (Section 5.4). A reply
+  // from an earlier attempt can make this negative after a retry; clamp.
+  const sim::TimePoint tp = sim_.now();
+  const sim::Duration tg =
+      std::max(sim::Duration::zero(), (tp - req.tm) - reply->t1);
+  repository_.record_reply(reply->replica, tg, tp);
+
+  if (req.completed) return;  // later replies only feed the repository
+  req.completed = true;
+  sim_.cancel(req.retry_timer);
+  sim_.cancel(req.deadline_timer);
+
+  if (req.is_read) {
+    complete_read(reply->id, req, reply.get());
+  } else {
+    ++stats_.updates_completed;
+    stats_.total_update_response_time += tp - req.t0;
+    UpdateOutcome outcome;
+    outcome.result = reply->result;
+    outcome.response_time = tp - req.t0;
+    if (req.update_done) req.update_done(outcome);
+  }
+  forget_later(reply->id);
+}
+
+void ClientHandler::complete_read(const replication::RequestId& /*id*/,
+                                  OutstandingRequest& req,
+                                  const replication::Reply* reply) {
+  const sim::Duration tr = sim_.now() - req.t0;
+  ReadOutcome outcome;
+  outcome.result = reply->result;
+  outcome.response_time = tr;
+  outcome.timing_failure = req.timing_failure || tr > req.qos.deadline;
+  outcome.deferred = reply->deferred;
+  outcome.staleness = reply->staleness;
+  outcome.responder = reply->replica;
+  outcome.replicas_selected = req.replicas_selected;
+  outcome.selection_satisfied = req.selection_satisfied;
+  outcome.predicted_probability = req.predicted_probability;
+
+  ++stats_.reads_completed;
+  stats_.total_response_time += tr;
+  if (outcome.timing_failure) {
+    ++stats_.timing_failures;
+  } else {
+    ++timely_reads_;
+  }
+  if (outcome.deferred) ++stats_.deferred_replies;
+  if (outcome.staleness > req.qos.staleness_threshold) {
+    ++stats_.staleness_violations;
+  }
+  check_alarm(req.qos);
+  if (req.read_done) req.read_done(outcome);
+}
+
+void ClientHandler::check_alarm(const core::QoSSpec& qos) {
+  if (!alarm_ || stats_.reads_completed == 0) return;
+  const double timely_rate = static_cast<double>(timely_reads_) /
+                             static_cast<double>(stats_.reads_completed);
+  if (timely_rate < qos.min_probability) {
+    alarm_(1.0 - timely_rate);
+  }
+}
+
+void ClientHandler::forget_later(const replication::RequestId& id) {
+  sim_.after(kLinger, [this, id] { outstanding_.erase(id); });
+}
+
+}  // namespace aqueduct::client

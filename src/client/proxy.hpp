@@ -1,0 +1,92 @@
+// Transparent service proxy implementing the paper's request model
+// (Section 2): "a client application has to explicitly specify all the
+// read-only methods it invokes on an object by their names. If an
+// operation is not specified as read-only, then our middleware considers
+// it to be an update operation."
+//
+// The application invokes methods by name; the proxy consults the
+// ReadOnlyRegistry and routes through the QoS read path (with this
+// proxy's default or a per-call QoS spec) or the sequentially ordered
+// update path — exactly the interception an AQuA gateway performs for a
+// CORBA object.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "client/handler.hpp"
+#include "core/qos.hpp"
+
+namespace aqueduct::client {
+
+/// Result of a proxied invocation, read or update.
+struct InvokeOutcome {
+  net::MessagePtr result;
+  sim::Duration response_time = sim::Duration::zero();
+  bool was_read = false;
+  /// Read-path details (defaulted for updates).
+  bool timing_failure = false;
+  core::Staleness staleness = 0;
+};
+
+class ServiceProxy {
+ public:
+  using InvokeCallback = std::function<void(const InvokeOutcome&)>;
+
+  /// `default_qos` applies to read-only invocations without an explicit
+  /// spec. The registry is copied: the method set is fixed per proxy, as
+  /// the paper's per-application declaration implies.
+  ServiceProxy(ClientHandler& handler, core::ReadOnlyRegistry registry,
+               core::QoSSpec default_qos)
+      : handler_(handler),
+        registry_(std::move(registry)),
+        default_qos_(default_qos) {
+    default_qos_.validate();
+  }
+
+  /// Invokes `method` with operation payload `op`, using the default QoS
+  /// for reads.
+  void invoke(const std::string& method, net::MessagePtr op,
+              InvokeCallback done) {
+    invoke(method, std::move(op), default_qos_, std::move(done));
+  }
+
+  /// Invokes `method` with an explicit QoS spec (used only if the method
+  /// is read-only).
+  void invoke(const std::string& method, net::MessagePtr op,
+              const core::QoSSpec& qos, InvokeCallback done) {
+    if (registry_.is_read_only(method)) {
+      handler_.read(std::move(op), qos,
+                    [done = std::move(done)](const ReadOutcome& read) {
+                      InvokeOutcome outcome;
+                      outcome.result = read.result;
+                      outcome.response_time = read.response_time;
+                      outcome.was_read = true;
+                      outcome.timing_failure = read.timing_failure;
+                      outcome.staleness = read.staleness;
+                      if (done) done(outcome);
+                    });
+    } else {
+      handler_.update(std::move(op),
+                      [done = std::move(done)](const UpdateOutcome& update) {
+                        InvokeOutcome outcome;
+                        outcome.result = update.result;
+                        outcome.response_time = update.response_time;
+                        outcome.was_read = false;
+                        if (done) done(outcome);
+                      });
+    }
+  }
+
+  bool is_read_only(const std::string& method) const {
+    return registry_.is_read_only(method);
+  }
+  const core::QoSSpec& default_qos() const { return default_qos_; }
+
+ private:
+  ClientHandler& handler_;
+  core::ReadOnlyRegistry registry_;
+  core::QoSSpec default_qos_;
+};
+
+}  // namespace aqueduct::client

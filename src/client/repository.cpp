@@ -1,0 +1,100 @@
+#include "client/repository.hpp"
+
+#include "sim/check.hpp"
+
+namespace aqueduct::client {
+
+InfoRepository::InfoRepository(std::size_t window_size, sim::Duration resolution)
+    : window_size_(window_size),
+      model_(resolution),
+      arrival_rate_(window_size) {
+  AQUEDUCT_CHECK(window_size_ > 0);
+}
+
+core::PerfHistory& InfoRepository::history(net::NodeId replica) {
+  auto it = histories_.find(replica);
+  if (it == histories_.end()) {
+    it = histories_.emplace(replica, core::PerfHistory(window_size_)).first;
+  }
+  return it->second;
+}
+
+const core::PerfHistory* InfoRepository::find_history(net::NodeId replica) const {
+  auto it = histories_.find(replica);
+  return it == histories_.end() ? nullptr : &it->second;
+}
+
+void InfoRepository::record_publication(
+    const replication::PerfPublication& perf, sim::TimePoint now) {
+  if (perf.has_sample) {
+    core::PerfHistory& h = history(perf.replica);
+    h.service.push(perf.ts);
+    h.queueing.push(perf.tq);
+    if (perf.deferred) h.lazy_wait.push(perf.tb);
+  }
+  if (perf.lazy) {
+    arrival_rate_.record(perf.lazy->n_u, perf.lazy->t_u);
+    lazy_tracker_.record(perf.lazy->t_l, perf.lazy->period, now);
+  }
+}
+
+void InfoRepository::record_reply(net::NodeId replica,
+                                  sim::Duration gateway_delay,
+                                  sim::TimePoint now) {
+  core::PerfHistory& h = history(replica);
+  h.gateway_delay = gateway_delay;
+  h.last_reply_at = now;
+}
+
+void InfoRepository::record_group_info(const replication::GroupInfo& info) {
+  if (roles_ && info.epoch <= roles_->epoch) return;  // stale broadcast
+  roles_ = info;
+}
+
+const replication::GroupInfo& InfoRepository::roles() const {
+  AQUEDUCT_CHECK_MSG(roles_.has_value(), "no GroupInfo received yet");
+  return *roles_;
+}
+
+std::vector<core::CandidateReplica> InfoRepository::candidates(
+    const core::QoSSpec& qos, sim::TimePoint now) const {
+  std::vector<core::CandidateReplica> out;
+  if (!roles_) return out;
+
+  // Deferred reads wait on average about half a lazy interval when no t_b
+  // samples exist yet; use that as the bootstrap U estimate.
+  std::optional<sim::Duration> fallback_u;
+  if (lazy_tracker_.period() > sim::Duration::zero()) {
+    fallback_u = lazy_tracker_.period() / 2;
+  }
+
+  auto add = [&](net::NodeId id, bool is_primary) {
+    core::CandidateReplica c;
+    c.id = id;
+    c.is_primary = is_primary;
+    if (const core::PerfHistory* h = find_history(id)) {
+      c.immediate_cdf = model_.immediate_cdf(*h, qos.deadline);
+      if (!is_primary) {
+        c.deferred_cdf = model_.deferred_cdf(*h, qos.deadline, fallback_u);
+      }
+      c.ert = now - h->last_reply_at;
+    } else {
+      // Never heard from: maximal ert so the LRU sort tries it first, zero
+      // CDFs so the model never credits it with meeting the deadline.
+      c.ert = now - sim::kEpoch;
+    }
+    out.push_back(c);
+  };
+
+  for (const net::NodeId id : roles_->primaries) add(id, true);
+  for (const net::NodeId id : roles_->secondaries) add(id, false);
+  return out;
+}
+
+double InfoRepository::stale_factor(core::Staleness a, sim::TimePoint now) const {
+  if (!arrival_rate_.has_data() || !lazy_tracker_.has_data()) return 1.0;
+  const core::PoissonStalenessModel model(arrival_rate_.rate_per_second());
+  return model.staleness_factor(a, lazy_tracker_.elapsed_since_lazy_update(now));
+}
+
+}  // namespace aqueduct::client

@@ -1,0 +1,88 @@
+// Client-side gateway information repository (paper Section 5.4).
+//
+// Stores, per replica, the sliding windows of published performance
+// measurements (t_s, t_q, t_b), the latest two-way gateway delay t_g and
+// last-reply timestamp for this client-replica pair, plus the staleness
+// estimation state fed by the lazy publisher's broadcasts. From these it
+// builds the candidate vector Algorithm 1 consumes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/qos.hpp"
+#include "core/response_model.hpp"
+#include "core/selection.hpp"
+#include "core/staleness.hpp"
+#include "replication/messages.hpp"
+#include "sim/time.hpp"
+
+namespace aqueduct::client {
+
+class InfoRepository {
+ public:
+  /// `window_size` is the sliding-window length l (the paper evaluates 10
+  /// and 20); `resolution` buckets the response-time pmfs.
+  InfoRepository(std::size_t window_size, sim::Duration resolution);
+
+  // ---- ingestion ----
+
+  /// Performance broadcast from a replica (and, for the lazy publisher,
+  /// the <n_u, t_u> / <n_L, t_L> staleness measurements).
+  void record_publication(const replication::PerfPublication& perf,
+                          sim::TimePoint now);
+
+  /// A reply was received from `replica`: records the measured gateway
+  /// delay and refreshes the elapsed-response-time clock.
+  void record_reply(net::NodeId replica, sim::Duration gateway_delay,
+                    sim::TimePoint now);
+
+  /// Latest role map from the sequencer.
+  void record_group_info(const replication::GroupInfo& info);
+
+  // ---- queries ----
+
+  bool has_roles() const { return roles_.has_value(); }
+  const replication::GroupInfo& roles() const;
+
+  /// Builds the Algorithm 1 input vector V for a read with spec `qos`:
+  /// every primary (except the sequencer) and every secondary, with
+  /// F^I(d), F^D(d) and ert filled in.
+  std::vector<core::CandidateReplica> candidates(const core::QoSSpec& qos,
+                                                 sim::TimePoint now) const;
+
+  /// P(A_s(t) <= a) for the secondary group, via the Poisson model (Eq. 4).
+  /// 1.0 until the first staleness broadcast arrives (no updates observed
+  /// means no staleness).
+  double stale_factor(core::Staleness a, sim::TimePoint now) const;
+
+  /// Estimated update arrival rate λ_u (per second).
+  double arrival_rate() const { return arrival_rate_.rate_per_second(); }
+
+  /// Estimated time since the last lazy update.
+  sim::Duration elapsed_since_lazy(sim::TimePoint now) const {
+    return lazy_tracker_.elapsed_since_lazy_update(now);
+  }
+
+  /// Lazy-update period T_L learned from the publisher (zero if unknown).
+  sim::Duration lazy_period() const { return lazy_tracker_.period(); }
+
+  /// Per-replica history (creating it on first access).
+  core::PerfHistory& history(net::NodeId replica);
+  const core::PerfHistory* find_history(net::NodeId replica) const;
+
+  const core::ResponseTimeModel& model() const { return model_; }
+  std::size_t window_size() const { return window_size_; }
+
+ private:
+  std::size_t window_size_;
+  core::ResponseTimeModel model_;
+  std::unordered_map<net::NodeId, core::PerfHistory> histories_;
+  core::ArrivalRateEstimator arrival_rate_;
+  core::LazyIntervalTracker lazy_tracker_;
+  std::optional<replication::GroupInfo> roles_;
+};
+
+}  // namespace aqueduct::client

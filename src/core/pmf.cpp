@@ -1,0 +1,96 @@
+#include "core/pmf.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::core {
+
+namespace {
+
+sim::Duration bucket(sim::Duration v, sim::Duration resolution) {
+  const auto r = resolution.count();
+  if (r <= 1) return v;
+  // Round to the nearest bucket center-left (floor), keeping 0 at 0.
+  return sim::Duration((v.count() / r) * r);
+}
+
+}  // namespace
+
+Pmf Pmf::point_mass(sim::Duration value) {
+  Pmf pmf;
+  pmf.entries_.emplace_back(value, 1.0);
+  pmf.resolution_ = sim::Duration(1);
+  return pmf;
+}
+
+Pmf Pmf::from_samples(std::span<const sim::Duration> samples,
+                      sim::Duration resolution) {
+  AQUEDUCT_CHECK(resolution > sim::Duration::zero());
+  Pmf pmf;
+  pmf.resolution_ = resolution;
+  if (samples.empty()) return pmf;
+  std::map<sim::Duration, double> mass;
+  const double p = 1.0 / static_cast<double>(samples.size());
+  for (const sim::Duration s : samples) mass[bucket(s, resolution)] += p;
+  pmf.entries_.assign(mass.begin(), mass.end());
+  return pmf;
+}
+
+Pmf Pmf::convolve(const Pmf& other) const {
+  Pmf out;
+  out.resolution_ = std::max(resolution_, other.resolution_);
+  if (empty() || other.empty()) return out;
+  std::map<sim::Duration, double> mass;
+  for (const auto& [xv, xp] : entries_) {
+    for (const auto& [yv, yp] : other.entries_) {
+      mass[bucket(xv + yv, out.resolution_)] += xp * yp;
+    }
+  }
+  out.entries_.assign(mass.begin(), mass.end());
+  return out;
+}
+
+Pmf Pmf::shift(sim::Duration offset) const {
+  Pmf out;
+  out.resolution_ = resolution_;
+  out.entries_.reserve(entries_.size());
+  for (const auto& [v, p] : entries_) out.entries_.emplace_back(v + offset, p);
+  return out;
+}
+
+double Pmf::cdf(sim::Duration d) const {
+  double acc = 0.0;
+  for (const auto& [v, p] : entries_) {
+    if (v > d) break;
+    acc += p;
+  }
+  return acc;
+}
+
+sim::Duration Pmf::mean() const {
+  AQUEDUCT_CHECK(!empty());
+  double acc = 0.0;
+  for (const auto& [v, p] : entries_) acc += static_cast<double>(v.count()) * p;
+  return sim::Duration(static_cast<sim::Duration::rep>(acc));
+}
+
+sim::Duration Pmf::quantile(double p) const {
+  AQUEDUCT_CHECK(!empty());
+  AQUEDUCT_CHECK(p > 0.0 && p <= 1.0);
+  double acc = 0.0;
+  for (const auto& [v, prob] : entries_) {
+    acc += prob;
+    if (acc + 1e-12 >= p) return v;
+  }
+  return entries_.back().first;
+}
+
+double Pmf::total_mass() const {
+  double acc = 0.0;
+  for (const auto& [v, p] : entries_) acc += p;
+  return acc;
+}
+
+}  // namespace aqueduct::core

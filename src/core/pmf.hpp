@@ -1,0 +1,67 @@
+// Discrete probability mass functions over durations.
+//
+// The paper (Section 5.2) estimates a replica's response-time distribution
+// by forming the pmfs of the measured service time S and queueing delay W
+// from sliding windows, then computing the pmf of R = S + W + G as a
+// discrete convolution (plus the lazy-wait U for deferred reads).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace aqueduct::core {
+
+class Pmf {
+ public:
+  /// An empty pmf (no observations). cdf() of an empty pmf is 0 — callers
+  /// treat "no data" pessimistically.
+  Pmf() = default;
+
+  /// Degenerate distribution: all mass at `value`.
+  static Pmf point_mass(sim::Duration value);
+
+  /// Relative-frequency pmf of the samples, bucketed at `resolution`.
+  static Pmf from_samples(std::span<const sim::Duration> samples,
+                          sim::Duration resolution);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t support_size() const { return entries_.size(); }
+
+  /// pmf of X + Y for independent X ~ *this, Y ~ other. The result is
+  /// re-bucketed at the coarser of the two resolutions. If either operand
+  /// is empty the result is empty.
+  Pmf convolve(const Pmf& other) const;
+
+  /// Shifts the distribution by a constant (convolution with a point mass,
+  /// done directly: the paper adds the latest gateway delay G this way).
+  Pmf shift(sim::Duration offset) const;
+
+  /// P(X <= d). Returns 0 for an empty pmf.
+  double cdf(sim::Duration d) const;
+
+  /// Expected value. Requires !empty().
+  sim::Duration mean() const;
+
+  /// Smallest x with P(X <= x) >= p. Requires !empty() and p in (0, 1].
+  sim::Duration quantile(double p) const;
+
+  /// Sum of all probabilities (1.0 up to rounding for a non-empty pmf).
+  double total_mass() const;
+
+  /// (value, probability) pairs sorted by value.
+  const std::vector<std::pair<sim::Duration, double>>& entries() const {
+    return entries_;
+  }
+
+  sim::Duration resolution() const { return resolution_; }
+
+ private:
+  std::vector<std::pair<sim::Duration, double>> entries_;
+  sim::Duration resolution_{1};
+};
+
+}  // namespace aqueduct::core

@@ -1,0 +1,67 @@
+// Higher-level QoS inputs (paper Section 7, "it is easy to extend our
+// framework so that the clients can replace the probability of timely
+// response with a higher-level specification, such as priority or the
+// cost the client is willing to pay ... the middleware can then
+// internally map these higher level inputs to an appropriate probability
+// value").
+#pragma once
+
+#include <map>
+
+#include "core/qos.hpp"
+#include "sim/check.hpp"
+
+namespace aqueduct::core {
+
+/// Discrete client priority classes.
+enum class Priority { kLow, kNormal, kHigh, kCritical };
+
+/// Maps priorities or payment levels to the minimum probability of timely
+/// response used by the selection algorithm.
+class PriorityMapper {
+ public:
+  /// Default mapping; override per service with set_probability().
+  PriorityMapper() {
+    probability_[Priority::kLow] = 0.5;
+    probability_[Priority::kNormal] = 0.8;
+    probability_[Priority::kHigh] = 0.9;
+    probability_[Priority::kCritical] = 0.99;
+  }
+
+  void set_probability(Priority priority, double probability) {
+    AQUEDUCT_CHECK(probability > 0.0 && probability <= 1.0);
+    probability_[priority] = probability;
+  }
+
+  double probability_for(Priority priority) const {
+    return probability_.at(priority);
+  }
+
+  /// Builds a full QoS spec from a priority class.
+  QoSSpec to_qos(Priority priority, Staleness staleness_threshold,
+                 sim::Duration deadline) const {
+    return QoSSpec{.staleness_threshold = staleness_threshold,
+                   .deadline = deadline,
+                   .min_probability = probability_for(priority)};
+  }
+
+  /// Maps a willingness-to-pay (in arbitrary cost units) to a probability:
+  /// linear between the cheapest (`floor_probability` at cost 0) and the
+  /// most expensive service level (`ceiling_probability` at `max_cost`).
+  double probability_for_cost(double cost, double max_cost,
+                              double floor_probability = 0.5,
+                              double ceiling_probability = 0.99) const {
+    AQUEDUCT_CHECK(max_cost > 0.0);
+    AQUEDUCT_CHECK(floor_probability > 0.0 &&
+                   floor_probability <= ceiling_probability &&
+                   ceiling_probability <= 1.0);
+    const double clamped = cost < 0.0 ? 0.0 : (cost > max_cost ? max_cost : cost);
+    return floor_probability +
+           (ceiling_probability - floor_probability) * (clamped / max_cost);
+  }
+
+ private:
+  std::map<Priority, double> probability_;
+};
+
+}  // namespace aqueduct::core

@@ -1,0 +1,15 @@
+#include "core/qos.hpp"
+
+namespace aqueduct::core {
+
+std::string to_string(Ordering o) {
+  switch (o) {
+    case Ordering::kSequential:
+      return "sequential";
+    case Ordering::kFifo:
+      return "fifo";
+  }
+  return "unknown";
+}
+
+}  // namespace aqueduct::core

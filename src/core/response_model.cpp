@@ -1,0 +1,52 @@
+#include "core/response_model.hpp"
+
+#include <vector>
+
+namespace aqueduct::core {
+
+Pmf ResponseTimeModel::window_pmf(
+    const SlidingWindow<sim::Duration>& window) const {
+  std::vector<sim::Duration> samples;
+  samples.reserve(window.size());
+  window.for_each([&](sim::Duration d) { samples.push_back(d); });
+  return Pmf::from_samples(samples, resolution_);
+}
+
+Pmf ResponseTimeModel::immediate_pmf(const PerfHistory& history) const {
+  if (history.service.empty()) return {};
+  Pmf pmf = window_pmf(history.service);
+  if (!history.queueing.empty()) {
+    pmf = pmf.convolve(window_pmf(history.queueing));
+  }
+  if (history.gateway_delay) {
+    pmf = pmf.shift(*history.gateway_delay);
+  }
+  return pmf;
+}
+
+Pmf ResponseTimeModel::deferred_pmf(
+    const PerfHistory& history,
+    std::optional<sim::Duration> fallback_lazy_wait) const {
+  Pmf base = immediate_pmf(history);
+  if (base.empty()) return {};
+  if (!history.lazy_wait.empty()) {
+    return base.convolve(window_pmf(history.lazy_wait));
+  }
+  if (fallback_lazy_wait) {
+    return base.shift(*fallback_lazy_wait);
+  }
+  return {};
+}
+
+double ResponseTimeModel::immediate_cdf(const PerfHistory& history,
+                                        sim::Duration deadline) const {
+  return immediate_pmf(history).cdf(deadline);
+}
+
+double ResponseTimeModel::deferred_cdf(
+    const PerfHistory& history, sim::Duration deadline,
+    std::optional<sim::Duration> fallback_lazy_wait) const {
+  return deferred_pmf(history, fallback_lazy_wait).cdf(deadline);
+}
+
+}  // namespace aqueduct::core

@@ -1,0 +1,74 @@
+// Response-time distribution estimation (paper Section 5.2).
+//
+// For a replica that can answer immediately (a primary, or a secondary
+// whose state satisfies the staleness threshold):
+//     R_i = S_i + W_i + G_i                       (Eq. 5)
+// For a deferred read (secondary waiting for the next lazy update):
+//     R_i = S_i + W_i + G_i + U_i                 (Eq. 6)
+// S (service time) and W (queueing delay, incl. waiting for the GSN) are
+// estimated as pmfs from sliding windows of measurements; G (two-way
+// gateway delay) uses only its most recent value, because it fluctuates
+// far less than the other parameters; U (lazy wait) gets its own window.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+#include "core/pmf.hpp"
+#include "core/sliding_window.hpp"
+#include "sim/time.hpp"
+
+namespace aqueduct::core {
+
+/// Per-replica performance history kept in a client's information
+/// repository (paper Section 5.4).
+struct PerfHistory {
+  explicit PerfHistory(std::size_t window_size)
+      : service(window_size), queueing(window_size), lazy_wait(window_size) {}
+
+  SlidingWindow<sim::Duration> service;    // t_s samples
+  SlidingWindow<sim::Duration> queueing;   // t_q samples
+  SlidingWindow<sim::Duration> lazy_wait;  // t_b samples (deferred reads)
+  /// Most recent two-way gateway-to-gateway delay t_g for this
+  /// client-replica pair; nullopt until the first reply.
+  std::optional<sim::Duration> gateway_delay;
+  /// When this client last received a reply from the replica (for the
+  /// elapsed-response-time sort in Algorithm 1). kEpoch if never.
+  sim::TimePoint last_reply_at = sim::kEpoch;
+
+  bool has_samples() const { return !service.empty(); }
+};
+
+/// Computes F^I_{R_i}(d) and F^D_{R_i}(d) from a PerfHistory.
+class ResponseTimeModel {
+ public:
+  explicit ResponseTimeModel(
+      sim::Duration resolution = std::chrono::milliseconds(1))
+      : resolution_(resolution) {}
+
+  /// pmf of S + W + G (Eq. 5). Empty if the service window is empty.
+  Pmf immediate_pmf(const PerfHistory& history) const;
+
+  /// pmf of S + W + G + U (Eq. 6). If no lazy-wait samples exist yet,
+  /// `fallback_lazy_wait` (when provided, typically half the lazy-update
+  /// interval) substitutes for the U pmf; otherwise the result is empty.
+  Pmf deferred_pmf(const PerfHistory& history,
+                   std::optional<sim::Duration> fallback_lazy_wait = {}) const;
+
+  /// F^I_{R_i}(d) = P(S + W + G <= d). 0 when no history exists — an
+  /// unknown replica is never credited with meeting a deadline.
+  double immediate_cdf(const PerfHistory& history, sim::Duration deadline) const;
+
+  /// F^D_{R_i}(d) = P(S + W + G + U <= d).
+  double deferred_cdf(const PerfHistory& history, sim::Duration deadline,
+                      std::optional<sim::Duration> fallback_lazy_wait = {}) const;
+
+  sim::Duration resolution() const { return resolution_; }
+
+ private:
+  Pmf window_pmf(const SlidingWindow<sim::Duration>& window) const;
+
+  sim::Duration resolution_;
+};
+
+}  // namespace aqueduct::core

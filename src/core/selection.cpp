@@ -1,0 +1,177 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::core {
+
+namespace {
+
+/// Running accumulators of Algorithm 1 (lines 1 and 17–30). The failure
+/// probability of the selected set factors into a primary product and a
+/// secondary mixture weighted by the staleness factor (Eq. 1–3).
+class CdfAccumulator {
+ public:
+  explicit CdfAccumulator(double stale_factor) : stale_factor_(stale_factor) {}
+
+  /// includeCDF(): folds one replica's distribution values in and tests
+  /// the terminating condition P_K(d) >= Pc(d).
+  bool include(const CandidateReplica& r, double pc) {
+    if (r.is_primary) {
+      prim_cdf_ *= (1.0 - r.immediate_cdf);
+    } else {
+      sec_immed_cdf_ *= (1.0 - r.immediate_cdf);
+      sec_delayed_cdf_ *= (1.0 - r.deferred_cdf);
+    }
+    return probability() >= pc;
+  }
+
+  /// P_K(d) = 1 - primCDF * secCDF (Eq. 1).
+  double probability() const {
+    const double sec_cdf = sec_immed_cdf_ * stale_factor_ +
+                           sec_delayed_cdf_ * (1.0 - stale_factor_);
+    return 1.0 - prim_cdf_ * sec_cdf;
+  }
+
+ private:
+  double stale_factor_;
+  double prim_cdf_ = 1.0;
+  double sec_immed_cdf_ = 1.0;
+  double sec_delayed_cdf_ = 1.0;
+};
+
+void sort_candidates(std::vector<CandidateReplica>& candidates, bool by_ert) {
+  std::sort(candidates.begin(), candidates.end(),
+            [by_ert](const CandidateReplica& a, const CandidateReplica& b) {
+              if (by_ert && a.ert != b.ert) return a.ert > b.ert;
+              if (a.immediate_cdf != b.immediate_cdf) {
+                return a.immediate_cdf > b.immediate_cdf;
+              }
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+SelectionResult ProbabilisticSelector::select(
+    std::vector<CandidateReplica> candidates, double stale_factor,
+    const QoSSpec& qos, sim::Rng& /*rng*/) {
+  qos.validate();
+  AQUEDUCT_CHECK(stale_factor >= 0.0 && stale_factor <= 1.0);
+
+  SelectionResult result;
+  if (candidates.empty()) return result;
+
+  // Line 2: visit least-recently-used replicas first (hot-spot avoidance);
+  // ties broken by decreasing distribution-function value.
+  sort_candidates(candidates, options_.sort_by_ert);
+
+  CdfAccumulator acc(stale_factor);
+  const double pc = qos.min_probability;
+
+  if (!options_.tolerate_one_failure) {
+    // Ablation variant: no failure allowance — every selected replica
+    // contributes to P_K(d), including the first.
+    for (const CandidateReplica& r : candidates) {
+      result.selected.push_back(r.id);
+      if (acc.include(r, pc)) {
+        result.satisfied = true;
+        break;
+      }
+    }
+    result.predicted_probability = acc.probability();
+    return result;
+  }
+
+  // Lines 3–16: the member of K with the highest immediate CDF is held out
+  // of the accumulators, which simulates its failure — the returned set
+  // meets the constraint even if its best member crashes.
+  std::size_t max_cdf = 0;  // index into candidates
+  result.selected.push_back(candidates[0].id);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const CandidateReplica& r = candidates[i];
+    result.selected.push_back(r.id);
+    bool found = false;
+    if (r.immediate_cdf > candidates[max_cdf].immediate_cdf) {
+      found = acc.include(candidates[max_cdf], pc);
+      max_cdf = i;
+    } else {
+      found = acc.include(r, pc);
+    }
+    if (found) {
+      result.satisfied = true;
+      break;
+    }
+  }
+  result.predicted_probability = acc.probability();
+  return result;
+}
+
+std::string ProbabilisticSelector::name() const {
+  std::string n = "probabilistic";
+  if (!options_.tolerate_one_failure) n += "/no-failure-allowance";
+  if (!options_.sort_by_ert) n += "/greedy-cdf-order";
+  return n;
+}
+
+SelectionResult SelectAllSelector::select(
+    std::vector<CandidateReplica> candidates, double stale_factor,
+    const QoSSpec& qos, sim::Rng& /*rng*/) {
+  SelectionResult result;
+  CdfAccumulator acc(stale_factor);
+  for (const CandidateReplica& r : candidates) {
+    result.selected.push_back(r.id);
+    acc.include(r, qos.min_probability);
+  }
+  result.satisfied = acc.probability() >= qos.min_probability;
+  result.predicted_probability = acc.probability();
+  return result;
+}
+
+SelectionResult SelectOneSelector::select(
+    std::vector<CandidateReplica> candidates, double stale_factor,
+    const QoSSpec& qos, sim::Rng& rng) {
+  SelectionResult result;
+  if (candidates.empty()) return result;
+  std::size_t pick = 0;
+  if (policy_ == Policy::kRandom) {
+    pick = static_cast<std::size_t>(rng.uniform_int(candidates.size()));
+  } else {
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (candidates[i].ert > candidates[pick].ert) pick = i;
+    }
+  }
+  CdfAccumulator acc(stale_factor);
+  result.satisfied = acc.include(candidates[pick], qos.min_probability);
+  result.predicted_probability = acc.probability();
+  result.selected.push_back(candidates[pick].id);
+  return result;
+}
+
+std::string SelectOneSelector::name() const {
+  return policy_ == Policy::kRandom ? "select-one/random" : "select-one/lru";
+}
+
+SelectionResult FixedKSelector::select(std::vector<CandidateReplica> candidates,
+                                       double stale_factor, const QoSSpec& qos,
+                                       sim::Rng& /*rng*/) {
+  SelectionResult result;
+  sort_candidates(candidates, /*by_ert=*/false);
+  CdfAccumulator acc(stale_factor);
+  const std::size_t n = std::min(k_, candidates.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    result.selected.push_back(candidates[i].id);
+    acc.include(candidates[i], qos.min_probability);
+  }
+  result.satisfied = acc.probability() >= qos.min_probability;
+  result.predicted_probability = acc.probability();
+  return result;
+}
+
+std::string FixedKSelector::name() const {
+  return "fixed-k/" + std::to_string(k_);
+}
+
+}  // namespace aqueduct::core

@@ -1,0 +1,131 @@
+// Replica selection (paper Section 5.3, Algorithm 1) and baseline
+// strategies used for comparison benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/qos.hpp"
+#include "net/node.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace aqueduct::core {
+
+/// One row of the input vector V of Algorithm 1:
+/// <i, F^I_{R_i}(d), F^D_{R_i}(d), ert_i>, plus the primary/secondary flag
+/// that decides which accumulator the replica contributes to.
+struct CandidateReplica {
+  net::NodeId id;
+  bool is_primary = false;
+  /// F^I_{R_i}(d): probability of an immediate response within d.
+  double immediate_cdf = 0.0;
+  /// F^D_{R_i}(d): probability of a deferred response within d
+  /// (secondaries only; ignored for primaries).
+  double deferred_cdf = 0.0;
+  /// Elapsed response time: duration since this client last received a
+  /// reply from the replica. Larger = least recently used.
+  sim::Duration ert = sim::Duration::zero();
+};
+
+struct SelectionResult {
+  /// The selected set K. Never includes the sequencer — the caller extends
+  /// the transmission set with the sequencer (Algorithm 1 lines 13/16),
+  /// which merely assigns the GSN and does not service reads.
+  std::vector<net::NodeId> selected;
+  /// True if the terminating condition P_K(d) >= P_c(d) was satisfied;
+  /// false if the algorithm exhausted the list (K = all replicas).
+  bool satisfied = false;
+  /// The predicted P_K(d) for the returned set (with the max-CDF member
+  /// excluded, per the single-failure-tolerance rule).
+  double predicted_probability = 0.0;
+};
+
+/// Strategy interface so the client handler and benches can swap selectors.
+class ReplicaSelector {
+ public:
+  virtual ~ReplicaSelector() = default;
+
+  /// Chooses a subset of `candidates` to service a read with spec `qos`.
+  /// `stale_factor` is P(A_s(t) <= a) for the secondary group (Eq. 4);
+  /// primaries always satisfy the threshold (their factor is 1).
+  virtual SelectionResult select(std::vector<CandidateReplica> candidates,
+                                 double stale_factor, const QoSSpec& qos,
+                                 sim::Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Knobs for ablation studies of Algorithm 1's two design choices.
+struct ProbabilisticOptions {
+  /// Exclude the selected member with the highest immediate CDF from the
+  /// P_K(d) computation, so the chosen set tolerates one replica failure
+  /// (paper Section 5.3). Disabling this reproduces the non-fault-tolerant
+  /// variant.
+  bool tolerate_one_failure = true;
+  /// Visit replicas in decreasing elapsed-response-time order (hot-spot
+  /// avoidance). Disabling sorts by decreasing immediate CDF instead
+  /// (pure greedy — all clients then pick the same fast replicas).
+  bool sort_by_ert = true;
+};
+
+/// The paper's Algorithm 1: state-based probabilistic replica selection.
+class ProbabilisticSelector final : public ReplicaSelector {
+ public:
+  explicit ProbabilisticSelector(ProbabilisticOptions options = {})
+      : options_(options) {}
+
+  SelectionResult select(std::vector<CandidateReplica> candidates,
+                         double stale_factor, const QoSSpec& qos,
+                         sim::Rng& rng) override;
+
+  std::string name() const override;
+
+ private:
+  ProbabilisticOptions options_;
+};
+
+/// Baseline: allocate every available replica to every request (the
+/// "simple approach" the paper rejects as unscalable, Section 5).
+class SelectAllSelector final : public ReplicaSelector {
+ public:
+  SelectionResult select(std::vector<CandidateReplica> candidates,
+                         double stale_factor, const QoSSpec& qos,
+                         sim::Rng& rng) override;
+  std::string name() const override { return "select-all"; }
+};
+
+/// Baseline: a single replica per request (round-robin by least recently
+/// used, or uniformly at random) — fast under light load, but a single
+/// slow or crashed replica causes a timing failure.
+class SelectOneSelector final : public ReplicaSelector {
+ public:
+  enum class Policy { kRandom, kLeastRecentlyUsed };
+  explicit SelectOneSelector(Policy policy) : policy_(policy) {}
+
+  SelectionResult select(std::vector<CandidateReplica> candidates,
+                         double stale_factor, const QoSSpec& qos,
+                         sim::Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  Policy policy_;
+};
+
+/// Baseline: always the k replicas with the highest immediate CDF.
+class FixedKSelector final : public ReplicaSelector {
+ public:
+  explicit FixedKSelector(std::size_t k) : k_(k) {}
+
+  SelectionResult select(std::vector<CandidateReplica> candidates,
+                         double stale_factor, const QoSSpec& qos,
+                         sim::Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace aqueduct::core

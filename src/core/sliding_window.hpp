@@ -1,0 +1,74 @@
+// Fixed-capacity sliding window of recent measurements (paper Section 5.2):
+// "client handlers record the most recent l measurements of these
+// parameters in separate sliding windows".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::core {
+
+template <typename T>
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+    AQUEDUCT_CHECK(capacity_ > 0);
+    ring_.reserve(capacity_);
+  }
+
+  void push(const T& value) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(value);
+    } else {
+      ring_[next_] = value;
+      next_ = (next_ + 1) % capacity_;
+    }
+  }
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return ring_.empty(); }
+  bool full() const { return ring_.size() == capacity_; }
+
+  void clear() {
+    ring_.clear();
+    next_ = 0;
+  }
+
+  /// Values oldest-first.
+  std::vector<T> values() const {
+    std::vector<T> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      out = ring_;
+    } else {
+      for (std::size_t i = 0; i < capacity_; ++i) {
+        out.push_back(ring_[(next_ + i) % capacity_]);
+      }
+    }
+    return out;
+  }
+
+  /// Applies `fn` to each stored value (order unspecified). Avoids the copy
+  /// made by values() on hot paths such as pmf construction.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const T& v : ring_) fn(v);
+  }
+
+  /// Most recently pushed value. Requires !empty().
+  const T& newest() const {
+    AQUEDUCT_CHECK(!ring_.empty());
+    if (ring_.size() < capacity_) return ring_.back();
+    return ring_[(next_ + capacity_ - 1) % capacity_];
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> ring_;
+  std::size_t next_ = 0;  // index of the oldest element once full
+};
+
+}  // namespace aqueduct::core

@@ -1,0 +1,33 @@
+// Tunables for the group-communication substrate.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace aqueduct::gcs {
+
+struct Config {
+  /// Period of the per-group heartbeat. Heartbeats carry cumulative
+  /// acknowledgements (for stability/garbage collection), the sender's
+  /// current sequence numbers (for trailing-loss detection), and feed the
+  /// failure detector.
+  sim::Duration heartbeat_period = std::chrono::milliseconds(250);
+
+  /// A member is suspected crashed if nothing is heard from it for this
+  /// long. Must be a few multiples of heartbeat_period.
+  sim::Duration suspect_timeout = std::chrono::milliseconds(1500);
+
+  /// After learning (via heartbeat) that a sender has sent messages we have
+  /// not received, wait this long before NACKing (the message is probably
+  /// still in flight).
+  sim::Duration nack_delay = std::chrono::milliseconds(100);
+
+  /// A joiner that got no view re-contacts the group coordinator at this
+  /// period (covers the coordinator crashing while the join was pending).
+  sim::Duration join_retry = std::chrono::milliseconds(1000);
+
+  /// A flush round that has not completed within this period is restarted
+  /// (excluding members that did not respond and are suspected).
+  sim::Duration flush_timeout = std::chrono::milliseconds(2000);
+};
+
+}  // namespace aqueduct::gcs

@@ -1,0 +1,44 @@
+// Bootstrap name service mapping groups to their current coordinator.
+//
+// Stands in for Ensemble's process discovery: a joining process needs some
+// way to find an existing member of the group. The directory is consulted
+// only at join time (and join retry); all subsequent protocol state lives
+// in the members themselves.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "gcs/types.hpp"
+#include "net/node.hpp"
+
+namespace aqueduct::gcs {
+
+class Directory {
+ public:
+  /// Atomically: if the group has no registered coordinator, claim it for
+  /// `node` and return nullopt (caller bootstraps a singleton view);
+  /// otherwise return the current coordinator to send a JoinMsg to.
+  std::optional<net::NodeId> claim_or_get(GroupId group, net::NodeId node) {
+    auto [it, inserted] = coordinator_.try_emplace(group, node);
+    if (inserted) return std::nullopt;
+    return it->second;
+  }
+
+  /// Called by a coordinator when it installs a view, and by failover
+  /// coordinators taking over a group.
+  void update(GroupId group, net::NodeId coordinator) {
+    coordinator_[group] = coordinator;
+  }
+
+  std::optional<net::NodeId> lookup(GroupId group) const {
+    auto it = coordinator_.find(group);
+    if (it == coordinator_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<GroupId, net::NodeId> coordinator_;
+};
+
+}  // namespace aqueduct::gcs

@@ -1,0 +1,69 @@
+#include "gcs/endpoint.hpp"
+
+#include <utility>
+
+#include "gcs/messages.hpp"
+#include "sim/check.hpp"
+
+namespace aqueduct::gcs {
+
+namespace {
+
+/// Every gcs wire message carries its GroupId; extract it for demux.
+GroupId group_of(const net::MessagePtr& msg) {
+  if (auto m = net::message_cast<DataMsg>(msg)) return m->group;
+  if (auto m = net::message_cast<HeartbeatMsg>(msg)) return m->group;
+  if (auto m = net::message_cast<NackMsg>(msg)) return m->group;
+  if (auto m = net::message_cast<JoinMsg>(msg)) return m->group;
+  if (auto m = net::message_cast<LeaveMsg>(msg)) return m->group;
+  if (auto m = net::message_cast<SuspectMsg>(msg)) return m->group;
+  if (auto m = net::message_cast<ProposeMsg>(msg)) return m->group;
+  if (auto m = net::message_cast<FlushMsg>(msg)) return m->group;
+  if (auto m = net::message_cast<InstallMsg>(msg)) return m->group;
+  return GroupId{};
+}
+
+}  // namespace
+
+Endpoint::Endpoint(sim::Simulator& sim, net::Network& network,
+                   Directory& directory, Config config)
+    : sim_(sim), network_(network), directory_(directory), config_(config) {
+  id_ = network_.attach(*this);
+}
+
+Endpoint::~Endpoint() {
+  if (!crashed_) network_.detach(id_);
+}
+
+Member& Endpoint::member(GroupId group) {
+  // Allowed after crash() for post-mortem inspection: the member is
+  // stopped, and the send callback below drops everything once crashed.
+  auto it = members_.find(group);
+  if (it == members_.end()) {
+    auto member = std::make_unique<Member>(
+        sim_, directory_, config_, group, id_,
+        [this](net::NodeId to, net::MessagePtr msg) {
+          if (!crashed_) network_.send(id_, to, std::move(msg));
+        });
+    it = members_.emplace(group, std::move(member)).first;
+  }
+  return *it->second;
+}
+
+void Endpoint::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  network_.detach(id_);
+  for (auto& [group, member] : members_) member->stop();
+}
+
+void Endpoint::on_message(net::NodeId from, net::MessagePtr msg) {
+  if (crashed_) return;
+  const GroupId group = group_of(msg);
+  AQUEDUCT_CHECK_MSG(group.valid(), "non-gcs message on gcs endpoint");
+  auto it = members_.find(group);
+  if (it == members_.end()) return;  // no member for this group (e.g. left)
+  it->second->handle(from, msg);
+}
+
+}  // namespace aqueduct::gcs

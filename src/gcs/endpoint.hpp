@@ -1,0 +1,59 @@
+// Per-process attachment point to the group-communication substrate.
+//
+// One Endpoint per process. It owns the process's network identity,
+// demultiplexes incoming messages to the process's group Members, and
+// models fail-stop crashes.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "gcs/config.hpp"
+#include "gcs/directory.hpp"
+#include "gcs/member.hpp"
+#include "gcs/types.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::gcs {
+
+class Endpoint final : public net::Endpoint {
+ public:
+  /// Attaches a new process to `network`. All processes of one simulation
+  /// share the same Directory (the bootstrap name service).
+  Endpoint(sim::Simulator& sim, net::Network& network, Directory& directory,
+           Config config = {});
+  ~Endpoint() override;
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// The member object for `group`, creating it on first use. Call
+  /// Member::join() to actually enter the group.
+  Member& member(GroupId group);
+
+  /// True if this process participates in `group` (join() was called).
+  bool has_member(GroupId group) const { return members_.contains(group); }
+
+  /// Fail-stop crash: detaches from the network and stops all members.
+  /// Irreversible for this endpoint (a recovered process is a new process).
+  void crash();
+
+  bool crashed() const { return crashed_; }
+  net::NodeId id() const { return id_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // net::Endpoint
+  void on_message(net::NodeId from, net::MessagePtr msg) override;
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& network_;
+  Directory& directory_;
+  Config config_;
+  net::NodeId id_;
+  bool crashed_ = false;
+  std::unordered_map<GroupId, std::unique_ptr<Member>> members_;
+};
+
+}  // namespace aqueduct::gcs

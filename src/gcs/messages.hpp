@@ -1,0 +1,141 @@
+// Wire messages of the group-communication protocol.
+//
+// In a real deployment these would be serialized; in the simulator they are
+// immutable heap objects shared between sender buffers and receivers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gcs/types.hpp"
+#include "net/message.hpp"
+#include "net/node.hpp"
+
+namespace aqueduct::gcs {
+
+/// Application payload wrapped for reliable FIFO delivery.
+///
+/// Sequence numbers are per sender and persist across views, so receivers
+/// deduplicate and order by (sender, seq) alone. `is_mcast` selects the
+/// stream: the group-wide multicast stream, or the per-destination
+/// point-to-point stream.
+struct DataMsg final : net::Message {
+  GroupId group;
+  bool is_mcast = true;
+  net::NodeId sender;
+  net::NodeId dest;  // only meaningful for p2p
+  std::uint64_t seq = 0;
+  ViewId view_sent = 0;  // diagnostic: view in which the send was issued
+  net::MessagePtr payload;
+
+  std::string type_name() const override { return "gcs.data"; }
+  std::size_t wire_size() const override {
+    return 48 + (payload ? payload->wire_size() : 0);
+  }
+};
+
+using DataMsgPtr = std::shared_ptr<const DataMsg>;
+
+/// Periodic per-group heartbeat.
+struct HeartbeatMsg final : net::Message {
+  GroupId group;
+  ViewId view = 0;
+  /// Sender's own multicast stream high-water mark (for trailing-loss
+  /// detection at receivers).
+  std::uint64_t my_mcast_seq = 0;
+  /// Sender's p2p stream high-water mark per destination.
+  std::map<net::NodeId, std::uint64_t> my_p2p_seq;
+  /// Cumulative contiguous-delivery acknowledgements: for each sender in
+  /// the group, the highest mcast seq this member has delivered.
+  std::map<net::NodeId, std::uint64_t> mcast_acks;
+  /// For each sender, the highest p2p seq (on the sender->me channel) this
+  /// member has delivered.
+  std::map<net::NodeId, std::uint64_t> p2p_acks;
+
+  std::string type_name() const override { return "gcs.heartbeat"; }
+  std::size_t wire_size() const override {
+    return 32 + 16 * (my_p2p_seq.size() + mcast_acks.size() + p2p_acks.size());
+  }
+};
+
+/// Retransmission request: "re-send your {mcast|p2p} messages in
+/// [from_seq, to_seq] to me".
+struct NackMsg final : net::Message {
+  GroupId group;
+  bool is_mcast = true;
+  std::uint64_t from_seq = 0;
+  std::uint64_t to_seq = 0;
+
+  std::string type_name() const override { return "gcs.nack"; }
+};
+
+/// Sent by a process that wants to join the group, to the coordinator.
+struct JoinMsg final : net::Message {
+  GroupId group;
+  std::string type_name() const override { return "gcs.join"; }
+};
+
+/// Graceful leave notice, to the coordinator.
+struct LeaveMsg final : net::Message {
+  GroupId group;
+  std::string type_name() const override { return "gcs.leave"; }
+};
+
+/// Failure notification: "I suspect `suspect` has crashed", sent to the
+/// acting coordinator.
+struct SuspectMsg final : net::Message {
+  GroupId group;
+  net::NodeId suspect;
+  std::string type_name() const override { return "gcs.suspect"; }
+};
+
+/// Phase 1 of the view change: the coordinator proposes a new membership.
+/// Receivers block new application sends and reply with FlushMsg.
+struct ProposeMsg final : net::Message {
+  GroupId group;
+  std::uint64_t proposal = 0;  // monotone per group; becomes the new ViewId
+  std::vector<net::NodeId> members;
+  std::string type_name() const override { return "gcs.propose"; }
+};
+
+/// Phase 1 reply: everything this member knows about the multicast streams,
+/// so the coordinator can compute the virtually synchronous cut.
+struct FlushMsg final : net::Message {
+  GroupId group;
+  std::uint64_t proposal = 0;
+  /// Highest contiguously delivered mcast seq per sender.
+  std::map<net::NodeId, std::uint64_t> delivered;
+  /// All unstable messages this member holds copies of: retained delivered
+  /// messages, buffered out-of-order messages, and its own unstable sends.
+  std::vector<DataMsgPtr> held;
+  std::string type_name() const override { return "gcs.flush"; }
+  std::size_t wire_size() const override {
+    std::size_t n = 32 + 16 * delivered.size();
+    for (const auto& m : held) n += m->wire_size();
+    return n;
+  }
+};
+
+/// Phase 2: the coordinator installs the new view. Members first deliver
+/// the resolution messages they are missing (up to deliver_up_to per
+/// sender), then switch to the new view and unblock sends.
+struct InstallMsg final : net::Message {
+  GroupId group;
+  std::uint64_t proposal = 0;
+  View view;
+  /// Virtually synchronous cut: deliver the mcast stream of each sender up
+  /// to this seq before installing.
+  std::map<net::NodeId, std::uint64_t> deliver_up_to;
+  /// Copies of every unstable message known to any flushed member.
+  std::vector<DataMsgPtr> resolution;
+  std::string type_name() const override { return "gcs.install"; }
+  std::size_t wire_size() const override {
+    std::size_t n = 64 + 16 * deliver_up_to.size() + 8 * view.members.size();
+    for (const auto& m : resolution) n += m->wire_size();
+    return n;
+  }
+};
+
+}  // namespace aqueduct::gcs

@@ -1,0 +1,82 @@
+// Group-communication identities and views.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/check.hpp"
+
+namespace aqueduct::gcs {
+
+/// Identifies a process group (e.g. the primary replication group).
+class GroupId {
+ public:
+  constexpr GroupId() = default;
+  constexpr explicit GroupId(std::uint32_t value) : value_(value) {}
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+  friend constexpr auto operator<=>(GroupId, GroupId) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, GroupId id) {
+  return os << "g" << id.value();
+}
+
+/// Monotonically increasing view identifier within a group.
+using ViewId = std::uint64_t;
+
+/// A group view: the agreed membership at a point in the group's history.
+/// Member order is significant — it defines rank, and the member at rank 0
+/// is the leader (as with Ensemble's rank-based leader election).
+struct View {
+  GroupId group;
+  ViewId id = 0;
+  std::vector<net::NodeId> members;
+
+  bool contains(net::NodeId node) const {
+    return std::find(members.begin(), members.end(), node) != members.end();
+  }
+
+  /// Rank of `node` in this view; requires contains(node).
+  std::size_t rank_of(net::NodeId node) const {
+    auto it = std::find(members.begin(), members.end(), node);
+    AQUEDUCT_CHECK_MSG(it != members.end(), "rank_of: node not in view");
+    return static_cast<std::size_t>(it - members.begin());
+  }
+
+  /// The elected leader: the first member. Requires a non-empty view.
+  net::NodeId leader() const {
+    AQUEDUCT_CHECK(!members.empty());
+    return members.front();
+  }
+
+  std::size_t size() const { return members.size(); }
+  bool empty() const { return members.empty(); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const View& v) {
+  os << v.group << "/v" << v.id << "{";
+  for (std::size_t i = 0; i < v.members.size(); ++i) {
+    if (i) os << ",";
+    os << v.members[i];
+  }
+  return os << "}";
+}
+
+}  // namespace aqueduct::gcs
+
+template <>
+struct std::hash<aqueduct::gcs::GroupId> {
+  std::size_t operator()(aqueduct::gcs::GroupId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

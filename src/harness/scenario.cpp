@@ -1,0 +1,174 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::harness {
+
+// ---------------------------------------------------------------------------
+// WorkloadClient
+// ---------------------------------------------------------------------------
+
+WorkloadClient::WorkloadClient(sim::Simulator& sim, gcs::Endpoint& endpoint,
+                               replication::ServiceGroups groups,
+                               ClientSpec spec, std::size_t window_size)
+    : sim_(sim), spec_(std::move(spec)) {
+  client::ClientConfig config;
+  config.window_size = window_size;
+  if (spec_.selector) config.selector = spec_.selector();
+  handler_ = std::make_unique<client::ClientHandler>(sim, endpoint, groups,
+                                                     std::move(config));
+}
+
+void WorkloadClient::start() {
+  handler_->start();
+  if (spec_.arrival == Arrival::kClosedLoop) {
+    issue_next();
+  } else {
+    arrival_rng_ = std::make_unique<sim::Rng>(sim_.rng().split());
+    schedule_open_arrival();
+  }
+}
+
+void WorkloadClient::schedule_open_arrival() {
+  if (issued_ >= spec_.num_requests) return;
+  const sim::Duration gap =
+      spec_.arrival == Arrival::kOpenPoisson
+          ? arrival_rng_->exponential_duration(spec_.request_delay)
+          : spec_.request_delay;
+  sim_.after(gap, [this] {
+    issue_next();
+    schedule_open_arrival();
+  });
+}
+
+void WorkloadClient::issue_next() {
+  if (issued_ >= spec_.num_requests) return;
+  const std::size_t n = issued_++;
+  if (n % 2 == 0) {
+    // Write: put a fresh value.
+    auto put = std::make_shared<replication::KvPut>();
+    put->key = "k" + std::to_string(n % 16);
+    put->value = "v" + std::to_string(n);
+    handler_->update(put, [this](const client::UpdateOutcome&) { on_complete(); });
+  } else {
+    auto get = std::make_shared<replication::KvGet>();
+    get->key = "k" + std::to_string(n % 16);
+    handler_->read(get, spec_.qos, [this](const client::ReadOutcome& outcome) {
+      read_response_times_.push_back(sim::to_sec(outcome.response_time));
+      reply_staleness_.push_back(static_cast<double>(outcome.staleness));
+      on_complete();
+    });
+  }
+}
+
+void WorkloadClient::on_complete() {
+  ++completed_;
+  if (spec_.arrival != Arrival::kClosedLoop) return;  // arrivals self-pace
+  if (issued_ >= spec_.num_requests) return;
+  sim_.after(spec_.request_delay, [this] { issue_next(); });
+}
+
+ClientResult WorkloadClient::result_with_stats() const {
+  ClientResult r;
+  r.stats = handler_->stats();
+  r.read_response_times = read_response_times_;
+  r.reply_staleness = reply_staleness_;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------------
+
+Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+  build();
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::build() {
+  sim_ = std::make_unique<sim::Simulator>(config_.seed);
+  network_ = std::make_unique<net::Network>(
+      *sim_, std::make_unique<sim::NormalDuration>(config_.net_latency_mean,
+                                                   config_.net_latency_std));
+
+  auto make_replica = [&](bool is_primary) {
+    auto endpoint = std::make_unique<gcs::Endpoint>(*sim_, *network_,
+                                                    directory_, config_.gcs);
+    const std::size_t index = replicas_.size();
+    double speed = 1.0;
+    if (index < config_.speed_factors.size() &&
+        config_.speed_factors[index] > 0.0) {
+      speed = config_.speed_factors[index];
+    }
+    replication::ReplicaConfig rc;
+    rc.service_time = std::make_shared<sim::NormalDuration>(
+        std::chrono::duration_cast<sim::Duration>(config_.service_mean / speed),
+        std::chrono::duration_cast<sim::Duration>(config_.service_std / speed));
+    rc.lazy_update_interval = config_.lazy_update_interval;
+    auto replica = std::make_unique<replication::ReplicaServer>(
+        *sim_, *endpoint, groups_, is_primary,
+        std::make_unique<replication::KeyValueStore>(), std::move(rc));
+    endpoints_.push_back(std::move(endpoint));
+    replicas_.push_back(std::move(replica));
+  };
+
+  // The sequencer is the first primary-group joiner (rank 0 = leader).
+  make_replica(/*is_primary=*/true);
+  for (std::size_t i = 0; i < config_.num_primaries; ++i) make_replica(true);
+  for (std::size_t i = 0; i < config_.num_secondaries; ++i) make_replica(false);
+
+  for (const ClientSpec& spec : config_.clients) {
+    auto endpoint = std::make_unique<gcs::Endpoint>(*sim_, *network_,
+                                                    directory_, config_.gcs);
+    workloads_.push_back(std::make_unique<WorkloadClient>(
+        *sim_, *endpoint, groups_, spec, config_.window_size));
+    endpoints_.push_back(std::move(endpoint));
+  }
+}
+
+std::vector<ClientResult> Scenario::run() {
+  AQUEDUCT_CHECK_MSG(!ran_, "Scenario::run() called twice");
+  ran_ = true;
+
+  // Staggered start: the sequencer boots first so it becomes the
+  // primary-group leader; replicas follow, then clients after the groups
+  // have settled.
+  sim::Duration at = sim::Duration::zero();
+  for (auto& replica : replicas_) {
+    sim_->at(sim::kEpoch + at, [r = replica.get()] { r->start(); });
+    at += std::chrono::milliseconds(10);
+  }
+  at += std::chrono::milliseconds(500);
+  for (auto& workload : workloads_) {
+    sim_->at(sim::kEpoch + at, [w = workload.get()] { w->start(); });
+    at += std::chrono::milliseconds(10);
+  }
+
+  const sim::TimePoint deadline = sim::kEpoch + config_.max_sim_time;
+  while (sim_->now() < deadline) {
+    const bool all_done =
+        std::all_of(workloads_.begin(), workloads_.end(),
+                    [](const auto& w) { return w->done(); });
+    if (all_done) break;
+    sim_->run_for(std::chrono::seconds(1));
+  }
+  // Drain trailing protocol work (late replies, final publications).
+  sim_->run_for(std::chrono::seconds(2));
+
+  std::vector<ClientResult> results;
+  results.reserve(workloads_.size());
+  for (const auto& workload : workloads_) results.push_back(workload->result());
+  return results;
+}
+
+void Scenario::schedule_crash(std::size_t replica_index, sim::TimePoint at) {
+  AQUEDUCT_CHECK(replica_index < replicas_.size());
+  sim_->at(at, [r = replicas_[replica_index].get()] { r->crash(); });
+}
+
+}  // namespace aqueduct::harness

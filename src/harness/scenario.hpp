@@ -1,0 +1,166 @@
+// Experiment scenario: builds the full simulated testbed — network, group
+// communication, sequencer + primary + secondary replicas, and workload
+// clients — and runs it to completion.
+//
+// The default configuration mirrors the paper's Section 6 setup: 10 server
+// replicas plus a sequencer (4 primary, 6 secondary), service delay drawn
+// from a normal distribution with mean 100 ms, two clients issuing 1000
+// alternating write/read requests with a 1000 ms request delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/handler.hpp"
+#include "core/qos.hpp"
+#include "core/selection.hpp"
+#include "gcs/config.hpp"
+#include "gcs/directory.hpp"
+#include "gcs/endpoint.hpp"
+#include "net/network.hpp"
+#include "replication/objects.hpp"
+#include "replication/replica.hpp"
+#include "replication/service.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::harness {
+
+/// Factory so each client can use a different selection strategy.
+using SelectorFactory = std::function<std::unique_ptr<core::ReplicaSelector>()>;
+
+/// How a workload client paces its requests.
+enum class Arrival {
+  /// The paper's model: the next request is issued `request_delay` after
+  /// the previous one *completes* (self-throttling).
+  kClosedLoop,
+  /// Open loop: requests arrive as a Poisson process with mean
+  /// inter-arrival `request_delay`, regardless of completions — models
+  /// external demand and exposes queueing behaviour.
+  kOpenPoisson,
+  /// Open loop with fixed inter-arrival `request_delay`.
+  kOpenPeriodic,
+};
+
+struct ClientSpec {
+  core::QoSSpec qos;
+  /// Pacing parameter; meaning depends on `arrival`.
+  sim::Duration request_delay = std::chrono::milliseconds(1000);
+  /// Total requests issued, alternating write/read (even = write).
+  std::size_t num_requests = 1000;
+  /// Null = the paper's probabilistic selector (Algorithm 1).
+  SelectorFactory selector;
+  Arrival arrival = Arrival::kClosedLoop;
+};
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  std::size_t num_primaries = 4;    // excluding the sequencer
+  std::size_t num_secondaries = 6;
+  /// Simulated background load: service delay ~ Normal(mean, std).
+  sim::Duration service_mean = std::chrono::milliseconds(100);
+  sim::Duration service_std = std::chrono::milliseconds(50);
+  /// Lazy-update interval T_L.
+  sim::Duration lazy_update_interval = std::chrono::seconds(4);
+  /// LAN latency model: Normal(mean, std) truncated at 50 µs.
+  sim::Duration net_latency_mean = std::chrono::microseconds(500);
+  sim::Duration net_latency_std = std::chrono::microseconds(200);
+  /// Sliding-window length l.
+  std::size_t window_size = 20;
+  /// Per-replica service-speed factors modelling a heterogeneous testbed
+  /// (the paper's hosts ranged 300 MHz-1 GHz). Factor f scales the
+  /// replica's service-time distribution by 1/f (2.0 = twice as fast).
+  /// Indexed like replica(): 0 = sequencer, then primaries, then
+  /// secondaries; missing entries default to 1.0.
+  std::vector<double> speed_factors;
+  gcs::Config gcs;
+  std::vector<ClientSpec> clients;
+  /// Safety cap on simulated time.
+  sim::Duration max_sim_time = std::chrono::hours(24);
+};
+
+/// Per-client results of a run.
+struct ClientResult {
+  client::ClientStats stats;
+  /// Response times of completed reads (seconds), for percentiles.
+  std::vector<double> read_response_times;
+  /// Staleness values observed in read replies.
+  std::vector<double> reply_staleness;
+};
+
+class WorkloadClient;
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Boots replicas and clients (staggered joins), then drives the
+  /// simulation until every workload completed (or max_sim_time).
+  /// Returns per-client results in ClientSpec order.
+  std::vector<ClientResult> run();
+
+  /// Schedules a fail-stop crash of the i-th replica at `at` (0-based over
+  /// primaries then secondaries; the sequencer is index_sequencer()).
+  void schedule_crash(std::size_t replica_index, sim::TimePoint at);
+  std::size_t index_sequencer() const { return 0; }
+  std::size_t num_replicas() const { return replicas_.size(); }
+
+  sim::Simulator& simulator() { return *sim_; }
+  replication::ReplicaServer& replica(std::size_t index) { return *replicas_.at(index); }
+  const net::NetworkStats& network_stats() const { return network_->stats(); }
+  net::Network& network() { return *network_; }
+
+ private:
+  void build();
+
+  ScenarioConfig config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::Network> network_;
+  gcs::Directory directory_;
+  replication::ServiceGroups groups_ = replication::ServiceGroups::for_service(1);
+  std::vector<std::unique_ptr<gcs::Endpoint>> endpoints_;
+  // replicas_[0] = sequencer, then primaries, then secondaries.
+  std::vector<std::unique_ptr<replication::ReplicaServer>> replicas_;
+  std::vector<std::unique_ptr<WorkloadClient>> workloads_;
+  bool ran_ = false;
+};
+
+/// Drives one client: issues `num_requests` alternating write/read
+/// operations against the replicated key-value store, waiting
+/// `request_delay` after each completion before issuing the next.
+class WorkloadClient {
+ public:
+  WorkloadClient(sim::Simulator& sim, gcs::Endpoint& endpoint,
+                 replication::ServiceGroups groups, ClientSpec spec,
+                 std::size_t window_size);
+
+  void start();
+  bool done() const { return completed_ >= spec_.num_requests; }
+  const client::ClientHandler& handler() const { return *handler_; }
+  client::ClientHandler& handler() { return *handler_; }
+  ClientResult result() const { return result_with_stats(); }
+
+ private:
+  ClientResult result_with_stats() const;
+  void issue_next();
+  void on_complete();
+  void schedule_open_arrival();
+
+  sim::Simulator& sim_;
+  ClientSpec spec_;
+  std::unique_ptr<client::ClientHandler> handler_;
+  std::unique_ptr<sim::Rng> arrival_rng_;
+  std::size_t issued_ = 0;
+  std::size_t completed_ = 0;
+  std::vector<double> read_response_times_;
+  std::vector<double> reply_staleness_;
+};
+
+}  // namespace aqueduct::harness

@@ -1,0 +1,72 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::harness {
+
+ConfidenceInterval binomial_ci_normal(std::uint64_t successes,
+                                      std::uint64_t trials, double z) {
+  ConfidenceInterval ci;
+  if (trials == 0) return ci;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double half = z * std::sqrt(p * (1.0 - p) / n);
+  ci.point = p;
+  ci.lower = std::max(0.0, p - half);
+  ci.upper = std::min(1.0, p + half);
+  return ci;
+}
+
+ConfidenceInterval binomial_ci_wilson(std::uint64_t successes,
+                                      std::uint64_t trials, double z) {
+  ConfidenceInterval ci;
+  if (trials == 0) return ci;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  ci.point = p;
+  ci.lower = std::max(0.0, center - half);
+  ci.upper = std::min(1.0, center + half);
+  return ci;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> values, double q) {
+  AQUEDUCT_CHECK(q >= 0.0 && q <= 1.0);
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace aqueduct::harness

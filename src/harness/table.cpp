@@ -1,0 +1,61 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::harness {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  AQUEDUCT_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  AQUEDUCT_CHECK_MSG(row.size() == header_.size(), "row/header size mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace aqueduct::harness

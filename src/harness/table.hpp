@@ -1,0 +1,31 @@
+// Minimal aligned-table and CSV printer for the benchmark binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace aqueduct::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; cell count must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Fixed-precision formatting helper.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders with aligned columns to `os`.
+  void print(std::ostream& os = std::cout) const;
+
+  /// Renders as CSV to `os`.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aqueduct::harness

@@ -1,0 +1,37 @@
+// Base message type exchanged over the simulated network.
+//
+// Protocol layers define concrete messages by deriving from Message; the
+// receiving layer recovers the concrete type with dynamic_pointer_cast.
+// Messages are immutable after send (shared by sender-side retransmission
+// buffers and receivers), hence they travel as shared_ptr<const Message>.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace aqueduct::net {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Human-readable type tag used in logs and traces.
+  virtual std::string type_name() const = 0;
+
+  /// Approximate wire size in bytes. Purely informational: used for
+  /// bandwidth accounting in traces; delivery latency is governed by the
+  /// link's latency model.
+  virtual std::size_t wire_size() const { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Downcasts a received message to the expected concrete type.
+/// Returns nullptr if the message is of a different type.
+template <typename T>
+std::shared_ptr<const T> message_cast(const MessagePtr& msg) {
+  return std::dynamic_pointer_cast<const T>(msg);
+}
+
+}  // namespace aqueduct::net

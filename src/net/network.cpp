@@ -1,0 +1,133 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::net {
+
+Network::Network(sim::Simulator& sim,
+                 std::unique_ptr<sim::DurationDistribution> default_latency)
+    : sim_(sim),
+      rng_(sim.rng().split()),
+      default_latency_(std::move(default_latency)) {
+  AQUEDUCT_CHECK(default_latency_ != nullptr);
+}
+
+NodeId Network::attach(Endpoint& endpoint) {
+  const NodeId id{next_id_++};
+  endpoints_.emplace(id, &endpoint);
+  return id;
+}
+
+void Network::detach(NodeId id) { endpoints_.erase(id); }
+
+void Network::set_link_latency(
+    NodeId a, NodeId b, std::shared_ptr<sim::DurationDistribution> latency) {
+  AQUEDUCT_CHECK(latency != nullptr);
+  link_latency_[{a, b}] = latency;
+  link_latency_[{b, a}] = std::move(latency);
+}
+
+void Network::set_node_latency(
+    NodeId node, std::shared_ptr<sim::DurationDistribution> latency) {
+  AQUEDUCT_CHECK(latency != nullptr);
+  node_latency_[node] = std::move(latency);
+}
+
+void Network::set_loss_probability(double p) {
+  AQUEDUCT_CHECK(p >= 0.0 && p <= 1.0);
+  loss_probability_ = p;
+}
+
+void Network::partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b) {
+  partition_a_.clear();
+  partition_b_.clear();
+  partition_a_.insert(side_a.begin(), side_a.end());
+  partition_b_.insert(side_b.begin(), side_b.end());
+}
+
+void Network::heal() {
+  partition_a_.clear();
+  partition_b_.clear();
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  const bool a_in_a = partition_a_.contains(a);
+  const bool a_in_b = partition_b_.contains(a);
+  const bool b_in_a = partition_a_.contains(b);
+  const bool b_in_b = partition_b_.contains(b);
+  return (a_in_a && b_in_b) || (a_in_b && b_in_a);
+}
+
+sim::Duration Network::sample_latency(NodeId from, NodeId to) {
+  if (auto it = link_latency_.find({from, to}); it != link_latency_.end()) {
+    return it->second->sample(rng_);
+  }
+  // Node overrides compose additively on top of nothing else: if either
+  // endpoint has a node-level model, the slower of the two governs.
+  auto f = node_latency_.find(from);
+  auto t = node_latency_.find(to);
+  if (f != node_latency_.end() || t != node_latency_.end()) {
+    sim::Duration d = sim::Duration::zero();
+    if (f != node_latency_.end()) d = std::max(d, f->second->sample(rng_));
+    if (t != node_latency_.end()) d = std::max(d, t->second->sample(rng_));
+    return d;
+  }
+  return default_latency_->sample(rng_);
+}
+
+void Network::tap(NodeId from, NodeId to, const MessagePtr& msg,
+                  const char* dropped) {
+  if (!tap_) return;
+  TraceEvent event;
+  event.at = sim_.now();
+  event.from = from;
+  event.to = to;
+  event.type_name = msg->type_name();
+  event.wire_size = msg->wire_size();
+  event.dropped = dropped;
+  tap_(event);
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr msg) {
+  AQUEDUCT_CHECK(msg != nullptr);
+  AQUEDUCT_CHECK_MSG(from.valid() && to.valid(), "send with invalid node id");
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg->wire_size();
+  if (!endpoints_.contains(from)) {
+    // A detached (crashed) node cannot send.
+    ++stats_.messages_dropped_detached;
+    tap(from, to, msg, "detached");
+    return;
+  }
+  if (partitioned(from, to)) {
+    ++stats_.messages_dropped_partition;
+    tap(from, to, msg, "partition");
+    return;
+  }
+  if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
+    ++stats_.messages_dropped_loss;
+    tap(from, to, msg, "loss");
+    return;
+  }
+  tap(from, to, msg, "");
+  const sim::Duration latency = sample_latency(from, to);
+  sim_.after(latency, [this, from, to, msg = std::move(msg)] {
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      ++stats_.messages_dropped_detached;
+      return;
+    }
+    ++stats_.messages_delivered;
+    it->second->on_message(from, msg);
+  });
+}
+
+void Network::multicast(NodeId from, const std::vector<NodeId>& to,
+                        const MessagePtr& msg) {
+  for (NodeId dest : to) send(from, dest, msg);
+}
+
+}  // namespace aqueduct::net

@@ -1,0 +1,143 @@
+// Simulated LAN: point-to-point message delivery with configurable latency
+// models, probabilistic loss, partitions, and node crashes.
+//
+// The network provides *no* ordering or reliability guarantees beyond what
+// the latency model implies — messages can be reordered (variable latency)
+// and dropped (loss/partition). Reliable virtually synchronous FIFO
+// delivery is built on top by the gcs layer, exactly as AQuA builds on
+// Maestro/Ensemble over a physical LAN.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/node.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::net {
+
+/// Implemented by anything that can receive messages from the network.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Invoked (on the simulator thread, at the delivery time) for each
+  /// message addressed to this endpoint.
+  virtual void on_message(NodeId from, MessagePtr msg) = 0;
+};
+
+/// One observed delivery/drop, for protocol-overhead accounting and
+/// debugging traces.
+struct TraceEvent {
+  sim::TimePoint at;
+  NodeId from;
+  NodeId to;
+  std::string type_name;
+  std::size_t wire_size = 0;
+  /// Empty if delivered; otherwise "loss", "partition", or "detached".
+  std::string dropped;
+};
+
+/// Counters exposed for tests and traces.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped_loss = 0;
+  std::uint64_t messages_dropped_partition = 0;
+  std::uint64_t messages_dropped_detached = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  /// `default_latency` is sampled independently per message for every link
+  /// without an explicit override.
+  Network(sim::Simulator& sim,
+          std::unique_ptr<sim::DurationDistribution> default_latency);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers an endpoint and returns its fresh id. The endpoint must
+  /// outlive the network or call detach() first.
+  NodeId attach(Endpoint& endpoint);
+
+  /// Removes the endpoint: all in-flight and future messages to or from it
+  /// are dropped. Used to model fail-stop crashes.
+  void detach(NodeId id);
+
+  bool is_attached(NodeId id) const { return endpoints_.contains(id); }
+
+  /// Overrides the latency model for the (a, b) pair, both directions.
+  void set_link_latency(NodeId a, NodeId b,
+                        std::shared_ptr<sim::DurationDistribution> latency);
+
+  /// Overrides the latency model for every link touching `node` (both
+  /// directions). Models a slow host/NIC, as in the paper's heterogeneous
+  /// 300 MHz–1 GHz testbed.
+  void set_node_latency(NodeId node,
+                        std::shared_ptr<sim::DurationDistribution> latency);
+
+  /// Probability in [0, 1] that any given message is silently dropped.
+  void set_loss_probability(double p);
+
+  /// Drops all traffic between the two sides until heal() is called.
+  /// Nodes in neither set communicate normally with everyone.
+  void partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b);
+
+  /// Removes any active partition.
+  void heal();
+
+  /// Sends `msg` from `from` to `to`; delivery is scheduled after a latency
+  /// sample. Sending to a detached node silently drops (the sender cannot
+  /// know the destination crashed — that is the failure detector's job).
+  void send(NodeId from, NodeId to, MessagePtr msg);
+
+  /// Sends to each destination individually (unreliable multicast).
+  void multicast(NodeId from, const std::vector<NodeId>& to, const MessagePtr& msg);
+
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Observes every send (delivered or dropped). One tap at a time; pass
+  /// nullptr to remove. The tap sees the event at *send* time.
+  void set_tap(std::function<void(const TraceEvent&)> tap) {
+    tap_ = std::move(tap);
+  }
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Duration sample_latency(NodeId from, NodeId to);
+  bool partitioned(NodeId a, NodeId b) const;
+  void tap(NodeId from, NodeId to, const MessagePtr& msg, const char* dropped);
+
+  struct PairHash {
+    std::size_t operator()(const std::pair<NodeId, NodeId>& p) const noexcept {
+      return std::hash<NodeId>{}(p.first) * 1000003u ^ std::hash<NodeId>{}(p.second);
+    }
+  };
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  std::unique_ptr<sim::DurationDistribution> default_latency_;
+  std::unordered_map<NodeId, Endpoint*> endpoints_;
+  std::unordered_map<std::pair<NodeId, NodeId>,
+                     std::shared_ptr<sim::DurationDistribution>, PairHash>
+      link_latency_;
+  std::unordered_map<NodeId, std::shared_ptr<sim::DurationDistribution>>
+      node_latency_;
+  double loss_probability_ = 0.0;
+  std::unordered_set<NodeId> partition_a_;
+  std::unordered_set<NodeId> partition_b_;
+  std::uint32_t next_id_ = 1;
+  NetworkStats stats_;
+  std::function<void(const TraceEvent&)> tap_;
+};
+
+}  // namespace aqueduct::net

@@ -1,0 +1,43 @@
+// Strongly typed node identity.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace aqueduct::net {
+
+/// Identifies an endpoint attached to the network. Assigned by the Network
+/// on attach(); value 0 is reserved as "invalid".
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t value) : value_(value) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, NodeId id) {
+  return os << "n" << id.value();
+}
+
+inline std::string to_string(NodeId id) {
+  return "n" + std::to_string(id.value());
+}
+
+}  // namespace aqueduct::net
+
+template <>
+struct std::hash<aqueduct::net::NodeId> {
+  std::size_t operator()(aqueduct::net::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,299 @@
+#include "replication/fifo.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::replication {
+
+FifoReplicaServer::FifoReplicaServer(sim::Simulator& sim,
+                                     gcs::Endpoint& endpoint,
+                                     ServiceGroups groups, bool is_primary,
+                                     std::unique_ptr<ReplicatedObject> object,
+                                     FifoReplicaConfig config)
+    : sim_(sim),
+      endpoint_(endpoint),
+      groups_(groups),
+      is_primary_(is_primary),
+      object_(std::move(object)),
+      config_(std::move(config)),
+      rng_(sim.rng().split()) {
+  AQUEDUCT_CHECK(object_ != nullptr);
+  AQUEDUCT_CHECK(config_.service_time != nullptr);
+}
+
+FifoReplicaServer::~FifoReplicaServer() = default;
+
+void FifoReplicaServer::start() {
+  AQUEDUCT_CHECK(!started_ && !crashed_);
+  started_ = true;
+  qos_member_ = &endpoint_.member(groups_.qos);
+  qos_member_->set_on_deliver(
+      [this](net::NodeId from, const net::MessagePtr& msg) {
+        on_qos_deliver(from, msg);
+      });
+  qos_member_->set_on_view([this](const gcs::View&) {
+    // New client (or replica) in the QoS group: the leader re-publishes
+    // the role map.
+    if (primary_member_ != nullptr && primary_member_->joined() &&
+        primary_member_->is_leader()) {
+      publish_group_info();
+    }
+  });
+  replication_member_ = &endpoint_.member(groups_.replication);
+  replication_member_->set_on_deliver(
+      [this](net::NodeId from, const net::MessagePtr& msg) {
+        on_replication_deliver(from, msg);
+      });
+  replication_member_->set_on_view([this](const gcs::View&) {
+    if (primary_member_ != nullptr && primary_member_->joined() &&
+        primary_member_->is_leader()) {
+      publish_group_info();
+    }
+    if (is_lazy_publisher_) propagate_lazy_update();
+  });
+  if (is_primary_) {
+    primary_member_ = &endpoint_.member(groups_.primary);
+    primary_member_->set_on_view(
+        [this](const gcs::View& v) { on_primary_view(v); });
+  }
+  qos_member_->join();
+  replication_member_->join();
+  if (primary_member_ != nullptr) primary_member_->join();
+}
+
+void FifoReplicaServer::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  lazy_task_.reset();
+  endpoint_.crash();
+}
+
+std::uint64_t FifoReplicaServer::horizon_of(net::NodeId client) const {
+  auto it = horizons_.find(client);
+  return it == horizons_.end() ? 0 : it->second;
+}
+
+void FifoReplicaServer::on_primary_view(const gcs::View& view) {
+  if (crashed_ || view.empty()) return;
+  const net::NodeId publisher =
+      view.size() >= 2 ? view.members.back() : view.leader();
+  const bool was_publisher = is_lazy_publisher_;
+  is_lazy_publisher_ = (publisher == id());
+  if (is_lazy_publisher_ && !was_publisher) {
+    lazy_task_ = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.lazy_update_interval, [this] { propagate_lazy_update(); });
+    lazy_task_->start();
+  } else if (!is_lazy_publisher_ && was_publisher) {
+    lazy_task_.reset();
+  }
+  if (primary_member_->is_leader()) publish_group_info();
+}
+
+void FifoReplicaServer::publish_group_info() {
+  if (qos_member_ == nullptr || !qos_member_->joined()) return;
+  if (primary_member_ == nullptr || !primary_member_->joined()) return;
+  if (replication_member_ == nullptr || !replication_member_->joined()) return;
+  auto info = std::make_shared<FifoGroupInfo>();
+  info->epoch = ++group_info_epoch_;
+  const gcs::View& primary_view = primary_member_->view();
+  const gcs::View& replication_view = replication_member_->view();
+  info->primaries = primary_view.members;
+  for (const net::NodeId m : replication_view.members) {
+    if (!primary_view.contains(m)) info->secondaries.push_back(m);
+  }
+  info->lazy_publisher = primary_view.size() >= 2 ? primary_view.members.back()
+                                                  : primary_view.leader();
+  qos_member_->multicast(info);
+}
+
+void FifoReplicaServer::on_qos_deliver(net::NodeId /*from*/,
+                                       const net::MessagePtr& msg) {
+  if (crashed_) return;
+  if (auto update = net::message_cast<FifoUpdateRequest>(msg)) {
+    handle_update(update);
+  } else if (auto read = net::message_cast<FifoReadRequest>(msg)) {
+    handle_read(read);
+  } else if (auto info = net::message_cast<FifoGroupInfo>(msg)) {
+    group_info_epoch_ = std::max(group_info_epoch_, info->epoch);
+  }
+}
+
+void FifoReplicaServer::on_replication_deliver(net::NodeId /*from*/,
+                                               const net::MessagePtr& msg) {
+  if (crashed_) return;
+  if (auto lazy = net::message_cast<FifoLazyUpdate>(msg)) handle_lazy(*lazy);
+}
+
+void FifoReplicaServer::handle_update(
+    const std::shared_ptr<const FifoUpdateRequest>& request) {
+  if (!is_primary_) return;
+  const RequestId id = request->id;
+  if (id.seq <= horizon_of(id.client) || inflight_updates_.contains(id)) {
+    ++stats_.duplicate_requests;
+    if (auto it = reply_cache_.find(id); it != reply_cache_.end()) {
+      reply_to(id, it->second);
+    }
+    return;
+  }
+  inflight_updates_.emplace(id, request);
+  Job job;
+  job.is_update = true;
+  job.id = id;
+  job.op = request->op;
+  job.arrival = sim_.now();
+  enqueue(std::move(job));
+}
+
+void FifoReplicaServer::handle_read(
+    const std::shared_ptr<const FifoReadRequest>& request) {
+  const RequestId id = request->id;
+  if (auto it = reply_cache_.find(id); it != reply_cache_.end()) {
+    ++stats_.duplicate_requests;
+    reply_to(id, it->second);
+    return;
+  }
+  if (pending_reads_.contains(id)) {
+    ++stats_.duplicate_requests;
+    return;
+  }
+  PendingRead pending;
+  pending.request = request;
+  pending.arrival = sim_.now();
+  pending_reads_.emplace(id, std::move(pending));
+  try_ready_read(id);
+}
+
+void FifoReplicaServer::try_ready_read(const RequestId& id) {
+  auto it = pending_reads_.find(id);
+  if (it == pending_reads_.end()) return;
+  PendingRead& pending = it->second;
+  if (horizon_of(id.client) < pending.request->horizon) {
+    // Read-your-writes not satisfied yet: primaries will see the update
+    // arrive shortly; secondaries wait for the next lazy propagation.
+    if (!is_primary_) pending.deferred = true;
+    return;
+  }
+  Job job;
+  job.is_update = false;
+  job.id = id;
+  job.op = pending.request->op;
+  job.arrival = pending.arrival;
+  job.deferred = pending.deferred;
+  job.tb = pending.deferred ? sim_.now() - pending.arrival : sim::Duration::zero();
+  pending_reads_.erase(it);
+  enqueue(std::move(job));
+}
+
+void FifoReplicaServer::recheck_waiting_reads() {
+  std::vector<RequestId> ids;
+  ids.reserve(pending_reads_.size());
+  for (const auto& [id, pending] : pending_reads_) ids.push_back(id);
+  for (const RequestId& id : ids) try_ready_read(id);
+}
+
+void FifoReplicaServer::handle_lazy(const FifoLazyUpdate& lazy) {
+  if (is_primary_) return;
+  // Install only if the snapshot moves at least one horizon forward.
+  bool advances = horizons_.empty() && !lazy.horizons.empty();
+  for (const auto& [client, horizon] : lazy.horizons) {
+    if (horizon > horizon_of(client)) {
+      advances = true;
+      break;
+    }
+  }
+  if (!advances) return;
+  object_->install_snapshot(lazy.snapshot);
+  for (const auto& [client, horizon] : lazy.horizons) {
+    auto& mine = horizons_[client];
+    mine = std::max(mine, horizon);
+  }
+  ++stats_.lazy_updates_installed;
+  recheck_waiting_reads();
+}
+
+void FifoReplicaServer::enqueue(Job job) {
+  queue_.push_back(std::move(job));
+  maybe_start_service();
+}
+
+void FifoReplicaServer::maybe_start_service() {
+  if (busy_ || queue_.empty() || crashed_) return;
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  const sim::Duration service_time = config_.service_time->sample(rng_);
+  const sim::TimePoint start = sim_.now();
+  sim_.after(service_time, [this, job = std::move(job), service_time, start]() mutable {
+    complete(job, service_time, start);
+  });
+}
+
+void FifoReplicaServer::complete(const Job& job, sim::Duration service_time,
+                                 sim::TimePoint service_start) {
+  if (crashed_) return;
+  auto reply = std::make_shared<FifoReply>();
+  reply->id = job.id;
+  reply->replica = id();
+  reply->deferred = job.deferred;
+  const sim::Duration tq = (service_start - job.arrival) - job.tb;
+  reply->t1 = service_time + tq + job.tb;
+  if (job.is_update) {
+    reply->is_update = true;
+    reply->result = object_->apply_update(job.op);
+    auto& horizon = horizons_[job.id.client];
+    horizon = std::max(horizon, job.id.seq);
+    inflight_updates_.erase(job.id);
+    ++stats_.updates_applied;
+    recheck_waiting_reads();
+  } else {
+    reply->result = object_->apply_read(job.op);
+    ++stats_.reads_served;
+    if (job.deferred) ++stats_.deferred_reads;
+    publish_perf(service_time, tq, job.tb, job.deferred);
+  }
+  reply_cache_[job.id] = reply;
+  reply_cache_order_.push_back(job.id);
+  if (reply_cache_order_.size() > config_.cache_limit) {
+    reply_cache_.erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
+  }
+  reply_to(job.id, reply);
+  busy_ = false;
+  maybe_start_service();
+}
+
+void FifoReplicaServer::reply_to(const RequestId& id,
+                                 std::shared_ptr<const FifoReply> reply) {
+  if (qos_member_ == nullptr || !qos_member_->joined()) return;
+  if (!qos_member_->view().contains(id.client)) return;
+  qos_member_->send_to(id.client, std::move(reply));
+}
+
+void FifoReplicaServer::publish_perf(sim::Duration ts, sim::Duration tq,
+                                     sim::Duration tb, bool deferred) {
+  if (qos_member_ == nullptr || !qos_member_->joined()) return;
+  auto perf = std::make_shared<PerfPublication>();
+  perf->replica = id();
+  perf->has_sample = true;
+  perf->ts = ts;
+  perf->tq = tq;
+  perf->tb = tb;
+  perf->deferred = deferred;
+  qos_member_->multicast(perf);
+}
+
+void FifoReplicaServer::propagate_lazy_update() {
+  if (crashed_ || replication_member_ == nullptr ||
+      !replication_member_->joined()) {
+    return;
+  }
+  auto lazy = std::make_shared<FifoLazyUpdate>();
+  lazy->snapshot = object_->snapshot();
+  lazy->horizons = horizons_;
+  lazy->lazy_seq = ++lazy_seq_;
+  replication_member_->multicast(lazy);
+  ++stats_.lazy_updates_published;
+}
+
+}  // namespace aqueduct::replication

@@ -1,0 +1,193 @@
+// FIFO-ordered timed consistency handler (paper Section 4, Figure 2).
+//
+// The framework supports multiple ordering guarantees as pluggable
+// gateway handlers. Besides the sequencer-based sequential handler
+// (ReplicaServer), this FIFO handler orders each client's updates by
+// their issue order only — no sequencer, no total order. Replicas may
+// interleave different clients' updates differently but agree on every
+// per-client prefix (FIFO consistency), which suits services like the
+// paper's per-account banking example.
+//
+// The consistency dimension a client can buy back is *session* freshness:
+// a read carries the client's own update horizon (the sequence number of
+// its latest update), and a replica answers only once it has applied that
+// client's updates up to the horizon — read-your-writes. Primaries reach
+// the horizon as soon as the update arrives; secondaries reach it with
+// the next lazy state propagation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "gcs/endpoint.hpp"
+#include "replication/messages.hpp"
+#include "replication/replicated_object.hpp"
+#include "replication/service.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::replication {
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+struct FifoUpdateRequest final : net::Message {
+  RequestId id;
+  net::MessagePtr op;
+  std::string type_name() const override { return "fifo.update"; }
+};
+
+struct FifoReadRequest final : net::Message {
+  RequestId id;
+  net::MessagePtr op;
+  /// Read-your-writes bound: the client's latest update sequence number.
+  /// 0 = no session requirement (any replica state will do).
+  std::uint64_t horizon = 0;
+  std::string type_name() const override { return "fifo.read"; }
+};
+
+struct FifoReply final : net::Message {
+  RequestId id;
+  bool is_update = false;
+  net::MessagePtr result;
+  net::NodeId replica;
+  sim::Duration t1 = sim::Duration::zero();
+  bool deferred = false;
+  std::string type_name() const override { return "fifo.reply"; }
+};
+
+/// Lazy state propagation: full snapshot plus the per-client horizons it
+/// reflects.
+struct FifoLazyUpdate final : net::Message {
+  net::MessagePtr snapshot;
+  std::map<net::NodeId, std::uint64_t> horizons;
+  std::uint64_t lazy_seq = 0;
+  std::string type_name() const override { return "fifo.lazy"; }
+  std::size_t wire_size() const override {
+    return 24 + 16 * horizons.size() + (snapshot ? snapshot->wire_size() : 0);
+  }
+};
+
+/// Role map for the FIFO service (no sequencer role).
+struct FifoGroupInfo final : net::Message {
+  std::uint64_t epoch = 0;
+  std::vector<net::NodeId> primaries;
+  std::vector<net::NodeId> secondaries;
+  net::NodeId lazy_publisher;
+  std::string type_name() const override { return "fifo.groupinfo"; }
+};
+
+// ---------------------------------------------------------------------------
+// Server-side handler
+// ---------------------------------------------------------------------------
+
+struct FifoReplicaConfig {
+  std::shared_ptr<sim::DurationDistribution> service_time;
+  sim::Duration lazy_update_interval = std::chrono::seconds(2);
+  std::size_t cache_limit = 16384;
+};
+
+struct FifoReplicaStats {
+  std::uint64_t updates_applied = 0;
+  std::uint64_t reads_served = 0;
+  std::uint64_t deferred_reads = 0;
+  std::uint64_t lazy_updates_published = 0;
+  std::uint64_t lazy_updates_installed = 0;
+  std::uint64_t duplicate_requests = 0;
+};
+
+class FifoReplicaServer {
+ public:
+  FifoReplicaServer(sim::Simulator& sim, gcs::Endpoint& endpoint,
+                    ServiceGroups groups, bool is_primary,
+                    std::unique_ptr<ReplicatedObject> object,
+                    FifoReplicaConfig config);
+  ~FifoReplicaServer();
+
+  FifoReplicaServer(const FifoReplicaServer&) = delete;
+  FifoReplicaServer& operator=(const FifoReplicaServer&) = delete;
+
+  void start();
+  void crash();
+
+  net::NodeId id() const { return endpoint_.id(); }
+  bool is_primary() const { return is_primary_; }
+  bool is_lazy_publisher() const { return is_lazy_publisher_; }
+  const FifoReplicaStats& stats() const { return stats_; }
+  const ReplicatedObject& object() const { return *object_; }
+  /// Highest applied update seq of `client` at this replica.
+  std::uint64_t horizon_of(net::NodeId client) const;
+
+ private:
+  struct Job {
+    bool is_update;
+    RequestId id;
+    net::MessagePtr op;
+    sim::TimePoint arrival;
+    sim::Duration tb = sim::Duration::zero();
+    bool deferred = false;
+  };
+  struct PendingRead {
+    std::shared_ptr<const FifoReadRequest> request;
+    sim::TimePoint arrival;
+    bool deferred = false;
+  };
+
+  void on_qos_deliver(net::NodeId from, const net::MessagePtr& msg);
+  void on_replication_deliver(net::NodeId from, const net::MessagePtr& msg);
+  void on_primary_view(const gcs::View& view);
+  void handle_update(const std::shared_ptr<const FifoUpdateRequest>& request);
+  void handle_read(const std::shared_ptr<const FifoReadRequest>& request);
+  void handle_lazy(const FifoLazyUpdate& lazy);
+  void try_ready_read(const RequestId& id);
+  void recheck_waiting_reads();
+  void enqueue(Job job);
+  void maybe_start_service();
+  void complete(const Job& job, sim::Duration service_time,
+                sim::TimePoint service_start);
+  void propagate_lazy_update();
+  void publish_group_info();
+  void reply_to(const RequestId& id, std::shared_ptr<const FifoReply> reply);
+  void publish_perf(sim::Duration ts, sim::Duration tq, sim::Duration tb,
+                    bool deferred);
+
+  sim::Simulator& sim_;
+  gcs::Endpoint& endpoint_;
+  ServiceGroups groups_;
+  bool is_primary_;
+  std::unique_ptr<ReplicatedObject> object_;
+  FifoReplicaConfig config_;
+  sim::Rng rng_;
+
+  gcs::Member* primary_member_ = nullptr;
+  gcs::Member* replication_member_ = nullptr;
+  gcs::Member* qos_member_ = nullptr;
+
+  bool started_ = false;
+  bool crashed_ = false;
+  bool is_lazy_publisher_ = false;
+  std::uint64_t group_info_epoch_ = 0;
+
+  /// Per-client applied update horizon (read-your-writes bound).
+  std::map<net::NodeId, std::uint64_t> horizons_;
+
+  std::unordered_map<RequestId, PendingRead> pending_reads_;
+  std::unordered_map<RequestId, std::shared_ptr<const FifoReply>> reply_cache_;
+  std::deque<RequestId> reply_cache_order_;
+  std::unordered_map<RequestId, std::shared_ptr<const FifoUpdateRequest>>
+      inflight_updates_;  // dedup between arrival and apply
+
+  std::deque<Job> queue_;
+  bool busy_ = false;
+
+  std::unique_ptr<sim::PeriodicTask> lazy_task_;
+  std::uint64_t lazy_seq_ = 0;
+
+  FifoReplicaStats stats_;
+};
+
+}  // namespace aqueduct::replication

@@ -1,0 +1,151 @@
+// Middleware protocol messages exchanged between client and server gateway
+// handlers (paper Sections 4 and 5.4).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/qos.hpp"
+#include "net/message.hpp"
+#include "net/node.hpp"
+#include "sim/time.hpp"
+
+namespace aqueduct::replication {
+
+/// Globally unique request identity: issuing client plus a per-client
+/// counter. Used for GSN assignment, deduplication of retries, and
+/// matching replies.
+struct RequestId {
+  net::NodeId client;
+  std::uint64_t seq = 0;
+
+  friend constexpr auto operator<=>(const RequestId&, const RequestId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const RequestId& id) {
+  return os << id.client << "#" << id.seq;
+}
+
+/// Update operation, sent point-to-point to every member of the primary
+/// group (including the sequencer, which assigns the GSN).
+struct UpdateRequest final : net::Message {
+  RequestId id;
+  net::MessagePtr op;
+  std::string type_name() const override { return "repl.update"; }
+  std::size_t wire_size() const override {
+    return 32 + (op ? op->wire_size() : 0);
+  }
+};
+
+/// Read-only operation, sent to the sequencer plus the selected replica
+/// subset K.
+struct ReadRequest final : net::Message {
+  RequestId id;
+  net::MessagePtr op;
+  /// Client's staleness threshold `a`; the replica serves immediately only
+  /// if its state is at most this stale.
+  core::Staleness staleness_threshold = 0;
+  std::string type_name() const override { return "repl.read"; }
+  std::size_t wire_size() const override {
+    return 40 + (op ? op->wire_size() : 0);
+  }
+};
+
+/// Sequencer broadcast on the replication group. For an update the GSN was
+/// advanced; for a read it is the current GSN (not advanced) that replicas
+/// use to measure their staleness.
+struct GsnAssign final : net::Message {
+  RequestId id;
+  core::Gsn gsn = 0;
+  bool is_update = false;
+  std::string type_name() const override { return "repl.gsn"; }
+};
+
+/// Reply from a replica to the issuing client. Carries the piggybacked
+/// server-side latency t1 = ts + tq + tb used by the client to compute the
+/// two-way gateway delay tg = tp - tm - t1 (Section 5.4).
+struct Reply final : net::Message {
+  RequestId id;
+  bool is_update = false;
+  net::MessagePtr result;
+  net::NodeId replica;
+  sim::Duration t1 = sim::Duration::zero();
+  /// True if the replica performed a deferred read (waited for a lazy
+  /// update before responding).
+  bool deferred = false;
+  /// Staleness of the replica state the response was served from
+  /// (my_GSN - my_CSN at service time); lets clients and tests verify the
+  /// staleness bound end to end.
+  core::Staleness staleness = 0;
+  std::string type_name() const override { return "repl.reply"; }
+  std::size_t wire_size() const override {
+    return 64 + (result ? result->wire_size() : 0);
+  }
+};
+
+/// Lazy state propagation from the lazy publisher to the secondary group
+/// (multicast on the replication group; primaries ignore it).
+struct LazyUpdate final : net::Message {
+  core::Csn csn = 0;
+  net::MessagePtr snapshot;
+  std::uint64_t lazy_seq = 0;  // ordinal of this propagation
+  std::string type_name() const override { return "repl.lazy"; }
+  std::size_t wire_size() const override {
+    return 24 + (snapshot ? snapshot->wire_size() : 0);
+  }
+};
+
+/// Extra fields in the lazy publisher's performance broadcasts
+/// (Section 5.4.1): <n_u, t_u> feeds the arrival-rate estimator,
+/// <n_L, t_L> plus the lazy-update period T_L feed the elapsed-interval
+/// tracker.
+struct LazyInfo {
+  std::uint32_t n_u = 0;
+  sim::Duration t_u = sim::Duration::zero();
+  std::uint32_t n_l = 0;
+  sim::Duration t_l = sim::Duration::zero();
+  sim::Duration period = sim::Duration::zero();  // T_L
+};
+
+/// Performance measurements published by a replica to all clients whenever
+/// it completes servicing a read (Section 5.4), and periodically by the
+/// lazy publisher to keep the staleness estimators fresh.
+struct PerfPublication final : net::Message {
+  net::NodeId replica;
+  /// True when this publication carries a fresh (ts, tq, tb) sample.
+  bool has_sample = false;
+  sim::Duration ts = sim::Duration::zero();
+  sim::Duration tq = sim::Duration::zero();
+  sim::Duration tb = sim::Duration::zero();
+  bool deferred = false;
+  std::optional<LazyInfo> lazy;
+  std::string type_name() const override { return "repl.perf"; }
+};
+
+/// Service configuration published by the sequencer on the QoS group so
+/// clients learn the current roles (stand-in for the AQuA dependability
+/// manager's configuration distribution).
+struct GroupInfo final : net::Message {
+  std::uint64_t epoch = 0;
+  net::NodeId sequencer;
+  std::vector<net::NodeId> primaries;  // excluding the sequencer
+  std::vector<net::NodeId> secondaries;
+  net::NodeId lazy_publisher;
+  std::string type_name() const override { return "repl.groupinfo"; }
+  std::size_t wire_size() const override {
+    return 48 + 8 * (primaries.size() + secondaries.size());
+  }
+};
+
+}  // namespace aqueduct::replication
+
+template <>
+struct std::hash<aqueduct::replication::RequestId> {
+  std::size_t operator()(const aqueduct::replication::RequestId& id) const noexcept {
+    return std::hash<aqueduct::net::NodeId>{}(id.client) * 1000003u ^
+           std::hash<std::uint64_t>{}(id.seq);
+  }
+};

@@ -1,0 +1,157 @@
+#include "replication/objects.hpp"
+
+#include "sim/check.hpp"
+
+namespace aqueduct::replication {
+
+// ---------------------------------------------------------------------------
+// KeyValueStore
+// ---------------------------------------------------------------------------
+
+net::MessagePtr KeyValueStore::apply_update(const net::MessagePtr& op) {
+  auto put = net::message_cast<KvPut>(op);
+  AQUEDUCT_CHECK_MSG(put != nullptr, "KeyValueStore: unknown update op");
+  entries_[put->key] = put->value;
+  ++version_;
+  auto result = std::make_shared<KvResult>();
+  result->value = put->value;
+  result->version = version_;
+  return result;
+}
+
+net::MessagePtr KeyValueStore::apply_read(const net::MessagePtr& op) const {
+  auto get = net::message_cast<KvGet>(op);
+  AQUEDUCT_CHECK_MSG(get != nullptr, "KeyValueStore: unknown read op");
+  auto result = std::make_shared<KvResult>();
+  if (auto it = entries_.find(get->key); it != entries_.end()) {
+    result->value = it->second;
+  }
+  result->version = version_;
+  return result;
+}
+
+net::MessagePtr KeyValueStore::snapshot() const {
+  auto snap = std::make_shared<KvSnapshot>();
+  snap->entries = entries_;
+  snap->version = version_;
+  return snap;
+}
+
+void KeyValueStore::install_snapshot(const net::MessagePtr& snapshot) {
+  auto snap = net::message_cast<KvSnapshot>(snapshot);
+  AQUEDUCT_CHECK_MSG(snap != nullptr, "KeyValueStore: foreign snapshot");
+  entries_ = snap->entries;
+  version_ = snap->version;
+}
+
+// ---------------------------------------------------------------------------
+// SharedDocument
+// ---------------------------------------------------------------------------
+
+net::MessagePtr SharedDocument::apply_update(const net::MessagePtr& op) {
+  auto append = net::message_cast<DocAppend>(op);
+  AQUEDUCT_CHECK_MSG(append != nullptr, "SharedDocument: unknown update op");
+  lines_.push_back(append->line);
+  auto result = std::make_shared<DocContents>();
+  result->version = version();
+  return result;
+}
+
+net::MessagePtr SharedDocument::apply_read(const net::MessagePtr& op) const {
+  AQUEDUCT_CHECK_MSG(net::message_cast<DocRead>(op) != nullptr,
+                     "SharedDocument: unknown read op");
+  auto result = std::make_shared<DocContents>();
+  result->lines = lines_;
+  result->version = version();
+  return result;
+}
+
+net::MessagePtr SharedDocument::snapshot() const {
+  auto snap = std::make_shared<DocContents>();
+  snap->lines = lines_;
+  snap->version = version();
+  return snap;
+}
+
+void SharedDocument::install_snapshot(const net::MessagePtr& snapshot) {
+  auto snap = net::message_cast<DocContents>(snapshot);
+  AQUEDUCT_CHECK_MSG(snap != nullptr, "SharedDocument: foreign snapshot");
+  lines_ = snap->lines;
+}
+
+// ---------------------------------------------------------------------------
+// StockTicker
+// ---------------------------------------------------------------------------
+
+net::MessagePtr StockTicker::apply_update(const net::MessagePtr& op) {
+  auto set = net::message_cast<TickerSet>(op);
+  AQUEDUCT_CHECK_MSG(set != nullptr, "StockTicker: unknown update op");
+  prices_[set->symbol] = set->price;
+  ++version_;
+  auto quote = std::make_shared<TickerQuote>();
+  quote->symbol = set->symbol;
+  quote->price = set->price;
+  quote->version = version_;
+  return quote;
+}
+
+net::MessagePtr StockTicker::apply_read(const net::MessagePtr& op) const {
+  auto get = net::message_cast<TickerGet>(op);
+  AQUEDUCT_CHECK_MSG(get != nullptr, "StockTicker: unknown read op");
+  auto quote = std::make_shared<TickerQuote>();
+  quote->symbol = get->symbol;
+  if (auto it = prices_.find(get->symbol); it != prices_.end()) {
+    quote->price = it->second;
+  }
+  quote->version = version_;
+  return quote;
+}
+
+net::MessagePtr StockTicker::snapshot() const {
+  auto snap = std::make_shared<TickerSnapshot>();
+  snap->prices = prices_;
+  snap->version = version_;
+  return snap;
+}
+
+void StockTicker::install_snapshot(const net::MessagePtr& snapshot) {
+  auto snap = net::message_cast<TickerSnapshot>(snapshot);
+  AQUEDUCT_CHECK_MSG(snap != nullptr, "StockTicker: foreign snapshot");
+  prices_ = snap->prices;
+  version_ = snap->version;
+}
+
+// ---------------------------------------------------------------------------
+// VersionedRegister
+// ---------------------------------------------------------------------------
+
+net::MessagePtr VersionedRegister::apply_update(const net::MessagePtr& op) {
+  AQUEDUCT_CHECK_MSG(net::message_cast<RegisterBump>(op) != nullptr,
+                     "VersionedRegister: unknown update op");
+  ++value_;
+  auto result = std::make_shared<RegisterValue>();
+  result->value = value_;
+  return result;
+}
+
+net::MessagePtr VersionedRegister::apply_read(const net::MessagePtr& op) const {
+  AQUEDUCT_CHECK_MSG(net::message_cast<RegisterRead>(op) != nullptr,
+                     "VersionedRegister: unknown read op");
+  auto result = std::make_shared<RegisterValue>();
+  result->value = value_;
+  return result;
+}
+
+net::MessagePtr VersionedRegister::snapshot() const {
+  auto result = std::make_shared<RegisterValue>();
+  result->value = value_;
+  return result;
+}
+
+void VersionedRegister::install_snapshot(const net::MessagePtr& snapshot) {
+  auto snap = net::message_cast<RegisterValue>(snapshot);
+  AQUEDUCT_CHECK_MSG(snap != nullptr, "VersionedRegister: foreign snapshot");
+  value_ = snap->value;
+}
+
+}  // namespace aqueduct::replication

@@ -1,0 +1,175 @@
+// Ready-made replicated objects used by the examples, tests, and benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "replication/replicated_object.hpp"
+
+namespace aqueduct::replication {
+
+// ---------------------------------------------------------------------------
+// Versioned key-value store
+// ---------------------------------------------------------------------------
+
+struct KvPut final : net::Message {
+  std::string key;
+  std::string value;
+  std::string type_name() const override { return "kv.put"; }
+  std::size_t wire_size() const override { return 16 + key.size() + value.size(); }
+};
+
+struct KvGet final : net::Message {
+  std::string key;
+  std::string type_name() const override { return "kv.get"; }
+  std::size_t wire_size() const override { return 16 + key.size(); }
+};
+
+struct KvResult final : net::Message {
+  std::optional<std::string> value;
+  /// Number of updates applied to the store when this result was produced.
+  std::uint64_t version = 0;
+  std::string type_name() const override { return "kv.result"; }
+};
+
+struct KvSnapshot final : net::Message {
+  std::map<std::string, std::string> entries;
+  std::uint64_t version = 0;
+  std::string type_name() const override { return "kv.snapshot"; }
+  std::size_t wire_size() const override { return 16 + 32 * entries.size(); }
+};
+
+/// A string->string store whose version counts applied updates.
+class KeyValueStore final : public ReplicatedObject {
+ public:
+  net::MessagePtr apply_update(const net::MessagePtr& op) override;
+  net::MessagePtr apply_read(const net::MessagePtr& op) const override;
+  net::MessagePtr snapshot() const override;
+  void install_snapshot(const net::MessagePtr& snapshot) override;
+
+  std::uint64_t version() const { return version_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, std::string> entries_;
+  std::uint64_t version_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shared document (the paper's Section 2 motivating example)
+// ---------------------------------------------------------------------------
+
+struct DocAppend final : net::Message {
+  std::string line;
+  std::string type_name() const override { return "doc.append"; }
+  std::size_t wire_size() const override { return 16 + line.size(); }
+};
+
+struct DocRead final : net::Message {
+  std::string type_name() const override { return "doc.read"; }
+};
+
+struct DocContents final : net::Message {
+  std::vector<std::string> lines;
+  std::uint64_t version = 0;
+  std::string type_name() const override { return "doc.contents"; }
+  std::size_t wire_size() const override {
+    std::size_t n = 16;
+    for (const auto& l : lines) n += l.size();
+    return n;
+  }
+};
+
+/// An append-only shared document; each append is one version.
+class SharedDocument final : public ReplicatedObject {
+ public:
+  net::MessagePtr apply_update(const net::MessagePtr& op) override;
+  net::MessagePtr apply_read(const net::MessagePtr& op) const override;
+  net::MessagePtr snapshot() const override;
+  void install_snapshot(const net::MessagePtr& snapshot) override;
+
+  std::uint64_t version() const { return static_cast<std::uint64_t>(lines_.size()); }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+// ---------------------------------------------------------------------------
+// Stock ticker (real-time database example from the paper's introduction)
+// ---------------------------------------------------------------------------
+
+struct TickerSet final : net::Message {
+  std::string symbol;
+  double price = 0.0;
+  std::string type_name() const override { return "ticker.set"; }
+};
+
+struct TickerGet final : net::Message {
+  std::string symbol;
+  std::string type_name() const override { return "ticker.get"; }
+};
+
+struct TickerQuote final : net::Message {
+  std::string symbol;
+  std::optional<double> price;
+  std::uint64_t version = 0;  // updates applied when the quote was taken
+  std::string type_name() const override { return "ticker.quote"; }
+};
+
+struct TickerSnapshot final : net::Message {
+  std::map<std::string, double> prices;
+  std::uint64_t version = 0;
+  std::string type_name() const override { return "ticker.snapshot"; }
+};
+
+/// Latest-price table for a set of stock symbols.
+class StockTicker final : public ReplicatedObject {
+ public:
+  net::MessagePtr apply_update(const net::MessagePtr& op) override;
+  net::MessagePtr apply_read(const net::MessagePtr& op) const override;
+  net::MessagePtr snapshot() const override;
+  void install_snapshot(const net::MessagePtr& snapshot) override;
+
+  std::uint64_t version() const { return version_; }
+
+ private:
+  std::map<std::string, double> prices_;
+  std::uint64_t version_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Versioned register (minimal object for tests: the value is the version)
+// ---------------------------------------------------------------------------
+
+struct RegisterBump final : net::Message {
+  std::string type_name() const override { return "reg.bump"; }
+};
+
+struct RegisterRead final : net::Message {
+  std::string type_name() const override { return "reg.read"; }
+};
+
+struct RegisterValue final : net::Message {
+  std::uint64_t value = 0;
+  std::string type_name() const override { return "reg.value"; }
+};
+
+/// Counts its own updates; reads return the count. Tests use it to verify
+/// ordering and staleness invariants directly.
+class VersionedRegister final : public ReplicatedObject {
+ public:
+  net::MessagePtr apply_update(const net::MessagePtr& op) override;
+  net::MessagePtr apply_read(const net::MessagePtr& op) const override;
+  net::MessagePtr snapshot() const override;
+  void install_snapshot(const net::MessagePtr& snapshot) override;
+
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace aqueduct::replication

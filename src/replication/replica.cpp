@@ -1,0 +1,606 @@
+#include "replication/replica.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::replication {
+
+ReplicaServer::ReplicaServer(sim::Simulator& sim, gcs::Endpoint& endpoint,
+                             ServiceGroups groups, bool is_primary,
+                             std::unique_ptr<ReplicatedObject> object,
+                             ReplicaConfig config)
+    : sim_(sim),
+      endpoint_(endpoint),
+      groups_(groups),
+      is_primary_(is_primary),
+      object_(std::move(object)),
+      config_(std::move(config)),
+      rng_(sim.rng().split()) {
+  AQUEDUCT_CHECK(object_ != nullptr);
+  AQUEDUCT_CHECK_MSG(config_.service_time != nullptr,
+                     "ReplicaConfig.service_time must be set");
+}
+
+ReplicaServer::~ReplicaServer() = default;
+
+void ReplicaServer::start() {
+  AQUEDUCT_CHECK(!started_ && !crashed_);
+  started_ = true;
+
+  qos_member_ = &endpoint_.member(groups_.qos);
+  qos_member_->set_on_deliver(
+      [this](net::NodeId from, const net::MessagePtr& msg) {
+        on_qos_deliver(from, msg);
+      });
+  qos_member_->set_on_view([this](const gcs::View& v) { on_qos_view(v); });
+
+  replication_member_ = &endpoint_.member(groups_.replication);
+  replication_member_->set_on_deliver(
+      [this](net::NodeId from, const net::MessagePtr& msg) {
+        on_replication_deliver(from, msg);
+      });
+  replication_member_->set_on_view(
+      [this](const gcs::View& v) { on_replication_view(v); });
+
+  if (is_primary_) {
+    primary_member_ = &endpoint_.member(groups_.primary);
+    primary_member_->set_on_view(
+        [this](const gcs::View& v) { on_primary_view(v); });
+    // No application traffic flows on the primary group itself; it exists
+    // to define primary membership and elect the sequencer.
+  }
+
+  qos_member_->join();
+  replication_member_->join();
+  if (primary_member_ != nullptr) primary_member_->join();
+}
+
+void ReplicaServer::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  lazy_task_.reset();
+  perf_task_.reset();
+  endpoint_.crash();
+}
+
+void ReplicaServer::set_lazy_update_interval(sim::Duration interval) {
+  AQUEDUCT_CHECK(interval > sim::Duration::zero());
+  config_.lazy_update_interval = interval;
+  if (lazy_task_ && lazy_task_->running()) {
+    lazy_task_ = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.lazy_update_interval, [this] { propagate_lazy_update(); });
+    lazy_task_->start();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// View handling and roles
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::on_primary_view(const gcs::View& view) {
+  if (crashed_ || view.empty()) return;
+
+  const net::NodeId new_leader = view.leader();
+  const bool becoming_sequencer = (new_leader == id()) && !is_sequencer_;
+
+  is_sequencer_ = (new_leader == id());
+  const net::NodeId lazy_publisher =
+      view.size() >= 2 ? view.members.back() : view.leader();
+  const bool was_publisher = is_lazy_publisher_;
+  is_lazy_publisher_ = (lazy_publisher == id());
+
+  if (becoming_sequencer) {
+    // Hold new GSN assignments until the replication group has flushed the
+    // previous sequencer out, so its in-flight GSN broadcasts are resolved
+    // first and no GSN is reused for a different request.
+    if (last_primary_leader_.valid() && last_primary_leader_ != id() &&
+        replication_member_ != nullptr && replication_member_->joined() &&
+        replication_member_->view().contains(last_primary_leader_)) {
+      sequencer_barrier_ = last_primary_leader_;
+    } else {
+      sequencer_barrier_.reset();
+    }
+    // Resume sequencing from the highest GSN this replica has observed —
+    // virtual synchrony guarantees all survivors agree on the delivered
+    // GSN broadcasts of the crashed sequencer.
+  }
+
+  if (is_lazy_publisher_ && !was_publisher) {
+    last_lazy_update_ = sim_.now();
+    last_perf_publish_ = sim_.now();
+    updates_since_lazy_ = 0;
+    updates_since_publish_ = 0;
+    lazy_task_ = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.lazy_update_interval, [this] { propagate_lazy_update(); });
+    lazy_task_->start();
+    perf_task_ = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.perf_publish_period,
+        [this] { publish_perf(std::nullopt, std::nullopt, std::nullopt, false); });
+    perf_task_->start();
+  } else if (!is_lazy_publisher_ && was_publisher) {
+    lazy_task_.reset();
+    perf_task_.reset();
+  }
+
+  last_primary_leader_ = new_leader;
+  maybe_activate_sequencer();
+  if (is_sequencer_) publish_group_info();
+}
+
+void ReplicaServer::on_replication_view(const gcs::View& view) {
+  if (crashed_ || view.empty()) return;
+  maybe_activate_sequencer();
+  if (is_sequencer_) publish_group_info();
+  if (is_lazy_publisher_) {
+    // Bring freshly joined secondaries up to date without waiting a full
+    // lazy interval.
+    propagate_lazy_update();
+  }
+}
+
+void ReplicaServer::on_qos_view(const gcs::View& view) {
+  if (crashed_ || view.empty()) return;
+  // A new client joined (or one left): re-publish the role map so it can
+  // start issuing requests.
+  if (is_sequencer_) publish_group_info();
+}
+
+void ReplicaServer::maybe_activate_sequencer() {
+  if (!is_sequencer_ || !sequencer_barrier_) return;
+  if (replication_member_ == nullptr || !replication_member_->joined()) return;
+  if (replication_member_->view().contains(*sequencer_barrier_)) return;
+  sequencer_barrier_.reset();
+  // Sequence the requests that arrived during the barrier, in order.
+  auto queued = std::move(barrier_queue_);
+  barrier_queue_.clear();
+  for (auto& [from, msg] : queued) {
+    if (auto update = net::message_cast<UpdateRequest>(msg)) {
+      sequence_update(*update);
+    } else if (auto read = net::message_cast<ReadRequest>(msg)) {
+      sequence_read(*read);
+    }
+  }
+}
+
+void ReplicaServer::publish_group_info() {
+  if (!is_sequencer_ || qos_member_ == nullptr || !qos_member_->joined()) return;
+  if (primary_member_ == nullptr || !primary_member_->joined()) return;
+  if (replication_member_ == nullptr || !replication_member_->joined()) return;
+
+  auto info = std::make_shared<GroupInfo>();
+  info->epoch = ++group_info_epoch_;
+  info->sequencer = id();
+  const gcs::View& primary_view = primary_member_->view();
+  const gcs::View& replication_view = replication_member_->view();
+  for (const net::NodeId m : primary_view.members) {
+    if (m != id()) info->primaries.push_back(m);
+  }
+  for (const net::NodeId m : replication_view.members) {
+    if (!primary_view.contains(m)) info->secondaries.push_back(m);
+  }
+  info->lazy_publisher = primary_view.size() >= 2 ? primary_view.members.back()
+                                                  : primary_view.leader();
+  qos_member_->multicast(info);
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::on_qos_deliver(net::NodeId from, const net::MessagePtr& msg) {
+  if (crashed_) return;
+  if (auto update = net::message_cast<UpdateRequest>(msg)) {
+    handle_update_request(from, *update);
+  } else if (auto read = net::message_cast<ReadRequest>(msg)) {
+    handle_read_request(from, read);
+  } else if (auto info = net::message_cast<GroupInfo>(msg)) {
+    // Track the highest role-map epoch ever published so that a replica
+    // taking over as sequencer continues the epoch sequence — clients
+    // ignore GroupInfo with a non-increasing epoch.
+    group_info_epoch_ = std::max(group_info_epoch_, info->epoch);
+  }
+  // PerfPublication / Reply multicasts are for clients; ignore.
+}
+
+void ReplicaServer::on_replication_deliver(net::NodeId /*from*/,
+                                           const net::MessagePtr& msg) {
+  if (crashed_) return;
+  if (auto assign = net::message_cast<GsnAssign>(msg)) {
+    handle_gsn_assign(*assign);
+  } else if (auto lazy = net::message_cast<LazyUpdate>(msg)) {
+    handle_lazy_update(*lazy);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Updates (Section 4.1.1)
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::handle_update_request(net::NodeId /*from*/,
+                                          const UpdateRequest& request) {
+  if (!is_primary_) return;  // secondaries never service updates
+
+  const RequestId id = request.id;
+  // The payload stays in update_payload_ until the commit completes, so a
+  // retried payload is recognized as a duplicate whether the update is
+  // still waiting for its GSN, queued, or already committed.
+  const bool duplicate = committed_.contains(id) || update_payload_.contains(id);
+  if (duplicate) {
+    ++stats_.duplicate_requests;
+    if (auto it = reply_cache_.find(id); it != reply_cache_.end()) {
+      send_reply(it->second, id.client);
+    }
+  } else {
+    ++updates_since_publish_;
+    ++updates_since_lazy_;
+    auto copy = std::make_shared<UpdateRequest>(request);
+    update_payload_.emplace(id, std::move(copy));
+  }
+
+  if (is_sequencer_) sequence_update(request);
+  if (!duplicate) try_enqueue_commits();
+}
+
+void ReplicaServer::sequence_update(const UpdateRequest& request) {
+  if (sequencer_barrier_) {
+    barrier_queue_.emplace_back(request.id.client,
+                                std::make_shared<UpdateRequest>(request));
+    return;
+  }
+  auto assign = std::make_shared<GsnAssign>();
+  assign->id = request.id;
+  assign->is_update = true;
+  if (auto it = assigned_.find(request.id); it != assigned_.end()) {
+    assign->gsn = it->second;  // retry: re-broadcast the original assignment
+  } else {
+    assign->gsn = ++my_gsn_;
+    assigned_.emplace(request.id, assign->gsn);
+    assigned_order_.push_back(request.id);
+    if (assigned_order_.size() > config_.cache_limit) {
+      assigned_.erase(assigned_order_.front());
+      assigned_order_.pop_front();
+    }
+    ++stats_.gsn_assigned;
+  }
+  replication_member_->multicast(assign);
+}
+
+void ReplicaServer::handle_gsn_assign(const GsnAssign& assign) {
+  my_gsn_ = std::max(my_gsn_, assign.gsn);
+
+  if (!assign.is_update) {
+    // Read GSN broadcast: remember it for the (possibly not yet received)
+    // read request, and wake any read already waiting for it.
+    if (!gsn_of_read_.contains(assign.id)) {
+      gsn_of_read_.emplace(assign.id, assign.gsn);
+      gsn_of_read_order_.push_back(assign.id);
+      if (gsn_of_read_order_.size() > config_.cache_limit) {
+        gsn_of_read_.erase(gsn_of_read_order_.front());
+        gsn_of_read_order_.pop_front();
+      }
+    }
+    if (auto it = pending_reads_.find(assign.id); it != pending_reads_.end()) {
+      if (!it->second.gsn) {
+        it->second.gsn = assign.gsn;
+        it->second.gsn_at = sim_.now();
+        try_ready_read(assign.id);
+      }
+    }
+    return;
+  }
+
+  if (!is_primary_) return;  // secondaries track GSN only
+
+  // Conflict safety net: a GSN must never be bound to two requests, and a
+  // request must never receive two GSNs (the sequencer barrier prevents
+  // both; the counter lets tests assert it).
+  if (auto it = update_gsn_.find(assign.gsn);
+      it != update_gsn_.end() && it->second != assign.id) {
+    ++stats_.gsn_conflicts;
+    return;
+  }
+  if (auto it = gsn_of_update_.find(assign.id);
+      it != gsn_of_update_.end() && it->second != assign.gsn) {
+    ++stats_.gsn_conflicts;
+    return;
+  }
+  if (assign.gsn <= next_enqueue_gsn_) return;  // already consumed (retry)
+
+  update_gsn_.emplace(assign.gsn, assign.id);
+  gsn_of_update_.emplace(assign.id, assign.gsn);
+  try_enqueue_commits();
+}
+
+void ReplicaServer::try_enqueue_commits() {
+  if (!is_primary_) return;
+  while (true) {
+    auto it = update_gsn_.find(next_enqueue_gsn_ + 1);
+    if (it == update_gsn_.end()) break;
+    const RequestId rid = it->second;
+    Job job;
+    job.is_update = true;
+    job.id = rid;
+    job.gsn = it->first;
+    job.client = rid.client;
+    job.arrival = sim_.now();
+    if (committed_.contains(rid)) {
+      // Retried request that a failed-over sequencer re-assigned: consume
+      // the GSN as a no-op so the commit sequence stays contiguous.
+      job.op = nullptr;
+    } else {
+      auto payload = update_payload_.find(rid);
+      if (payload == update_payload_.end()) break;  // wait for the payload
+      job.op = payload->second->op;
+      // The payload entry is kept (for retry dedup) until the commit
+      // completes in complete_job().
+    }
+    update_gsn_.erase(it);
+    next_enqueue_gsn_ = job.gsn;
+    enqueue_job(std::move(job));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reads (Section 4.1.2)
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::handle_read_request(
+    net::NodeId from, const std::shared_ptr<const ReadRequest>& request) {
+  const RequestId id = request->id;
+  if (auto it = reply_cache_.find(id); it != reply_cache_.end()) {
+    ++stats_.duplicate_requests;
+    send_reply(it->second, id.client);
+    return;
+  }
+
+  if (is_sequencer_) {
+    // The sequencer only broadcasts the current GSN; it does not service
+    // the read itself.
+    sequence_read(*request);
+    return;
+  }
+
+  if (pending_reads_.contains(id)) {
+    ++stats_.duplicate_requests;
+    return;
+  }
+  PendingRead pending;
+  pending.request = request;
+  pending.client = from;
+  pending.arrival = sim_.now();
+  if (auto it = gsn_of_read_.find(id); it != gsn_of_read_.end()) {
+    pending.gsn = it->second;
+    pending.gsn_at = sim_.now();
+  }
+  pending_reads_.emplace(id, std::move(pending));
+  if (pending_reads_.at(id).gsn) try_ready_read(id);
+}
+
+void ReplicaServer::sequence_read(const ReadRequest& request) {
+  if (sequencer_barrier_) {
+    barrier_queue_.emplace_back(request.id.client,
+                                std::make_shared<ReadRequest>(request));
+    return;
+  }
+  auto assign = std::make_shared<GsnAssign>();
+  assign->id = request.id;
+  assign->is_update = false;
+  if (auto it = assigned_.find(request.id); it != assigned_.end()) {
+    assign->gsn = it->second;
+  } else {
+    assign->gsn = my_gsn_;  // current GSN, *not* advanced for reads
+    assigned_.emplace(request.id, assign->gsn);
+    assigned_order_.push_back(request.id);
+    if (assigned_order_.size() > config_.cache_limit) {
+      assigned_.erase(assigned_order_.front());
+      assigned_order_.pop_front();
+    }
+  }
+  replication_member_->multicast(assign);
+}
+
+void ReplicaServer::try_ready_read(const RequestId& id) {
+  auto it = pending_reads_.find(id);
+  if (it == pending_reads_.end()) return;
+  PendingRead& pending = it->second;
+  if (!pending.gsn) return;
+
+  const core::Staleness staleness = core::staleness_of(*pending.gsn, my_csn_);
+  if (staleness > pending.request->staleness_threshold) {
+    // Too stale: a secondary defers until the next lazy update brings the
+    // state within the threshold; a primary simply waits for its in-flight
+    // commits (that wait is part of the queueing delay W).
+    if (!is_primary_) pending.deferred = true;
+    waiting_reads_.insert(id);
+    return;
+  }
+
+  Job job;
+  job.is_update = false;
+  job.id = id;
+  job.op = pending.request->op;
+  job.client = pending.client;
+  job.arrival = pending.arrival;
+  job.deferred = pending.deferred;
+  job.tb = pending.deferred ? sim_.now() - pending.gsn_at : sim::Duration::zero();
+  job.gsn = *pending.gsn;
+  waiting_reads_.erase(id);
+  pending_reads_.erase(it);
+  enqueue_job(std::move(job));
+}
+
+void ReplicaServer::recheck_waiting_reads() {
+  const std::vector<RequestId> waiting(waiting_reads_.begin(), waiting_reads_.end());
+  for (const RequestId& id : waiting) try_ready_read(id);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy update propagation (Section 3 / 5.4.1)
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::propagate_lazy_update() {
+  if (crashed_ || replication_member_ == nullptr || !replication_member_->joined()) {
+    return;
+  }
+  auto lazy = std::make_shared<LazyUpdate>();
+  lazy->csn = my_csn_;
+  lazy->snapshot = object_->snapshot();
+  lazy->lazy_seq = ++lazy_seq_;
+  replication_member_->multicast(lazy);
+  updates_since_lazy_ = 0;
+  last_lazy_update_ = sim_.now();
+  ++stats_.lazy_updates_published;
+  // Tell the clients immediately that a lazy update just happened, so
+  // their <n_L, t_L> trackers re-synchronize.
+  publish_perf(std::nullopt, std::nullopt, std::nullopt, false);
+}
+
+void ReplicaServer::handle_lazy_update(const LazyUpdate& lazy) {
+  if (is_primary_) return;  // primaries are updated immediately
+  if (lazy.csn <= my_csn_) return;
+  object_->install_snapshot(lazy.snapshot);
+  my_csn_ = lazy.csn;
+  ++stats_.lazy_updates_installed;
+  recheck_waiting_reads();
+}
+
+// ---------------------------------------------------------------------------
+// Service queue (single FIFO server per replica)
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::enqueue_job(Job job) {
+  queue_.push_back(std::move(job));
+  maybe_start_service();
+}
+
+void ReplicaServer::maybe_start_service() {
+  if (busy_ || queue_.empty() || crashed_) return;
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  // The sequencer's bookkeeping and no-op commits are free; real request
+  // processing takes a sampled service delay (the paper's simulated
+  // background load).
+  const bool free = (job.is_update && job.op == nullptr) || is_sequencer_;
+  const sim::Duration service_time =
+      free ? sim::Duration::zero() : config_.service_time->sample(rng_);
+  const sim::TimePoint service_start = sim_.now();
+  sim_.after(service_time, [this, job = std::move(job), service_time,
+                            service_start]() mutable {
+    complete_job(job, service_time, service_start);
+  });
+}
+
+void ReplicaServer::complete_job(const Job& job, sim::Duration service_time,
+                                 sim::TimePoint service_start) {
+  if (crashed_) return;
+  if (job.is_update) {
+    if (job.op != nullptr) {
+      net::MessagePtr result = object_->apply_update(job.op);
+      ++my_csn_;
+      ++stats_.updates_committed;
+      remember_committed(job.id);
+      update_payload_.erase(job.id);
+      if (!is_sequencer_) {
+        auto reply = std::make_shared<Reply>();
+        reply->id = job.id;
+        reply->is_update = true;
+        reply->result = std::move(result);
+        reply->replica = id();
+        reply->t1 = service_time + (service_start - job.arrival);
+        cache_reply(job.id, reply);
+        send_reply(reply, job.client);
+      }
+    } else {
+      ++my_csn_;  // no-op commit keeps the sequence contiguous
+    }
+    recheck_waiting_reads();
+  } else {
+    net::MessagePtr result = object_->apply_read(job.op);
+    ++stats_.reads_served;
+    if (job.deferred) ++stats_.deferred_reads;
+    const sim::Duration tq = (service_start - job.arrival) - job.tb;
+    auto reply = std::make_shared<Reply>();
+    reply->id = job.id;
+    reply->is_update = false;
+    reply->result = std::move(result);
+    reply->replica = id();
+    reply->t1 = service_time + tq + job.tb;
+    reply->deferred = job.deferred;
+    reply->staleness = core::staleness_of(job.gsn, my_csn_);
+    cache_reply(job.id, reply);
+    send_reply(reply, job.client);
+    publish_perf(service_time, tq, job.tb, job.deferred);
+  }
+  busy_ = false;
+  maybe_start_service();
+}
+
+void ReplicaServer::send_reply(const std::shared_ptr<const Reply>& reply,
+                               net::NodeId client) {
+  if (qos_member_ == nullptr || !qos_member_->joined()) return;
+  if (!qos_member_->view().contains(client)) return;  // client gone
+  qos_member_->send_to(client, reply);
+}
+
+void ReplicaServer::publish_perf(std::optional<sim::Duration> ts,
+                                 std::optional<sim::Duration> tq,
+                                 std::optional<sim::Duration> tb,
+                                 bool deferred) {
+  if (crashed_ || qos_member_ == nullptr || !qos_member_->joined()) return;
+  auto perf = std::make_shared<PerfPublication>();
+  perf->replica = id();
+  if (ts) {
+    perf->has_sample = true;
+    perf->ts = *ts;
+    perf->tq = tq.value_or(sim::Duration::zero());
+    perf->tb = tb.value_or(sim::Duration::zero());
+    perf->deferred = deferred;
+  }
+  if (is_lazy_publisher_) {
+    perf->lazy = build_lazy_info();
+    updates_since_publish_ = 0;
+    last_perf_publish_ = sim_.now();
+  }
+  qos_member_->multicast(perf);
+}
+
+std::optional<LazyInfo> ReplicaServer::build_lazy_info() {
+  LazyInfo info;
+  info.n_u = updates_since_publish_;
+  info.t_u = sim_.now() - last_perf_publish_;
+  info.n_l = updates_since_lazy_;
+  info.t_l = sim_.now() - last_lazy_update_;
+  info.period = config_.lazy_update_interval;
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded caches
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::remember_committed(const RequestId& id) {
+  committed_.insert(id);
+  committed_order_.push_back(id);
+  if (committed_order_.size() > config_.cache_limit) {
+    const RequestId& oldest = committed_order_.front();
+    committed_.erase(oldest);
+    gsn_of_update_.erase(oldest);
+    committed_order_.pop_front();
+  }
+}
+
+void ReplicaServer::cache_reply(const RequestId& id,
+                                std::shared_ptr<const Reply> reply) {
+  reply_cache_[id] = std::move(reply);
+  reply_cache_order_.push_back(id);
+  if (reply_cache_order_.size() > config_.cache_limit) {
+    reply_cache_.erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
+  }
+}
+
+}  // namespace aqueduct::replication

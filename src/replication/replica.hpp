@@ -1,0 +1,237 @@
+// Server-side gateway handler (paper Section 4).
+//
+// One ReplicaServer per replica process. Depending on its group roles it
+// acts as:
+//   * sequencer — leader of the primary group; assigns GSNs to updates,
+//     broadcasts the current GSN for reads, never services requests;
+//   * primary replica — commits updates in GSN order, serves reads from
+//     always-fresh state;
+//   * secondary replica — serves reads when its state satisfies the
+//     client's staleness threshold, otherwise performs a deferred read
+//     (buffers until the next lazy update);
+//   * lazy publisher — the designated primary-group member that
+//     periodically propagates its state to the secondary group and
+//     publishes the <n_u, t_u>/<n_L, t_L> measurements clients use for
+//     staleness estimation.
+//
+// Roles are derived from the primary-group view, so they fail over
+// automatically: a sequencer crash elects the next primary as leader (and
+// thus sequencer), a lazy-publisher crash re-designates the last member.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "core/qos.hpp"
+#include "gcs/endpoint.hpp"
+#include "replication/messages.hpp"
+#include "replication/replicated_object.hpp"
+#include "replication/service.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::replication {
+
+struct ReplicaConfig {
+  /// Simulated request-processing delay (the paper's experiments draw it
+  /// from a normal distribution with mean 100 ms to model background
+  /// load). Shared by reads and updates; the sequencer's bookkeeping is
+  /// free.
+  std::shared_ptr<sim::DurationDistribution> service_time;
+  /// Lazy-update propagation period T_L (effective only while this replica
+  /// is the lazy publisher).
+  sim::Duration lazy_update_interval = std::chrono::seconds(4);
+  /// Period of the lazy publisher's standalone performance broadcasts
+  /// (keeps client staleness estimators fresh even between reads).
+  sim::Duration perf_publish_period = std::chrono::milliseconds(500);
+  /// Bound on the dedup/reply caches.
+  std::size_t cache_limit = 16384;
+};
+
+struct ReplicaStats {
+  std::uint64_t updates_committed = 0;
+  std::uint64_t reads_served = 0;
+  std::uint64_t deferred_reads = 0;
+  std::uint64_t gsn_assigned = 0;
+  std::uint64_t lazy_updates_published = 0;
+  std::uint64_t lazy_updates_installed = 0;
+  std::uint64_t duplicate_requests = 0;
+  std::uint64_t gsn_conflicts = 0;  // must stay 0 — safety-net counter
+};
+
+class ReplicaServer {
+ public:
+  /// `is_primary` decides which groups this replica joins: primaries (and
+  /// the sequencer) join the primary group; everyone joins the replication
+  /// and QoS groups. Call start() to join.
+  ReplicaServer(sim::Simulator& sim, gcs::Endpoint& endpoint,
+                ServiceGroups groups, bool is_primary,
+                std::unique_ptr<ReplicatedObject> object, ReplicaConfig config);
+  ~ReplicaServer();
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  /// Joins the service's groups and begins processing.
+  void start();
+
+  /// Fail-stop crash (for failure-injection experiments).
+  void crash();
+
+  net::NodeId id() const { return endpoint_.id(); }
+  bool is_primary() const { return is_primary_; }
+  bool is_sequencer() const { return is_sequencer_; }
+  bool is_lazy_publisher() const { return is_lazy_publisher_; }
+  core::Gsn gsn() const { return my_gsn_; }
+  core::Csn csn() const { return my_csn_; }
+  const ReplicaStats& stats() const { return stats_; }
+  const ReplicatedObject& object() const { return *object_; }
+  sim::Duration lazy_update_interval() const { return config_.lazy_update_interval; }
+
+  /// Changes T_L at runtime (the consistency/timeliness tuning knob).
+  void set_lazy_update_interval(sim::Duration interval);
+
+ private:
+  // ---- message handlers (via the QoS / replication / primary groups) ----
+  void on_qos_deliver(net::NodeId from, const net::MessagePtr& msg);
+  void on_replication_deliver(net::NodeId from, const net::MessagePtr& msg);
+  void on_primary_view(const gcs::View& view);
+  void on_replication_view(const gcs::View& view);
+  void on_qos_view(const gcs::View& view);
+
+  void handle_update_request(net::NodeId from, const UpdateRequest& request);
+  void handle_read_request(net::NodeId from,
+                           const std::shared_ptr<const ReadRequest>& request);
+  void handle_gsn_assign(const GsnAssign& assign);
+  void handle_lazy_update(const LazyUpdate& lazy);
+
+  // ---- sequencer ----
+  void sequence_update(const UpdateRequest& request);
+  void sequence_read(const ReadRequest& request);
+  void maybe_activate_sequencer();
+  void publish_group_info();
+
+  // ---- commit pipeline (primaries) ----
+  void try_enqueue_commits();
+  void advance_csn();
+
+  // ---- read pipeline ----
+  struct PendingRead {
+    std::shared_ptr<const ReadRequest> request;
+    net::NodeId client;
+    sim::TimePoint arrival;
+    std::optional<core::Gsn> gsn;
+    sim::TimePoint gsn_at = sim::kEpoch;
+    bool deferred = false;  // waited for a lazy update
+  };
+  void try_ready_read(const RequestId& id);
+  void recheck_waiting_reads();
+
+  // ---- service queue (single server, FIFO) ----
+  struct Job {
+    bool is_update;
+    RequestId id;
+    net::MessagePtr op;
+    net::NodeId client;       // reply destination (updates and reads)
+    sim::TimePoint arrival;   // for t_q accounting
+    sim::Duration tb = sim::Duration::zero();  // lazy wait (deferred reads)
+    bool deferred = false;
+    core::Gsn gsn = 0;  // GSN context of the request
+  };
+  void enqueue_job(Job job);
+  void maybe_start_service();
+  void complete_job(const Job& job, sim::Duration service_time,
+                    sim::TimePoint service_start);
+
+  void send_reply(const std::shared_ptr<const Reply>& reply, net::NodeId client);
+  void publish_perf(std::optional<sim::Duration> ts,
+                    std::optional<sim::Duration> tq,
+                    std::optional<sim::Duration> tb, bool deferred);
+  std::optional<LazyInfo> build_lazy_info();
+
+  // ---- lazy publisher ----
+  void propagate_lazy_update();
+  void update_roles();
+
+  // ---- bounded caches ----
+  void remember_committed(const RequestId& id);
+  void cache_reply(const RequestId& id, std::shared_ptr<const Reply> reply);
+
+  sim::Simulator& sim_;
+  gcs::Endpoint& endpoint_;
+  ServiceGroups groups_;
+  bool is_primary_;
+  std::unique_ptr<ReplicatedObject> object_;
+  ReplicaConfig config_;
+  sim::Rng rng_;
+
+  gcs::Member* primary_member_ = nullptr;      // null for secondaries
+  gcs::Member* replication_member_ = nullptr;
+  gcs::Member* qos_member_ = nullptr;
+
+  bool started_ = false;
+  bool crashed_ = false;
+
+  // Roles (derived from the primary-group view).
+  bool is_sequencer_ = false;
+  bool is_lazy_publisher_ = false;
+  /// Sequencing stays inactive after a takeover until the replication
+  /// group's view has excluded the previous sequencer — guarantees the old
+  /// sequencer's last GSN broadcasts are flushed before new GSNs are
+  /// assigned (no GSN reuse).
+  std::optional<net::NodeId> sequencer_barrier_;
+  net::NodeId last_primary_leader_;  // previous primary-group leader
+  std::uint64_t group_info_epoch_ = 0;
+
+  // Sequential-consistency protocol state (Section 4.1).
+  core::Gsn my_gsn_ = 0;
+  core::Csn my_csn_ = 0;
+
+  // Sequencer state.
+  std::unordered_map<RequestId, core::Gsn> assigned_;  // dedup of retries
+  std::deque<RequestId> assigned_order_;
+  std::deque<std::pair<net::NodeId, std::shared_ptr<const net::Message>>>
+      barrier_queue_;  // requests buffered while sequencing is inactive
+
+  // Update commit pipeline.
+  std::unordered_map<RequestId, std::shared_ptr<const UpdateRequest>>
+      update_payload_;                              // awaiting GSN
+  std::unordered_map<RequestId, net::NodeId> update_client_;
+  std::map<core::Gsn, RequestId> update_gsn_;       // assigned, awaiting payload
+  std::unordered_map<RequestId, core::Gsn> gsn_of_update_;
+  core::Gsn next_enqueue_gsn_ = 0;  // last update GSN handed to the queue
+  std::set<RequestId> committed_;   // dedup (bounded via committed_order_)
+  std::deque<RequestId> committed_order_;
+
+  // Read pipeline.
+  std::unordered_map<RequestId, core::Gsn> gsn_of_read_;
+  std::deque<RequestId> gsn_of_read_order_;
+  std::unordered_map<RequestId, PendingRead> pending_reads_;
+  std::set<RequestId> waiting_reads_;  // staleness not yet satisfied
+
+  // Reply cache for client retries.
+  std::unordered_map<RequestId, std::shared_ptr<const Reply>> reply_cache_;
+  std::deque<RequestId> reply_cache_order_;
+
+  // Service queue.
+  std::deque<Job> queue_;
+  bool busy_ = false;
+
+  // Lazy publisher bookkeeping.
+  std::unique_ptr<sim::PeriodicTask> lazy_task_;
+  std::unique_ptr<sim::PeriodicTask> perf_task_;
+  std::uint64_t lazy_seq_ = 0;
+  std::uint32_t updates_since_publish_ = 0;
+  sim::TimePoint last_perf_publish_ = sim::kEpoch;
+  std::uint32_t updates_since_lazy_ = 0;
+  sim::TimePoint last_lazy_update_ = sim::kEpoch;
+
+  ReplicaStats stats_;
+};
+
+}  // namespace aqueduct::replication

@@ -1,0 +1,38 @@
+// Application-object interface hosted by each replica.
+//
+// The middleware is application-agnostic: operations, results, and
+// snapshots are opaque messages. The gateway handler decides *when* an
+// operation runs (GSN order for updates, staleness checks for reads); the
+// object decides *what* it does.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/qos.hpp"
+#include "net/message.hpp"
+
+namespace aqueduct::replication {
+
+class ReplicatedObject {
+ public:
+  virtual ~ReplicatedObject() = default;
+
+  /// Applies an update operation (write-only or read-write) and returns its
+  /// result. Called in commit (GSN) order on every primary replica.
+  virtual net::MessagePtr apply_update(const net::MessagePtr& op) = 0;
+
+  /// Executes a read-only operation against the current state.
+  virtual net::MessagePtr apply_read(const net::MessagePtr& op) const = 0;
+
+  /// Full-state snapshot for lazy propagation / state transfer.
+  virtual net::MessagePtr snapshot() const = 0;
+
+  /// Replaces the current state with a snapshot produced by snapshot() on
+  /// another replica of the same object type.
+  virtual void install_snapshot(const net::MessagePtr& snapshot) = 0;
+};
+
+using ObjectFactory = std::function<std::unique_ptr<ReplicatedObject>()>;
+
+}  // namespace aqueduct::replication

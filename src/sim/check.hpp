@@ -1,0 +1,48 @@
+// Lightweight invariant checking used across the library.
+//
+// AQUEDUCT_CHECK is active in all build types: these are distributed-protocol
+// invariants (e.g. commit-order monotonicity) whose violation means the
+// simulation result is meaningless, so we prefer to fail fast over
+// continuing with corrupt state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aqueduct {
+
+/// Thrown when a library invariant is violated. Indicates a bug in the
+/// library (or a misuse severe enough to corrupt protocol state).
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace aqueduct
+
+#define AQUEDUCT_CHECK(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::aqueduct::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define AQUEDUCT_CHECK_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream aqueduct_check_os_;                              \
+      aqueduct_check_os_ << msg;                                          \
+      ::aqueduct::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                       aqueduct_check_os_.str());         \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,80 @@
+// Priority event queue for the discrete-event simulator.
+//
+// Events scheduled for the same time point fire in scheduling order
+// (FIFO tie-break by sequence number) so simulations are fully
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace aqueduct::sim {
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  /// True if this handle ever referred to an event (cancelled or not).
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t id, std::weak_ptr<bool> cancelled)
+      : id_(id), cancelled_(std::move(cancelled)) {}
+  std::uint64_t id_ = 0;
+  std::weak_ptr<bool> cancelled_;
+};
+
+/// Min-heap of timed callbacks with O(1) cancellation (lazy removal).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at time `at`.
+  EventHandle schedule(TimePoint at, Callback cb);
+
+  /// Cancels the event behind `handle`. Returns false if the event already
+  /// fired, was already cancelled, or the handle is empty.
+  bool cancel(const EventHandle& handle);
+
+  /// True if no live (non-cancelled) events remain.
+  bool empty() const;
+
+  /// Time of the earliest live event. Requires !empty().
+  TimePoint next_time() const;
+
+  /// Pops the earliest live event and returns its (time, callback).
+  /// Requires !empty().
+  std::pair<TimePoint, Callback> pop();
+
+  /// Number of live events currently queued.
+  std::size_t size() const { return live_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Discards cancelled entries at the head of the heap.
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace aqueduct::sim

@@ -1,0 +1,165 @@
+// Seeded random-number generation for the simulator.
+//
+// A single Rng owns a mt19937_64 engine; child components derive independent
+// streams via split() so that adding a component does not perturb the draws
+// seen by unrelated components (important for reproducible experiments).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "sim/check.hpp"
+#include "sim/time.hpp"
+
+namespace aqueduct::sim {
+
+/// Deterministic random source with the distributions the experiments need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    AQUEDUCT_CHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    AQUEDUCT_CHECK(n > 0);
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    AQUEDUCT_CHECK(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normal draw.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Normal draw as a duration, truncated below at `floor` (service times
+  /// and latencies must be non-negative).
+  Duration normal_duration(Duration mean, Duration stddev,
+                           Duration floor = Duration::zero()) {
+    const double x = normal(static_cast<double>(mean.count()),
+                            static_cast<double>(stddev.count()));
+    const auto d = Duration(static_cast<Duration::rep>(x));
+    return d < floor ? floor : d;
+  }
+
+  /// Exponential draw with the given rate (events per unit).
+  double exponential(double rate) {
+    AQUEDUCT_CHECK(rate > 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Exponential duration with the given mean.
+  Duration exponential_duration(Duration mean) {
+    AQUEDUCT_CHECK(mean > Duration::zero());
+    const double x = exponential(1.0 / static_cast<double>(mean.count()));
+    return Duration(static_cast<Duration::rep>(x));
+  }
+
+  /// Poisson draw with the given mean.
+  int poisson(double mean) {
+    AQUEDUCT_CHECK(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Picks one element of a non-empty span uniformly at random.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    AQUEDUCT_CHECK(!items.empty());
+    return items[uniform_int(items.size())];
+  }
+
+  /// Derives a seed for an independent child stream.
+  std::uint64_t split() {
+    return std::uniform_int_distribution<std::uint64_t>()(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Distribution over durations, sampled per call. Used for link latencies
+/// and service times.
+class DurationDistribution {
+ public:
+  virtual ~DurationDistribution() = default;
+  virtual Duration sample(Rng& rng) = 0;
+  /// Mean of the distribution (for reporting/validation).
+  virtual Duration mean() const = 0;
+};
+
+/// Always returns the same value.
+class FixedDuration final : public DurationDistribution {
+ public:
+  explicit FixedDuration(Duration value) : value_(value) {}
+  Duration sample(Rng&) override { return value_; }
+  Duration mean() const override { return value_; }
+
+ private:
+  Duration value_;
+};
+
+/// Truncated-at-zero normal distribution, matching the paper's simulated
+/// background load (normal with mean 100 ms, variance 50 ms^2).
+class NormalDuration final : public DurationDistribution {
+ public:
+  NormalDuration(Duration mean, Duration stddev) : mean_(mean), stddev_(stddev) {}
+  Duration sample(Rng& rng) override {
+    return rng.normal_duration(mean_, stddev_);
+  }
+  Duration mean() const override { return mean_; }
+
+ private:
+  Duration mean_;
+  Duration stddev_;
+};
+
+/// Exponential distribution with the given mean.
+class ExponentialDuration final : public DurationDistribution {
+ public:
+  explicit ExponentialDuration(Duration mean) : mean_(mean) {}
+  Duration sample(Rng& rng) override { return rng.exponential_duration(mean_); }
+  Duration mean() const override { return mean_; }
+
+ private:
+  Duration mean_;
+};
+
+/// Samples uniformly from a fixed set of recorded values (e.g. a measured
+/// latency trace). Substitute for environments we cannot reproduce.
+class EmpiricalDuration final : public DurationDistribution {
+ public:
+  explicit EmpiricalDuration(std::vector<Duration> samples)
+      : samples_(std::move(samples)) {
+    AQUEDUCT_CHECK(!samples_.empty());
+  }
+  Duration sample(Rng& rng) override {
+    return samples_[rng.uniform_int(samples_.size())];
+  }
+  Duration mean() const override {
+    Duration::rep total = 0;
+    for (Duration d : samples_) total += d.count();
+    return Duration(total / static_cast<Duration::rep>(samples_.size()));
+  }
+
+ private:
+  std::vector<Duration> samples_;
+};
+
+}  // namespace aqueduct::sim

@@ -1,0 +1,70 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::sim {
+
+EventHandle Simulator::at(TimePoint t, Callback cb) {
+  AQUEDUCT_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  return queue_.schedule(t, std::move(cb));
+}
+
+EventHandle Simulator::after(Duration d, Callback cb) {
+  AQUEDUCT_CHECK_MSG(d >= Duration::zero(), "negative delay");
+  return at(now_ + d, std::move(cb));
+}
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  stop_requested_ = false;
+  std::size_t executed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > deadline) break;
+    auto [at, cb] = queue_.pop();
+    AQUEDUCT_CHECK(at >= now_);
+    now_ = at;
+    cb();
+    ++executed;
+    ++events_executed_;
+  }
+  if (!stop_requested_ && deadline != TimePoint::max() && now_ < deadline) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, Duration period,
+                           std::function<void()> fn)
+    : PeriodicTask(sim, period, period, std::move(fn)) {}
+
+PeriodicTask::PeriodicTask(Simulator& sim, Duration period,
+                           Duration initial_delay, std::function<void()> fn)
+    : sim_(sim),
+      period_(period),
+      initial_delay_(initial_delay),
+      fn_(std::move(fn)) {
+  AQUEDUCT_CHECK(period_ > Duration::zero());
+  AQUEDUCT_CHECK(initial_delay_ >= Duration::zero());
+  AQUEDUCT_CHECK(fn_ != nullptr);
+}
+
+void PeriodicTask::start() {
+  if (running_) return;
+  running_ = true;
+  next_ = sim_.after(initial_delay_, [this] { fire(); });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(next_);
+}
+
+void PeriodicTask::fire() {
+  if (!running_) return;
+  next_ = sim_.after(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace aqueduct::sim

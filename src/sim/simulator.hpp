@@ -1,0 +1,103 @@
+// The discrete-event simulator driving every experiment in this repo.
+//
+// Components schedule callbacks at simulated time points; run() advances the
+// clock from event to event until the queue drains, a stop condition fires,
+// or a time/event budget is exhausted. All randomness flows through the
+// simulator's seeded Rng, so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace aqueduct::sim {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t`. `t` must not be in the past.
+  EventHandle at(TimePoint t, Callback cb);
+
+  /// Schedules `cb` after delay `d` (>= 0) from now.
+  EventHandle after(Duration d, Callback cb);
+
+  /// Cancels a previously scheduled event. Returns false if it already
+  /// fired or was cancelled.
+  bool cancel(const EventHandle& h) { return queue_.cancel(h); }
+
+  /// Runs until the queue is empty or stop() is called.
+  /// Returns the number of events executed.
+  std::size_t run() { return run_until(TimePoint::max()); }
+
+  /// Runs events with time <= `deadline`; afterwards now() == deadline
+  /// unless the queue drained earlier or stop() was called.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Runs for `d` of simulated time from now().
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Requests the run loop to return after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+  /// Shared random source; components should derive child streams with
+  /// rng().split() at construction time.
+  Rng& rng() { return rng_; }
+
+  /// Number of events executed since construction.
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events currently pending.
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_ = kEpoch;
+  Rng rng_;
+  bool stop_requested_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+/// Repeats a callback at a fixed period until stopped or destroyed.
+/// Used for heartbeats, lazy-update publication, and performance broadcast.
+class PeriodicTask {
+ public:
+  /// The first firing happens `initial_delay` after start(); subsequent
+  /// firings are `period` apart.
+  PeriodicTask(Simulator& sim, Duration period, std::function<void()> fn);
+  PeriodicTask(Simulator& sim, Duration period, Duration initial_delay,
+               std::function<void()> fn);
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+  Duration period() const { return period_; }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  Duration period_;
+  Duration initial_delay_;
+  std::function<void()> fn_;
+  EventHandle next_;
+  bool running_ = false;
+};
+
+}  // namespace aqueduct::sim

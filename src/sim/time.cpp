@@ -1,0 +1,24 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace aqueduct::sim {
+
+std::string format(Duration d) {
+  char buf[64];
+  const double ns = static_cast<double>(d.count());
+  if (d < std::chrono::microseconds(10)) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (d < std::chrono::milliseconds(10)) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ns / 1e3);
+  } else if (d < std::chrono::seconds(10)) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string format(TimePoint t) { return format(since_epoch(t)); }
+
+}  // namespace aqueduct::sim

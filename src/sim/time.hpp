@@ -1,0 +1,67 @@
+// Simulated-time primitives.
+//
+// All simulation components express time with std::chrono types bound to a
+// dedicated SimClock, so durations and time points cannot be mixed up with
+// wall-clock time and unit errors are caught at compile time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace aqueduct::sim {
+
+/// Resolution of the simulated clock. One tick = one nanosecond.
+using Duration = std::chrono::nanoseconds;
+
+/// Clock type for the discrete-event simulator. Never reads real time; the
+/// current time point is advanced by the event loop only.
+struct SimClock {
+  using rep = Duration::rep;
+  using period = Duration::period;
+  using duration = Duration;
+  using time_point = std::chrono::time_point<SimClock, Duration>;
+  static constexpr bool is_steady = true;
+};
+
+using TimePoint = SimClock::time_point;
+
+/// The simulation origin (t = 0).
+inline constexpr TimePoint kEpoch{};
+
+/// Converts a duration to fractional milliseconds (for reporting).
+constexpr double to_ms(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Converts a duration to fractional microseconds (for reporting).
+constexpr double to_us(Duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+/// Converts a duration to fractional seconds (for reporting).
+constexpr double to_sec(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Builds a duration from fractional milliseconds.
+constexpr Duration from_ms(double ms) {
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Builds a duration from fractional seconds.
+constexpr Duration from_sec(double sec) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(sec));
+}
+
+/// Time elapsed since the simulation origin.
+constexpr Duration since_epoch(TimePoint t) { return t - kEpoch; }
+
+/// Human-readable rendering, e.g. "12.500ms".
+std::string format(Duration d);
+
+/// Human-readable rendering of a time point as time since epoch.
+std::string format(TimePoint t);
+
+}  // namespace aqueduct::sim

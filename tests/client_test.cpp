@@ -1,0 +1,274 @@
+// Client-side gateway handler: timing-failure detection, QoS alarm,
+// retries, abandonment, measurement bookkeeping (paper Section 5.4).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "client/handler.hpp"
+#include "gcs/endpoint.hpp"
+#include "net/network.hpp"
+#include "replication/objects.hpp"
+#include "replication/replica.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::client {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed = 1,
+                   sim::Duration service = milliseconds(50))
+      : sim(seed),
+        network(sim, std::make_unique<sim::NormalDuration>(
+                         milliseconds(1), std::chrono::microseconds(200))) {
+    auto add_replica = [&](bool primary) {
+      auto endpoint = std::make_unique<gcs::Endpoint>(sim, network, directory);
+      replication::ReplicaConfig config;
+      config.service_time = std::make_shared<sim::FixedDuration>(service);
+      config.lazy_update_interval = seconds(1);
+      replicas.push_back(std::make_unique<replication::ReplicaServer>(
+          sim, *endpoint, groups, primary,
+          std::make_unique<replication::VersionedRegister>(), std::move(config)));
+      endpoints.push_back(std::move(endpoint));
+    };
+    add_replica(true);   // sequencer
+    add_replica(true);   // primary
+    add_replica(true);   // primary
+    add_replica(false);  // secondary
+    add_replica(false);  // secondary
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      sim.after(milliseconds(10 * (i + 1)), [this, i] { replicas[i]->start(); });
+    }
+  }
+
+  ClientHandler& add_client(ClientConfig config = {}) {
+    auto endpoint = std::make_unique<gcs::Endpoint>(sim, network, directory);
+    clients.push_back(std::make_unique<ClientHandler>(sim, *endpoint, groups,
+                                                      std::move(config)));
+    endpoints.push_back(std::move(endpoint));
+    clients.back()->start();
+    return *clients.back();
+  }
+
+  void settle(sim::Duration d = seconds(2)) { sim.run_for(d); }
+
+  sim::Simulator sim;
+  net::Network network;
+  gcs::Directory directory;
+  replication::ServiceGroups groups = replication::ServiceGroups::for_service(1);
+  std::vector<std::unique_ptr<gcs::Endpoint>> endpoints;
+  std::vector<std::unique_ptr<replication::ReplicaServer>> replicas;
+  std::vector<std::unique_ptr<ClientHandler>> clients;
+};
+
+core::QoSSpec qos(int deadline_ms, double pc = 0.5, core::Staleness a = 10) {
+  return {.staleness_threshold = a,
+          .deadline = milliseconds(deadline_ms),
+          .min_probability = pc};
+}
+
+TEST(ClientHandler, RequestsQueueUntilRolesArrive) {
+  Fixture f;
+  auto& client = f.add_client();
+  EXPECT_FALSE(client.ready());
+  int replies = 0;
+  client.read(std::make_shared<replication::RegisterRead>(), qos(500),
+              [&](const ReadOutcome&) { ++replies; });
+  f.settle(seconds(3));
+  EXPECT_TRUE(client.ready());
+  EXPECT_EQ(replies, 1);
+}
+
+TEST(ClientHandler, ReadDeliversFirstReplyResult) {
+  Fixture f;
+  auto& client = f.add_client();
+  f.settle();
+  client.update(std::make_shared<replication::RegisterBump>(), {});
+  f.settle(seconds(1));
+  std::uint64_t value = 0;
+  client.read(std::make_shared<replication::RegisterRead>(), qos(500),
+              [&](const ReadOutcome& o) {
+                auto v = net::message_cast<replication::RegisterValue>(o.result);
+                ASSERT_NE(v, nullptr);
+                value = v->value;
+              });
+  f.settle(seconds(1));
+  EXPECT_EQ(value, 1u);
+}
+
+TEST(ClientHandler, TimingFailureWhenDeadlineTooTight) {
+  // Service takes 50ms; a 10ms deadline cannot be met.
+  Fixture f;
+  auto& client = f.add_client();
+  f.settle();
+  ReadOutcome outcome;
+  client.read(std::make_shared<replication::RegisterRead>(), qos(10),
+              [&](const ReadOutcome& o) { outcome = o; });
+  f.settle(seconds(2));
+  EXPECT_TRUE(outcome.timing_failure);
+  EXPECT_GT(outcome.response_time, milliseconds(10));
+  EXPECT_EQ(client.stats().timing_failures, 1u);
+}
+
+TEST(ClientHandler, NoTimingFailureWithGenerousDeadline) {
+  Fixture f;
+  auto& client = f.add_client();
+  f.settle();
+  ReadOutcome outcome;
+  outcome.timing_failure = true;
+  client.read(std::make_shared<replication::RegisterRead>(), qos(1000),
+              [&](const ReadOutcome& o) { outcome = o; });
+  f.settle(seconds(2));
+  EXPECT_FALSE(outcome.timing_failure);
+  EXPECT_EQ(client.stats().timing_failures, 0u);
+}
+
+TEST(ClientHandler, QoSAlarmFiresWhenObservedRateTooLow) {
+  Fixture f;
+  auto& client = f.add_client();
+  f.settle();
+  double reported = -1.0;
+  client.set_qos_alarm([&](double failure_rate) { reported = failure_rate; });
+  // Pc = 0.9 but an impossible 10ms deadline: every read fails.
+  for (int i = 0; i < 5; ++i) {
+    client.read(std::make_shared<replication::RegisterRead>(), qos(10, 0.9), {});
+  }
+  f.settle(seconds(3));
+  EXPECT_GT(reported, 0.9);
+}
+
+TEST(ClientHandler, AlarmSilentWhenQoSMet) {
+  Fixture f;
+  auto& client = f.add_client();
+  f.settle();
+  bool fired = false;
+  client.set_qos_alarm([&](double) { fired = true; });
+  for (int i = 0; i < 5; ++i) {
+    client.read(std::make_shared<replication::RegisterRead>(), qos(1000, 0.5), {});
+  }
+  f.settle(seconds(3));
+  EXPECT_FALSE(fired);
+}
+
+TEST(ClientHandler, StatsAggregateCorrectly) {
+  Fixture f;
+  auto& client = f.add_client();
+  f.settle();
+  for (int i = 0; i < 4; ++i) {
+    client.update(std::make_shared<replication::RegisterBump>(), {});
+    client.read(std::make_shared<replication::RegisterRead>(), qos(1000), {});
+  }
+  f.settle(seconds(3));
+  const auto& stats = client.stats();
+  EXPECT_EQ(stats.reads_issued, 4u);
+  EXPECT_EQ(stats.reads_completed, 4u);
+  EXPECT_EQ(stats.updates_issued, 4u);
+  EXPECT_EQ(stats.updates_completed, 4u);
+  EXPECT_GT(stats.avg_replicas_selected(), 0.0);
+  EXPECT_GT(stats.avg_response_time(), sim::Duration::zero());
+}
+
+TEST(ClientHandler, RetriesWhenAllSelectedReplicasCrash) {
+  Fixture f;
+  ClientConfig config;
+  config.retry_timeout = milliseconds(500);
+  auto& client = f.add_client(std::move(config));
+  f.settle();
+  // Warm up histories so selection picks few replicas.
+  for (int i = 0; i < 6; ++i) {
+    client.read(std::make_shared<replication::RegisterRead>(), qos(1000), {});
+  }
+  f.settle(seconds(5));
+  // Crash every non-sequencer replica except one primary: any read that
+  // selected a crashed replica must be retried and still complete.
+  f.replicas[2]->crash();
+  f.replicas[3]->crash();
+  f.replicas[4]->crash();
+  f.sim.run_for(seconds(8));  // failure detection + reconfiguration
+  int replies = 0;
+  for (int i = 0; i < 5; ++i) {
+    client.read(std::make_shared<replication::RegisterRead>(), qos(1000), [&](const ReadOutcome&) { ++replies; });
+  }
+  f.settle(seconds(20));
+  EXPECT_EQ(replies, 5);
+}
+
+TEST(ClientHandler, AbandonsAfterMaxRetries) {
+  Fixture f;
+  ClientConfig config;
+  config.retry_timeout = milliseconds(300);
+  config.max_retries = 2;
+  auto& client = f.add_client(std::move(config));
+  f.settle();
+  // Crash everything that could answer reads (all but the sequencer).
+  for (std::size_t i = 1; i < f.replicas.size(); ++i) f.replicas[i]->crash();
+  ReadOutcome outcome;
+  int called = 0;
+  client.read(std::make_shared<replication::RegisterRead>(), qos(200),
+              [&](const ReadOutcome& o) {
+                outcome = o;
+                ++called;
+              });
+  f.settle(seconds(20));
+  EXPECT_EQ(called, 1);
+  EXPECT_EQ(outcome.result, nullptr);
+  EXPECT_TRUE(outcome.timing_failure);
+  EXPECT_EQ(client.stats().reads_abandoned, 1u);
+}
+
+TEST(ClientHandler, ErtUpdatedOnReplies) {
+  Fixture f;
+  auto& client = f.add_client();
+  f.settle();
+  client.read(std::make_shared<replication::RegisterRead>(), qos(1000), {});
+  f.settle(seconds(2));
+  // Some replica has a recent last_reply_at.
+  bool any_recent = false;
+  for (std::size_t i = 1; i < f.replicas.size(); ++i) {
+    const auto* h = client.repository().find_history(f.replicas[i]->id());
+    if (h && h->last_reply_at > sim::kEpoch) any_recent = true;
+  }
+  EXPECT_TRUE(any_recent);
+}
+
+TEST(ClientHandler, GatewayDelayMeasuredPositiveAndSmall) {
+  Fixture f;
+  auto& client = f.add_client();
+  f.settle();
+  for (int i = 0; i < 5; ++i) {
+    client.read(std::make_shared<replication::RegisterRead>(), qos(1000), {});
+  }
+  f.settle(seconds(3));
+  for (std::size_t i = 1; i < f.replicas.size(); ++i) {
+    const auto* h = client.repository().find_history(f.replicas[i]->id());
+    if (h == nullptr || !h->gateway_delay) continue;
+    // Two-way gateway delay ~ 2 x 1ms network latency; must not include
+    // the 50ms service time (that is what the t1 piggyback removes).
+    EXPECT_LT(*h->gateway_delay, milliseconds(20));
+  }
+}
+
+TEST(ClientHandler, SelectionMetadataReported) {
+  Fixture f;
+  auto& client = f.add_client();
+  f.settle();
+  // Warm up.
+  for (int i = 0; i < 8; ++i) {
+    client.read(std::make_shared<replication::RegisterRead>(), qos(1000), {});
+  }
+  f.settle(seconds(5));
+  ReadOutcome outcome;
+  client.read(std::make_shared<replication::RegisterRead>(), qos(300, 0.8),
+              [&](const ReadOutcome& o) { outcome = o; });
+  f.settle(seconds(2));
+  EXPECT_GT(outcome.replicas_selected, 0u);
+  EXPECT_TRUE(outcome.selection_satisfied);
+  EXPECT_GE(outcome.predicted_probability, 0.8);
+}
+
+}  // namespace
+}  // namespace aqueduct::client

@@ -1,0 +1,149 @@
+// Paper Section 7 extensions: priority/cost mapping and admission control.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "client/admission.hpp"
+#include "core/priority.hpp"
+
+namespace aqueduct {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+// --- PriorityMapper ----------------------------------------------------------
+
+TEST(PriorityMapper, DefaultsAreMonotone) {
+  const core::PriorityMapper mapper;
+  EXPECT_LT(mapper.probability_for(core::Priority::kLow),
+            mapper.probability_for(core::Priority::kNormal));
+  EXPECT_LT(mapper.probability_for(core::Priority::kNormal),
+            mapper.probability_for(core::Priority::kHigh));
+  EXPECT_LT(mapper.probability_for(core::Priority::kHigh),
+            mapper.probability_for(core::Priority::kCritical));
+}
+
+TEST(PriorityMapper, OverridePerService) {
+  core::PriorityMapper mapper;
+  mapper.set_probability(core::Priority::kLow, 0.33);
+  EXPECT_DOUBLE_EQ(mapper.probability_for(core::Priority::kLow), 0.33);
+}
+
+TEST(PriorityMapper, BuildsValidQoS) {
+  const core::PriorityMapper mapper;
+  const auto qos = mapper.to_qos(core::Priority::kHigh, 2, milliseconds(150));
+  EXPECT_NO_THROW(qos.validate());
+  EXPECT_DOUBLE_EQ(qos.min_probability, 0.9);
+  EXPECT_EQ(qos.staleness_threshold, 2u);
+}
+
+TEST(PriorityMapper, CostMappingIsLinearAndClamped) {
+  const core::PriorityMapper mapper;
+  EXPECT_DOUBLE_EQ(mapper.probability_for_cost(0.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(mapper.probability_for_cost(100.0, 100.0), 0.99);
+  EXPECT_NEAR(mapper.probability_for_cost(50.0, 100.0), 0.745, 1e-9);
+  // Out-of-range cost clamps, never exceeds the ceiling.
+  EXPECT_DOUBLE_EQ(mapper.probability_for_cost(500.0, 100.0), 0.99);
+  EXPECT_DOUBLE_EQ(mapper.probability_for_cost(-5.0, 100.0), 0.5);
+}
+
+TEST(PriorityMapper, RejectsInvalidProbability) {
+  core::PriorityMapper mapper;
+  EXPECT_THROW(mapper.set_probability(core::Priority::kLow, 0.0),
+               InvariantViolation);
+  EXPECT_THROW(mapper.set_probability(core::Priority::kLow, 1.5),
+               InvariantViolation);
+}
+
+// --- AdmissionController -------------------------------------------------------
+
+client::InfoRepository repo_with_pool(int primaries, double immediate_cdf) {
+  client::InfoRepository repo(20, milliseconds(1));
+  replication::GroupInfo info;
+  info.epoch = 1;
+  info.sequencer = net::NodeId{1};
+  for (int i = 0; i < primaries; ++i) {
+    info.primaries.push_back(net::NodeId{static_cast<std::uint32_t>(2 + i)});
+  }
+  repo.record_group_info(info);
+  // Give every primary a history whose CDF at 100 ms equals
+  // `immediate_cdf` (service 50ms with probability immediate_cdf, 500ms
+  // otherwise; gateway 0).
+  for (const auto id : info.primaries) {
+    const int hits = static_cast<int>(immediate_cdf * 20);
+    for (int i = 0; i < 20; ++i) {
+      replication::PerfPublication p;
+      p.replica = id;
+      p.has_sample = true;
+      p.ts = i < hits ? milliseconds(50) : milliseconds(500);
+      repo.record_publication(p, sim::kEpoch);
+    }
+  }
+  return repo;
+}
+
+core::QoSSpec qos(double pc) {
+  return {.staleness_threshold = 2,
+          .deadline = milliseconds(100),
+          .min_probability = pc};
+}
+
+TEST(AdmissionController, EmptyPoolRejects) {
+  client::InfoRepository repo(20, milliseconds(1));
+  const client::AdmissionController admission;
+  const auto decision = admission.evaluate(repo, qos(0.5), sim::kEpoch);
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_EQ(decision.available_replicas, 0u);
+}
+
+TEST(AdmissionController, AdmitsAchievableSpec) {
+  const auto repo = repo_with_pool(4, 0.8);
+  const client::AdmissionController admission;
+  const auto decision = admission.evaluate(repo, qos(0.9), sim::kEpoch + seconds(1));
+  // Three replicas beyond the excluded best: 1 - 0.2^3 = 0.992 >= 0.9.
+  EXPECT_TRUE(decision.admitted);
+  EXPECT_NEAR(decision.achievable_probability, 0.992, 1e-9);
+  EXPECT_EQ(decision.available_replicas, 4u);
+}
+
+TEST(AdmissionController, RejectsUnachievableSpec) {
+  const auto repo = repo_with_pool(2, 0.5);
+  const client::AdmissionController admission;
+  // One replica after exclusion: P = 0.5 < 0.9.
+  const auto decision = admission.evaluate(repo, qos(0.9), sim::kEpoch + seconds(1));
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_NEAR(decision.achievable_probability, 0.5, 1e-9);
+}
+
+TEST(AdmissionController, HeadroomTightensTheBar) {
+  const auto repo = repo_with_pool(3, 0.7);
+  // Two replicas after exclusion: 1 - 0.09 = 0.91.
+  const client::AdmissionController no_headroom(0.0);
+  EXPECT_TRUE(no_headroom.evaluate(repo, qos(0.9), sim::kEpoch + seconds(1)).admitted);
+  const client::AdmissionController strict(0.05);
+  EXPECT_FALSE(strict.evaluate(repo, qos(0.9), sim::kEpoch + seconds(1)).admitted);
+}
+
+TEST(AdmissionController, WithoutFailureAllowanceCountsAll) {
+  const auto repo = repo_with_pool(2, 0.5);
+  const client::AdmissionController lenient(0.0, /*tolerate_one_failure=*/false);
+  // Both replicas count: 1 - 0.25 = 0.75.
+  const auto decision = lenient.evaluate(repo, qos(0.7), sim::kEpoch + seconds(1));
+  EXPECT_TRUE(decision.admitted);
+  EXPECT_NEAR(decision.achievable_probability, 0.75, 1e-9);
+}
+
+TEST(AdmissionController, MorePoolAdmitsMore) {
+  const client::AdmissionController admission;
+  const auto small = admission.evaluate(repo_with_pool(2, 0.6), qos(0.95),
+                                        sim::kEpoch + seconds(1));
+  const auto large = admission.evaluate(repo_with_pool(8, 0.6), qos(0.95),
+                                        sim::kEpoch + seconds(1));
+  EXPECT_FALSE(small.admitted);
+  EXPECT_TRUE(large.admitted);
+  EXPECT_GT(large.achievable_probability, small.achievable_probability);
+}
+
+}  // namespace
+}  // namespace aqueduct

@@ -1,0 +1,147 @@
+// Replica-failure handling end to end: sequencer failover (with the GSN
+// barrier), lazy-publisher failover, primary/secondary crashes mid-run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "harness/scenario.hpp"
+#include "replication/objects.hpp"
+
+namespace aqueduct {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+harness::ScenarioConfig config_with_clients(std::size_t requests = 120) {
+  harness::ScenarioConfig config;
+  config.seed = 11;
+  config.num_primaries = 3;
+  config.num_secondaries = 4;
+  config.lazy_update_interval = seconds(2);
+  for (int c = 0; c < 2; ++c) {
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 2,
+                .deadline = milliseconds(200),
+                .min_probability = 0.5},
+        .request_delay = milliseconds(300),
+        .num_requests = requests,
+    });
+  }
+  return config;
+}
+
+void expect_no_conflicts(harness::Scenario& scenario) {
+  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+    EXPECT_EQ(scenario.replica(i).stats().gsn_conflicts, 0u) << "replica " << i;
+  }
+}
+
+TEST(FailureInjection, PrimaryCrashMidRun) {
+  harness::Scenario scenario(config_with_clients());
+  scenario.schedule_crash(2, sim::kEpoch + seconds(15));
+  auto results = scenario.run();
+  for (const auto& r : results) {
+    EXPECT_EQ(r.stats.reads_abandoned, 0u);
+    EXPECT_EQ(r.stats.reads_completed, 60u);
+    EXPECT_EQ(r.stats.staleness_violations, 0u);
+  }
+  expect_no_conflicts(scenario);
+  // Surviving primaries agree on the commit count.
+  const auto csn = scenario.replica(1).csn();
+  EXPECT_EQ(scenario.replica(3).csn(), csn);
+  EXPECT_EQ(csn, 120u);  // 60 updates per client
+}
+
+TEST(FailureInjection, SecondaryCrashMidRun) {
+  harness::Scenario scenario(config_with_clients());
+  scenario.schedule_crash(5, sim::kEpoch + seconds(15));
+  scenario.schedule_crash(6, sim::kEpoch + seconds(25));
+  auto results = scenario.run();
+  for (const auto& r : results) {
+    EXPECT_EQ(r.stats.reads_abandoned, 0u);
+    EXPECT_EQ(r.stats.staleness_violations, 0u);
+  }
+  expect_no_conflicts(scenario);
+}
+
+TEST(FailureInjection, SequencerCrashFailsOver) {
+  harness::Scenario scenario(config_with_clients());
+  scenario.schedule_crash(scenario.index_sequencer(), sim::kEpoch + seconds(15));
+  auto results = scenario.run();
+  for (const auto& r : results) {
+    EXPECT_EQ(r.stats.reads_abandoned, 0u)
+        << "reads must complete after sequencer failover";
+    EXPECT_EQ(r.stats.staleness_violations, 0u);
+  }
+  expect_no_conflicts(scenario);
+  // The next primary took over sequencing.
+  EXPECT_TRUE(scenario.replica(1).is_sequencer());
+  // All updates committed exactly once at every surviving primary.
+  EXPECT_EQ(scenario.replica(1).csn(), scenario.replica(2).csn());
+  EXPECT_EQ(scenario.replica(1).csn(), scenario.replica(3).csn());
+  const auto& store = dynamic_cast<const replication::KeyValueStore&>(
+      scenario.replica(1).object());
+  EXPECT_EQ(store.version(), 120u);
+}
+
+TEST(FailureInjection, LazyPublisherCrashFailsOver) {
+  harness::Scenario scenario(config_with_clients());
+  // The lazy publisher is the last primary-group member (index 3 here:
+  // sequencer + primaries 1..3).
+  ASSERT_TRUE(scenario.replica(3).is_lazy_publisher() ||
+              scenario.replica(3).csn() == 0);  // role set after boot
+  scenario.schedule_crash(3, sim::kEpoch + seconds(15));
+  auto results = scenario.run();
+  for (const auto& r : results) {
+    EXPECT_EQ(r.stats.reads_abandoned, 0u);
+    EXPECT_EQ(r.stats.staleness_violations, 0u);
+  }
+  // Another primary took over lazy publication, so secondaries kept
+  // catching up after the crash.
+  bool someone_publishes = false;
+  for (std::size_t i = 0; i < 3; ++i) {
+    someone_publishes |= scenario.replica(i).is_lazy_publisher();
+  }
+  EXPECT_TRUE(someone_publishes);
+  // Secondaries ended close to the primaries' commit point.
+  const auto csn = scenario.replica(1).csn();
+  for (std::size_t i = 4; i < scenario.num_replicas(); ++i) {
+    EXPECT_GE(scenario.replica(i).csn() + 10, csn) << "secondary " << i;
+  }
+}
+
+TEST(FailureInjection, CascadedCrashesStillServe) {
+  auto config = config_with_clients(160);
+  harness::Scenario scenario(std::move(config));
+  scenario.schedule_crash(2, sim::kEpoch + seconds(10));  // a primary
+  scenario.schedule_crash(4, sim::kEpoch + seconds(20));  // a secondary
+  scenario.schedule_crash(0, sim::kEpoch + seconds(30));  // the sequencer
+  auto results = scenario.run();
+  for (const auto& r : results) {
+    EXPECT_EQ(r.stats.reads_abandoned, 0u);
+    EXPECT_EQ(r.stats.reads_completed, 80u);
+  }
+  expect_no_conflicts(scenario);
+  EXPECT_TRUE(scenario.replica(1).is_sequencer());
+}
+
+TEST(FailureInjection, TimingFailuresRiseButServiceContinues) {
+  // Even with a third of the replicas gone, the adaptive selection keeps
+  // serving; timing failures may rise but reads never hang.
+  auto config = config_with_clients(160);
+  config.clients[0].qos.min_probability = 0.9;
+  config.clients[1].qos.min_probability = 0.9;
+  harness::Scenario scenario(std::move(config));
+  scenario.schedule_crash(1, sim::kEpoch + seconds(12));
+  scenario.schedule_crash(5, sim::kEpoch + seconds(12));
+  scenario.schedule_crash(6, sim::kEpoch + seconds(12));
+  auto results = scenario.run();
+  for (const auto& r : results) {
+    EXPECT_EQ(r.stats.reads_completed + r.stats.reads_abandoned, 80u);
+    EXPECT_EQ(r.stats.reads_abandoned, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace aqueduct

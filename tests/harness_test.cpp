@@ -1,0 +1,111 @@
+// Harness-level behaviours: heterogeneous speed factors, open-loop
+// arrivals, workload accounting.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "harness/scenario.hpp"
+
+namespace aqueduct::harness {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+ClientSpec basic_client(std::size_t requests, Arrival arrival = Arrival::kClosedLoop) {
+  return ClientSpec{
+      .qos = {.staleness_threshold = 4,
+              .deadline = milliseconds(300),
+              .min_probability = 0.5},
+      .request_delay = milliseconds(300),
+      .num_requests = requests,
+      .arrival = arrival,
+  };
+}
+
+TEST(HarnessSpeedFactors, FastReplicasServeFaster) {
+  auto run_with = [](std::vector<double> speeds) {
+    ScenarioConfig config;
+    config.seed = 3;
+    config.num_primaries = 2;
+    config.num_secondaries = 2;
+    config.speed_factors = std::move(speeds);
+    // Staleness-insensitive reads: a faster pool also raises the
+    // closed-loop update rate, and with a tight threshold that would add
+    // deferral waits which mask the pure service-speed effect.
+    auto spec = basic_client(120);
+    spec.qos.staleness_threshold = 1000;
+    config.clients.push_back(std::move(spec));
+    Scenario scenario(std::move(config));
+    auto results = scenario.run();
+    return sim::to_ms(results[0].stats.avg_response_time());
+  };
+  // Everyone 4x faster => markedly lower read latency.
+  const double slow = run_with({1, 1, 1, 1, 1});
+  const double fast = run_with({1, 4, 4, 4, 4});
+  EXPECT_LT(fast, slow * 0.6);
+}
+
+TEST(HarnessSpeedFactors, MissingEntriesDefaultToOne) {
+  ScenarioConfig config;
+  config.seed = 4;
+  config.num_primaries = 2;
+  config.num_secondaries = 2;
+  config.speed_factors = {1.0};  // only the sequencer listed
+  config.clients.push_back(basic_client(40));
+  Scenario scenario(std::move(config));
+  auto results = scenario.run();
+  EXPECT_EQ(results[0].stats.reads_completed, 20u);
+}
+
+TEST(HarnessArrival, OpenLoopIssuesAllRequests) {
+  ScenarioConfig config;
+  config.seed = 5;
+  config.clients.push_back(basic_client(60, Arrival::kOpenPoisson));
+  Scenario scenario(std::move(config));
+  auto results = scenario.run();
+  EXPECT_EQ(results[0].stats.reads_issued, 30u);
+  EXPECT_EQ(results[0].stats.updates_issued, 30u);
+  EXPECT_EQ(results[0].stats.reads_completed + results[0].stats.reads_abandoned,
+            30u);
+}
+
+TEST(HarnessArrival, OpenPeriodicFinishesInBoundedTime) {
+  ScenarioConfig config;
+  config.seed = 6;
+  config.clients.push_back(basic_client(40, Arrival::kOpenPeriodic));
+  Scenario scenario(std::move(config));
+  auto results = scenario.run();
+  EXPECT_EQ(results[0].stats.reads_completed, 20u);
+  // 40 arrivals at 300 ms spacing start within 12 s; with boot and the
+  // drain tail the run must stay well under a minute of simulated time.
+  EXPECT_LT(scenario.simulator().now(), sim::kEpoch + seconds(60));
+}
+
+TEST(HarnessArrival, OpenLoopIsFasterThanClosedLoopWallClock) {
+  auto sim_time = [](Arrival arrival) {
+    ScenarioConfig config;
+    config.seed = 7;
+    config.clients.push_back(basic_client(60, arrival));
+    Scenario scenario(std::move(config));
+    scenario.run();
+    return scenario.simulator().now() - sim::kEpoch;
+  };
+  // Closed loop waits for each completion; open loop overlaps requests.
+  EXPECT_LT(sim_time(Arrival::kOpenPeriodic), sim_time(Arrival::kClosedLoop));
+}
+
+TEST(HarnessResults, ReadSamplesMatchCompletedReads) {
+  ScenarioConfig config;
+  config.seed = 8;
+  config.clients.push_back(basic_client(50));
+  Scenario scenario(std::move(config));
+  auto results = scenario.run();
+  EXPECT_EQ(results[0].read_response_times.size(),
+            results[0].stats.reads_completed);
+  EXPECT_EQ(results[0].reply_staleness.size(),
+            results[0].stats.reads_completed);
+}
+
+}  // namespace
+}  // namespace aqueduct::harness

@@ -1,0 +1,59 @@
+// End-to-end smoke: the paper's full stack (simulator, network, GCS,
+// replicas, clients) boots, serves alternating writes/reads under QoS, and
+// preserves the basic protocol invariants.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+
+namespace aqueduct {
+namespace {
+
+harness::ScenarioConfig small_config() {
+  harness::ScenarioConfig config;
+  config.seed = 7;
+  config.num_primaries = 2;
+  config.num_secondaries = 3;
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 2,
+              .deadline = std::chrono::milliseconds(200),
+              .min_probability = 0.5},
+      .request_delay = std::chrono::milliseconds(200),
+      .num_requests = 40,
+  });
+  return config;
+}
+
+TEST(IntegrationSmoke, CompletesAllRequests) {
+  harness::Scenario scenario(small_config());
+  auto results = scenario.run();
+  ASSERT_EQ(results.size(), 1u);
+  const auto& stats = results[0].stats;
+  EXPECT_EQ(stats.reads_issued, 20u);
+  EXPECT_EQ(stats.updates_issued, 20u);
+  EXPECT_EQ(stats.reads_completed + stats.reads_abandoned, 20u);
+  EXPECT_EQ(stats.reads_abandoned, 0u);
+  EXPECT_EQ(stats.updates_completed, 20u);
+}
+
+TEST(IntegrationSmoke, SequentialConsistencyAcrossPrimaries) {
+  harness::Scenario scenario(small_config());
+  scenario.run();
+  // All primaries committed all 20 updates; GSN/CSN agree; no conflicts.
+  for (std::size_t i = 0; i <= 2; ++i) {
+    const auto& replica = scenario.replica(i);
+    EXPECT_EQ(replica.csn(), 20u) << "replica " << i;
+    EXPECT_EQ(replica.stats().gsn_conflicts, 0u) << "replica " << i;
+  }
+}
+
+TEST(IntegrationSmoke, StalenessBoundHonored) {
+  harness::Scenario scenario(small_config());
+  auto results = scenario.run();
+  EXPECT_EQ(results[0].stats.staleness_violations, 0u);
+  for (const double s : results[0].reply_staleness) {
+    EXPECT_LE(s, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace aqueduct

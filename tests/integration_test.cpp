@@ -1,0 +1,196 @@
+// Whole-system integration: the paper's workload shapes, QoS adaptivity,
+// and end-to-end invariants on top of the full stack.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "harness/scenario.hpp"
+#include "replication/objects.hpp"
+
+namespace aqueduct {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+TEST(Integration, PaperScaleRunCompletes) {
+  harness::ScenarioConfig config;
+  config.seed = 21;
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 4,
+              .deadline = milliseconds(200),
+              .min_probability = 0.1},
+      .request_delay = milliseconds(1000),
+      .num_requests = 200,
+  });
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 2,
+              .deadline = milliseconds(140),
+              .min_probability = 0.9},
+      .request_delay = milliseconds(1000),
+      .num_requests = 200,
+  });
+  harness::Scenario scenario(std::move(config));
+  auto results = scenario.run();
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.stats.reads_completed, 100u);
+    EXPECT_EQ(r.stats.updates_completed, 100u);
+    EXPECT_EQ(r.stats.staleness_violations, 0u);
+  }
+}
+
+TEST(Integration, ObservedFailureRateWithinRequestedBound) {
+  // The headline property (paper Section 6.1): the selected replica sets
+  // keep the observed timing-failure probability within 1 - Pc.
+  harness::ScenarioConfig config;
+  config.seed = 23;
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 4,
+              .deadline = milliseconds(200),
+              .min_probability = 0.1},
+      .request_delay = milliseconds(1000),
+      .num_requests = 400,
+  });
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 2,
+              .deadline = milliseconds(160),
+              .min_probability = 0.9},
+      .request_delay = milliseconds(1000),
+      .num_requests = 400,
+  });
+  harness::Scenario scenario(std::move(config));
+  auto results = scenario.run();
+  // Allow statistical slack of a few percentage points over 200 reads.
+  EXPECT_LE(results[1].stats.timing_failure_probability(), 0.1 + 0.05);
+}
+
+TEST(Integration, StricterClientSelectsMoreReplicas) {
+  harness::ScenarioConfig config;
+  config.seed = 29;
+  for (const double pc : {0.5, 0.95}) {
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 2,
+                .deadline = milliseconds(120),
+                .min_probability = pc},
+        .request_delay = milliseconds(500),
+        .num_requests = 200,
+    });
+  }
+  harness::Scenario scenario(std::move(config));
+  auto results = scenario.run();
+  EXPECT_LT(results[0].stats.avg_replicas_selected(),
+            results[1].stats.avg_replicas_selected());
+}
+
+TEST(Integration, LongerLazyIntervalIncreasesDeferrals) {
+  auto run_with_lui = [](sim::Duration lui) {
+    harness::ScenarioConfig config;
+    config.seed = 31;
+    config.lazy_update_interval = lui;
+    // A read-heavy, tight-staleness client plus an update-heavy load.
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 1,
+                .deadline = milliseconds(2000),
+                .min_probability = 0.3},
+        .request_delay = milliseconds(250),
+        .num_requests = 300,
+    });
+    harness::Scenario scenario(std::move(config));
+    auto results = scenario.run();
+    return results[0].stats;
+  };
+  const auto short_lui = run_with_lui(milliseconds(500));
+  const auto long_lui = run_with_lui(seconds(8));
+  EXPECT_LT(short_lui.deferred_replies, long_lui.deferred_replies);
+}
+
+TEST(Integration, AllPrimariesConvergeToSameStore) {
+  harness::ScenarioConfig config;
+  config.seed = 37;
+  config.num_primaries = 3;
+  config.num_secondaries = 3;
+  for (int c = 0; c < 3; ++c) {
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 3,
+                .deadline = milliseconds(300),
+                .min_probability = 0.5},
+        .request_delay = milliseconds(200),
+        .num_requests = 60,
+    });
+  }
+  harness::Scenario scenario(std::move(config));
+  scenario.run();
+  // 3 clients x 30 updates each.
+  const auto& reference = dynamic_cast<const replication::KeyValueStore&>(
+      scenario.replica(1).object());
+  EXPECT_EQ(reference.version(), 90u);
+  for (std::size_t i = 0; i <= 3; ++i) {
+    EXPECT_EQ(scenario.replica(i).csn(), 90u) << "primary " << i;
+  }
+  // Secondaries converge after the final lazy update (run() drains 2s,
+  // LUI default 4s — allow them to be at most one interval behind).
+  for (std::size_t i = 4; i < scenario.num_replicas(); ++i) {
+    EXPECT_GE(scenario.replica(i).csn() + 30, 90u) << "secondary " << i;
+  }
+}
+
+TEST(Integration, DeferredRepliesStillMeetStalenessBound) {
+  harness::ScenarioConfig config;
+  config.seed = 41;
+  config.lazy_update_interval = seconds(6);
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 1,
+              .deadline = seconds(10),  // allow deferrals to complete
+              .min_probability = 0.2},
+      .request_delay = milliseconds(300),
+      .num_requests = 200,
+  });
+  harness::Scenario scenario(std::move(config));
+  auto results = scenario.run();
+  EXPECT_GT(results[0].stats.deferred_replies, 0u);
+  EXPECT_EQ(results[0].stats.staleness_violations, 0u);
+}
+
+TEST(Integration, NetworkLoadScalesWithSelection) {
+  auto run_with_pc = [](double pc) {
+    harness::ScenarioConfig config;
+    config.seed = 43;
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 4,
+                .deadline = milliseconds(120),
+                .min_probability = pc},
+        .request_delay = milliseconds(500),
+        .num_requests = 200,
+    });
+    harness::Scenario scenario(std::move(config));
+    scenario.run();
+    std::uint64_t reads_served = 0;
+    for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+      reads_served += scenario.replica(i).stats().reads_served;
+    }
+    return reads_served;
+  };
+  // Looser probability -> smaller K -> fewer replica services consumed.
+  EXPECT_LT(run_with_pc(0.3), run_with_pc(0.95));
+}
+
+TEST(Integration, GsnMatchesUpdateCountEverywhere) {
+  harness::ScenarioConfig config;
+  config.seed = 47;
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 2,
+              .deadline = milliseconds(300),
+              .min_probability = 0.5},
+      .request_delay = milliseconds(200),
+      .num_requests = 100,
+  });
+  harness::Scenario scenario(std::move(config));
+  scenario.run();
+  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+    EXPECT_EQ(scenario.replica(i).gsn(), 50u) << "replica " << i;
+  }
+}
+
+}  // namespace
+}  // namespace aqueduct

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+struct PingMsg final : Message {
+  std::string type_name() const override { return "test.ping"; }
+  std::size_t wire_size() const override { return 100; }
+};
+
+struct NullEndpoint final : Endpoint {
+  void on_message(NodeId, MessagePtr) override {}
+};
+
+TEST(NetworkTap, ObservesDeliveriesAndDrops) {
+  sim::Simulator sim(1);
+  Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
+  NullEndpoint a, b;
+  const NodeId ida = network.attach(a);
+  const NodeId idb = network.attach(b);
+
+  std::vector<TraceEvent> events;
+  network.set_tap([&](const TraceEvent& e) { events.push_back(e); });
+
+  network.send(ida, idb, std::make_shared<PingMsg>());
+  network.partition({ida}, {idb});
+  network.send(ida, idb, std::make_shared<PingMsg>());
+  network.heal();
+  sim.run();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type_name, "test.ping");
+  EXPECT_EQ(events[0].wire_size, 100u);
+  EXPECT_TRUE(events[0].dropped.empty());
+  EXPECT_EQ(events[0].from, ida);
+  EXPECT_EQ(events[0].to, idb);
+  EXPECT_EQ(events[1].dropped, "partition");
+}
+
+TEST(NetworkTap, LossEventsTagged) {
+  sim::Simulator sim(2);
+  Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
+  NullEndpoint a, b;
+  const NodeId ida = network.attach(a);
+  const NodeId idb = network.attach(b);
+  network.set_loss_probability(1.0);
+  int losses = 0;
+  network.set_tap([&](const TraceEvent& e) {
+    if (e.dropped == "loss") ++losses;
+  });
+  for (int i = 0; i < 5; ++i) network.send(ida, idb, std::make_shared<PingMsg>());
+  sim.run();
+  EXPECT_EQ(losses, 5);
+}
+
+TEST(NetworkTap, RemovableAndReplaceable) {
+  sim::Simulator sim(3);
+  Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
+  NullEndpoint a, b;
+  const NodeId ida = network.attach(a);
+  const NodeId idb = network.attach(b);
+  int count = 0;
+  network.set_tap([&](const TraceEvent&) { ++count; });
+  network.send(ida, idb, std::make_shared<PingMsg>());
+  network.set_tap(nullptr);
+  network.send(ida, idb, std::make_shared<PingMsg>());
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace aqueduct::net

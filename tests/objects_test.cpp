@@ -1,0 +1,173 @@
+#include "replication/objects.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqueduct::replication {
+namespace {
+
+template <typename T>
+std::shared_ptr<const T> as(const net::MessagePtr& msg) {
+  auto cast = net::message_cast<T>(msg);
+  EXPECT_NE(cast, nullptr);
+  return cast;
+}
+
+// --- KeyValueStore -----------------------------------------------------------
+
+TEST(KeyValueStore, PutThenGet) {
+  KeyValueStore store;
+  auto put = std::make_shared<KvPut>();
+  put->key = "k";
+  put->value = "v";
+  store.apply_update(put);
+  auto get = std::make_shared<KvGet>();
+  get->key = "k";
+  const auto result = as<KvResult>(store.apply_read(get));
+  ASSERT_TRUE(result->value.has_value());
+  EXPECT_EQ(*result->value, "v");
+  EXPECT_EQ(result->version, 1u);
+}
+
+TEST(KeyValueStore, MissingKeyIsEmpty) {
+  KeyValueStore store;
+  auto get = std::make_shared<KvGet>();
+  get->key = "nope";
+  const auto result = as<KvResult>(store.apply_read(get));
+  EXPECT_FALSE(result->value.has_value());
+}
+
+TEST(KeyValueStore, VersionCountsUpdates) {
+  KeyValueStore store;
+  for (int i = 0; i < 5; ++i) {
+    auto put = std::make_shared<KvPut>();
+    put->key = "k" + std::to_string(i % 2);
+    put->value = "v";
+    store.apply_update(put);
+  }
+  EXPECT_EQ(store.version(), 5u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(KeyValueStore, SnapshotRoundTrip) {
+  KeyValueStore a;
+  for (int i = 0; i < 3; ++i) {
+    auto put = std::make_shared<KvPut>();
+    put->key = "k" + std::to_string(i);
+    put->value = "v" + std::to_string(i);
+    a.apply_update(put);
+  }
+  KeyValueStore b;
+  b.install_snapshot(a.snapshot());
+  EXPECT_EQ(b.version(), 3u);
+  auto get = std::make_shared<KvGet>();
+  get->key = "k1";
+  EXPECT_EQ(*as<KvResult>(b.apply_read(get))->value, "v1");
+}
+
+TEST(KeyValueStore, RejectsForeignOps) {
+  KeyValueStore store;
+  EXPECT_THROW(store.apply_update(std::make_shared<DocAppend>()),
+               InvariantViolation);
+  EXPECT_THROW(store.apply_read(std::make_shared<DocRead>()),
+               InvariantViolation);
+  EXPECT_THROW(store.install_snapshot(std::make_shared<DocContents>()),
+               InvariantViolation);
+}
+
+// --- SharedDocument ----------------------------------------------------------
+
+TEST(SharedDocument, AppendsAreOrdered) {
+  SharedDocument doc;
+  for (const char* line : {"one", "two", "three"}) {
+    auto append = std::make_shared<DocAppend>();
+    append->line = line;
+    doc.apply_update(append);
+  }
+  const auto contents = as<DocContents>(doc.apply_read(std::make_shared<DocRead>()));
+  ASSERT_EQ(contents->lines.size(), 3u);
+  EXPECT_EQ(contents->lines[0], "one");
+  EXPECT_EQ(contents->lines[2], "three");
+  EXPECT_EQ(contents->version, 3u);
+}
+
+TEST(SharedDocument, VersionIsLineCount) {
+  SharedDocument doc;
+  EXPECT_EQ(doc.version(), 0u);
+  auto append = std::make_shared<DocAppend>();
+  append->line = "x";
+  doc.apply_update(append);
+  EXPECT_EQ(doc.version(), 1u);
+}
+
+TEST(SharedDocument, SnapshotRoundTrip) {
+  SharedDocument a;
+  auto append = std::make_shared<DocAppend>();
+  append->line = "alpha";
+  a.apply_update(append);
+  SharedDocument b;
+  b.install_snapshot(a.snapshot());
+  const auto contents = as<DocContents>(b.apply_read(std::make_shared<DocRead>()));
+  ASSERT_EQ(contents->lines.size(), 1u);
+  EXPECT_EQ(contents->lines[0], "alpha");
+}
+
+// --- StockTicker -------------------------------------------------------------
+
+TEST(StockTicker, SetThenGet) {
+  StockTicker ticker;
+  auto set = std::make_shared<TickerSet>();
+  set->symbol = "ACME";
+  set->price = 42.5;
+  ticker.apply_update(set);
+  auto get = std::make_shared<TickerGet>();
+  get->symbol = "ACME";
+  const auto quote = as<TickerQuote>(ticker.apply_read(get));
+  ASSERT_TRUE(quote->price.has_value());
+  EXPECT_DOUBLE_EQ(*quote->price, 42.5);
+}
+
+TEST(StockTicker, UnknownSymbolHasNoPrice) {
+  StockTicker ticker;
+  auto get = std::make_shared<TickerGet>();
+  get->symbol = "NOPE";
+  EXPECT_FALSE(as<TickerQuote>(ticker.apply_read(get))->price.has_value());
+}
+
+TEST(StockTicker, SnapshotRoundTrip) {
+  StockTicker a;
+  auto set = std::make_shared<TickerSet>();
+  set->symbol = "X";
+  set->price = 1.0;
+  a.apply_update(set);
+  StockTicker b;
+  b.install_snapshot(a.snapshot());
+  EXPECT_EQ(b.version(), 1u);
+}
+
+// --- VersionedRegister --------------------------------------------------------
+
+TEST(VersionedRegister, BumpIncrements) {
+  VersionedRegister reg;
+  reg.apply_update(std::make_shared<RegisterBump>());
+  reg.apply_update(std::make_shared<RegisterBump>());
+  const auto value =
+      as<RegisterValue>(reg.apply_read(std::make_shared<RegisterRead>()));
+  EXPECT_EQ(value->value, 2u);
+}
+
+TEST(VersionedRegister, SnapshotRoundTrip) {
+  VersionedRegister a;
+  for (int i = 0; i < 7; ++i) a.apply_update(std::make_shared<RegisterBump>());
+  VersionedRegister b;
+  b.install_snapshot(a.snapshot());
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(VersionedRegister, UpdateReturnsNewValue) {
+  VersionedRegister reg;
+  const auto result = as<RegisterValue>(reg.apply_update(std::make_shared<RegisterBump>()));
+  EXPECT_EQ(result->value, 1u);
+}
+
+}  // namespace
+}  // namespace aqueduct::replication

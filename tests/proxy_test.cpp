@@ -1,0 +1,149 @@
+// The paper's request model (Section 2): method-name-based classification
+// of invocations into read-only vs update operations.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "client/proxy.hpp"
+#include "gcs/endpoint.hpp"
+#include "net/network.hpp"
+#include "replication/objects.hpp"
+#include "replication/replica.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::client {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+struct Fixture {
+  Fixture()
+      : sim(5),
+        network(sim, std::make_unique<sim::NormalDuration>(
+                         milliseconds(1), std::chrono::microseconds(200))) {
+    auto add_replica = [&](bool primary) {
+      auto endpoint = std::make_unique<gcs::Endpoint>(sim, network, directory);
+      replication::ReplicaConfig config;
+      config.service_time = std::make_shared<sim::FixedDuration>(milliseconds(10));
+      config.lazy_update_interval = seconds(1);
+      replicas.push_back(std::make_unique<replication::ReplicaServer>(
+          sim, *endpoint, groups, primary,
+          std::make_unique<replication::KeyValueStore>(), std::move(config)));
+      endpoints.push_back(std::move(endpoint));
+    };
+    add_replica(true);
+    add_replica(true);
+    add_replica(false);
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      sim.after(milliseconds(10 * (i + 1)), [this, i] { replicas[i]->start(); });
+    }
+    client_endpoint = std::make_unique<gcs::Endpoint>(sim, network, directory);
+    handler = std::make_unique<ClientHandler>(sim, *client_endpoint, groups,
+                                              ClientConfig{});
+    handler->start();
+    sim.run_for(seconds(2));
+  }
+
+  core::ReadOnlyRegistry kv_registry() {
+    core::ReadOnlyRegistry registry;
+    registry.declare_read_only("get");
+    return registry;
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  gcs::Directory directory;
+  replication::ServiceGroups groups = replication::ServiceGroups::for_service(1);
+  std::vector<std::unique_ptr<gcs::Endpoint>> endpoints;
+  std::vector<std::unique_ptr<replication::ReplicaServer>> replicas;
+  std::unique_ptr<gcs::Endpoint> client_endpoint;
+  std::unique_ptr<ClientHandler> handler;
+};
+
+core::QoSSpec default_qos() {
+  return {.staleness_threshold = 2,
+          .deadline = milliseconds(500),
+          .min_probability = 0.5};
+}
+
+TEST(ServiceProxy, DeclaredMethodRoutesAsRead) {
+  Fixture f;
+  ServiceProxy proxy(*f.handler, f.kv_registry(), default_qos());
+  // Populate.
+  auto put = std::make_shared<replication::KvPut>();
+  put->key = "k";
+  put->value = "v";
+  proxy.invoke("put", put, {});
+  f.sim.run_for(seconds(1));
+
+  InvokeOutcome outcome;
+  auto get = std::make_shared<replication::KvGet>();
+  get->key = "k";
+  proxy.invoke("get", get, [&](const InvokeOutcome& o) { outcome = o; });
+  f.sim.run_for(seconds(1));
+
+  EXPECT_TRUE(outcome.was_read);
+  auto result = net::message_cast<replication::KvResult>(outcome.result);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(*result->value, "v");
+  // Reads never advance the GSN; the single put is the only update.
+  EXPECT_EQ(f.replicas[0]->gsn(), 1u);
+  EXPECT_EQ(f.handler->stats().reads_completed, 1u);
+  EXPECT_EQ(f.handler->stats().updates_completed, 1u);
+}
+
+TEST(ServiceProxy, UndeclaredMethodIsAnUpdate) {
+  // "If an operation is not specified as read-only, then our middleware
+  // considers it to be an update operation" — even if it happens to be a
+  // semantically read-like call the client forgot to declare.
+  Fixture f;
+  ServiceProxy proxy(*f.handler, core::ReadOnlyRegistry{}, default_qos());
+  InvokeOutcome outcome;
+  auto put = std::make_shared<replication::KvPut>();
+  put->key = "a";
+  put->value = "1";
+  proxy.invoke("put", put, [&](const InvokeOutcome& o) { outcome = o; });
+  f.sim.run_for(seconds(1));
+  EXPECT_FALSE(outcome.was_read);
+  EXPECT_EQ(f.handler->stats().updates_completed, 1u);
+  EXPECT_EQ(f.handler->stats().reads_completed, 0u);
+}
+
+TEST(ServiceProxy, PerCallQoSOverridesDefault) {
+  Fixture f;
+  ServiceProxy proxy(*f.handler, f.kv_registry(), default_qos());
+  const core::QoSSpec impossible{.staleness_threshold = 2,
+                                 .deadline = milliseconds(1),
+                                 .min_probability = 0.5};
+  InvokeOutcome outcome;
+  auto get = std::make_shared<replication::KvGet>();
+  get->key = "k";
+  proxy.invoke("get", get, impossible,
+               [&](const InvokeOutcome& o) { outcome = o; });
+  f.sim.run_for(seconds(2));
+  EXPECT_TRUE(outcome.was_read);
+  EXPECT_TRUE(outcome.timing_failure);  // 1 ms deadline can't be met
+}
+
+TEST(ServiceProxy, ExposesClassification) {
+  Fixture f;
+  ServiceProxy proxy(*f.handler, f.kv_registry(), default_qos());
+  EXPECT_TRUE(proxy.is_read_only("get"));
+  EXPECT_FALSE(proxy.is_read_only("put"));
+  EXPECT_FALSE(proxy.is_read_only("getOrCreate"));
+}
+
+TEST(ServiceProxy, RejectsInvalidDefaultQoS) {
+  Fixture f;
+  core::QoSSpec bad{.staleness_threshold = 0,
+                    .deadline = sim::Duration::zero(),
+                    .min_probability = 0.5};
+  EXPECT_THROW(ServiceProxy(*f.handler, f.kv_registry(), bad),
+               InvariantViolation);
+}
+
+}  // namespace
+}  // namespace aqueduct::client

@@ -1,0 +1,71 @@
+#include "core/qos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqueduct::core {
+namespace {
+
+TEST(StalenessOf, Basics) {
+  EXPECT_EQ(staleness_of(10, 10), 0u);
+  EXPECT_EQ(staleness_of(10, 7), 3u);
+  // A replica can momentarily be ahead of the GSN it was told about
+  // (e.g. a read GSN observed before a later commit): never negative.
+  EXPECT_EQ(staleness_of(5, 9), 0u);
+  EXPECT_EQ(staleness_of(0, 0), 0u);
+}
+
+TEST(QoSSpec, ValidatesDeadline) {
+  QoSSpec spec{.staleness_threshold = 1,
+               .deadline = sim::Duration::zero(),
+               .min_probability = 0.5};
+  EXPECT_THROW(spec.validate(), InvariantViolation);
+}
+
+TEST(QoSSpec, ValidatesProbabilityRange) {
+  QoSSpec spec{.staleness_threshold = 1,
+               .deadline = std::chrono::milliseconds(100),
+               .min_probability = 0.0};
+  EXPECT_THROW(spec.validate(), InvariantViolation);
+  spec.min_probability = 1.5;
+  EXPECT_THROW(spec.validate(), InvariantViolation);
+  spec.min_probability = 1.0;
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(QoSSpec, PaperExampleIsExpressible) {
+  // "a copy of the document that is not more than 5 versions old within
+  // 2.0 seconds with a probability of at least 0.7" (Section 2).
+  const QoSSpec spec{.staleness_threshold = 5,
+                     .deadline = std::chrono::seconds(2),
+                     .min_probability = 0.7};
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.staleness_threshold, 5u);
+}
+
+TEST(ReadOnlyRegistry, ClassifiesMethods) {
+  // The request model: clients declare read-only methods by name; anything
+  // else is an update (Section 2).
+  ReadOnlyRegistry registry;
+  registry.declare_read_only("get_quote");
+  registry.declare_read_only("read_document");
+  EXPECT_TRUE(registry.is_read_only("get_quote"));
+  EXPECT_TRUE(registry.is_read_only("read_document"));
+  EXPECT_FALSE(registry.is_read_only("set_quote"));
+  EXPECT_FALSE(registry.is_read_only(""));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(ReadOnlyRegistry, DuplicateDeclarationIsIdempotent) {
+  ReadOnlyRegistry registry;
+  registry.declare_read_only("m");
+  registry.declare_read_only("m");
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Ordering, Names) {
+  EXPECT_EQ(to_string(Ordering::kSequential), "sequential");
+  EXPECT_EQ(to_string(Ordering::kFifo), "fifo");
+}
+
+}  // namespace
+}  // namespace aqueduct::core

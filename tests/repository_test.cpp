@@ -1,0 +1,164 @@
+#include "client/repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace aqueduct::client {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+replication::PerfPublication sample(std::uint32_t replica, int ts_ms,
+                                    int tq_ms = 0, int tb_ms = 0,
+                                    bool deferred = false) {
+  replication::PerfPublication p;
+  p.replica = net::NodeId{replica};
+  p.has_sample = true;
+  p.ts = milliseconds(ts_ms);
+  p.tq = milliseconds(tq_ms);
+  p.tb = milliseconds(tb_ms);
+  p.deferred = deferred;
+  return p;
+}
+
+replication::GroupInfo roles(std::uint64_t epoch = 1) {
+  replication::GroupInfo info;
+  info.epoch = epoch;
+  info.sequencer = net::NodeId{1};
+  info.primaries = {net::NodeId{2}, net::NodeId{3}};
+  info.secondaries = {net::NodeId{4}, net::NodeId{5}};
+  info.lazy_publisher = net::NodeId{3};
+  return info;
+}
+
+TEST(InfoRepository, StartsWithoutRoles) {
+  InfoRepository repo(20, milliseconds(1));
+  EXPECT_FALSE(repo.has_roles());
+  EXPECT_TRUE(repo.candidates({.staleness_threshold = 1,
+                               .deadline = milliseconds(100),
+                               .min_probability = 0.5},
+                              sim::kEpoch)
+                  .empty());
+}
+
+TEST(InfoRepository, StaleGroupInfoIgnored) {
+  InfoRepository repo(20, milliseconds(1));
+  repo.record_group_info(roles(5));
+  auto old = roles(3);
+  old.sequencer = net::NodeId{99};
+  repo.record_group_info(old);
+  EXPECT_EQ(repo.roles().epoch, 5u);
+  EXPECT_EQ(repo.roles().sequencer, net::NodeId{1});
+}
+
+TEST(InfoRepository, CandidatesCoverPrimariesAndSecondaries) {
+  InfoRepository repo(20, milliseconds(1));
+  repo.record_group_info(roles());
+  const auto candidates = repo.candidates({.staleness_threshold = 1,
+                                           .deadline = milliseconds(100),
+                                           .min_probability = 0.5},
+                                          sim::kEpoch + seconds(1));
+  ASSERT_EQ(candidates.size(), 4u);  // sequencer excluded
+  int primaries = 0;
+  for (const auto& c : candidates) {
+    EXPECT_NE(c.id, net::NodeId{1});
+    if (c.is_primary) ++primaries;
+  }
+  EXPECT_EQ(primaries, 2);
+}
+
+TEST(InfoRepository, UnknownReplicaHasZeroCdfAndMaxErt) {
+  InfoRepository repo(20, milliseconds(1));
+  repo.record_group_info(roles());
+  const sim::TimePoint now = sim::kEpoch + seconds(10);
+  for (const auto& c : repo.candidates({.staleness_threshold = 1,
+                                        .deadline = seconds(10),
+                                        .min_probability = 0.5},
+                                       now)) {
+    EXPECT_DOUBLE_EQ(c.immediate_cdf, 0.0);
+    EXPECT_EQ(c.ert, now - sim::kEpoch);
+  }
+}
+
+TEST(InfoRepository, PublicationsFeedTheModel) {
+  InfoRepository repo(20, milliseconds(1));
+  repo.record_group_info(roles());
+  for (int i = 0; i < 10; ++i) {
+    repo.record_publication(sample(2, 50), sim::kEpoch + milliseconds(i));
+  }
+  repo.record_reply(net::NodeId{2}, milliseconds(1), sim::kEpoch + seconds(1));
+  const auto candidates = repo.candidates({.staleness_threshold = 1,
+                                           .deadline = milliseconds(60),
+                                           .min_probability = 0.5},
+                                          sim::kEpoch + seconds(2));
+  const auto it = std::find_if(candidates.begin(), candidates.end(),
+                               [](const auto& c) { return c.id == net::NodeId{2}; });
+  ASSERT_NE(it, candidates.end());
+  EXPECT_DOUBLE_EQ(it->immediate_cdf, 1.0);  // 50ms + 1ms gateway <= 60ms
+  EXPECT_EQ(it->ert, seconds(1));
+}
+
+TEST(InfoRepository, DeferredSampleFillsLazyWaitWindow) {
+  InfoRepository repo(20, milliseconds(1));
+  repo.record_group_info(roles());
+  repo.record_publication(sample(4, 50, 0, 700, /*deferred=*/true), sim::kEpoch);
+  repo.record_reply(net::NodeId{4}, milliseconds(1), sim::kEpoch);
+  const auto candidates = repo.candidates({.staleness_threshold = 1,
+                                           .deadline = milliseconds(100),
+                                           .min_probability = 0.5},
+                                          sim::kEpoch + seconds(1));
+  const auto it = std::find_if(candidates.begin(), candidates.end(),
+                               [](const auto& c) { return c.id == net::NodeId{4}; });
+  ASSERT_NE(it, candidates.end());
+  EXPECT_DOUBLE_EQ(it->immediate_cdf, 1.0);
+  EXPECT_DOUBLE_EQ(it->deferred_cdf, 0.0);  // 50 + 700 > 100
+}
+
+TEST(InfoRepository, StaleFactorDefaultsToOne) {
+  InfoRepository repo(20, milliseconds(1));
+  EXPECT_DOUBLE_EQ(repo.stale_factor(2, sim::kEpoch + seconds(1)), 1.0);
+}
+
+TEST(InfoRepository, StaleFactorUsesLazyBroadcasts) {
+  InfoRepository repo(20, milliseconds(1));
+  replication::PerfPublication p;
+  p.replica = net::NodeId{3};
+  p.lazy = replication::LazyInfo{.n_u = 4,
+                                 .t_u = seconds(2),
+                                 .n_l = 2,
+                                 .t_l = seconds(1),
+                                 .period = seconds(4)};
+  repo.record_publication(p, sim::kEpoch + seconds(10));
+  EXPECT_NEAR(repo.arrival_rate(), 2.0, 1e-9);
+  // At +1s: t_l = 1 + 1 = 2s, mean = 4 => P(N <= 2) for Poisson(4).
+  const double factor = repo.stale_factor(2, sim::kEpoch + seconds(11));
+  EXPECT_NEAR(factor, core::poisson_cdf(4.0, 2), 1e-9);
+  // Larger threshold, larger factor.
+  EXPECT_GT(repo.stale_factor(8, sim::kEpoch + seconds(11)), factor);
+}
+
+TEST(InfoRepository, GatewayDelayKeepsLatestOnly) {
+  InfoRepository repo(20, milliseconds(1));
+  repo.record_reply(net::NodeId{2}, milliseconds(5), sim::kEpoch);
+  repo.record_reply(net::NodeId{2}, milliseconds(9), sim::kEpoch + seconds(1));
+  const auto* h = repo.find_history(net::NodeId{2});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(*h->gateway_delay, milliseconds(9));
+  EXPECT_EQ(h->last_reply_at, sim::kEpoch + seconds(1));
+}
+
+TEST(InfoRepository, WindowSizeRespected) {
+  InfoRepository repo(3, milliseconds(1));
+  for (int i = 0; i < 10; ++i) {
+    repo.record_publication(sample(2, 10 * (i + 1)), sim::kEpoch);
+  }
+  const auto* h = repo.find_history(net::NodeId{2});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->service.size(), 3u);
+  EXPECT_EQ(h->service.values().front(), milliseconds(80));
+}
+
+}  // namespace
+}  // namespace aqueduct::client

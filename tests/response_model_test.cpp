@@ -1,0 +1,150 @@
+#include "core/response_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "sim/random.hpp"
+
+namespace aqueduct::core {
+namespace {
+
+using std::chrono::milliseconds;
+
+PerfHistory filled_history(std::size_t window = 20) {
+  PerfHistory h(window);
+  // Service ~ {90, 100, 110} ms, queueing ~ {0, 10} ms, gateway 2 ms.
+  for (std::size_t i = 0; i < window; ++i) {
+    h.service.push(milliseconds(90 + 10 * (i % 3)));
+    h.queueing.push(milliseconds(10 * (i % 2)));
+    h.lazy_wait.push(milliseconds(500 + 100 * (i % 4)));
+  }
+  h.gateway_delay = milliseconds(2);
+  h.last_reply_at = sim::kEpoch + std::chrono::seconds(1);
+  return h;
+}
+
+TEST(ResponseTimeModel, EmptyHistoryGivesZeroCdf) {
+  const ResponseTimeModel model;
+  const PerfHistory h(10);
+  EXPECT_DOUBLE_EQ(model.immediate_cdf(h, milliseconds(1000)), 0.0);
+  EXPECT_DOUBLE_EQ(model.deferred_cdf(h, milliseconds(1000)), 0.0);
+  EXPECT_TRUE(model.immediate_pmf(h).empty());
+}
+
+TEST(ResponseTimeModel, ImmediatePmfConvolvesServiceQueueGateway) {
+  const ResponseTimeModel model;
+  const PerfHistory h = filled_history();
+  const Pmf pmf = model.immediate_pmf(h);
+  ASSERT_FALSE(pmf.empty());
+  // Min possible: 90 + 0 + 2 = 92 ms; max: 110 + 10 + 2 = 122 ms.
+  EXPECT_DOUBLE_EQ(pmf.cdf(milliseconds(91)), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.cdf(milliseconds(122)), 1.0);
+  EXPECT_NEAR(sim::to_ms(pmf.mean()), 100.0 + 5.0 + 2.0, 1.5);
+}
+
+TEST(ResponseTimeModel, ImmediateCdfMonotoneInDeadline) {
+  const ResponseTimeModel model;
+  const PerfHistory h = filled_history();
+  double prev = -1.0;
+  for (int d = 80; d <= 130; d += 5) {
+    const double c = model.immediate_cdf(h, milliseconds(d));
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(ResponseTimeModel, DeferredAddsLazyWait) {
+  const ResponseTimeModel model;
+  const PerfHistory h = filled_history();
+  // Deferred responses include U >= 500 ms, so nothing lands before ~592 ms.
+  EXPECT_DOUBLE_EQ(model.deferred_cdf(h, milliseconds(200)), 0.0);
+  EXPECT_DOUBLE_EQ(model.deferred_cdf(h, milliseconds(2000)), 1.0);
+  EXPECT_LE(model.deferred_cdf(h, milliseconds(700)),
+            model.immediate_cdf(h, milliseconds(700)));
+}
+
+TEST(ResponseTimeModel, GatewayDelayUsesLatestValueOnly) {
+  const ResponseTimeModel model;
+  PerfHistory h = filled_history();
+  const double before = model.immediate_cdf(h, milliseconds(105));
+  h.gateway_delay = milliseconds(50);  // gateway got slower
+  const double after = model.immediate_cdf(h, milliseconds(105));
+  EXPECT_LT(after, before);
+}
+
+TEST(ResponseTimeModel, NoGatewaySampleStillWorks) {
+  const ResponseTimeModel model;
+  PerfHistory h(10);
+  h.service.push(milliseconds(100));
+  // No queueing or gateway data yet: pmf is just the service pmf.
+  const Pmf pmf = model.immediate_pmf(h);
+  EXPECT_DOUBLE_EQ(pmf.cdf(milliseconds(100)), 1.0);
+  EXPECT_DOUBLE_EQ(pmf.cdf(milliseconds(99)), 0.0);
+}
+
+TEST(ResponseTimeModel, DeferredFallbackUsedWithoutLazySamples) {
+  const ResponseTimeModel model;
+  PerfHistory h(10);
+  h.service.push(milliseconds(100));
+  EXPECT_DOUBLE_EQ(model.deferred_cdf(h, milliseconds(5000)), 0.0)
+      << "no U samples and no fallback -> empty";
+  const double with_fallback =
+      model.deferred_cdf(h, milliseconds(5000), milliseconds(2000));
+  EXPECT_DOUBLE_EQ(with_fallback, 1.0);
+  EXPECT_DOUBLE_EQ(model.deferred_cdf(h, milliseconds(2000), milliseconds(2000)),
+                   0.0)
+      << "100ms service + 2000ms fallback exceeds the 2000ms deadline";
+}
+
+TEST(ResponseTimeModel, ResolutionControlsBucketing) {
+  PerfHistory h(4);
+  h.service.push(std::chrono::microseconds(100100));
+  h.service.push(std::chrono::microseconds(100900));
+  const ResponseTimeModel coarse(milliseconds(1));
+  const ResponseTimeModel fine(std::chrono::microseconds(100));
+  EXPECT_EQ(coarse.immediate_pmf(h).support_size(), 1u);
+  EXPECT_EQ(fine.immediate_pmf(h).support_size(), 2u);
+}
+
+TEST(PerfHistoryTest, HasSamplesTracksServiceWindow) {
+  PerfHistory h(5);
+  EXPECT_FALSE(h.has_samples());
+  h.service.push(milliseconds(10));
+  EXPECT_TRUE(h.has_samples());
+}
+
+// Statistical property: the model's CDF at d approximates the true
+// probability P(S + W + G <= d) when the windows hold samples from the
+// true distributions.
+class ResponseModelAccuracy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResponseModelAccuracy, TracksTrueDistribution) {
+  sim::Rng rng(GetParam());
+  PerfHistory h(20);
+  for (int i = 0; i < 20; ++i) {
+    h.service.push(rng.normal_duration(milliseconds(100), milliseconds(50)));
+    h.queueing.push(rng.exponential_duration(milliseconds(5)));
+  }
+  h.gateway_delay = milliseconds(1);
+  const ResponseTimeModel model;
+  const double predicted = model.immediate_cdf(h, milliseconds(140));
+
+  // Monte-Carlo truth with fresh draws from the same distributions.
+  int within = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const auto r = rng.normal_duration(milliseconds(100), milliseconds(50)) +
+                   rng.exponential_duration(milliseconds(5)) + milliseconds(1);
+    if (r <= milliseconds(140)) ++within;
+  }
+  const double truth = static_cast<double>(within) / trials;
+  // A 20-sample window is noisy; allow a generous band.
+  EXPECT_NEAR(predicted, truth, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResponseModelAccuracy,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace aqueduct::core

@@ -1,0 +1,279 @@
+#include "core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace aqueduct::core {
+namespace {
+
+using std::chrono::milliseconds;
+
+QoSSpec qos(double pc, int deadline_ms = 140, Staleness a = 2) {
+  return {.staleness_threshold = a,
+          .deadline = milliseconds(deadline_ms),
+          .min_probability = pc};
+}
+
+CandidateReplica replica(std::uint32_t id, bool primary, double immed,
+                         double delayed, int ert_ms) {
+  return {.id = net::NodeId{id},
+          .is_primary = primary,
+          .immediate_cdf = immed,
+          .deferred_cdf = delayed,
+          .ert = milliseconds(ert_ms)};
+}
+
+/// Reference computation of P_K(d) (Eq. 1–3) over a chosen subset.
+double pk(const std::vector<CandidateReplica>& chosen, double stale_factor) {
+  double prim = 1.0;
+  double sec_immed = 1.0;
+  double sec_delayed = 1.0;
+  for (const auto& r : chosen) {
+    if (r.is_primary) {
+      prim *= (1.0 - r.immediate_cdf);
+    } else {
+      sec_immed *= (1.0 - r.immediate_cdf);
+      sec_delayed *= (1.0 - r.deferred_cdf);
+    }
+  }
+  const double sec = sec_immed * stale_factor + sec_delayed * (1.0 - stale_factor);
+  return 1.0 - prim * sec;
+}
+
+TEST(ProbabilisticSelector, EmptyCandidates) {
+  ProbabilisticSelector selector;
+  sim::Rng rng(1);
+  const auto result = selector.select({}, 1.0, qos(0.9), rng);
+  EXPECT_TRUE(result.selected.empty());
+  EXPECT_FALSE(result.satisfied);
+}
+
+TEST(ProbabilisticSelector, SingleCandidateIsNeverSatisfied) {
+  // With the single-failure-tolerance rule, one replica alone can never
+  // satisfy the condition (its own CDF is excluded).
+  ProbabilisticSelector selector;
+  sim::Rng rng(1);
+  const auto result =
+      selector.select({replica(1, true, 0.99, 0, 100)}, 1.0, qos(0.5), rng);
+  EXPECT_EQ(result.selected.size(), 1u);
+  EXPECT_FALSE(result.satisfied);
+}
+
+TEST(ProbabilisticSelector, StopsOnceConditionMet) {
+  ProbabilisticSelector selector;
+  sim::Rng rng(1);
+  std::vector<CandidateReplica> candidates;
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    candidates.push_back(replica(i, true, 0.95, 0, 100 * static_cast<int>(i)));
+  }
+  const auto result = selector.select(candidates, 1.0, qos(0.9), rng);
+  EXPECT_TRUE(result.satisfied);
+  // The first visited replica is held out (failure allowance); the second
+  // contributes 1 - (1 - 0.95) = 0.95 >= 0.9, so |K| = 2 suffices.
+  EXPECT_EQ(result.selected.size(), 2u);
+  EXPECT_GE(result.predicted_probability, 0.9);
+}
+
+TEST(ProbabilisticSelector, ReturnsAllWhenUnsatisfiable) {
+  ProbabilisticSelector selector;
+  sim::Rng rng(1);
+  std::vector<CandidateReplica> candidates;
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    candidates.push_back(replica(i, true, 0.1, 0, 100));
+  }
+  const auto result = selector.select(candidates, 1.0, qos(0.99), rng);
+  EXPECT_FALSE(result.satisfied);
+  EXPECT_EQ(result.selected.size(), 5u);  // K = every replica
+}
+
+TEST(ProbabilisticSelector, VisitsLeastRecentlyUsedFirst) {
+  ProbabilisticSelector selector;
+  sim::Rng rng(1);
+  // Identical CDFs; ert decides the visit order.
+  const auto result = selector.select(
+      {replica(1, true, 0.9, 0, 10), replica(2, true, 0.9, 0, 500),
+       replica(3, true, 0.9, 0, 200)},
+      1.0, qos(0.5), rng);
+  ASSERT_GE(result.selected.size(), 2u);
+  // Replica 2 (largest ert) is visited first.
+  EXPECT_EQ(result.selected[0], net::NodeId{2});
+  EXPECT_EQ(result.selected[1], net::NodeId{3});
+}
+
+TEST(ProbabilisticSelector, GreedyOrderAblationSortsByCdf) {
+  ProbabilisticSelector selector(ProbabilisticOptions{.sort_by_ert = false});
+  sim::Rng rng(1);
+  const auto result = selector.select(
+      {replica(1, true, 0.2, 0, 10), replica(2, true, 0.99, 0, 5),
+       replica(3, true, 0.5, 0, 1000)},
+      1.0, qos(0.4), rng);
+  ASSERT_GE(result.selected.size(), 2u);
+  EXPECT_EQ(result.selected[0], net::NodeId{2});  // best CDF first
+}
+
+TEST(ProbabilisticSelector, StricterProbabilityNeedsMoreReplicas) {
+  ProbabilisticSelector selector;
+  sim::Rng rng(1);
+  std::vector<CandidateReplica> candidates;
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    candidates.push_back(replica(i, i <= 4, 0.6, 0.05, 100 * static_cast<int>(i)));
+  }
+  const auto loose = selector.select(candidates, 0.8, qos(0.5), rng);
+  const auto strict = selector.select(candidates, 0.8, qos(0.95), rng);
+  EXPECT_LE(loose.selected.size(), strict.selected.size());
+}
+
+TEST(ProbabilisticSelector, LowerStaleFactorNeedsMoreReplicas) {
+  ProbabilisticSelector selector;
+  sim::Rng rng(1);
+  std::vector<CandidateReplica> candidates;
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    // Mostly secondaries: the stale factor matters.
+    candidates.push_back(replica(i, i <= 2, 0.7, 0.01, 100 * static_cast<int>(i)));
+  }
+  const auto fresh = selector.select(candidates, 1.0, qos(0.9), rng);
+  const auto stale = selector.select(candidates, 0.3, qos(0.9), rng);
+  EXPECT_LE(fresh.selected.size(), stale.selected.size());
+}
+
+TEST(ProbabilisticSelector, PredictionMatchesReferenceWithExclusion) {
+  ProbabilisticSelector selector;
+  sim::Rng rng(1);
+  const std::vector<CandidateReplica> candidates = {
+      replica(1, true, 0.8, 0, 300), replica(2, false, 0.6, 0.1, 200),
+      replica(3, true, 0.9, 0, 100)};
+  const double stale_factor = 0.7;
+  const auto result = selector.select(candidates, stale_factor, qos(0.99), rng);
+  // Unsatisfiable → all selected; the prediction must equal the reference
+  // P_K(d) over the selected set minus the member with the highest
+  // immediate CDF (replica 3).
+  ASSERT_EQ(result.selected.size(), 3u);
+  const std::vector<CandidateReplica> included = {candidates[0], candidates[1]};
+  EXPECT_NEAR(result.predicted_probability, pk(included, stale_factor), 1e-12);
+}
+
+TEST(ProbabilisticSelector, NoFailureAllowanceCountsEveryMember) {
+  ProbabilisticSelector selector(
+      ProbabilisticOptions{.tolerate_one_failure = false});
+  sim::Rng rng(1);
+  const auto result =
+      selector.select({replica(1, true, 0.95, 0, 100)}, 1.0, qos(0.9), rng);
+  // Without the exclusion a single 0.95 replica satisfies Pc = 0.9.
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_EQ(result.selected.size(), 1u);
+}
+
+// --- single-failure tolerance property (the paper's proposal) --------------
+
+class FailureToleranceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailureToleranceProperty, SurvivesLossOfBestMember) {
+  sim::Rng rng(GetParam());
+  std::vector<CandidateReplica> candidates;
+  const std::size_t n = 4 + rng.uniform_int(8);
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    candidates.push_back(replica(i, rng.bernoulli(0.4), rng.uniform(),
+                                 rng.uniform() * 0.3,
+                                 static_cast<int>(rng.uniform_int(2000))));
+  }
+  const double stale_factor = rng.uniform();
+  const QoSSpec spec = qos(0.5 + rng.uniform() * 0.45);
+
+  ProbabilisticSelector selector;
+  sim::Rng srng(1);
+  const auto result = selector.select(candidates, stale_factor, spec, srng);
+  if (!result.satisfied) return;  // nothing promised
+
+  // Remove the selected member with the highest immediate CDF; the
+  // remaining set must still meet Pc(d).
+  std::vector<CandidateReplica> chosen;
+  for (const auto& c : candidates) {
+    if (std::find(result.selected.begin(), result.selected.end(), c.id) !=
+        result.selected.end()) {
+      chosen.push_back(c);
+    }
+  }
+  auto best = std::max_element(chosen.begin(), chosen.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.immediate_cdf < b.immediate_cdf;
+                               });
+  chosen.erase(best);
+  EXPECT_GE(pk(chosen, stale_factor) + 1e-9, spec.min_probability)
+      << "selected set does not tolerate losing its best member";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureToleranceProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// --- baselines ---------------------------------------------------------------
+
+TEST(SelectAllSelector, TakesEverything) {
+  SelectAllSelector selector;
+  sim::Rng rng(1);
+  const auto result = selector.select(
+      {replica(1, true, 0.5, 0, 1), replica(2, false, 0.5, 0.2, 2)}, 0.8,
+      qos(0.9), rng);
+  EXPECT_EQ(result.selected.size(), 2u);
+}
+
+TEST(SelectOneSelector, LruPicksLargestErt) {
+  SelectOneSelector selector(SelectOneSelector::Policy::kLeastRecentlyUsed);
+  sim::Rng rng(1);
+  const auto result = selector.select(
+      {replica(1, true, 0.5, 0, 10), replica(2, true, 0.5, 0, 99),
+       replica(3, true, 0.5, 0, 50)},
+      1.0, qos(0.5), rng);
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0], net::NodeId{2});
+}
+
+TEST(SelectOneSelector, RandomPicksFromAll) {
+  SelectOneSelector selector(SelectOneSelector::Policy::kRandom);
+  sim::Rng rng(7);
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 300; ++i) {
+    const auto result = selector.select(
+        {replica(1, true, 0.5, 0, 1), replica(2, true, 0.5, 0, 2),
+         replica(3, true, 0.5, 0, 3)},
+        1.0, qos(0.5), rng);
+    ++hits[result.selected[0].value() - 1];
+  }
+  for (const int h : hits) EXPECT_GT(h, 50);  // roughly uniform
+}
+
+TEST(FixedKSelector, TakesTopKByCdf) {
+  FixedKSelector selector(2);
+  sim::Rng rng(1);
+  const auto result = selector.select(
+      {replica(1, true, 0.3, 0, 1), replica(2, true, 0.9, 0, 2),
+       replica(3, true, 0.6, 0, 3)},
+      1.0, qos(0.5), rng);
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_EQ(result.selected[0], net::NodeId{2});
+  EXPECT_EQ(result.selected[1], net::NodeId{3});
+}
+
+TEST(FixedKSelector, CapsAtAvailable) {
+  FixedKSelector selector(10);
+  sim::Rng rng(1);
+  const auto result =
+      selector.select({replica(1, true, 0.3, 0, 1)}, 1.0, qos(0.5), rng);
+  EXPECT_EQ(result.selected.size(), 1u);
+}
+
+TEST(SelectorNames, AreDescriptive) {
+  EXPECT_EQ(ProbabilisticSelector{}.name(), "probabilistic");
+  EXPECT_EQ(ProbabilisticSelector(ProbabilisticOptions{.tolerate_one_failure = false})
+                .name(),
+            "probabilistic/no-failure-allowance");
+  EXPECT_EQ(SelectAllSelector{}.name(), "select-all");
+  EXPECT_EQ(FixedKSelector{3}.name(), "fixed-k/3");
+}
+
+}  // namespace
+}  // namespace aqueduct::core

@@ -1,0 +1,95 @@
+#include "core/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::core {
+namespace {
+
+TEST(SlidingWindow, StartsEmpty) {
+  SlidingWindow<int> w(3);
+  EXPECT_TRUE(w.empty());
+  EXPECT_FALSE(w.full());
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.capacity(), 3u);
+}
+
+TEST(SlidingWindow, FillsToCapacity) {
+  SlidingWindow<int> w(3);
+  w.push(1);
+  w.push(2);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_FALSE(w.full());
+  w.push(3);
+  EXPECT_TRUE(w.full());
+  EXPECT_EQ(w.values(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SlidingWindow, EvictsOldestFirst) {
+  SlidingWindow<int> w(3);
+  for (int i = 1; i <= 5; ++i) w.push(i);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.values(), (std::vector<int>{3, 4, 5}));
+}
+
+TEST(SlidingWindow, NewestTracksLastPush) {
+  SlidingWindow<int> w(2);
+  w.push(10);
+  EXPECT_EQ(w.newest(), 10);
+  w.push(20);
+  EXPECT_EQ(w.newest(), 20);
+  w.push(30);
+  EXPECT_EQ(w.newest(), 30);
+  EXPECT_EQ(w.values(), (std::vector<int>{20, 30}));
+}
+
+TEST(SlidingWindow, ForEachVisitsAllStored) {
+  SlidingWindow<int> w(4);
+  for (int i = 0; i < 10; ++i) w.push(i);
+  int sum = 0;
+  w.for_each([&](int v) { sum += v; });
+  EXPECT_EQ(sum, 6 + 7 + 8 + 9);
+}
+
+TEST(SlidingWindow, ClearResets) {
+  SlidingWindow<int> w(2);
+  w.push(1);
+  w.push(2);
+  w.push(3);
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  w.push(9);
+  EXPECT_EQ(w.values(), (std::vector<int>{9}));
+}
+
+TEST(SlidingWindow, CapacityOneKeepsNewest) {
+  SlidingWindow<int> w(1);
+  for (int i = 0; i < 5; ++i) w.push(i);
+  EXPECT_EQ(w.values(), (std::vector<int>{4}));
+}
+
+TEST(SlidingWindow, ZeroCapacityRejected) {
+  EXPECT_THROW(SlidingWindow<int>(0), InvariantViolation);
+}
+
+class SlidingWindowOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlidingWindowOrderProperty, ValuesAlwaysOldestFirst) {
+  const int pushes = GetParam();
+  SlidingWindow<int> w(7);
+  for (int i = 0; i < pushes; ++i) w.push(i);
+  const auto values = w.values();
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], values[i - 1] + 1);
+  }
+  if (!values.empty()) {
+    EXPECT_EQ(values.back(), pushes - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PushCounts, SlidingWindowOrderProperty,
+                         ::testing::Values(1, 3, 6, 7, 8, 13, 20, 21, 100));
+
+}  // namespace
+}  // namespace aqueduct::core

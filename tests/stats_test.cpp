@@ -1,0 +1,94 @@
+#include "harness/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aqueduct::harness {
+namespace {
+
+TEST(BinomialCiNormal, ZeroTrials) {
+  const auto ci = binomial_ci_normal(0, 0);
+  EXPECT_DOUBLE_EQ(ci.point, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 0.0);
+}
+
+TEST(BinomialCiNormal, PointEstimateCorrect) {
+  const auto ci = binomial_ci_normal(25, 100);
+  EXPECT_DOUBLE_EQ(ci.point, 0.25);
+  EXPECT_LT(ci.lower, 0.25);
+  EXPECT_GT(ci.upper, 0.25);
+}
+
+TEST(BinomialCiNormal, KnownHalfWidth) {
+  // p=0.5, n=100: half-width = 1.96 * sqrt(0.25/100) = 0.098.
+  const auto ci = binomial_ci_normal(50, 100);
+  EXPECT_NEAR(ci.upper - ci.point, 0.098, 1e-3);
+  EXPECT_NEAR(ci.point - ci.lower, 0.098, 1e-3);
+}
+
+TEST(BinomialCiNormal, ClampedToUnitInterval) {
+  const auto lo = binomial_ci_normal(0, 10);
+  EXPECT_DOUBLE_EQ(lo.lower, 0.0);
+  const auto hi = binomial_ci_normal(10, 10);
+  EXPECT_DOUBLE_EQ(hi.upper, 1.0);
+}
+
+TEST(BinomialCiNormal, ShrinksWithSampleSize) {
+  const auto small = binomial_ci_normal(5, 20);
+  const auto large = binomial_ci_normal(250, 1000);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(BinomialCiWilson, CoversPointEstimate) {
+  const auto ci = binomial_ci_wilson(3, 50);
+  EXPECT_DOUBLE_EQ(ci.point, 0.06);
+  EXPECT_LE(ci.lower, ci.point);
+  EXPECT_GE(ci.upper, ci.point);
+}
+
+TEST(BinomialCiWilson, NonDegenerateAtZeroSuccesses) {
+  // Unlike the normal approximation, Wilson gives a non-zero upper bound
+  // for 0 successes.
+  const auto ci = binomial_ci_wilson(0, 50);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_GT(ci.upper, 0.0);
+}
+
+TEST(Summarize, EmptyInput) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, BasicMoments) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Summarize, SingleValueHasZeroStddev) {
+  const auto s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0); }
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 9.9);
+}
+
+}  // namespace
+}  // namespace aqueduct::harness
