@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lui.dir/bench_ablation_lui.cpp.o"
+  "CMakeFiles/bench_ablation_lui.dir/bench_ablation_lui.cpp.o.d"
+  "bench_ablation_lui"
+  "bench_ablation_lui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

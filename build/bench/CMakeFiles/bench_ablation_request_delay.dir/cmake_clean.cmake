@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_request_delay.dir/bench_ablation_request_delay.cpp.o"
+  "CMakeFiles/bench_ablation_request_delay.dir/bench_ablation_request_delay.cpp.o.d"
+  "bench_ablation_request_delay"
+  "bench_ablation_request_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_request_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

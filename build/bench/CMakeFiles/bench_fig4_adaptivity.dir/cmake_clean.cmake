@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_adaptivity.dir/bench_fig4_adaptivity.cpp.o"
+  "CMakeFiles/bench_fig4_adaptivity.dir/bench_fig4_adaptivity.cpp.o.d"
+  "bench_fig4_adaptivity"
+  "bench_fig4_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_sizing.dir/bench_group_sizing.cpp.o"
+  "CMakeFiles/bench_group_sizing.dir/bench_group_sizing.cpp.o.d"
+  "bench_group_sizing"
+  "bench_group_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_open_loop.dir/bench_open_loop.cpp.o"
+  "CMakeFiles/bench_open_loop.dir/bench_open_loop.cpp.o.d"
+  "bench_open_loop"
+  "bench_open_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_open_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

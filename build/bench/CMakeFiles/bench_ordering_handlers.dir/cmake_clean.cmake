@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ordering_handlers.dir/bench_ordering_handlers.cpp.o"
+  "CMakeFiles/bench_ordering_handlers.dir/bench_ordering_handlers.cpp.o.d"
+  "bench_ordering_handlers"
+  "bench_ordering_handlers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ordering_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

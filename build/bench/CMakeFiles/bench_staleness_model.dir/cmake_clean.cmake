@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_staleness_model.dir/bench_staleness_model.cpp.o"
+  "CMakeFiles/bench_staleness_model.dir/bench_staleness_model.cpp.o.d"
+  "bench_staleness_model"
+  "bench_staleness_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staleness_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

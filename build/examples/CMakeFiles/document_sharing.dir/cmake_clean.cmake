@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_sharing.dir/document_sharing.cpp.o"
+  "CMakeFiles/document_sharing.dir/document_sharing.cpp.o.d"
+  "document_sharing"
+  "document_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_admission.dir/priority_admission.cpp.o"
+  "CMakeFiles/priority_admission.dir/priority_admission.cpp.o.d"
+  "priority_admission"
+  "priority_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqueduct_client.dir/fifo_handler.cpp.o"
+  "CMakeFiles/aqueduct_client.dir/fifo_handler.cpp.o.d"
+  "CMakeFiles/aqueduct_client.dir/handler.cpp.o"
+  "CMakeFiles/aqueduct_client.dir/handler.cpp.o.d"
+  "CMakeFiles/aqueduct_client.dir/repository.cpp.o"
+  "CMakeFiles/aqueduct_client.dir/repository.cpp.o.d"
+  "libaqueduct_client.a"
+  "libaqueduct_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqueduct_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

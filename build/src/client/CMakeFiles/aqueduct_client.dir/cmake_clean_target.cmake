@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaqueduct_client.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pmf.cpp" "src/core/CMakeFiles/aqueduct_core.dir/pmf.cpp.o" "gcc" "src/core/CMakeFiles/aqueduct_core.dir/pmf.cpp.o.d"
+  "/root/repo/src/core/qos.cpp" "src/core/CMakeFiles/aqueduct_core.dir/qos.cpp.o" "gcc" "src/core/CMakeFiles/aqueduct_core.dir/qos.cpp.o.d"
+  "/root/repo/src/core/response_model.cpp" "src/core/CMakeFiles/aqueduct_core.dir/response_model.cpp.o" "gcc" "src/core/CMakeFiles/aqueduct_core.dir/response_model.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/aqueduct_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/aqueduct_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/staleness.cpp" "src/core/CMakeFiles/aqueduct_core.dir/staleness.cpp.o" "gcc" "src/core/CMakeFiles/aqueduct_core.dir/staleness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aqueduct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aqueduct_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqueduct_core.dir/pmf.cpp.o"
+  "CMakeFiles/aqueduct_core.dir/pmf.cpp.o.d"
+  "CMakeFiles/aqueduct_core.dir/qos.cpp.o"
+  "CMakeFiles/aqueduct_core.dir/qos.cpp.o.d"
+  "CMakeFiles/aqueduct_core.dir/response_model.cpp.o"
+  "CMakeFiles/aqueduct_core.dir/response_model.cpp.o.d"
+  "CMakeFiles/aqueduct_core.dir/selection.cpp.o"
+  "CMakeFiles/aqueduct_core.dir/selection.cpp.o.d"
+  "CMakeFiles/aqueduct_core.dir/staleness.cpp.o"
+  "CMakeFiles/aqueduct_core.dir/staleness.cpp.o.d"
+  "libaqueduct_core.a"
+  "libaqueduct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqueduct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

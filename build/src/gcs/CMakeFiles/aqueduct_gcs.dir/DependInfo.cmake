@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcs/endpoint.cpp" "src/gcs/CMakeFiles/aqueduct_gcs.dir/endpoint.cpp.o" "gcc" "src/gcs/CMakeFiles/aqueduct_gcs.dir/endpoint.cpp.o.d"
+  "/root/repo/src/gcs/member.cpp" "src/gcs/CMakeFiles/aqueduct_gcs.dir/member.cpp.o" "gcc" "src/gcs/CMakeFiles/aqueduct_gcs.dir/member.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/aqueduct_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqueduct_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqueduct_gcs.dir/endpoint.cpp.o"
+  "CMakeFiles/aqueduct_gcs.dir/endpoint.cpp.o.d"
+  "CMakeFiles/aqueduct_gcs.dir/member.cpp.o"
+  "CMakeFiles/aqueduct_gcs.dir/member.cpp.o.d"
+  "libaqueduct_gcs.a"
+  "libaqueduct_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqueduct_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

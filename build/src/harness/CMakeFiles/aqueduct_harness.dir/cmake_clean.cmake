@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqueduct_harness.dir/scenario.cpp.o"
+  "CMakeFiles/aqueduct_harness.dir/scenario.cpp.o.d"
+  "CMakeFiles/aqueduct_harness.dir/stats.cpp.o"
+  "CMakeFiles/aqueduct_harness.dir/stats.cpp.o.d"
+  "CMakeFiles/aqueduct_harness.dir/table.cpp.o"
+  "CMakeFiles/aqueduct_harness.dir/table.cpp.o.d"
+  "libaqueduct_harness.a"
+  "libaqueduct_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqueduct_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqueduct_net.dir/network.cpp.o"
+  "CMakeFiles/aqueduct_net.dir/network.cpp.o.d"
+  "libaqueduct_net.a"
+  "libaqueduct_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqueduct_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaqueduct_net.a"
+)

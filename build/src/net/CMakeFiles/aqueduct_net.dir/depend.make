@@ -1,0 +1,2 @@
+# Empty dependencies file for aqueduct_net.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/fifo.cpp" "src/replication/CMakeFiles/aqueduct_replication.dir/fifo.cpp.o" "gcc" "src/replication/CMakeFiles/aqueduct_replication.dir/fifo.cpp.o.d"
+  "/root/repo/src/replication/objects.cpp" "src/replication/CMakeFiles/aqueduct_replication.dir/objects.cpp.o" "gcc" "src/replication/CMakeFiles/aqueduct_replication.dir/objects.cpp.o.d"
+  "/root/repo/src/replication/replica.cpp" "src/replication/CMakeFiles/aqueduct_replication.dir/replica.cpp.o" "gcc" "src/replication/CMakeFiles/aqueduct_replication.dir/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aqueduct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/aqueduct_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aqueduct_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqueduct_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqueduct_replication.dir/fifo.cpp.o"
+  "CMakeFiles/aqueduct_replication.dir/fifo.cpp.o.d"
+  "CMakeFiles/aqueduct_replication.dir/objects.cpp.o"
+  "CMakeFiles/aqueduct_replication.dir/objects.cpp.o.d"
+  "CMakeFiles/aqueduct_replication.dir/replica.cpp.o"
+  "CMakeFiles/aqueduct_replication.dir/replica.cpp.o.d"
+  "libaqueduct_replication.a"
+  "libaqueduct_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqueduct_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqueduct_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/aqueduct_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/aqueduct_sim.dir/simulator.cpp.o"
+  "CMakeFiles/aqueduct_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/aqueduct_sim.dir/time.cpp.o"
+  "CMakeFiles/aqueduct_sim.dir/time.cpp.o.d"
+  "libaqueduct_sim.a"
+  "libaqueduct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqueduct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_membership_test.dir/dynamic_membership_test.cpp.o"
+  "CMakeFiles/dynamic_membership_test.dir/dynamic_membership_test.cpp.o.d"
+  "dynamic_membership_test"
+  "dynamic_membership_test.pdb"
+  "dynamic_membership_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

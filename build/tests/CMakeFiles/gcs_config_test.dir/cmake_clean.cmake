@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_config_test.dir/gcs_config_test.cpp.o"
+  "CMakeFiles/gcs_config_test.dir/gcs_config_test.cpp.o.d"
+  "gcs_config_test"
+  "gcs_config_test.pdb"
+  "gcs_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_failure_test.dir/gcs_failure_test.cpp.o"
+  "CMakeFiles/gcs_failure_test.dir/gcs_failure_test.cpp.o.d"
+  "gcs_failure_test"
+  "gcs_failure_test.pdb"
+  "gcs_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

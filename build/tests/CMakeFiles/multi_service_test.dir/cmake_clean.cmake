@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_service_test.dir/multi_service_test.cpp.o"
+  "CMakeFiles/multi_service_test.dir/multi_service_test.cpp.o.d"
+  "multi_service_test"
+  "multi_service_test.pdb"
+  "multi_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

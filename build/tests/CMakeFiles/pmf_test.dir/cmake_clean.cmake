@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmf_test.dir/pmf_test.cpp.o"
+  "CMakeFiles/pmf_test.dir/pmf_test.cpp.o.d"
+  "pmf_test"
+  "pmf_test.pdb"
+  "pmf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
