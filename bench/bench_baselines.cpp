@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   harness::Table table({"selector", "avg_replicas_selected",
                         "timing_failure_prob", "95%_CI", "avg_read_ms",
                         "p99_read_ms", "replica_msgs_per_read"});
+  std::vector<bench::RunSummary> runs;
 
   for (const Entry& entry : entries) {
     harness::ScenarioConfig config;
@@ -86,6 +87,8 @@ int main(int argc, char** argv) {
     harness::Scenario scenario(std::move(config));
     auto results = scenario.run();
     const auto& stats = results[1].stats;
+    runs.push_back(bench::summarize_run(entry.name, results[1],
+                                        scenario.simulator().now() - sim::kEpoch));
     const auto ci = harness::binomial_ci_normal(stats.timing_failures,
                                                 stats.reads_completed);
     // Load proxy: how many replica services each read consumed.
@@ -112,5 +115,9 @@ int main(int argc, char** argv) {
   }
   table.print();
   if (opt.csv) table.print_csv(std::cout);
+  if (const auto path = bench::write_json_summary(opt, "baselines", runs);
+      !path.empty()) {
+    std::cout << "\nwrote " << path << "\n";
+  }
   return 0;
 }

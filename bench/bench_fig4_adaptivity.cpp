@@ -44,10 +44,11 @@ struct RunResult {
   harness::ConfidenceInterval failure;
   double deferred_fraction = 0.0;
   std::uint64_t staleness_violations = 0;
+  bench::RunSummary summary;
 };
 
 RunResult run_one(double pc, sim::Duration lui, sim::Duration deadline,
-                  const bench::Options& opt) {
+                  const std::string& label, const bench::Options& opt) {
   harness::ScenarioConfig config;
   config.seed = opt.seed;
   config.lazy_update_interval = lui;
@@ -78,6 +79,8 @@ RunResult run_one(double pc, sim::Duration lui, sim::Duration deadline,
           : static_cast<double>(stats.deferred_replies) /
                 static_cast<double>(stats.reads_completed);
   out.staleness_violations = stats.staleness_violations;
+  out.summary = bench::summarize_run(label, results[1],
+                                     scenario.simulator().now() - sim::kEpoch);
   return out;
 }
 
@@ -109,12 +112,15 @@ int main(int argc, char** argv) {
   harness::Table extras({"deadline_ms", "config", "deferred_fraction",
                          "staleness_violations", "within_1-Pc"});
 
+  std::vector<bench::RunSummary> runs;
   for (const int d : deadlines_ms) {
     std::vector<std::string> row_a = {std::to_string(d)};
     std::vector<std::string> row_b = {std::to_string(d)};
     for (const Config& c : configs) {
       const RunResult r =
-          run_one(c.pc, c.lui, std::chrono::milliseconds(d), opt);
+          run_one(c.pc, c.lui, std::chrono::milliseconds(d),
+                  "d=" + std::to_string(d) + "ms " + c.label(), opt);
+      runs.push_back(r.summary);
       row_a.push_back(harness::Table::num(r.avg_selected, 2));
       row_b.push_back(harness::Table::num(r.failure.point, 3) + " [" +
                       harness::Table::num(r.failure.lower, 3) + "," +
@@ -142,6 +148,10 @@ int main(int argc, char** argv) {
     fig4a.print_csv(std::cout);
     std::cout << "\nCSV fig4b\n";
     fig4b.print_csv(std::cout);
+  }
+  if (const auto path = bench::write_json_summary(opt, "fig4_adaptivity", runs);
+      !path.empty()) {
+    std::cout << "\nwrote " << path << "\n";
   }
   return 0;
 }

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   harness::Table table({"mean_interarrival_ms", "offered_req_per_s",
                         "timing_failure_prob", "avg_replicas_selected",
                         "avg_read_ms", "p99_read_ms"});
+  std::vector<bench::RunSummary> runs;
 
   for (const int gap_ms : {2000, 1000, 500, 250, 125}) {
     harness::ScenarioConfig config;
@@ -45,6 +46,9 @@ int main(int argc, char** argv) {
     harness::Scenario scenario(std::move(config));
     auto results = scenario.run();
     const auto& stats = results[1].stats;
+    runs.push_back(bench::summarize_run(
+        "interarrival_" + std::to_string(gap_ms) + "ms", results[1],
+        scenario.simulator().now() - sim::kEpoch));
     table.add_row(
         {std::to_string(gap_ms),
          harness::Table::num(2.0 * 1000.0 / gap_ms, 1),
@@ -56,6 +60,10 @@ int main(int argc, char** argv) {
              1)});
   }
   table.print();
+  if (const auto path = bench::write_json_summary(opt, "open_loop", runs);
+      !path.empty()) {
+    std::cout << "\nwrote " << path << "\n";
+  }
   std::cout << "\nexpected shape: failures and queueing-inflated latencies "
                "stay flat while the pool\nhas headroom, then climb together "
                "as offered load approaches the pool's service\ncapacity "

@@ -6,18 +6,27 @@
 //                [--lui-ms L] [--request-delay-ms R] [--clients N]
 //                [--service-mean-ms M] [--service-std-ms S]
 //                [--seed S] [--crash INDEX@SECONDS]... [--csv]
+//                [--trace-out PREFIX] [--metrics-out FILE]
 //
 // Example: reproduce one Figure-4 point:
 //   scenario_cli --deadline-ms 140 --probability 0.9 --lui-ms 4000
+//
+// --trace-out PREFIX writes PREFIX.jsonl (one JSON event per line) and
+// PREFIX.trace.json (Chrome trace_event format — load in chrome://tracing
+// or ui.perfetto.dev), plus a per-request latency-breakdown report on
+// stdout. --metrics-out FILE dumps the metrics registry as JSON.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/scenario.hpp"
 #include "harness/stats.hpp"
 #include "harness/table.hpp"
+#include "obs/export.hpp"
 
 using namespace aqueduct;
 
@@ -36,7 +45,8 @@ struct CliCrash {
                "[--lui-ms L]\n"
                "  [--request-delay-ms R] [--clients N] [--service-mean-ms M]\n"
                "  [--service-std-ms S] [--seed S] [--open-loop] "
-               "[--crash INDEX@SECONDS] [--csv]\n");
+               "[--crash INDEX@SECONDS] [--csv]\n"
+               "  [--trace-out PREFIX] [--metrics-out FILE]\n");
   std::exit(2);
 }
 
@@ -53,6 +63,8 @@ int main(int argc, char** argv) {
   double request_delay_ms = 1000;
   bool open_loop = false;
   bool csv = false;
+  std::string trace_out;
+  std::string metrics_out;
   std::vector<CliCrash> crashes;
 
   auto next_value = [&](int& i) -> const char* {
@@ -89,6 +101,10 @@ int main(int argc, char** argv) {
       open_loop = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next_value(i);
+    } else if (arg == "--metrics-out") {
+      metrics_out = next_value(i);
     } else if (arg == "--crash") {
       const std::string spec = next_value(i);
       const auto at = spec.find('@');
@@ -118,6 +134,25 @@ int main(int argc, char** argv) {
     scenario.schedule_crash(crash.index,
                             sim::kEpoch + sim::from_sec(crash.at_seconds));
   }
+
+  // Trace sinks must subscribe before run() so they see every event.
+  std::ofstream jsonl_file;
+  std::unique_ptr<obs::JsonLinesSink> jsonl_sink;
+  obs::ChromeTraceSink chrome_sink;
+  obs::LatencyBreakdownCollector breakdown;
+  obs::TraceHub& hub = scenario.observability().trace;
+  if (!trace_out.empty()) {
+    jsonl_file.open(trace_out + ".jsonl");
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot write %s.jsonl\n", trace_out.c_str());
+      return 1;
+    }
+    jsonl_sink = std::make_unique<obs::JsonLinesSink>(jsonl_file);
+    hub.add(jsonl_sink.get());
+    hub.add(&chrome_sink);
+    hub.add(&breakdown);
+  }
+
   auto results = scenario.run();
 
   harness::Table table({"client", "reads", "timing_failure_prob", "95%_CI",
@@ -149,6 +184,32 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print();
+  }
+
+  if (!trace_out.empty()) {
+    hub.remove(jsonl_sink.get());
+    hub.remove(&chrome_sink);
+    hub.remove(&breakdown);
+    jsonl_file.close();
+    std::ofstream chrome_file(trace_out + ".trace.json");
+    chrome_sink.write(chrome_file);
+    std::printf("wrote %s.jsonl and %s.trace.json (%zu events)\n",
+                trace_out.c_str(), trace_out.c_str(),
+                chrome_sink.num_events());
+    std::printf("latency breakdown (%zu requests):\n",
+                breakdown.events().size());
+    breakdown.write_json(std::cout);
+    std::printf("\n");
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream metrics_file(metrics_out);
+    if (!metrics_file) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    scenario.observability().metrics.write_json(metrics_file);
+    metrics_file << "\n";
+    std::printf("wrote %s\n", metrics_out.c_str());
   }
   return 0;
 }

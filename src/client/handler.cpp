@@ -13,6 +13,21 @@ namespace {
 constexpr sim::Duration kLinger = std::chrono::seconds(10);
 }  // namespace
 
+ClientHandler::Instruments::Instruments(obs::MetricsRegistry& reg)
+    : reads_issued(reg.counter("client.reads_issued")),
+      reads_completed(reg.counter("client.reads_completed")),
+      reads_abandoned(reg.counter("client.reads_abandoned")),
+      updates_issued(reg.counter("client.updates_issued")),
+      updates_completed(reg.counter("client.updates_completed")),
+      timing_failures(reg.counter("client.timing_failures")),
+      deferred_replies(reg.counter("client.deferred_replies")),
+      retries(reg.counter("client.retries")),
+      staleness_violations(reg.counter("client.staleness_violations")),
+      replicas_selected_total(reg.counter("client.replicas_selected_total")),
+      read_response_ms(reg.histogram("client.read_response_ms")),
+      update_response_ms(reg.histogram("client.update_response_ms")),
+      gateway_ms(reg.histogram("client.gateway_ms")) {}
+
 ClientHandler::ClientHandler(sim::Simulator& sim, gcs::Endpoint& endpoint,
                              replication::ServiceGroups groups,
                              ClientConfig config)
@@ -21,7 +36,9 @@ ClientHandler::ClientHandler(sim::Simulator& sim, gcs::Endpoint& endpoint,
       groups_(groups),
       config_(std::move(config)),
       rng_(sim.rng().split()),
-      repository_(config_.window_size, config_.pmf_resolution) {
+      repository_(config_.window_size, config_.pmf_resolution),
+      obs_(endpoint.observability()),
+      metrics_(obs_.metrics) {
   if (config_.selector == nullptr) {
     config_.selector = std::make_unique<core::ProbabilisticSelector>();
   }
@@ -61,6 +78,9 @@ void ClientHandler::read(net::MessagePtr op, const core::QoSSpec& qos,
   req.read_done = std::move(done);
   req.t0 = t0;
   ++stats_.reads_issued;
+  metrics_.reads_issued.inc();
+  span(obs::SpanKind::kIssue, id, net::NodeId{},
+       static_cast<std::uint64_t>(sim::to_ms(qos.deadline)));
   transmit_read(id, req);
   req.deadline_timer = sim_.at(t0 + qos.deadline, [this, id] { on_deadline(id); });
 }
@@ -79,6 +99,8 @@ void ClientHandler::update(net::MessagePtr op, UpdateCallback done) {
   req.update_done = std::move(done);
   req.t0 = t0;
   ++stats_.updates_issued;
+  metrics_.updates_issued.inc();
+  span(obs::SpanKind::kIssue, id, net::NodeId{});
   transmit_update(id, req);
 }
 
@@ -116,6 +138,7 @@ void ClientHandler::transmit_read(const replication::RequestId& id,
   req.predicted_probability = selection.predicted_probability;
   if (req.attempts == 0) {
     stats_.replicas_selected_total += selection.selected.size();
+    metrics_.replicas_selected_total.inc(selection.selected.size());
   }
 
   auto request = std::make_shared<replication::ReadRequest>();
@@ -125,6 +148,7 @@ void ClientHandler::transmit_read(const replication::RequestId& id,
 
   req.tm = now;
   ++req.attempts;
+  span(obs::SpanKind::kSend, id, roles.sequencer, selection.selected.size());
   // The selected set K plus the sequencer (Algorithm 1 lines 13/16).
   qos_member_->send_to_set(selection.selected, request);
   if (roles.sequencer.valid() &&
@@ -144,6 +168,7 @@ void ClientHandler::transmit_update(const replication::RequestId& id,
 
   req.tm = sim_.now();
   ++req.attempts;
+  span(obs::SpanKind::kSend, id, roles.sequencer, roles.primaries.size() + 1);
   // Updates go to every member of the primary group, sequencer included
   // (Section 4.1.1).
   qos_member_->send_to_set(roles.primaries, request);
@@ -165,8 +190,11 @@ void ClientHandler::on_retry(const replication::RequestId& id) {
     // Give up: report failure to the application.
     req.completed = true;
     sim_.cancel(req.deadline_timer);
+    span(obs::SpanKind::kAbandon, id, net::NodeId{}, req.attempts,
+         sim_.now() - req.t0);
     if (req.is_read) {
       ++stats_.reads_abandoned;
+      metrics_.reads_abandoned.inc();
       ReadOutcome outcome;
       outcome.response_time = sim_.now() - req.t0;
       outcome.timing_failure = true;
@@ -183,6 +211,8 @@ void ClientHandler::on_retry(const replication::RequestId& id) {
     return;
   }
   ++stats_.retries;
+  metrics_.retries.inc();
+  span(obs::SpanKind::kRetry, id, net::NodeId{}, req.attempts);
   if (req.is_read) {
     transmit_read(id, req);
   } else {
@@ -196,6 +226,8 @@ void ClientHandler::on_deadline(const replication::RequestId& id) {
   // No response within d: a timing failure for this client, regardless of
   // when (or whether) a reply eventually arrives.
   it->second.timing_failure = true;
+  span(obs::SpanKind::kTimingFailure, id, net::NodeId{}, it->second.attempts,
+       sim_.now() - it->second.t0);
 }
 
 // ---------------------------------------------------------------------------
@@ -227,6 +259,9 @@ void ClientHandler::handle_reply(
   const sim::Duration tg =
       std::max(sim::Duration::zero(), (tp - req.tm) - reply->t1);
   repository_.record_reply(reply->replica, tg, tp);
+  metrics_.gateway_ms.observe(sim::to_ms(tg));
+  span(obs::SpanKind::kReceive, reply->id, reply->replica,
+       req.completed ? 1 : 0, tp - req.tm);
 
   if (req.completed) return;  // later replies only feed the repository
   req.completed = true;
@@ -237,16 +272,21 @@ void ClientHandler::handle_reply(
     complete_read(reply->id, req, reply.get());
   } else {
     ++stats_.updates_completed;
+    metrics_.updates_completed.inc();
     stats_.total_update_response_time += tp - req.t0;
+    metrics_.update_response_ms.observe(sim::to_ms(tp - req.t0));
     UpdateOutcome outcome;
     outcome.result = reply->result;
     outcome.response_time = tp - req.t0;
+    span(obs::SpanKind::kComplete, reply->id, reply->replica, 0,
+         outcome.response_time);
+    emit_breakdown(reply->id, req, *reply, outcome.response_time, false);
     if (req.update_done) req.update_done(outcome);
   }
   forget_later(reply->id);
 }
 
-void ClientHandler::complete_read(const replication::RequestId& /*id*/,
+void ClientHandler::complete_read(const replication::RequestId& id,
                                   OutstandingRequest& req,
                                   const replication::Reply* reply) {
   const sim::Duration tr = sim_.now() - req.t0;
@@ -260,18 +300,37 @@ void ClientHandler::complete_read(const replication::RequestId& /*id*/,
   outcome.replicas_selected = req.replicas_selected;
   outcome.selection_satisfied = req.selection_satisfied;
   outcome.predicted_probability = req.predicted_probability;
+  // Breakdown per Eq. 5/6: the server components are piggybacked on the
+  // reply; the gateway delay is the exact remainder so the parts always
+  // sum to response_time.
+  outcome.client_overhead = req.tm - req.t0;
+  outcome.service = reply->ts;
+  outcome.queueing = reply->tq;
+  outcome.lazy_wait = reply->tb;
+  outcome.gateway = tr - outcome.client_overhead - reply->ts - reply->tq -
+                    reply->tb;
 
   ++stats_.reads_completed;
+  metrics_.reads_completed.inc();
   stats_.total_response_time += tr;
+  metrics_.read_response_ms.observe(sim::to_ms(tr));
   if (outcome.timing_failure) {
     ++stats_.timing_failures;
+    metrics_.timing_failures.inc();
   } else {
     ++timely_reads_;
   }
-  if (outcome.deferred) ++stats_.deferred_replies;
+  if (outcome.deferred) {
+    ++stats_.deferred_replies;
+    metrics_.deferred_replies.inc();
+  }
   if (outcome.staleness > req.qos.staleness_threshold) {
     ++stats_.staleness_violations;
+    metrics_.staleness_violations.inc();
   }
+  span(obs::SpanKind::kComplete, id, reply->replica,
+       outcome.timing_failure ? 1 : 0, tr);
+  emit_breakdown(id, req, *reply, tr, outcome.timing_failure);
   check_alarm(req.qos);
   if (req.read_done) req.read_done(outcome);
 }
@@ -287,6 +346,49 @@ void ClientHandler::check_alarm(const core::QoSSpec& qos) {
 
 void ClientHandler::forget_later(const replication::RequestId& id) {
   sim_.after(kLinger, [this, id] { outstanding_.erase(id); });
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+void ClientHandler::span(obs::SpanKind kind, const replication::RequestId& id,
+                         net::NodeId peer, std::uint64_t value,
+                         sim::Duration duration) {
+  if (!obs_.trace.active()) return;
+  obs::SpanEvent event;
+  event.trace = replication::trace_of(id);
+  event.kind = kind;
+  event.at = sim_.now();
+  event.duration = duration;
+  event.node = this->id();
+  event.peer = peer;
+  event.value = value;
+  obs_.trace.span(event);
+}
+
+void ClientHandler::emit_breakdown(const replication::RequestId& id,
+                                   const OutstandingRequest& req,
+                                   const replication::Reply& reply,
+                                   sim::Duration total, bool timing_failure) {
+  if (!obs_.trace.active()) return;
+  obs::BreakdownEvent event;
+  event.trace = replication::trace_of(id);
+  event.at = sim_.now();
+  event.client = this->id();
+  event.replica = reply.replica;
+  event.is_read = req.is_read;
+  event.deferred = reply.deferred;
+  event.timing_failure = timing_failure;
+  event.total = total;
+  event.client_overhead = req.tm - req.t0;
+  event.queueing = reply.tq;
+  event.service = reply.ts;
+  event.lazy_wait = reply.tb;
+  // Exact remainder — the breakdown always sums to `total`.
+  event.gateway = total - event.client_overhead - event.queueing -
+                  event.service - event.lazy_wait;
+  obs_.trace.breakdown(event);
 }
 
 }  // namespace aqueduct::client

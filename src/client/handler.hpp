@@ -22,6 +22,7 @@
 #include "core/qos.hpp"
 #include "core/selection.hpp"
 #include "gcs/endpoint.hpp"
+#include "obs/observability.hpp"
 #include "replication/messages.hpp"
 #include "replication/service.hpp"
 #include "sim/random.hpp"
@@ -63,6 +64,18 @@ struct ReadOutcome {
   bool selection_satisfied = false;
   /// The model's predicted P_K(d) at selection time.
   double predicted_probability = 0.0;
+
+  // Per-request latency breakdown (paper Eq. 5/6, from the piggybacked
+  // t1 decomposition). The components sum exactly to response_time:
+  //   response_time == client_overhead + gateway + queueing + service
+  //                    + lazy_wait
+  // `gateway` is computed as the remainder, so after a retry it can absorb
+  // the abandoned attempt and go negative. All zero when abandoned.
+  sim::Duration client_overhead = sim::Duration::zero();  // t_m - t_0
+  sim::Duration gateway = sim::Duration::zero();          // G (two-way)
+  sim::Duration queueing = sim::Duration::zero();         // W
+  sim::Duration service = sim::Duration::zero();          // S
+  sim::Duration lazy_wait = sim::Duration::zero();        // U
 };
 
 struct UpdateOutcome {
@@ -173,6 +186,15 @@ class ClientHandler {
   void drain_pending();
   void forget_later(const replication::RequestId& id);
 
+  // ---- observability ----
+  void span(obs::SpanKind kind, const replication::RequestId& id,
+            net::NodeId peer, std::uint64_t value = 0,
+            sim::Duration duration = sim::Duration::zero());
+  void emit_breakdown(const replication::RequestId& id,
+                      const OutstandingRequest& req,
+                      const replication::Reply& reply, sim::Duration total,
+                      bool timing_failure);
+
   sim::Simulator& sim_;
   gcs::Endpoint& endpoint_;
   replication::ServiceGroups groups_;
@@ -195,7 +217,27 @@ class ClientHandler {
   std::deque<PendingApp> pending_;  // issued before the role map arrived
 
   std::uint64_t timely_reads_ = 0;
+  /// Per-client view (the `stats()` accessor); increments are mirrored
+  /// into the registry-wide "client.*" aggregates.
   ClientStats stats_;
+  obs::Observability& obs_;
+  struct Instruments {
+    explicit Instruments(obs::MetricsRegistry& reg);
+    obs::Counter& reads_issued;
+    obs::Counter& reads_completed;
+    obs::Counter& reads_abandoned;
+    obs::Counter& updates_issued;
+    obs::Counter& updates_completed;
+    obs::Counter& timing_failures;
+    obs::Counter& deferred_replies;
+    obs::Counter& retries;
+    obs::Counter& staleness_violations;
+    obs::Counter& replicas_selected_total;
+    obs::Histogram& read_response_ms;
+    obs::Histogram& update_response_ms;
+    obs::Histogram& gateway_ms;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace aqueduct::client

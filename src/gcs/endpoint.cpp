@@ -44,7 +44,8 @@ Member& Endpoint::member(GroupId group) {
         sim_, directory_, config_, group, id_,
         [this](net::NodeId to, net::MessagePtr msg) {
           if (!crashed_) network_.send(id_, to, std::move(msg));
-        });
+        },
+        &network_.observability());
     it = members_.emplace(group, std::move(member)).first;
   }
   return *it->second;

@@ -42,6 +42,9 @@ class Endpoint final : public net::Endpoint {
   bool crashed() const { return crashed_; }
   net::NodeId id() const { return id_; }
   sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return network_; }
+  /// The simulation-wide observability context (owned by the network).
+  obs::Observability& observability() { return network_.observability(); }
 
   // net::Endpoint
   void on_message(net::NodeId from, net::MessagePtr msg) override;

@@ -7,14 +7,26 @@
 
 namespace aqueduct::gcs {
 
+Member::Instruments::Instruments(obs::MetricsRegistry& reg)
+    : mcasts_sent(reg.counter("gcs.mcasts_sent")),
+      p2p_sent(reg.counter("gcs.p2p_sent")),
+      delivered(reg.counter("gcs.delivered")),
+      duplicates_dropped(reg.counter("gcs.duplicates_dropped")),
+      nacks_sent(reg.counter("gcs.nacks_sent")),
+      retransmissions(reg.counter("gcs.retransmissions")),
+      view_changes(reg.counter("gcs.view_changes")),
+      flush_gaps(reg.counter("gcs.flush_gaps")) {}
+
 Member::Member(sim::Simulator& sim, Directory& directory, Config config,
-               GroupId group, net::NodeId self, SendFn send)
+               GroupId group, net::NodeId self, SendFn send,
+               obs::Observability* obs)
     : sim_(sim),
       directory_(directory),
       config_(config),
       group_(group),
       self_(self),
-      send_(std::move(send)) {
+      send_(std::move(send)),
+      metrics_((obs != nullptr ? *obs : obs::Observability::scratch()).metrics) {
   AQUEDUCT_CHECK(group_.valid());
   AQUEDUCT_CHECK(self_.valid());
   AQUEDUCT_CHECK(send_ != nullptr);
@@ -61,6 +73,7 @@ void Member::bootstrap_singleton() {
   fd_task_->start();
   directory_.update(group_, self_);
   ++stats_.view_changes;
+  metrics_.view_changes.inc();
   if (on_view_) on_view_(view_);
 }
 
@@ -110,6 +123,7 @@ void Member::multicast(net::MessagePtr payload) {
   const DataMsgPtr frozen = msg;
   sent_mcast_.emplace(frozen->seq, frozen);
   ++stats_.mcasts_sent;
+  metrics_.mcasts_sent.inc();
   transmit_mcast(frozen);
 }
 
@@ -159,6 +173,7 @@ void Member::send_p2p(net::NodeId dest, net::MessagePtr payload) {
   const DataMsgPtr frozen = msg;
   sent_p2p_[dest].emplace(frozen->seq, frozen);
   ++stats_.p2p_sent;
+  metrics_.p2p_sent.inc();
   if (dest == self_) {
     sim_.after(sim::Duration::zero(), [this, frozen] {
       if (!stopped_) accept(frozen->sender, frozen);
@@ -229,6 +244,7 @@ void Member::accept(net::NodeId sender, const DataMsgPtr& msg) {
   InChannel& chan = msg->is_mcast ? mcast_in_[sender] : p2p_in_[sender];
   if (msg->seq <= chan.delivered || chan.buffered.contains(msg->seq)) {
     ++stats_.duplicates_dropped;
+    metrics_.duplicates_dropped.inc();
     return;
   }
   chan.buffered.emplace(msg->seq, msg);
@@ -257,6 +273,7 @@ void Member::deliver_ready(net::NodeId sender, InChannel& chan, bool is_mcast) {
       continue;
     }
     ++stats_.delivered;
+    metrics_.delivered.inc();
     if (on_deliver_) on_deliver_(sender, msg->payload);
     if (stopped_) return;  // the callback may have crashed us
   }
@@ -283,6 +300,7 @@ void Member::schedule_nack_check(net::NodeId sender, bool is_mcast,
     nack->from_seq = first_missing;
     nack->to_seq = up_to;
     ++stats_.nacks_sent;
+    metrics_.nacks_sent.inc();
     send_(sender, nack);
   });
 }
@@ -292,6 +310,7 @@ void Member::handle_nack(net::NodeId from, const NackMsg& msg) {
     for (auto it = sent_mcast_.lower_bound(msg.from_seq);
          it != sent_mcast_.end() && it->first <= msg.to_seq; ++it) {
       ++stats_.retransmissions;
+      metrics_.retransmissions.inc();
       send_(from, it->second);
     }
   } else {
@@ -300,6 +319,7 @@ void Member::handle_nack(net::NodeId from, const NackMsg& msg) {
     for (auto it = chan->second.lower_bound(msg.from_seq);
          it != chan->second.end() && it->first <= msg.to_seq; ++it) {
       ++stats_.retransmissions;
+      metrics_.retransmissions.inc();
       send_(from, it->second);
     }
   }
@@ -619,6 +639,7 @@ void Member::install_view(const std::shared_ptr<const InstallMsg>& msg) {
         // Gap that no survivor can fill: the only holders crashed. Count it
         // and move on (allowed for a crashed sender's unstable messages).
         ++stats_.flush_gaps;
+        metrics_.flush_gaps.inc();
         chan.delivered += 1;
         ack_matrix_[self_][sender] = chan.delivered;
         deliver_ready(sender, chan, /*is_mcast=*/true);
@@ -630,6 +651,7 @@ void Member::install_view(const std::shared_ptr<const InstallMsg>& msg) {
   last_proposal_seen_ = std::max(last_proposal_seen_, view_.id);
   blocked_ = false;
   ++stats_.view_changes;
+  metrics_.view_changes.inc();
 
   if (!view_.contains(self_)) {
     // We left (or were excluded): shut down cleanly.

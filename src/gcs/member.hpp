@@ -34,6 +34,7 @@
 #include "gcs/types.hpp"
 #include "net/message.hpp"
 #include "net/node.hpp"
+#include "obs/observability.hpp"
 #include "sim/simulator.hpp"
 
 namespace aqueduct::gcs {
@@ -58,8 +59,12 @@ class Member {
       std::function<void(net::NodeId from, const net::MessagePtr& payload)>;
   using ViewFn = std::function<void(const View& view)>;
 
+  /// `obs` is the simulation's observability context (aggregate "gcs.*"
+  /// metrics are mirrored into its registry); pass nullptr to fall back to
+  /// the process-wide scratch context (isolated unit tests).
   Member(sim::Simulator& sim, Directory& directory, Config config,
-         GroupId group, net::NodeId self, SendFn send);
+         GroupId group, net::NodeId self, SendFn send,
+         obs::Observability* obs = nullptr);
   ~Member();
 
   Member(const Member&) = delete;
@@ -208,7 +213,21 @@ class Member {
   std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
   std::unique_ptr<sim::PeriodicTask> fd_task_;
 
+  /// Per-member view (the `stats()` accessor); the same increments are
+  /// mirrored into the registry-wide "gcs.*" aggregates below.
   MemberStats stats_;
+  struct Instruments {
+    explicit Instruments(obs::MetricsRegistry& reg);
+    obs::Counter& mcasts_sent;
+    obs::Counter& p2p_sent;
+    obs::Counter& delivered;
+    obs::Counter& duplicates_dropped;
+    obs::Counter& nacks_sent;
+    obs::Counter& retransmissions;
+    obs::Counter& view_changes;
+    obs::Counter& flush_gaps;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace aqueduct::gcs

@@ -114,8 +114,12 @@ class Scenario {
 
   sim::Simulator& simulator() { return *sim_; }
   replication::ReplicaServer& replica(std::size_t index) { return *replicas_.at(index); }
-  const net::NetworkStats& network_stats() const { return network_->stats(); }
+  /// Snapshot of the network counters (assembled from the metrics registry).
+  net::NetworkStats network_stats() const { return network_->stats(); }
   net::Network& network() { return *network_; }
+  /// The simulation-wide metrics registry + trace hub. Register trace
+  /// sinks here before run().
+  obs::Observability& observability() { return network_->observability(); }
 
  private:
   void build();

@@ -11,8 +11,32 @@ Network::Network(sim::Simulator& sim,
                  std::unique_ptr<sim::DurationDistribution> default_latency)
     : sim_(sim),
       rng_(sim.rng().split()),
-      default_latency_(std::move(default_latency)) {
+      default_latency_(std::move(default_latency)),
+      c_sent_(obs_.metrics.counter("net.messages_sent")),
+      c_delivered_(obs_.metrics.counter("net.messages_delivered")),
+      c_dropped_loss_(obs_.metrics.counter("net.messages_dropped_loss")),
+      c_dropped_partition_(obs_.metrics.counter("net.messages_dropped_partition")),
+      c_dropped_detached_(obs_.metrics.counter("net.messages_dropped_detached")),
+      c_bytes_sent_(obs_.metrics.counter("net.bytes_sent")),
+      h_delivery_latency_ms_(obs_.metrics.histogram("net.delivery_latency_ms")) {
   AQUEDUCT_CHECK(default_latency_ != nullptr);
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats s;
+  s.messages_sent = c_sent_.value();
+  s.messages_delivered = c_delivered_.value();
+  s.messages_dropped_loss = c_dropped_loss_.value();
+  s.messages_dropped_partition = c_dropped_partition_.value();
+  s.messages_dropped_detached = c_dropped_detached_.value();
+  s.bytes_sent = c_bytes_sent_.value();
+  return s;
+}
+
+void Network::set_tap(std::function<void(const TraceEvent&)> tap) {
+  obs_.trace.remove(&tap_shim_);
+  tap_shim_.fn = std::move(tap);
+  if (tap_shim_.fn) obs_.trace.add(&tap_shim_);
 }
 
 NodeId Network::attach(Endpoint& endpoint) {
@@ -80,7 +104,7 @@ sim::Duration Network::sample_latency(NodeId from, NodeId to) {
 
 void Network::tap(NodeId from, NodeId to, const MessagePtr& msg,
                   const char* dropped) {
-  if (!tap_) return;
+  if (!obs_.trace.active()) return;
   TraceEvent event;
   event.at = sim_.now();
   event.from = from;
@@ -88,39 +112,40 @@ void Network::tap(NodeId from, NodeId to, const MessagePtr& msg,
   event.type_name = msg->type_name();
   event.wire_size = msg->wire_size();
   event.dropped = dropped;
-  tap_(event);
+  obs_.trace.message(event);
 }
 
 void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   AQUEDUCT_CHECK(msg != nullptr);
   AQUEDUCT_CHECK_MSG(from.valid() && to.valid(), "send with invalid node id");
-  ++stats_.messages_sent;
-  stats_.bytes_sent += msg->wire_size();
+  c_sent_.inc();
+  c_bytes_sent_.inc(msg->wire_size());
   if (!endpoints_.contains(from)) {
     // A detached (crashed) node cannot send.
-    ++stats_.messages_dropped_detached;
+    c_dropped_detached_.inc();
     tap(from, to, msg, "detached");
     return;
   }
   if (partitioned(from, to)) {
-    ++stats_.messages_dropped_partition;
+    c_dropped_partition_.inc();
     tap(from, to, msg, "partition");
     return;
   }
   if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
-    ++stats_.messages_dropped_loss;
+    c_dropped_loss_.inc();
     tap(from, to, msg, "loss");
     return;
   }
   tap(from, to, msg, "");
   const sim::Duration latency = sample_latency(from, to);
+  h_delivery_latency_ms_.observe(sim::to_ms(latency));
   sim_.after(latency, [this, from, to, msg = std::move(msg)] {
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
-      ++stats_.messages_dropped_detached;
+      c_dropped_detached_.inc();
       return;
     }
-    ++stats_.messages_delivered;
+    c_delivered_.inc();
     it->second->on_message(from, msg);
   });
 }

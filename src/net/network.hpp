@@ -18,6 +18,7 @@
 
 #include "net/message.hpp"
 #include "net/node.hpp"
+#include "obs/observability.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -33,18 +34,12 @@ class Endpoint {
 };
 
 /// One observed delivery/drop, for protocol-overhead accounting and
-/// debugging traces.
-struct TraceEvent {
-  sim::TimePoint at;
-  NodeId from;
-  NodeId to;
-  std::string type_name;
-  std::size_t wire_size = 0;
-  /// Empty if delivered; otherwise "loss", "partition", or "detached".
-  std::string dropped;
-};
+/// debugging traces. Alias of the obs-layer event so existing taps and the
+/// multi-subscriber TraceSink pipeline share one type.
+using TraceEvent = obs::MessageEvent;
 
-/// Counters exposed for tests and traces.
+/// Snapshot of the network counters (assembled from the registry-backed
+/// instruments; see metrics "net.*").
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
@@ -102,13 +97,19 @@ class Network {
   /// Sends to each destination individually (unreliable multicast).
   void multicast(NodeId from, const std::vector<NodeId>& to, const MessagePtr& msg);
 
-  const NetworkStats& stats() const { return stats_; }
+  NetworkStats stats() const;
 
-  /// Observes every send (delivered or dropped). One tap at a time; pass
-  /// nullptr to remove. The tap sees the event at *send* time.
-  void set_tap(std::function<void(const TraceEvent&)> tap) {
-    tap_ = std::move(tap);
-  }
+  /// Deprecated single-subscriber shim over tracing(): observes every send
+  /// (delivered or dropped) at *send* time. Pass nullptr to remove. New
+  /// code should register an obs::TraceSink on tracing() instead — any
+  /// number of sinks can subscribe concurrently.
+  void set_tap(std::function<void(const TraceEvent&)> tap);
+
+  /// Per-simulation observability context. The network owns it because it
+  /// is the one object every process of a simulation shares.
+  obs::Observability& observability() { return obs_; }
+  obs::MetricsRegistry& metrics() { return obs_.metrics; }
+  obs::TraceHub& tracing() { return obs_.trace; }
 
   sim::Simulator& simulator() { return sim_; }
 
@@ -120,6 +121,14 @@ class Network {
   struct PairHash {
     std::size_t operator()(const std::pair<NodeId, NodeId>& p) const noexcept {
       return std::hash<NodeId>{}(p.first) * 1000003u ^ std::hash<NodeId>{}(p.second);
+    }
+  };
+
+  /// Adapts the legacy set_tap() callback to the TraceSink interface.
+  struct TapShim final : obs::TraceSink {
+    std::function<void(const TraceEvent&)> fn;
+    void on_message(const TraceEvent& e) override {
+      if (fn) fn(e);
     }
   };
 
@@ -136,8 +145,16 @@ class Network {
   std::unordered_set<NodeId> partition_a_;
   std::unordered_set<NodeId> partition_b_;
   std::uint32_t next_id_ = 1;
-  NetworkStats stats_;
-  std::function<void(const TraceEvent&)> tap_;
+
+  obs::Observability obs_;  // must precede the instrument references below
+  obs::Counter& c_sent_;
+  obs::Counter& c_delivered_;
+  obs::Counter& c_dropped_loss_;
+  obs::Counter& c_dropped_partition_;
+  obs::Counter& c_dropped_detached_;
+  obs::Counter& c_bytes_sent_;
+  obs::Histogram& h_delivery_latency_ms_;
+  TapShim tap_shim_;
 };
 
 }  // namespace aqueduct::net

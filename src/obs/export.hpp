@@ -1,0 +1,87 @@
+// Trace exporters.
+//
+//   * JsonLinesSink — one JSON object per event, streamed as it happens.
+//     Deterministic: same seed => byte-identical output. Timestamps and
+//     durations are integer nanoseconds of simulated time.
+//   * ChromeTraceSink — buffers events and writes the Chrome trace_event
+//     format (load in chrome://tracing or https://ui.perfetto.dev). Each
+//     simulated node becomes a "process"; spans with a duration render as
+//     complete ("X") events, the rest as instants.
+//   * LatencyBreakdownCollector — gathers the per-request BreakdownEvents
+//     and reports the queueing / service / lazy-wait / gateway / client
+//     decomposition that mirrors the paper's response-time model.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace aqueduct::obs {
+
+class JsonLinesSink final : public TraceSink {
+ public:
+  /// `os` must outlive the sink's subscription.
+  explicit JsonLinesSink(std::ostream& os) : os_(os) {}
+
+  void on_message(const MessageEvent& e) override;
+  void on_span(const SpanEvent& e) override;
+  void on_breakdown(const BreakdownEvent& e) override;
+
+ private:
+  std::ostream& os_;
+};
+
+class ChromeTraceSink final : public TraceSink {
+ public:
+  void on_message(const MessageEvent& e) override { messages_.push_back(e); }
+  void on_span(const SpanEvent& e) override { spans_.push_back(e); }
+  void on_breakdown(const BreakdownEvent& e) override {
+    breakdowns_.push_back(e);
+  }
+
+  /// Writes {"traceEvents":[...]} — call once, after the run.
+  void write(std::ostream& os) const;
+
+  std::size_t num_events() const {
+    return messages_.size() + spans_.size() + breakdowns_.size();
+  }
+
+ private:
+  std::vector<MessageEvent> messages_;
+  std::vector<SpanEvent> spans_;
+  std::vector<BreakdownEvent> breakdowns_;
+};
+
+class LatencyBreakdownCollector final : public TraceSink {
+ public:
+  void on_breakdown(const BreakdownEvent& e) override { events_.push_back(e); }
+
+  const std::vector<BreakdownEvent>& events() const { return events_; }
+
+  struct Totals {
+    std::size_t count = 0;
+    sim::Duration client_overhead = sim::Duration::zero();
+    sim::Duration gateway = sim::Duration::zero();
+    sim::Duration queueing = sim::Duration::zero();
+    sim::Duration service = sim::Duration::zero();
+    sim::Duration lazy_wait = sim::Duration::zero();
+    sim::Duration total = sim::Duration::zero();
+  };
+  /// Component sums over all collected reads (is_read) or updates.
+  Totals totals(bool reads) const;
+
+  /// Largest |total - (client + gateway + queueing + service + lazy)| over
+  /// all collected events. Zero by construction; tests assert it.
+  sim::Duration max_sum_error() const;
+
+  /// Aggregate report: per-component means and shares, percentiles of the
+  /// end-to-end response time, split by reads/updates.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::vector<BreakdownEvent> events_;
+};
+
+}  // namespace aqueduct::obs

@@ -1,0 +1,80 @@
+// Minimal streaming JSON writer shared by the exporters and the bench
+// summaries. Emits deterministic output: fixed field order (caller-driven),
+// integers verbatim, doubles with shortest round-trip formatting.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqueduct::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Formats a double the same way on every run/platform we care about:
+/// integral values without a fractional part, otherwise %.17g trimmed.
+std::string json_number(double v);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() { separator(); os_ << '{'; stack_.push_back(kFirst); }
+  void end_object() { os_ << '}'; stack_.pop_back(); mark_value(); }
+  void begin_array() { separator(); os_ << '['; stack_.push_back(kFirst); }
+  void end_array() { os_ << ']'; stack_.pop_back(); mark_value(); }
+
+  void key(std::string_view k) {
+    separator();
+    os_ << '"' << json_escape(k) << "\":";
+    pending_key_ = true;
+  }
+
+  void element(std::string_view v) { separator(); write_string(v); mark_value(); }
+  void element(const char* v) { element(std::string_view(v)); }
+  void element(double v) { separator(); os_ << json_number(v); mark_value(); }
+  void element(std::uint64_t v) { separator(); os_ << v; mark_value(); }
+  void element(std::int64_t v) { separator(); os_ << v; mark_value(); }
+  void element(std::uint32_t v) { element(static_cast<std::uint64_t>(v)); }
+  void element(int v) { element(static_cast<std::int64_t>(v)); }
+  void element(bool v) { separator(); os_ << (v ? "true" : "false"); mark_value(); }
+
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    element(v);
+  }
+  void field(std::string_view k, const std::string& v) {
+    key(k);
+    element(std::string_view(v));
+  }
+
+ private:
+  enum State : char { kFirst, kRest };
+
+  void separator() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back() == kRest) os_ << ',';
+      stack_.back() = kRest;
+    }
+  }
+  void mark_value() {
+    if (!stack_.empty()) stack_.back() = kRest;
+  }
+  void write_string(std::string_view v) {
+    os_ << '"' << json_escape(v) << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<State> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace aqueduct::obs

@@ -1,0 +1,128 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "sim/check.hpp"
+
+namespace aqueduct::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_latency_bounds_ms();
+  AQUEDUCT_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                     "histogram bounds must be sorted");
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+  AQUEDUCT_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t next = cumulative + buckets_[i];
+    if (static_cast<double>(next) >= target && buckets_[i] > 0) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(buckets_[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+std::vector<double> default_latency_bounds_ms() {
+  return {0.1,  0.2,  0.5,  1.0,   2.0,   5.0,   10.0,   20.0,   50.0,
+          75.0, 100.0, 150.0, 200.0, 300.0, 500.0, 1000.0, 2000.0, 5000.0,
+          10000.0, 30000.0};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Instrument& inst = instruments_[name];
+  if (!inst.counter) {
+    AQUEDUCT_CHECK_MSG(!inst.gauge && !inst.histogram,
+                       "metric name registered with a different kind");
+    inst.counter = std::make_unique<Counter>();
+  }
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Instrument& inst = instruments_[name];
+  if (!inst.gauge) {
+    AQUEDUCT_CHECK_MSG(!inst.counter && !inst.histogram,
+                       "metric name registered with a different kind");
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return *inst.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  Instrument& inst = instruments_[name];
+  if (!inst.histogram) {
+    AQUEDUCT_CHECK_MSG(!inst.counter && !inst.gauge,
+                       "metric name registered with a different kind");
+    inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *inst.histogram;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, inst] : instruments_) {
+    if (inst.counter) w.field(name, inst.counter->value());
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, inst] : instruments_) {
+    if (inst.gauge) w.field(name, inst.gauge->value());
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, inst] : instruments_) {
+    if (!inst.histogram) continue;
+    const Histogram& h = *inst.histogram;
+    w.key(name);
+    w.begin_object();
+    w.field("count", h.count());
+    w.field("sum", h.sum());
+    w.field("p50", h.quantile(0.50));
+    w.field("p95", h.quantile(0.95));
+    w.field("p99", h.quantile(0.99));
+    w.key("bounds");
+    w.begin_array();
+    for (const double b : h.bounds()) w.element(b);
+    w.end_array();
+    w.key("buckets");
+    w.begin_array();
+    for (const std::uint64_t c : h.buckets()) w.element(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+MetricsRegistry& MetricsRegistry::scratch() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace aqueduct::obs

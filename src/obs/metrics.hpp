@@ -1,0 +1,113 @@
+// Unified metrics registry for the whole stack.
+//
+// Every layer (sim, net, gcs, replication, client, harness) registers named
+// instruments here instead of growing private ad-hoc counter structs. The
+// registry owns the instrument storage; components hold references obtained
+// at construction time, so the hot-path cost of an increment is one add on a
+// plain integer. Instruments are aggregated by name: two components asking
+// for the same counter share one cell, which is exactly what fleet-level
+// metrics want (per-instance views stay available through the components'
+// existing `stats()` accessors).
+//
+// The registry is deliberately simulation-friendly: no locks (the simulator
+// is single-threaded), deterministic iteration order (std::map), and a JSON
+// exporter for machine-readable snapshots.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace aqueduct::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: counts of observations falling at or below each
+/// upper bound, plus an implicit overflow bucket. Bounds are chosen at
+/// registration time and shared by every component using the name.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// buckets().size() == bounds().size() + 1; the last entry is overflow.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// Bucket-interpolated quantile estimate (0 <= q <= 1). Returns 0 when
+  /// empty. Values beyond the last bound are reported as the last bound.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Default histogram bounds for latencies measured in milliseconds:
+/// roughly logarithmic from 0.1 ms to 30 s.
+std::vector<double> default_latency_bounds_ms();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Asking for an existing name with a different instrument kind is a
+  /// programming error and aborts.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is consulted only when the histogram is created; later calls
+  /// reuse the original buckets.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  std::size_t size() const { return instruments_.size(); }
+  bool contains(const std::string& name) const { return instruments_.contains(name); }
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Deterministic (name-sorted) field order.
+  void write_json(std::ostream& os) const;
+
+  /// Process-wide scratch registry for components constructed without an
+  /// observability context (unit tests building layers in isolation).
+  /// Instruments work normally but nobody exports them.
+  static MetricsRegistry& scratch();
+
+ private:
+  struct Instrument {
+    // Exactly one is non-null.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace aqueduct::obs

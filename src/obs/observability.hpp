@@ -1,0 +1,24 @@
+// Bundle of the per-simulation observability state: the metrics registry
+// and the trace hub. Owned by the net::Network (every process of one
+// simulation attaches to exactly one network, so it is the natural shared
+// fabric); higher layers reach it through their endpoint.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace aqueduct::obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  TraceHub trace;
+
+  /// Shared fallback for components constructed without a context (layers
+  /// unit-tested in isolation). Never exported, never subscribed to.
+  static Observability& scratch() {
+    static Observability o;
+    return o;
+  }
+};
+
+}  // namespace aqueduct::obs

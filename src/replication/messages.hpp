@@ -11,6 +11,7 @@
 #include "core/qos.hpp"
 #include "net/message.hpp"
 #include "net/node.hpp"
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace aqueduct::replication {
@@ -27,6 +28,12 @@ struct RequestId {
 
 inline std::ostream& operator<<(std::ostream& os, const RequestId& id) {
   return os << id.client << "#" << id.seq;
+}
+
+/// The request's trace identity: derived, not stored, so every layer that
+/// sees the RequestId can emit span events without extra plumbing.
+constexpr obs::TraceId trace_of(const RequestId& id) {
+  return obs::make_trace_id(id.client, id.seq);
 }
 
 /// Update operation, sent point-to-point to every member of the primary
@@ -73,6 +80,12 @@ struct Reply final : net::Message {
   net::MessagePtr result;
   net::NodeId replica;
   sim::Duration t1 = sim::Duration::zero();
+  /// Decomposition of t1 (t1 == ts + tq + tb), piggybacked so the client
+  /// gateway can report the per-request latency breakdown of the paper's
+  /// response-time model without a second round trip.
+  sim::Duration ts = sim::Duration::zero();  // service time S
+  sim::Duration tq = sim::Duration::zero();  // queueing delay W
+  sim::Duration tb = sim::Duration::zero();  // lazy wait U (deferred reads)
   /// True if the replica performed a deferred read (waited for a lazy
   /// update before responding).
   bool deferred = false;
@@ -82,7 +95,7 @@ struct Reply final : net::Message {
   core::Staleness staleness = 0;
   std::string type_name() const override { return "repl.reply"; }
   std::size_t wire_size() const override {
-    return 64 + (result ? result->wire_size() : 0);
+    return 88 + (result ? result->wire_size() : 0);
   }
 };
 

@@ -8,6 +8,19 @@
 
 namespace aqueduct::replication {
 
+ReplicaServer::Instruments::Instruments(obs::MetricsRegistry& reg)
+    : updates_committed(reg.counter("repl.updates_committed")),
+      reads_served(reg.counter("repl.reads_served")),
+      deferred_reads(reg.counter("repl.deferred_reads")),
+      gsn_assigned(reg.counter("repl.gsn_assigned")),
+      lazy_updates_published(reg.counter("repl.lazy_updates_published")),
+      lazy_updates_installed(reg.counter("repl.lazy_updates_installed")),
+      duplicate_requests(reg.counter("repl.duplicate_requests")),
+      gsn_conflicts(reg.counter("repl.gsn_conflicts")),
+      service_ms(reg.histogram("repl.service_ms")),
+      queueing_ms(reg.histogram("repl.queueing_ms")),
+      lazy_wait_ms(reg.histogram("repl.lazy_wait_ms")) {}
+
 ReplicaServer::ReplicaServer(sim::Simulator& sim, gcs::Endpoint& endpoint,
                              ServiceGroups groups, bool is_primary,
                              std::unique_ptr<ReplicatedObject> object,
@@ -18,7 +31,9 @@ ReplicaServer::ReplicaServer(sim::Simulator& sim, gcs::Endpoint& endpoint,
       is_primary_(is_primary),
       object_(std::move(object)),
       config_(std::move(config)),
-      rng_(sim.rng().split()) {
+      rng_(sim.rng().split()),
+      obs_(endpoint.observability()),
+      metrics_(obs_.metrics) {
   AQUEDUCT_CHECK(object_ != nullptr);
   AQUEDUCT_CHECK_MSG(config_.service_time != nullptr,
                      "ReplicaConfig.service_time must be set");
@@ -228,8 +243,10 @@ void ReplicaServer::handle_update_request(net::NodeId /*from*/,
   // retried payload is recognized as a duplicate whether the update is
   // still waiting for its GSN, queued, or already committed.
   const bool duplicate = committed_.contains(id) || update_payload_.contains(id);
+  span(obs::SpanKind::kDeliver, id, id.client, duplicate ? 1 : 0);
   if (duplicate) {
     ++stats_.duplicate_requests;
+    metrics_.duplicate_requests.inc();
     if (auto it = reply_cache_.find(id); it != reply_cache_.end()) {
       send_reply(it->second, id.client);
     }
@@ -264,7 +281,9 @@ void ReplicaServer::sequence_update(const UpdateRequest& request) {
       assigned_order_.pop_front();
     }
     ++stats_.gsn_assigned;
+    metrics_.gsn_assigned.inc();
   }
+  span(obs::SpanKind::kGsnAssign, request.id, request.id.client, assign->gsn);
   replication_member_->multicast(assign);
 }
 
@@ -300,11 +319,13 @@ void ReplicaServer::handle_gsn_assign(const GsnAssign& assign) {
   if (auto it = update_gsn_.find(assign.gsn);
       it != update_gsn_.end() && it->second != assign.id) {
     ++stats_.gsn_conflicts;
+    metrics_.gsn_conflicts.inc();
     return;
   }
   if (auto it = gsn_of_update_.find(assign.id);
       it != gsn_of_update_.end() && it->second != assign.gsn) {
     ++stats_.gsn_conflicts;
+    metrics_.gsn_conflicts.inc();
     return;
   }
   if (assign.gsn <= next_enqueue_gsn_) return;  // already consumed (retry)
@@ -350,8 +371,10 @@ void ReplicaServer::try_enqueue_commits() {
 void ReplicaServer::handle_read_request(
     net::NodeId from, const std::shared_ptr<const ReadRequest>& request) {
   const RequestId id = request->id;
+  span(obs::SpanKind::kDeliver, id, from);
   if (auto it = reply_cache_.find(id); it != reply_cache_.end()) {
     ++stats_.duplicate_requests;
+    metrics_.duplicate_requests.inc();
     send_reply(it->second, id.client);
     return;
   }
@@ -365,6 +388,7 @@ void ReplicaServer::handle_read_request(
 
   if (pending_reads_.contains(id)) {
     ++stats_.duplicate_requests;
+    metrics_.duplicate_requests.inc();
     return;
   }
   PendingRead pending;
@@ -453,6 +477,17 @@ void ReplicaServer::propagate_lazy_update() {
   updates_since_lazy_ = 0;
   last_lazy_update_ = sim_.now();
   ++stats_.lazy_updates_published;
+  metrics_.lazy_updates_published.inc();
+  if (obs_.trace.active()) {
+    // Lazy propagations are not tied to any client request; they trace
+    // under the invalid TraceId so timelines still show them per node.
+    obs::SpanEvent event;
+    event.kind = obs::SpanKind::kLazyPublish;
+    event.at = sim_.now();
+    event.node = id();
+    event.value = lazy_seq_;
+    obs_.trace.span(event);
+  }
   // Tell the clients immediately that a lazy update just happened, so
   // their <n_L, t_L> trackers re-synchronize.
   publish_perf(std::nullopt, std::nullopt, std::nullopt, false);
@@ -464,6 +499,7 @@ void ReplicaServer::handle_lazy_update(const LazyUpdate& lazy) {
   object_->install_snapshot(lazy.snapshot);
   my_csn_ = lazy.csn;
   ++stats_.lazy_updates_installed;
+  metrics_.lazy_updates_installed.inc();
   recheck_waiting_reads();
 }
 
@@ -472,6 +508,7 @@ void ReplicaServer::handle_lazy_update(const LazyUpdate& lazy) {
 // ---------------------------------------------------------------------------
 
 void ReplicaServer::enqueue_job(Job job) {
+  span(obs::SpanKind::kEnqueue, job.id, job.client, queue_.size());
   queue_.push_back(std::move(job));
   maybe_start_service();
 }
@@ -497,20 +534,28 @@ void ReplicaServer::maybe_start_service() {
 void ReplicaServer::complete_job(const Job& job, sim::Duration service_time,
                                  sim::TimePoint service_start) {
   if (crashed_) return;
+  span(obs::SpanKind::kExecute, job.id, job.client, job.is_update ? 1 : 0,
+       service_time);
   if (job.is_update) {
     if (job.op != nullptr) {
       net::MessagePtr result = object_->apply_update(job.op);
       ++my_csn_;
       ++stats_.updates_committed;
+      metrics_.updates_committed.inc();
       remember_committed(job.id);
       update_payload_.erase(job.id);
       if (!is_sequencer_) {
+        const sim::Duration tq = service_start - job.arrival;
+        metrics_.service_ms.observe(sim::to_ms(service_time));
+        metrics_.queueing_ms.observe(sim::to_ms(tq));
         auto reply = std::make_shared<Reply>();
         reply->id = job.id;
         reply->is_update = true;
         reply->result = std::move(result);
         reply->replica = id();
-        reply->t1 = service_time + (service_start - job.arrival);
+        reply->t1 = service_time + tq;
+        reply->ts = service_time;
+        reply->tq = tq;
         cache_reply(job.id, reply);
         send_reply(reply, job.client);
       }
@@ -521,14 +566,24 @@ void ReplicaServer::complete_job(const Job& job, sim::Duration service_time,
   } else {
     net::MessagePtr result = object_->apply_read(job.op);
     ++stats_.reads_served;
-    if (job.deferred) ++stats_.deferred_reads;
+    metrics_.reads_served.inc();
+    if (job.deferred) {
+      ++stats_.deferred_reads;
+      metrics_.deferred_reads.inc();
+      metrics_.lazy_wait_ms.observe(sim::to_ms(job.tb));
+    }
     const sim::Duration tq = (service_start - job.arrival) - job.tb;
+    metrics_.service_ms.observe(sim::to_ms(service_time));
+    metrics_.queueing_ms.observe(sim::to_ms(tq));
     auto reply = std::make_shared<Reply>();
     reply->id = job.id;
     reply->is_update = false;
     reply->result = std::move(result);
     reply->replica = id();
     reply->t1 = service_time + tq + job.tb;
+    reply->ts = service_time;
+    reply->tq = tq;
+    reply->tb = job.tb;
     reply->deferred = job.deferred;
     reply->staleness = core::staleness_of(job.gsn, my_csn_);
     cache_reply(job.id, reply);
@@ -543,6 +598,8 @@ void ReplicaServer::send_reply(const std::shared_ptr<const Reply>& reply,
                                net::NodeId client) {
   if (qos_member_ == nullptr || !qos_member_->joined()) return;
   if (!qos_member_->view().contains(client)) return;  // client gone
+  span(obs::SpanKind::kReply, reply->id, client, reply->deferred ? 1 : 0,
+       reply->t1);
   qos_member_->send_to(client, reply);
 }
 
@@ -601,6 +658,25 @@ void ReplicaServer::cache_reply(const RequestId& id,
     reply_cache_.erase(reply_cache_order_.front());
     reply_cache_order_.pop_front();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::span(obs::SpanKind kind, const RequestId& request,
+                         net::NodeId peer, std::uint64_t value,
+                         sim::Duration duration) {
+  if (!obs_.trace.active()) return;
+  obs::SpanEvent event;
+  event.trace = trace_of(request);
+  event.kind = kind;
+  event.at = sim_.now();
+  event.duration = duration;
+  event.node = id();
+  event.peer = peer;
+  event.value = value;
+  obs_.trace.span(event);
 }
 
 }  // namespace aqueduct::replication

@@ -29,6 +29,7 @@
 
 #include "core/qos.hpp"
 #include "gcs/endpoint.hpp"
+#include "obs/observability.hpp"
 #include "replication/messages.hpp"
 #include "replication/replicated_object.hpp"
 #include "replication/service.hpp"
@@ -162,6 +163,11 @@ class ReplicaServer {
   void remember_committed(const RequestId& id);
   void cache_reply(const RequestId& id, std::shared_ptr<const Reply> reply);
 
+  // ---- observability ----
+  void span(obs::SpanKind kind, const RequestId& id, net::NodeId peer,
+            std::uint64_t value = 0,
+            sim::Duration duration = sim::Duration::zero());
+
   sim::Simulator& sim_;
   gcs::Endpoint& endpoint_;
   ServiceGroups groups_;
@@ -231,7 +237,25 @@ class ReplicaServer {
   std::uint32_t updates_since_lazy_ = 0;
   sim::TimePoint last_lazy_update_ = sim::kEpoch;
 
+  /// Per-replica view (the `stats()` accessor); increments are mirrored
+  /// into the registry-wide "repl.*" aggregates.
   ReplicaStats stats_;
+  obs::Observability& obs_;
+  struct Instruments {
+    explicit Instruments(obs::MetricsRegistry& reg);
+    obs::Counter& updates_committed;
+    obs::Counter& reads_served;
+    obs::Counter& deferred_reads;
+    obs::Counter& gsn_assigned;
+    obs::Counter& lazy_updates_published;
+    obs::Counter& lazy_updates_installed;
+    obs::Counter& duplicate_requests;
+    obs::Counter& gsn_conflicts;
+    obs::Histogram& service_ms;
+    obs::Histogram& queueing_ms;
+    obs::Histogram& lazy_wait_ms;
+  };
+  Instruments metrics_;
 };
 
 }  // namespace aqueduct::replication

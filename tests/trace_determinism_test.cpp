@@ -1,0 +1,82 @@
+// Regression guard: tracing must be a pure observer of the simulation.
+// The same seed must produce a byte-identical JSONL event stream across
+// runs — any divergence means either the exporter leaked wall-clock /
+// address-dependent state into the output, or subscribing a sink perturbed
+// the simulation itself.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+
+#include "harness/scenario.hpp"
+#include "obs/export.hpp"
+
+namespace aqueduct {
+namespace {
+
+using std::chrono::milliseconds;
+
+harness::ScenarioConfig small_config(std::uint64_t seed) {
+  harness::ScenarioConfig config;
+  config.seed = seed;
+  config.num_primaries = 2;
+  config.num_secondaries = 2;
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 2,
+              .deadline = milliseconds(200),
+              .min_probability = 0.9},
+      .request_delay = milliseconds(250),
+      .num_requests = 30,
+  });
+  return config;
+}
+
+std::string run_traced(std::uint64_t seed) {
+  harness::Scenario scenario(small_config(seed));
+  std::ostringstream os;
+  obs::JsonLinesSink sink(os);
+  scenario.observability().trace.add(&sink);
+  scenario.run();
+  scenario.observability().trace.remove(&sink);
+  return os.str();
+}
+
+TEST(TraceDeterminism, SameSeedSameBytes) {
+  const std::string first = run_traced(7);
+  const std::string second = run_traced(7);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(TraceDeterminism, DifferentSeedDiverges) {
+  EXPECT_NE(run_traced(7), run_traced(8));
+}
+
+TEST(TraceDeterminism, TracingDoesNotPerturbTheSimulation) {
+  // Identical scenario, with and without a subscribed sink: the simulated
+  // outcome (events executed, final time, client stats) must match.
+  harness::Scenario untraced(small_config(3));
+  auto results_untraced = untraced.run();
+
+  harness::Scenario traced(small_config(3));
+  std::ostringstream os;
+  obs::JsonLinesSink sink(os);
+  traced.observability().trace.add(&sink);
+  auto results_traced = traced.run();
+  traced.observability().trace.remove(&sink);
+
+  EXPECT_EQ(untraced.simulator().events_executed(),
+            traced.simulator().events_executed());
+  EXPECT_EQ(untraced.simulator().now(), traced.simulator().now());
+  ASSERT_EQ(results_untraced.size(), results_traced.size());
+  EXPECT_EQ(results_untraced[0].stats.reads_completed,
+            results_traced[0].stats.reads_completed);
+  EXPECT_EQ(results_untraced[0].stats.timing_failures,
+            results_traced[0].stats.timing_failures);
+  EXPECT_EQ(results_untraced[0].read_response_times,
+            results_traced[0].read_response_times);
+}
+
+}  // namespace
+}  // namespace aqueduct
