@@ -37,7 +37,7 @@ core::PerfHistory make_history(std::size_t window, sim::Rng& rng) {
     history.lazy_wait.push(rng.normal_duration(std::chrono::milliseconds(900),
                                                std::chrono::milliseconds(400)));
   }
-  history.gateway_delay = std::chrono::microseconds(800);
+  history.set_gateway_delay(std::chrono::microseconds(800));
   history.last_reply_at = sim::kEpoch + std::chrono::seconds(1);
   return history;
 }
@@ -88,8 +88,12 @@ void Fig3_TotalSelection(benchmark::State& state) {
   core::ProbabilisticSelector selector;
   sim::Rng rng(3);
   for (auto _ : state) {
-    auto candidates = compute_candidates(histories, model, qos);
-    auto result = selector.select(std::move(candidates), 0.6, qos, rng);
+    core::SelectionContext ctx;
+    ctx.candidates = compute_candidates(histories, model, qos);
+    ctx.stale_factor = 0.6;
+    ctx.qos = qos;
+    ctx.rng = &rng;
+    auto result = selector.select(ctx);
     benchmark::DoNotOptimize(result);
   }
   state.SetLabel("replicas=" + std::to_string(replicas) +
@@ -118,8 +122,12 @@ void Fig3_AlgorithmOnly(benchmark::State& state) {
   core::ProbabilisticSelector selector;
   sim::Rng rng(3);
   for (auto _ : state) {
-    auto copy = candidates;
-    auto result = selector.select(std::move(copy), 0.6, qos, rng);
+    core::SelectionContext ctx;
+    ctx.candidates = candidates;
+    ctx.stale_factor = 0.6;
+    ctx.qos = qos;
+    ctx.rng = &rng;
+    auto result = selector.select(ctx);
     benchmark::DoNotOptimize(result);
   }
 }

@@ -1,0 +1,301 @@
+// Scaling microbenchmark for the incremental selection hot path: sweeps
+// replica-pool size x sliding-window size and measures, for a steady-state
+// read workload (a performance publication every ~16 reads, round-robin
+// over the pool), how many selections/sec the client-side path sustains
+// and how many discrete convolutions each read pays — with the
+// InfoRepository response-time memo enabled vs. disabled.
+//
+// The two runs consume byte-identical event schedules and must produce
+// byte-identical SelectionResults (the memo is an optimization, not a
+// semantic change); the binary exits non-zero if they diverge, so CI can
+// run it in --smoke mode as a regression gate.
+//
+// Output: a table on stdout and BENCH_selection_scale.json with
+// selections/sec, convolutions/read, and the convolution-reduction factor
+// per (replicas, window) point.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "client/repository.hpp"
+#include "core/pmf.hpp"
+#include "core/qos.hpp"
+#include "core/selection.hpp"
+#include "obs/json.hpp"
+#include "replication/messages.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+using namespace aqueduct;
+
+namespace {
+
+struct Options {
+  std::size_t iterations = 2000;
+  std::uint64_t seed = 42;
+  bool json = true;
+  std::string json_out;
+
+  static Options parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--smoke") {
+        opt.iterations = 200;
+      } else if (arg == "--iterations" && i + 1 < argc) {
+        opt.iterations = static_cast<std::size_t>(std::stoull(argv[++i]));
+      } else if (arg == "--seed" && i + 1 < argc) {
+        opt.seed = std::stoull(argv[++i]);
+      } else if (arg == "--json-out" && i + 1 < argc) {
+        opt.json_out = argv[++i];
+      } else if (arg == "--no-json") {
+        opt.json = false;
+      }
+    }
+    return opt;
+  }
+};
+
+/// Publications arrive this many reads apart in steady state — the pool
+/// publishes far less often than clients read, which is exactly the regime
+/// the memo exploits.
+constexpr std::size_t kPublishEvery = 16;
+
+/// Measurements for one (replicas, window, cache on/off) run.
+struct ModeResult {
+  double wall_seconds = 0.0;
+  double selections_per_sec = 0.0;
+  std::uint64_t convolutions = 0;
+  double convolutions_per_read = 0.0;
+  /// Order-sensitive FNV-1a fold of every SelectionResult.
+  std::uint64_t checksum = 0;
+  client::RepositoryCacheStats cache;
+};
+
+void fold(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+}
+
+replication::GroupInfo make_roles(std::size_t replicas) {
+  replication::GroupInfo info;
+  info.epoch = 1;
+  info.sequencer = net::NodeId{1};
+  for (std::size_t i = 0; i < replicas; ++i) {
+    const net::NodeId id{static_cast<std::uint32_t>(2 + i)};
+    if (i < replicas / 2) {
+      info.primaries.push_back(id);
+    } else {
+      info.secondaries.push_back(id);
+    }
+  }
+  info.lazy_publisher = info.primaries.front();
+  return info;
+}
+
+replication::PerfPublication make_sample(std::uint32_t replica,
+                                         sim::Rng& rng) {
+  replication::PerfPublication p;
+  p.replica = net::NodeId{replica};
+  p.has_sample = true;
+  p.ts = rng.normal_duration(std::chrono::milliseconds(100),
+                             std::chrono::milliseconds(50));
+  p.tq = rng.normal_duration(std::chrono::milliseconds(5),
+                             std::chrono::milliseconds(3));
+  p.tb = rng.normal_duration(std::chrono::milliseconds(900),
+                             std::chrono::milliseconds(400));
+  p.deferred = rng.bernoulli(0.3);
+  return p;
+}
+
+core::QoSSpec bench_qos() {
+  return {.staleness_threshold = 2,
+          .deadline = std::chrono::milliseconds(140),
+          .min_probability = 0.9};
+}
+
+/// Runs the steady-state workload once. The event schedule is a pure
+/// function of (replicas, window, iterations, seed), so the cached and
+/// uncached runs see identical inputs.
+ModeResult run_mode(std::size_t replicas, std::size_t window,
+                    std::size_t iterations, std::uint64_t seed,
+                    bool cache_enabled) {
+  client::InfoRepository repo(window, std::chrono::milliseconds(1));
+  repo.set_cache_enabled(cache_enabled);
+  repo.record_group_info(make_roles(replicas));
+
+  sim::Rng rng(seed);
+  sim::TimePoint now = sim::kEpoch;
+
+  // Staleness broadcast so the deferred fallback and stale factor engage.
+  {
+    replication::PerfPublication lazy;
+    lazy.replica = repo.roles().lazy_publisher;
+    lazy.lazy = replication::LazyInfo{.n_u = 4,
+                                      .t_u = std::chrono::seconds(1),
+                                      .n_l = 1,
+                                      .t_l = std::chrono::seconds(1),
+                                      .period = std::chrono::seconds(4)};
+    repo.record_publication(lazy, now);
+  }
+
+  // Warm-up: fill every replica's windows and gateway delay.
+  for (std::size_t i = 0; i < replicas; ++i) {
+    const auto id = static_cast<std::uint32_t>(2 + i);
+    for (std::size_t s = 0; s < window; ++s) {
+      repo.record_publication(make_sample(id, rng), now);
+    }
+    repo.record_reply(net::NodeId{id},
+                      rng.normal_duration(std::chrono::microseconds(800),
+                                          std::chrono::microseconds(200)),
+                      now);
+  }
+
+  core::ProbabilisticSelector selector;
+  const core::QoSSpec qos = bench_qos();
+  ModeResult out;
+  out.checksum = 1469598103934665603ull;  // FNV-1a offset basis
+
+  repo.reset_cache_stats();
+  core::Pmf::reset_convolution_counter();
+  const auto conv_before = core::Pmf::convolutions_performed();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    now += std::chrono::milliseconds(10);
+    if (i % kPublishEvery == 0) {
+      // One replica publishes (and replies) — everyone else is unchanged.
+      const auto id =
+          static_cast<std::uint32_t>(2 + (i / kPublishEvery) % replicas);
+      repo.record_publication(make_sample(id, rng), now);
+      repo.record_reply(net::NodeId{id},
+                        rng.normal_duration(std::chrono::microseconds(800),
+                                            std::chrono::microseconds(200)),
+                        now);
+    }
+    auto ctx = repo.selection_context(qos, now, rng);
+    const auto result = selector.select(ctx);
+    for (const auto id : result.selected) {
+      fold(out.checksum, id.value());
+    }
+    fold(out.checksum, result.satisfied ? 1 : 0);
+    std::uint64_t prob_bits;
+    static_assert(sizeof(prob_bits) == sizeof(result.predicted_probability));
+    std::memcpy(&prob_bits, &result.predicted_probability, sizeof(prob_bits));
+    fold(out.checksum, prob_bits);
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.convolutions = core::Pmf::convolutions_performed() - conv_before;
+  out.convolutions_per_read =
+      static_cast<double>(out.convolutions) / static_cast<double>(iterations);
+  out.selections_per_sec =
+      out.wall_seconds <= 0.0
+          ? 0.0
+          : static_cast<double>(iterations) / out.wall_seconds;
+  out.cache = repo.cache_stats();
+  return out;
+}
+
+struct SweepPoint {
+  std::size_t replicas = 0;
+  std::size_t window = 0;
+  ModeResult cached;
+  ModeResult uncached;
+  bool identical = false;
+  double reduction = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+
+  std::cout << "=== Selection scaling: memoized vs. uncached hot path ===\n"
+            << "steady state: one publication per " << kPublishEvery
+            << " reads, round-robin; " << opt.iterations
+            << " reads per point; QoS a=2, d=140ms, Pc=0.9\n\n";
+
+  std::vector<SweepPoint> points;
+  bool all_identical = true;
+  for (const std::size_t replicas : {4, 16, 64}) {
+    for (const std::size_t window : {10, 20}) {
+      SweepPoint p;
+      p.replicas = replicas;
+      p.window = window;
+      p.cached = run_mode(replicas, window, opt.iterations, opt.seed, true);
+      p.uncached = run_mode(replicas, window, opt.iterations, opt.seed, false);
+      p.identical = p.cached.checksum == p.uncached.checksum;
+      all_identical = all_identical && p.identical;
+      p.reduction =
+          p.cached.convolutions == 0
+              ? static_cast<double>(p.uncached.convolutions)
+              : static_cast<double>(p.uncached.convolutions) /
+                    static_cast<double>(p.cached.convolutions);
+      points.push_back(p);
+
+      std::cout << "replicas=" << replicas << " window=" << window
+                << ": cached " << static_cast<std::uint64_t>(
+                       p.cached.selections_per_sec)
+                << " sel/s (" << p.cached.convolutions_per_read
+                << " conv/read), uncached "
+                << static_cast<std::uint64_t>(p.uncached.selections_per_sec)
+                << " sel/s (" << p.uncached.convolutions_per_read
+                << " conv/read), reduction " << p.reduction << "x, results "
+                << (p.identical ? "identical" : "DIVERGED") << "\n";
+    }
+  }
+
+  if (!all_identical) {
+    std::cerr << "\nFAIL: cached and uncached runs diverged\n";
+  }
+
+  if (opt.json) {
+    const std::string path = opt.json_out.empty() ? "BENCH_selection_scale.json"
+                                                  : opt.json_out;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return all_identical ? 0 : 1;
+    }
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.field("bench", std::string("selection_scale"));
+    w.field("seed", static_cast<std::uint64_t>(opt.seed));
+    w.field("iterations", static_cast<std::uint64_t>(opt.iterations));
+    w.field("publish_every", static_cast<std::uint64_t>(kPublishEvery));
+    w.key("runs");
+    w.begin_array();
+    for (const SweepPoint& p : points) {
+      w.begin_object();
+      w.field("replicas", static_cast<std::uint64_t>(p.replicas));
+      w.field("window", static_cast<std::uint64_t>(p.window));
+      w.field("cached_selections_per_sec", p.cached.selections_per_sec);
+      w.field("uncached_selections_per_sec", p.uncached.selections_per_sec);
+      w.field("cached_convolutions", p.cached.convolutions);
+      w.field("uncached_convolutions", p.uncached.convolutions);
+      w.field("cached_convolutions_per_read", p.cached.convolutions_per_read);
+      w.field("uncached_convolutions_per_read",
+              p.uncached.convolutions_per_read);
+      w.field("convolution_reduction", p.reduction);
+      w.field("cache_hits", p.cached.cache.hits);
+      w.field("cache_rebuilds", p.cached.cache.rebuilds);
+      w.field("cache_cdf_refreshes", p.cached.cache.cdf_refreshes);
+      w.field("identical_selections", p.identical);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
+    std::cout << "\nwrote " << path << "\n";
+  }
+
+  return all_identical ? 0 : 1;
+}

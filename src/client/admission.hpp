@@ -37,15 +37,17 @@ class AdmissionController {
                              const core::QoSSpec& qos,
                              sim::TimePoint now) const {
     AdmissionDecision decision;
-    auto candidates = repository.candidates(qos, now);
-    decision.available_replicas = candidates.size();
-    if (candidates.empty()) return decision;
-
-    const double stale_factor =
-        repository.stale_factor(qos.staleness_threshold, now);
+    core::SelectionContext ctx;
+    ctx.candidates = repository.candidates(qos, now);
+    ctx.stale_factor = repository.stale_factor(qos.staleness_threshold, now);
+    ctx.qos = qos;
+    ctx.now = now;
+    decision.available_replicas = ctx.candidates.size();
+    if (ctx.candidates.empty()) return decision;
 
     // P_K(d) with K = the whole pool, minus the best member if the
     // failure allowance is on (mirrors Algorithm 1's guarantee).
+    auto& candidates = ctx.candidates;
     if (tolerate_one_failure_ && candidates.size() > 1) {
       std::size_t best = 0;
       for (std::size_t i = 1; i < candidates.size(); ++i) {
@@ -56,8 +58,7 @@ class AdmissionController {
       candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best));
     }
     core::SelectAllSelector all;
-    sim::Rng rng(0);  // unused by SelectAll
-    const auto result = all.select(std::move(candidates), stale_factor, qos, rng);
+    const auto result = all.select(ctx);
     decision.achievable_probability = result.predicted_probability;
     decision.admitted =
         decision.achievable_probability >= qos.min_probability + headroom_;

@@ -69,8 +69,13 @@ void FifoClientHandler::read(net::MessagePtr op, const core::QoSSpec& qos,
 
   // FIFO consistency has no global staleness: the stale factor is 1; the
   // deferred-read distributions still account for read-your-writes waits.
-  auto candidates = repository_.candidates(qos, sim_.now());
-  auto selection = selector_.select(std::move(candidates), 1.0, qos, rng_);
+  core::SelectionContext ctx;
+  ctx.candidates = repository_.candidates(qos, sim_.now());
+  ctx.stale_factor = 1.0;
+  ctx.qos = qos;
+  ctx.now = sim_.now();
+  ctx.rng = &rng_;
+  auto selection = selector_.select(ctx);
   req.replicas_selected = selection.selected.size();
 
   auto request = std::make_shared<replication::FifoReadRequest>();

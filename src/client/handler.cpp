@@ -24,6 +24,7 @@ ClientHandler::Instruments::Instruments(obs::MetricsRegistry& reg)
       retries(reg.counter("client.retries")),
       staleness_violations(reg.counter("client.staleness_violations")),
       replicas_selected_total(reg.counter("client.replicas_selected_total")),
+      selection_attempts(reg.counter("client.selection_attempts")),
       read_response_ms(reg.histogram("client.read_response_ms")),
       update_response_ms(reg.histogram("client.update_response_ms")),
       gateway_ms(reg.histogram("client.gateway_ms")) {}
@@ -127,19 +128,18 @@ void ClientHandler::transmit_read(const replication::RequestId& id,
   const auto& roles = repository_.roles();
   const sim::TimePoint now = sim_.now();
 
-  auto candidates = repository_.candidates(req.qos, now);
-  const double stale_factor =
-      repository_.stale_factor(req.qos.staleness_threshold, now);
-  auto selection =
-      config_.selector->select(std::move(candidates), stale_factor, req.qos, rng_);
+  auto ctx = repository_.selection_context(req.qos, now, rng_);
+  auto selection = config_.selector->select(ctx);
 
   req.replicas_selected = selection.selected.size();
   req.selection_satisfied = selection.satisfied;
   req.predicted_probability = selection.predicted_probability;
-  if (req.attempts == 0) {
-    stats_.replicas_selected_total += selection.selected.size();
-    metrics_.replicas_selected_total.inc(selection.selected.size());
-  }
+  // Every attempt runs a selection; retries count too, so the average
+  // reported per attempt matches what the selector actually chose.
+  ++stats_.selection_attempts;
+  metrics_.selection_attempts.inc();
+  stats_.replicas_selected_total += selection.selected.size();
+  metrics_.replicas_selected_total.inc(selection.selected.size());
 
   auto request = std::make_shared<replication::ReadRequest>();
   request->id = id;

@@ -94,6 +94,9 @@ struct ClientStats {
   std::uint64_t retries = 0;
   std::uint64_t staleness_violations = 0;  // replies staler than requested
   std::uint64_t replicas_selected_total = 0;
+  /// Selections run, counting the initial transmission AND each retry
+  /// (each runs Algorithm 1 afresh against the current pool).
+  std::uint64_t selection_attempts = 0;
   sim::Duration total_response_time = sim::Duration::zero();
   sim::Duration total_update_response_time = sim::Duration::zero();
 
@@ -103,10 +106,12 @@ struct ClientStats {
                : static_cast<double>(timing_failures) /
                      static_cast<double>(reads_completed);
   }
+  /// Mean |K| per selection attempt (initial transmissions and retries).
   double avg_replicas_selected() const {
-    return reads_issued == 0 ? 0.0
-                             : static_cast<double>(replicas_selected_total) /
-                                   static_cast<double>(reads_issued);
+    return selection_attempts == 0
+               ? 0.0
+               : static_cast<double>(replicas_selected_total) /
+                     static_cast<double>(selection_attempts);
   }
   sim::Duration avg_response_time() const {
     return reads_completed == 0 ? sim::Duration::zero()
@@ -233,6 +238,7 @@ class ClientHandler {
     obs::Counter& retries;
     obs::Counter& staleness_violations;
     obs::Counter& replicas_selected_total;
+    obs::Counter& selection_attempts;
     obs::Histogram& read_response_ms;
     obs::Histogram& update_response_ms;
     obs::Histogram& gateway_ms;

@@ -19,14 +19,37 @@
 
 namespace aqueduct::client {
 
-/// Result of a proxied invocation, read or update.
+/// Result of a proxied invocation, read or update. Constructible directly
+/// from the handler outcomes so the proxy cannot silently drop fields when
+/// ReadOutcome/UpdateOutcome grow.
 struct InvokeOutcome {
+  InvokeOutcome() = default;
+
+  explicit InvokeOutcome(const ReadOutcome& read)
+      : result(read.result),
+        response_time(read.response_time),
+        was_read(true),
+        timing_failure(read.timing_failure),
+        staleness(read.staleness),
+        deferred(read.deferred),
+        responder(read.responder),
+        replicas_selected(read.replicas_selected) {}
+
+  explicit InvokeOutcome(const UpdateOutcome& update)
+      : result(update.result), response_time(update.response_time) {}
+
   net::MessagePtr result;
   sim::Duration response_time = sim::Duration::zero();
   bool was_read = false;
   /// Read-path details (defaulted for updates).
   bool timing_failure = false;
   core::Staleness staleness = 0;
+  /// The reply came from a deferred (lazy-wait) read.
+  bool deferred = false;
+  /// Replica whose reply was delivered (invalid for updates/abandonment).
+  net::NodeId responder;
+  /// |K| the selector chose for the read.
+  std::size_t replicas_selected = 0;
 };
 
 class ServiceProxy {
@@ -58,22 +81,12 @@ class ServiceProxy {
     if (registry_.is_read_only(method)) {
       handler_.read(std::move(op), qos,
                     [done = std::move(done)](const ReadOutcome& read) {
-                      InvokeOutcome outcome;
-                      outcome.result = read.result;
-                      outcome.response_time = read.response_time;
-                      outcome.was_read = true;
-                      outcome.timing_failure = read.timing_failure;
-                      outcome.staleness = read.staleness;
-                      if (done) done(outcome);
+                      if (done) done(InvokeOutcome(read));
                     });
     } else {
       handler_.update(std::move(op),
                       [done = std::move(done)](const UpdateOutcome& update) {
-                        InvokeOutcome outcome;
-                        outcome.result = update.result;
-                        outcome.response_time = update.response_time;
-                        outcome.was_read = false;
-                        if (done) done(outcome);
+                        if (done) done(InvokeOutcome(update));
                       });
     }
   }

@@ -42,7 +42,7 @@ void InfoRepository::record_reply(net::NodeId replica,
                                   sim::Duration gateway_delay,
                                   sim::TimePoint now) {
   core::PerfHistory& h = history(replica);
-  h.gateway_delay = gateway_delay;
+  h.set_gateway_delay(gateway_delay);
   h.last_reply_at = now;
 }
 
@@ -73,10 +73,7 @@ std::vector<core::CandidateReplica> InfoRepository::candidates(
     c.id = id;
     c.is_primary = is_primary;
     if (const core::PerfHistory* h = find_history(id)) {
-      c.immediate_cdf = model_.immediate_cdf(*h, qos.deadline);
-      if (!is_primary) {
-        c.deferred_cdf = model_.deferred_cdf(*h, qos.deadline, fallback_u);
-      }
+      estimate_cdfs(id, *h, qos.deadline, fallback_u, c);
       c.ert = now - h->last_reply_at;
     } else {
       // Never heard from: maximal ert so the LRU sort tries it first, zero
@@ -89,6 +86,78 @@ std::vector<core::CandidateReplica> InfoRepository::candidates(
   for (const net::NodeId id : roles_->primaries) add(id, true);
   for (const net::NodeId id : roles_->secondaries) add(id, false);
   return out;
+}
+
+void InfoRepository::estimate_cdfs(
+    net::NodeId id, const core::PerfHistory& h, sim::Duration deadline,
+    std::optional<sim::Duration> fallback_lazy_wait,
+    core::CandidateReplica& out) const {
+  const bool want_deferred = !out.is_primary;
+  if (!cache_enabled_) {
+    out.immediate_cdf = model_.immediate_cdf(h, deadline);
+    if (want_deferred) {
+      out.deferred_cdf = model_.deferred_cdf(h, deadline, fallback_lazy_wait);
+    }
+    return;
+  }
+
+  CachedEstimate& e = estimates_[id];
+  const std::uint64_t version = h.version();
+  const bool pmfs_current = e.valid && e.history_version == version &&
+                            e.fallback_lazy_wait == fallback_lazy_wait;
+  if (!pmfs_current) {
+    // Publication/reply (or a fallback change) invalidated the entry:
+    // redo the Eq. 5/6 convolutions.
+    e.immediate = model_.immediate_pmf(h);
+    e.has_deferred = want_deferred;
+    e.deferred = want_deferred ? model_.deferred_from_immediate(
+                                     e.immediate, h, fallback_lazy_wait)
+                               : core::Pmf{};
+    e.history_version = version;
+    e.fallback_lazy_wait = fallback_lazy_wait;
+    e.valid = true;
+    e.deadline = deadline;
+    e.immediate_cdf = e.immediate.cdf(deadline);
+    e.deferred_cdf = e.deferred.cdf(deadline);
+    ++cache_stats_.rebuilds;
+  } else if (want_deferred && !e.has_deferred) {
+    // The replica turned secondary between queries: complete the entry
+    // with the deferred pmf (the immediate one is still current).
+    e.deferred = model_.deferred_from_immediate(e.immediate, h,
+                                                fallback_lazy_wait);
+    e.has_deferred = true;
+    e.deadline = deadline;
+    e.immediate_cdf = e.immediate.cdf(deadline);
+    e.deferred_cdf = e.deferred.cdf(deadline);
+    ++cache_stats_.rebuilds;
+  } else if (e.deadline != deadline) {
+    // Same distributions, new deadline: re-evaluate the CDFs from the
+    // cached pmfs (a linear scan, no convolution).
+    e.deadline = deadline;
+    e.immediate_cdf = e.immediate.cdf(deadline);
+    e.deferred_cdf = e.deferred.cdf(deadline);
+    ++cache_stats_.cdf_refreshes;
+  } else {
+    ++cache_stats_.hits;
+  }
+  out.immediate_cdf = e.immediate_cdf;
+  if (want_deferred) out.deferred_cdf = e.deferred_cdf;
+}
+
+core::SelectionContext InfoRepository::selection_context(
+    const core::QoSSpec& qos, sim::TimePoint now, sim::Rng& rng) const {
+  core::SelectionContext ctx;
+  ctx.candidates = candidates(qos, now);
+  ctx.stale_factor = stale_factor(qos.staleness_threshold, now);
+  ctx.qos = qos;
+  ctx.now = now;
+  ctx.rng = &rng;
+  return ctx;
+}
+
+void InfoRepository::set_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  if (!enabled) estimates_.clear();
 }
 
 double InfoRepository::stale_factor(core::Staleness a, sim::TimePoint now) const {

@@ -5,6 +5,13 @@
 // last-reply timestamp for this client-replica pair, plus the staleness
 // estimation state fed by the lazy publisher's broadcasts. From these it
 // builds the candidate vector Algorithm 1 consumes.
+//
+// The Eq. 5/6 distributions only change when a publication or reply
+// mutates a history (PerfHistory::version()), so the repository memoizes
+// each replica's immediate/deferred pmfs — and their CDF at the last-seen
+// deadline — keyed on (history version, deferred fallback, deadline).
+// A read against an unchanged replica costs a hash lookup instead of two
+// O(window²) convolutions (see DESIGN.md "Information repository caching").
 #pragma once
 
 #include <cstdint>
@@ -12,14 +19,30 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/pmf.hpp"
 #include "core/qos.hpp"
 #include "core/response_model.hpp"
 #include "core/selection.hpp"
 #include "core/staleness.hpp"
 #include "replication/messages.hpp"
+#include "sim/random.hpp"
 #include "sim/time.hpp"
 
 namespace aqueduct::client {
+
+/// Effectiveness counters of the response-time memo (see DESIGN.md).
+struct RepositoryCacheStats {
+  /// Deadline, fallback, and history version all matched: the candidate's
+  /// CDFs were served without touching a pmf.
+  std::uint64_t hits = 0;
+  /// History version (or fallback) changed: pmfs rebuilt by convolution.
+  std::uint64_t rebuilds = 0;
+  /// Pmfs were current but the deadline differed: CDFs re-evaluated from
+  /// the cached pmfs (a linear scan, no convolution).
+  std::uint64_t cdf_refreshes = 0;
+
+  std::uint64_t lookups() const { return hits + rebuilds + cdf_refreshes; }
+};
 
 class InfoRepository {
  public:
@@ -49,9 +72,16 @@ class InfoRepository {
 
   /// Builds the Algorithm 1 input vector V for a read with spec `qos`:
   /// every primary (except the sequencer) and every secondary, with
-  /// F^I(d), F^D(d) and ert filled in.
+  /// F^I(d), F^D(d) and ert filled in. CDFs are served from the memo when
+  /// the replica's history is unchanged since the last query.
   std::vector<core::CandidateReplica> candidates(const core::QoSSpec& qos,
                                                  sim::TimePoint now) const;
+
+  /// Bundles candidates (memoized), the staleness factor, and the caller's
+  /// qos/now/rng into the input of ReplicaSelector::select().
+  core::SelectionContext selection_context(const core::QoSSpec& qos,
+                                           sim::TimePoint now,
+                                           sim::Rng& rng) const;
 
   /// P(A_s(t) <= a) for the secondary group, via the Poisson model (Eq. 4).
   /// 1.0 until the first staleness broadcast arrives (no updates observed
@@ -76,13 +106,49 @@ class InfoRepository {
   const core::ResponseTimeModel& model() const { return model_; }
   std::size_t window_size() const { return window_size_; }
 
+  /// Disabling the memo forces every candidates() call to rebuild the
+  /// pmfs from scratch (the pre-cache behaviour) — for A/B benches and
+  /// coherence tests. Results must be bit-identical either way.
+  void set_cache_enabled(bool enabled);
+  bool cache_enabled() const { return cache_enabled_; }
+  const RepositoryCacheStats& cache_stats() const { return cache_stats_; }
+  void reset_cache_stats() { cache_stats_ = {}; }
+
  private:
+  /// Memoized per-replica Eq. 5/6 artifacts. `history_version` and
+  /// `fallback_lazy_wait` key the pmfs; `deadline` additionally keys the
+  /// CDF values evaluated from them.
+  struct CachedEstimate {
+    bool valid = false;
+    /// The deferred pmf is filled lazily (primaries never ask for it).
+    bool has_deferred = false;
+    std::uint64_t history_version = 0;
+    std::optional<sim::Duration> fallback_lazy_wait;
+    core::Pmf immediate;
+    core::Pmf deferred;
+    sim::Duration deadline = sim::Duration::zero();
+    double immediate_cdf = 0.0;
+    double deferred_cdf = 0.0;
+  };
+
+  /// F^I(d) / F^D(d) for one replica, through the memo (or bypassing it
+  /// when the cache is disabled).
+  void estimate_cdfs(net::NodeId id, const core::PerfHistory& history,
+                     sim::Duration deadline,
+                     std::optional<sim::Duration> fallback_lazy_wait,
+                     core::CandidateReplica& out) const;
+
   std::size_t window_size_;
   core::ResponseTimeModel model_;
   std::unordered_map<net::NodeId, core::PerfHistory> histories_;
   core::ArrivalRateEstimator arrival_rate_;
   core::LazyIntervalTracker lazy_tracker_;
   std::optional<replication::GroupInfo> roles_;
+
+  // The memo is observably pure: candidates() stays const.
+  mutable std::unordered_map<net::NodeId, CachedEstimate> estimates_;
+  mutable RepositoryCacheStats cache_stats_;
+  bool cache_enabled_ = true;
 };
 
 }  // namespace aqueduct::client

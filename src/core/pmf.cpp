@@ -16,7 +16,13 @@ sim::Duration bucket(sim::Duration v, sim::Duration resolution) {
   return sim::Duration((v.count() / r) * r);
 }
 
+std::uint64_t g_convolutions = 0;
+
 }  // namespace
+
+std::uint64_t Pmf::convolutions_performed() { return g_convolutions; }
+
+void Pmf::reset_convolution_counter() { g_convolutions = 0; }
 
 Pmf Pmf::point_mass(sim::Duration value) {
   Pmf pmf;
@@ -42,6 +48,7 @@ Pmf Pmf::convolve(const Pmf& other) const {
   Pmf out;
   out.resolution_ = std::max(resolution_, other.resolution_);
   if (empty() || other.empty()) return out;
+  ++g_convolutions;
   std::map<sim::Duration, double> mass;
   for (const auto& [xv, xp] : entries_) {
     for (const auto& [yv, yp] : other.entries_) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -58,6 +59,12 @@ class Pmf {
   }
 
   sim::Duration resolution() const { return resolution_; }
+
+  /// Process-wide count of non-trivial convolutions performed (both
+  /// operands non-empty). The O(n·m) double loop dominates the selection
+  /// hot path, so benches and cache-effectiveness tests meter it.
+  static std::uint64_t convolutions_performed();
+  static void reset_convolution_counter();
 
  private:
   std::vector<std::pair<sim::Duration, double>> entries_;

@@ -18,8 +18,8 @@ Pmf ResponseTimeModel::immediate_pmf(const PerfHistory& history) const {
   if (!history.queueing.empty()) {
     pmf = pmf.convolve(window_pmf(history.queueing));
   }
-  if (history.gateway_delay) {
-    pmf = pmf.shift(*history.gateway_delay);
+  if (history.gateway_delay()) {
+    pmf = pmf.shift(*history.gateway_delay());
   }
   return pmf;
 }
@@ -27,13 +27,19 @@ Pmf ResponseTimeModel::immediate_pmf(const PerfHistory& history) const {
 Pmf ResponseTimeModel::deferred_pmf(
     const PerfHistory& history,
     std::optional<sim::Duration> fallback_lazy_wait) const {
-  Pmf base = immediate_pmf(history);
-  if (base.empty()) return {};
+  return deferred_from_immediate(immediate_pmf(history), history,
+                                 fallback_lazy_wait);
+}
+
+Pmf ResponseTimeModel::deferred_from_immediate(
+    const Pmf& immediate, const PerfHistory& history,
+    std::optional<sim::Duration> fallback_lazy_wait) const {
+  if (immediate.empty()) return {};
   if (!history.lazy_wait.empty()) {
-    return base.convolve(window_pmf(history.lazy_wait));
+    return immediate.convolve(window_pmf(history.lazy_wait));
   }
   if (fallback_lazy_wait) {
-    return base.shift(*fallback_lazy_wait);
+    return immediate.shift(*fallback_lazy_wait);
   }
   return {};
 }

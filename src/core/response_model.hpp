@@ -12,6 +12,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <optional>
 
 #include "core/pmf.hpp"
@@ -22,6 +23,12 @@ namespace aqueduct::core {
 
 /// Per-replica performance history kept in a client's information
 /// repository (paper Section 5.4).
+///
+/// Every mutation that can change the derived response-time distributions
+/// (a window push or a gateway-delay update) advances version(), so the
+/// Eq. 5/6 pmfs and their CDF-at-deadline can be memoized between
+/// publication/reply events. last_reply_at is deliberately unversioned:
+/// it only feeds the ert sort, never the distributions.
 struct PerfHistory {
   explicit PerfHistory(std::size_t window_size)
       : service(window_size), queueing(window_size), lazy_wait(window_size) {}
@@ -29,14 +36,35 @@ struct PerfHistory {
   SlidingWindow<sim::Duration> service;    // t_s samples
   SlidingWindow<sim::Duration> queueing;   // t_q samples
   SlidingWindow<sim::Duration> lazy_wait;  // t_b samples (deferred reads)
-  /// Most recent two-way gateway-to-gateway delay t_g for this
-  /// client-replica pair; nullopt until the first reply.
-  std::optional<sim::Duration> gateway_delay;
   /// When this client last received a reply from the replica (for the
   /// elapsed-response-time sort in Algorithm 1). kEpoch if never.
   sim::TimePoint last_reply_at = sim::kEpoch;
 
+  /// Records the most recent two-way gateway-to-gateway delay t_g for this
+  /// client-replica pair (only the latest value is kept, Section 5.2).
+  void set_gateway_delay(sim::Duration tg) {
+    gateway_delay_ = tg;
+    ++gateway_version_;
+  }
+
+  /// nullopt until the first reply.
+  const std::optional<sim::Duration>& gateway_delay() const {
+    return gateway_delay_;
+  }
+
+  /// Monotonically increasing across every distribution-relevant mutation.
+  /// Each event (publication sample, gateway update) bumps exactly one of
+  /// the summed counters, so equal versions imply identical distributions.
+  std::uint64_t version() const {
+    return service.version() + queueing.version() + lazy_wait.version() +
+           gateway_version_;
+  }
+
   bool has_samples() const { return !service.empty(); }
+
+ private:
+  std::optional<sim::Duration> gateway_delay_;
+  std::uint64_t gateway_version_ = 0;
 };
 
 /// Computes F^I_{R_i}(d) and F^D_{R_i}(d) from a PerfHistory.
@@ -54,6 +82,14 @@ class ResponseTimeModel {
   /// interval) substitutes for the U pmf; otherwise the result is empty.
   Pmf deferred_pmf(const PerfHistory& history,
                    std::optional<sim::Duration> fallback_lazy_wait = {}) const;
+
+  /// Eq. 6 from an already-computed Eq. 5 pmf: adds the U term without
+  /// re-convolving S + W + G. Bit-identical to deferred_pmf() when
+  /// `immediate` equals immediate_pmf(history); memo rebuilds use it to
+  /// halve their convolution cost.
+  Pmf deferred_from_immediate(
+      const Pmf& immediate, const PerfHistory& history,
+      std::optional<sim::Duration> fallback_lazy_wait = {}) const;
 
   /// F^I_{R_i}(d) = P(S + W + G <= d). 0 when no history exists — an
   /// unknown replica is never credited with meeting a deadline.

@@ -55,9 +55,26 @@ void sort_candidates(std::vector<CandidateReplica>& candidates, bool by_ert) {
 
 }  // namespace
 
-SelectionResult ProbabilisticSelector::select(
+// Definition of the deprecated shim; suppress the self-referential
+// deprecation diagnostic the definition itself would emit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+SelectionResult ReplicaSelector::select(
     std::vector<CandidateReplica> candidates, double stale_factor,
-    const QoSSpec& qos, sim::Rng& /*rng*/) {
+    const QoSSpec& qos, sim::Rng& rng) {
+  SelectionContext ctx;
+  ctx.candidates = std::move(candidates);
+  ctx.stale_factor = stale_factor;
+  ctx.qos = qos;
+  ctx.rng = &rng;
+  return select(ctx);
+}
+#pragma GCC diagnostic pop
+
+SelectionResult ProbabilisticSelector::select(SelectionContext& ctx) {
+  std::vector<CandidateReplica>& candidates = ctx.candidates;
+  const double stale_factor = ctx.stale_factor;
+  const QoSSpec& qos = ctx.qos;
   qos.validate();
   AQUEDUCT_CHECK(stale_factor >= 0.0 && stale_factor <= 1.0);
 
@@ -116,35 +133,34 @@ std::string ProbabilisticSelector::name() const {
   return n;
 }
 
-SelectionResult SelectAllSelector::select(
-    std::vector<CandidateReplica> candidates, double stale_factor,
-    const QoSSpec& qos, sim::Rng& /*rng*/) {
+SelectionResult SelectAllSelector::select(SelectionContext& ctx) {
   SelectionResult result;
-  CdfAccumulator acc(stale_factor);
-  for (const CandidateReplica& r : candidates) {
+  CdfAccumulator acc(ctx.stale_factor);
+  for (const CandidateReplica& r : ctx.candidates) {
     result.selected.push_back(r.id);
-    acc.include(r, qos.min_probability);
+    acc.include(r, ctx.qos.min_probability);
   }
-  result.satisfied = acc.probability() >= qos.min_probability;
+  result.satisfied = acc.probability() >= ctx.qos.min_probability;
   result.predicted_probability = acc.probability();
   return result;
 }
 
-SelectionResult SelectOneSelector::select(
-    std::vector<CandidateReplica> candidates, double stale_factor,
-    const QoSSpec& qos, sim::Rng& rng) {
+SelectionResult SelectOneSelector::select(SelectionContext& ctx) {
+  const std::vector<CandidateReplica>& candidates = ctx.candidates;
   SelectionResult result;
   if (candidates.empty()) return result;
   std::size_t pick = 0;
   if (policy_ == Policy::kRandom) {
-    pick = static_cast<std::size_t>(rng.uniform_int(candidates.size()));
+    AQUEDUCT_CHECK_MSG(ctx.rng != nullptr,
+                       "SelectOneSelector(kRandom) needs SelectionContext.rng");
+    pick = static_cast<std::size_t>(ctx.rng->uniform_int(candidates.size()));
   } else {
     for (std::size_t i = 1; i < candidates.size(); ++i) {
       if (candidates[i].ert > candidates[pick].ert) pick = i;
     }
   }
-  CdfAccumulator acc(stale_factor);
-  result.satisfied = acc.include(candidates[pick], qos.min_probability);
+  CdfAccumulator acc(ctx.stale_factor);
+  result.satisfied = acc.include(candidates[pick], ctx.qos.min_probability);
   result.predicted_probability = acc.probability();
   result.selected.push_back(candidates[pick].id);
   return result;
@@ -154,18 +170,16 @@ std::string SelectOneSelector::name() const {
   return policy_ == Policy::kRandom ? "select-one/random" : "select-one/lru";
 }
 
-SelectionResult FixedKSelector::select(std::vector<CandidateReplica> candidates,
-                                       double stale_factor, const QoSSpec& qos,
-                                       sim::Rng& /*rng*/) {
+SelectionResult FixedKSelector::select(SelectionContext& ctx) {
   SelectionResult result;
-  sort_candidates(candidates, /*by_ert=*/false);
-  CdfAccumulator acc(stale_factor);
-  const std::size_t n = std::min(k_, candidates.size());
+  sort_candidates(ctx.candidates, /*by_ert=*/false);
+  CdfAccumulator acc(ctx.stale_factor);
+  const std::size_t n = std::min(k_, ctx.candidates.size());
   for (std::size_t i = 0; i < n; ++i) {
-    result.selected.push_back(candidates[i].id);
-    acc.include(candidates[i], qos.min_probability);
+    result.selected.push_back(ctx.candidates[i].id);
+    acc.include(ctx.candidates[i], ctx.qos.min_probability);
   }
-  result.satisfied = acc.probability() >= qos.min_probability;
+  result.satisfied = acc.probability() >= ctx.qos.min_probability;
   result.predicted_probability = acc.probability();
   return result;
 }

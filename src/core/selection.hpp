@@ -43,17 +43,41 @@ struct SelectionResult {
   double predicted_probability = 0.0;
 };
 
+/// Everything a selector needs to choose a read's transmission set,
+/// bundled so that adding an input (a new knob, a timestamp, a cache
+/// handle) does not churn every selector signature again.
+/// InfoRepository::selection_context() builds one with the candidate CDFs
+/// served from its memoized response-time cache.
+struct SelectionContext {
+  /// Algorithm 1's input vector V. Selectors may reorder or consume it.
+  std::vector<CandidateReplica> candidates;
+  /// P(A_s(t) <= a) for the secondary group (Eq. 4); primaries always
+  /// satisfy the threshold (their factor is 1).
+  double stale_factor = 1.0;
+  QoSSpec qos;
+  /// Selection time (candidate ert values are relative to it).
+  sim::TimePoint now = sim::kEpoch;
+  /// Randomness source for stochastic policies; may be null for
+  /// deterministic selectors.
+  sim::Rng* rng = nullptr;
+};
+
 /// Strategy interface so the client handler and benches can swap selectors.
 class ReplicaSelector {
  public:
   virtual ~ReplicaSelector() = default;
 
-  /// Chooses a subset of `candidates` to service a read with spec `qos`.
-  /// `stale_factor` is P(A_s(t) <= a) for the secondary group (Eq. 4);
-  /// primaries always satisfy the threshold (their factor is 1).
-  virtual SelectionResult select(std::vector<CandidateReplica> candidates,
-                                 double stale_factor, const QoSSpec& qos,
-                                 sim::Rng& rng) = 0;
+  /// Chooses a subset of `ctx.candidates` to service a read with spec
+  /// `ctx.qos`. The context is mutable: selectors sort the candidate
+  /// vector in place.
+  virtual SelectionResult select(SelectionContext& ctx) = 0;
+
+  /// Forwarding shim for the pre-SelectionContext signature; migrate call
+  /// sites to select(SelectionContext&).
+  [[deprecated("bundle the arguments in a SelectionContext")]]
+  SelectionResult select(std::vector<CandidateReplica> candidates,
+                         double stale_factor, const QoSSpec& qos,
+                         sim::Rng& rng);
 
   virtual std::string name() const = 0;
 };
@@ -77,9 +101,8 @@ class ProbabilisticSelector final : public ReplicaSelector {
   explicit ProbabilisticSelector(ProbabilisticOptions options = {})
       : options_(options) {}
 
-  SelectionResult select(std::vector<CandidateReplica> candidates,
-                         double stale_factor, const QoSSpec& qos,
-                         sim::Rng& rng) override;
+  using ReplicaSelector::select;
+  SelectionResult select(SelectionContext& ctx) override;
 
   std::string name() const override;
 
@@ -91,9 +114,8 @@ class ProbabilisticSelector final : public ReplicaSelector {
 /// "simple approach" the paper rejects as unscalable, Section 5).
 class SelectAllSelector final : public ReplicaSelector {
  public:
-  SelectionResult select(std::vector<CandidateReplica> candidates,
-                         double stale_factor, const QoSSpec& qos,
-                         sim::Rng& rng) override;
+  using ReplicaSelector::select;
+  SelectionResult select(SelectionContext& ctx) override;
   std::string name() const override { return "select-all"; }
 };
 
@@ -105,9 +127,8 @@ class SelectOneSelector final : public ReplicaSelector {
   enum class Policy { kRandom, kLeastRecentlyUsed };
   explicit SelectOneSelector(Policy policy) : policy_(policy) {}
 
-  SelectionResult select(std::vector<CandidateReplica> candidates,
-                         double stale_factor, const QoSSpec& qos,
-                         sim::Rng& rng) override;
+  using ReplicaSelector::select;
+  SelectionResult select(SelectionContext& ctx) override;
   std::string name() const override;
 
  private:
@@ -119,9 +140,8 @@ class FixedKSelector final : public ReplicaSelector {
  public:
   explicit FixedKSelector(std::size_t k) : k_(k) {}
 
-  SelectionResult select(std::vector<CandidateReplica> candidates,
-                         double stale_factor, const QoSSpec& qos,
-                         sim::Rng& rng) override;
+  using ReplicaSelector::select;
+  SelectionResult select(SelectionContext& ctx) override;
   std::string name() const override;
 
  private:

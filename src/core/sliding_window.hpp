@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/check.hpp"
@@ -25,6 +26,7 @@ class SlidingWindow {
       ring_[next_] = value;
       next_ = (next_ + 1) % capacity_;
     }
+    ++version_;
   }
 
   std::size_t size() const { return ring_.size(); }
@@ -35,7 +37,13 @@ class SlidingWindow {
   void clear() {
     ring_.clear();
     next_ = 0;
+    ++version_;
   }
+
+  /// Monotonically increasing mutation counter: bumped on every push() and
+  /// clear(). Lets derived artifacts (pmfs, CDFs) be memoized and
+  /// invalidated only when the window's contents actually changed.
+  std::uint64_t version() const { return version_; }
 
   /// Values oldest-first.
   std::vector<T> values() const {
@@ -69,6 +77,7 @@ class SlidingWindow {
   std::size_t capacity_;
   std::vector<T> ring_;
   std::size_t next_ = 0;  // index of the oldest element once full
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace aqueduct::core

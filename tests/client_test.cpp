@@ -220,6 +220,30 @@ TEST(ClientHandler, AbandonsAfterMaxRetries) {
   EXPECT_EQ(client.stats().reads_abandoned, 1u);
 }
 
+TEST(ClientHandler, RetriesCountedInSelectionAccounting) {
+  // Every retry runs Algorithm 1 afresh, so replicas_selected_total and
+  // selection_attempts must grow on each attempt, not just attempt 0.
+  Fixture f;
+  ClientConfig config;
+  config.retry_timeout = milliseconds(300);
+  config.max_retries = 2;
+  auto& client = f.add_client(std::move(config));
+  f.settle();
+  // Crash everything that could answer reads: the single read below then
+  // exercises the initial transmission plus both retries.
+  for (std::size_t i = 1; i < f.replicas.size(); ++i) f.replicas[i]->crash();
+  client.read(std::make_shared<replication::RegisterRead>(), qos(200), {});
+  f.settle(seconds(20));
+  const auto& stats = client.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.selection_attempts, 3u);  // initial + 2 retries
+  // Each attempt selected at least one replica, and the average is over
+  // attempts, not reads.
+  EXPECT_GE(stats.replicas_selected_total, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_replicas_selected(),
+                   static_cast<double>(stats.replicas_selected_total) / 3.0);
+}
+
 TEST(ClientHandler, ErtUpdatedOnReplies) {
   Fixture f;
   auto& client = f.add_client();
@@ -245,10 +269,10 @@ TEST(ClientHandler, GatewayDelayMeasuredPositiveAndSmall) {
   f.settle(seconds(3));
   for (std::size_t i = 1; i < f.replicas.size(); ++i) {
     const auto* h = client.repository().find_history(f.replicas[i]->id());
-    if (h == nullptr || !h->gateway_delay) continue;
+    if (h == nullptr || !h->gateway_delay()) continue;
     // Two-way gateway delay ~ 2 x 1ms network latency; must not include
     // the 50ms service time (that is what the t1 piggyback removes).
-    EXPECT_LT(*h->gateway_delay, milliseconds(20));
+    EXPECT_LT(*h->gateway_delay(), milliseconds(20));
   }
 }
 

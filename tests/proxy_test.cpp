@@ -95,6 +95,41 @@ TEST(ServiceProxy, DeclaredMethodRoutesAsRead) {
   EXPECT_EQ(f.handler->stats().updates_completed, 1u);
 }
 
+TEST(ServiceProxy, ReadOutcomeFieldsSurviveConversion) {
+  // InvokeOutcome is built via the converting constructor; the read-path
+  // details (responder, |K|, deferred flag) must come through intact.
+  Fixture f;
+  ServiceProxy proxy(*f.handler, f.kv_registry(), default_qos());
+  auto put = std::make_shared<replication::KvPut>();
+  put->key = "k";
+  put->value = "v";
+  proxy.invoke("put", put, {});
+  f.sim.run_for(seconds(1));
+
+  InvokeOutcome outcome;
+  auto get = std::make_shared<replication::KvGet>();
+  get->key = "k";
+  proxy.invoke("get", get, [&](const InvokeOutcome& o) { outcome = o; });
+  f.sim.run_for(seconds(1));
+
+  EXPECT_TRUE(outcome.was_read);
+  EXPECT_TRUE(outcome.responder.valid());
+  EXPECT_GE(outcome.replicas_selected, 1u);
+  EXPECT_GT(outcome.response_time, sim::Duration::zero());
+
+  // The update path defaults the read-only fields.
+  InvokeOutcome update_outcome;
+  auto put2 = std::make_shared<replication::KvPut>();
+  put2->key = "k";
+  put2->value = "w";
+  proxy.invoke("put", put2,
+               [&](const InvokeOutcome& o) { update_outcome = o; });
+  f.sim.run_for(seconds(1));
+  EXPECT_FALSE(update_outcome.was_read);
+  EXPECT_FALSE(update_outcome.responder.valid());
+  EXPECT_EQ(update_outcome.replicas_selected, 0u);
+}
+
 TEST(ServiceProxy, UndeclaredMethodIsAnUpdate) {
   // "If an operation is not specified as read-only, then our middleware
   // considers it to be an update operation" — even if it happens to be a

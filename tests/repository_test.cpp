@@ -145,7 +145,7 @@ TEST(InfoRepository, GatewayDelayKeepsLatestOnly) {
   repo.record_reply(net::NodeId{2}, milliseconds(9), sim::kEpoch + seconds(1));
   const auto* h = repo.find_history(net::NodeId{2});
   ASSERT_NE(h, nullptr);
-  EXPECT_EQ(*h->gateway_delay, milliseconds(9));
+  EXPECT_EQ(*h->gateway_delay(), milliseconds(9));
   EXPECT_EQ(h->last_reply_at, sim::kEpoch + seconds(1));
 }
 

@@ -19,7 +19,7 @@ PerfHistory filled_history(std::size_t window = 20) {
     h.queueing.push(milliseconds(10 * (i % 2)));
     h.lazy_wait.push(milliseconds(500 + 100 * (i % 4)));
   }
-  h.gateway_delay = milliseconds(2);
+  h.set_gateway_delay(milliseconds(2));
   h.last_reply_at = sim::kEpoch + std::chrono::seconds(1);
   return h;
 }
@@ -68,7 +68,7 @@ TEST(ResponseTimeModel, GatewayDelayUsesLatestValueOnly) {
   const ResponseTimeModel model;
   PerfHistory h = filled_history();
   const double before = model.immediate_cdf(h, milliseconds(105));
-  h.gateway_delay = milliseconds(50);  // gateway got slower
+  h.set_gateway_delay(milliseconds(50));  // gateway got slower
   const double after = model.immediate_cdf(h, milliseconds(105));
   EXPECT_LT(after, before);
 }
@@ -114,6 +114,47 @@ TEST(PerfHistoryTest, HasSamplesTracksServiceWindow) {
   EXPECT_TRUE(h.has_samples());
 }
 
+TEST(PerfHistoryTest, VersionCoversEveryDistributionInput) {
+  // Equal versions must imply identical Eq. 5/6 distributions, so every
+  // mutation that can change them bumps version(); last_reply_at (which
+  // only feeds the ert sort) does not.
+  PerfHistory h(5);
+  const auto v0 = h.version();
+  h.service.push(milliseconds(10));
+  EXPECT_GT(h.version(), v0);
+  const auto v1 = h.version();
+  h.queueing.push(milliseconds(1));
+  EXPECT_GT(h.version(), v1);
+  const auto v2 = h.version();
+  h.lazy_wait.push(milliseconds(500));
+  EXPECT_GT(h.version(), v2);
+  const auto v3 = h.version();
+  h.set_gateway_delay(milliseconds(2));
+  EXPECT_GT(h.version(), v3);
+  const auto v4 = h.version();
+  // Same value again still counts as a mutation event.
+  h.set_gateway_delay(milliseconds(2));
+  EXPECT_GT(h.version(), v4);
+  const auto v5 = h.version();
+  h.last_reply_at = sim::kEpoch + milliseconds(7);
+  EXPECT_EQ(h.version(), v5);
+}
+
+TEST(ResponseTimeModel, DeferredFromImmediateMatchesDirect) {
+  sim::Rng rng(11);
+  PerfHistory h(10);
+  for (int i = 0; i < 10; ++i) {
+    h.service.push(rng.normal_duration(milliseconds(100), milliseconds(40)));
+    h.queueing.push(rng.exponential_duration(milliseconds(5)));
+    h.lazy_wait.push(rng.normal_duration(milliseconds(900), milliseconds(300)));
+  }
+  h.set_gateway_delay(milliseconds(1));
+  const ResponseTimeModel model;
+  const Pmf direct = model.deferred_pmf(h);
+  const Pmf reused = model.deferred_from_immediate(model.immediate_pmf(h), h);
+  EXPECT_EQ(direct.entries(), reused.entries());
+}
+
 // Statistical property: the model's CDF at d approximates the true
 // probability P(S + W + G <= d) when the windows hold samples from the
 // true distributions.
@@ -126,7 +167,7 @@ TEST_P(ResponseModelAccuracy, TracksTrueDistribution) {
     h.service.push(rng.normal_duration(milliseconds(100), milliseconds(50)));
     h.queueing.push(rng.exponential_duration(milliseconds(5)));
   }
-  h.gateway_delay = milliseconds(1);
+  h.set_gateway_delay(milliseconds(1));
   const ResponseTimeModel model;
   const double predicted = model.immediate_cdf(h, milliseconds(140));
 

@@ -28,6 +28,18 @@ CandidateReplica replica(std::uint32_t id, bool primary, double immed,
           .ert = milliseconds(ert_ms)};
 }
 
+/// Drives a selector through the SelectionContext API.
+SelectionResult run(ReplicaSelector& selector,
+                    std::vector<CandidateReplica> candidates,
+                    double stale_factor, const QoSSpec& spec, sim::Rng& rng) {
+  SelectionContext ctx;
+  ctx.candidates = std::move(candidates);
+  ctx.stale_factor = stale_factor;
+  ctx.qos = spec;
+  ctx.rng = &rng;
+  return selector.select(ctx);
+}
+
 /// Reference computation of P_K(d) (Eq. 1–3) over a chosen subset.
 double pk(const std::vector<CandidateReplica>& chosen, double stale_factor) {
   double prim = 1.0;
@@ -48,7 +60,7 @@ double pk(const std::vector<CandidateReplica>& chosen, double stale_factor) {
 TEST(ProbabilisticSelector, EmptyCandidates) {
   ProbabilisticSelector selector;
   sim::Rng rng(1);
-  const auto result = selector.select({}, 1.0, qos(0.9), rng);
+  const auto result = run(selector, {}, 1.0, qos(0.9), rng);
   EXPECT_TRUE(result.selected.empty());
   EXPECT_FALSE(result.satisfied);
 }
@@ -59,7 +71,7 @@ TEST(ProbabilisticSelector, SingleCandidateIsNeverSatisfied) {
   ProbabilisticSelector selector;
   sim::Rng rng(1);
   const auto result =
-      selector.select({replica(1, true, 0.99, 0, 100)}, 1.0, qos(0.5), rng);
+      run(selector, {replica(1, true, 0.99, 0, 100)}, 1.0, qos(0.5), rng);
   EXPECT_EQ(result.selected.size(), 1u);
   EXPECT_FALSE(result.satisfied);
 }
@@ -71,7 +83,7 @@ TEST(ProbabilisticSelector, StopsOnceConditionMet) {
   for (std::uint32_t i = 1; i <= 8; ++i) {
     candidates.push_back(replica(i, true, 0.95, 0, 100 * static_cast<int>(i)));
   }
-  const auto result = selector.select(candidates, 1.0, qos(0.9), rng);
+  const auto result = run(selector, candidates, 1.0, qos(0.9), rng);
   EXPECT_TRUE(result.satisfied);
   // The first visited replica is held out (failure allowance); the second
   // contributes 1 - (1 - 0.95) = 0.95 >= 0.9, so |K| = 2 suffices.
@@ -86,7 +98,7 @@ TEST(ProbabilisticSelector, ReturnsAllWhenUnsatisfiable) {
   for (std::uint32_t i = 1; i <= 5; ++i) {
     candidates.push_back(replica(i, true, 0.1, 0, 100));
   }
-  const auto result = selector.select(candidates, 1.0, qos(0.99), rng);
+  const auto result = run(selector, candidates, 1.0, qos(0.99), rng);
   EXPECT_FALSE(result.satisfied);
   EXPECT_EQ(result.selected.size(), 5u);  // K = every replica
 }
@@ -95,7 +107,7 @@ TEST(ProbabilisticSelector, VisitsLeastRecentlyUsedFirst) {
   ProbabilisticSelector selector;
   sim::Rng rng(1);
   // Identical CDFs; ert decides the visit order.
-  const auto result = selector.select(
+  const auto result = run(selector, 
       {replica(1, true, 0.9, 0, 10), replica(2, true, 0.9, 0, 500),
        replica(3, true, 0.9, 0, 200)},
       1.0, qos(0.5), rng);
@@ -108,7 +120,7 @@ TEST(ProbabilisticSelector, VisitsLeastRecentlyUsedFirst) {
 TEST(ProbabilisticSelector, GreedyOrderAblationSortsByCdf) {
   ProbabilisticSelector selector(ProbabilisticOptions{.sort_by_ert = false});
   sim::Rng rng(1);
-  const auto result = selector.select(
+  const auto result = run(selector, 
       {replica(1, true, 0.2, 0, 10), replica(2, true, 0.99, 0, 5),
        replica(3, true, 0.5, 0, 1000)},
       1.0, qos(0.4), rng);
@@ -123,8 +135,8 @@ TEST(ProbabilisticSelector, StricterProbabilityNeedsMoreReplicas) {
   for (std::uint32_t i = 1; i <= 10; ++i) {
     candidates.push_back(replica(i, i <= 4, 0.6, 0.05, 100 * static_cast<int>(i)));
   }
-  const auto loose = selector.select(candidates, 0.8, qos(0.5), rng);
-  const auto strict = selector.select(candidates, 0.8, qos(0.95), rng);
+  const auto loose = run(selector, candidates, 0.8, qos(0.5), rng);
+  const auto strict = run(selector, candidates, 0.8, qos(0.95), rng);
   EXPECT_LE(loose.selected.size(), strict.selected.size());
 }
 
@@ -136,8 +148,8 @@ TEST(ProbabilisticSelector, LowerStaleFactorNeedsMoreReplicas) {
     // Mostly secondaries: the stale factor matters.
     candidates.push_back(replica(i, i <= 2, 0.7, 0.01, 100 * static_cast<int>(i)));
   }
-  const auto fresh = selector.select(candidates, 1.0, qos(0.9), rng);
-  const auto stale = selector.select(candidates, 0.3, qos(0.9), rng);
+  const auto fresh = run(selector, candidates, 1.0, qos(0.9), rng);
+  const auto stale = run(selector, candidates, 0.3, qos(0.9), rng);
   EXPECT_LE(fresh.selected.size(), stale.selected.size());
 }
 
@@ -148,7 +160,7 @@ TEST(ProbabilisticSelector, PredictionMatchesReferenceWithExclusion) {
       replica(1, true, 0.8, 0, 300), replica(2, false, 0.6, 0.1, 200),
       replica(3, true, 0.9, 0, 100)};
   const double stale_factor = 0.7;
-  const auto result = selector.select(candidates, stale_factor, qos(0.99), rng);
+  const auto result = run(selector, candidates, stale_factor, qos(0.99), rng);
   // Unsatisfiable → all selected; the prediction must equal the reference
   // P_K(d) over the selected set minus the member with the highest
   // immediate CDF (replica 3).
@@ -162,7 +174,7 @@ TEST(ProbabilisticSelector, NoFailureAllowanceCountsEveryMember) {
       ProbabilisticOptions{.tolerate_one_failure = false});
   sim::Rng rng(1);
   const auto result =
-      selector.select({replica(1, true, 0.95, 0, 100)}, 1.0, qos(0.9), rng);
+      run(selector, {replica(1, true, 0.95, 0, 100)}, 1.0, qos(0.9), rng);
   // Without the exclusion a single 0.95 replica satisfies Pc = 0.9.
   EXPECT_TRUE(result.satisfied);
   EXPECT_EQ(result.selected.size(), 1u);
@@ -186,7 +198,7 @@ TEST_P(FailureToleranceProperty, SurvivesLossOfBestMember) {
 
   ProbabilisticSelector selector;
   sim::Rng srng(1);
-  const auto result = selector.select(candidates, stale_factor, spec, srng);
+  const auto result = run(selector, candidates, stale_factor, spec, srng);
   if (!result.satisfied) return;  // nothing promised
 
   // Remove the selected member with the highest immediate CDF; the
@@ -215,7 +227,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FailureToleranceProperty,
 TEST(SelectAllSelector, TakesEverything) {
   SelectAllSelector selector;
   sim::Rng rng(1);
-  const auto result = selector.select(
+  const auto result = run(selector, 
       {replica(1, true, 0.5, 0, 1), replica(2, false, 0.5, 0.2, 2)}, 0.8,
       qos(0.9), rng);
   EXPECT_EQ(result.selected.size(), 2u);
@@ -224,7 +236,7 @@ TEST(SelectAllSelector, TakesEverything) {
 TEST(SelectOneSelector, LruPicksLargestErt) {
   SelectOneSelector selector(SelectOneSelector::Policy::kLeastRecentlyUsed);
   sim::Rng rng(1);
-  const auto result = selector.select(
+  const auto result = run(selector, 
       {replica(1, true, 0.5, 0, 10), replica(2, true, 0.5, 0, 99),
        replica(3, true, 0.5, 0, 50)},
       1.0, qos(0.5), rng);
@@ -237,7 +249,7 @@ TEST(SelectOneSelector, RandomPicksFromAll) {
   sim::Rng rng(7);
   std::vector<int> hits(3, 0);
   for (int i = 0; i < 300; ++i) {
-    const auto result = selector.select(
+    const auto result = run(selector, 
         {replica(1, true, 0.5, 0, 1), replica(2, true, 0.5, 0, 2),
          replica(3, true, 0.5, 0, 3)},
         1.0, qos(0.5), rng);
@@ -249,7 +261,7 @@ TEST(SelectOneSelector, RandomPicksFromAll) {
 TEST(FixedKSelector, TakesTopKByCdf) {
   FixedKSelector selector(2);
   sim::Rng rng(1);
-  const auto result = selector.select(
+  const auto result = run(selector, 
       {replica(1, true, 0.3, 0, 1), replica(2, true, 0.9, 0, 2),
        replica(3, true, 0.6, 0, 3)},
       1.0, qos(0.5), rng);
@@ -262,8 +274,27 @@ TEST(FixedKSelector, CapsAtAvailable) {
   FixedKSelector selector(10);
   sim::Rng rng(1);
   const auto result =
-      selector.select({replica(1, true, 0.3, 0, 1)}, 1.0, qos(0.5), rng);
+      run(selector, {replica(1, true, 0.3, 0, 1)}, 1.0, qos(0.5), rng);
   EXPECT_EQ(result.selected.size(), 1u);
+}
+
+TEST(ReplicaSelector, DeprecatedOverloadForwardsToContext) {
+  // The pre-SelectionContext signature is kept for one release as a
+  // forwarding shim; it must behave exactly like the context call.
+  ProbabilisticSelector selector;
+  sim::Rng rng(1);
+  std::vector<CandidateReplica> candidates;
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    candidates.push_back(replica(i, i <= 3, 0.9, 0.1, 100 * static_cast<int>(i)));
+  }
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto legacy = selector.select(candidates, 0.7, qos(0.9), rng);
+#pragma GCC diagnostic pop
+  const auto current = run(selector, candidates, 0.7, qos(0.9), rng);
+  EXPECT_EQ(legacy.selected, current.selected);
+  EXPECT_EQ(legacy.satisfied, current.satisfied);
+  EXPECT_DOUBLE_EQ(legacy.predicted_probability, current.predicted_probability);
 }
 
 TEST(SelectorNames, AreDescriptive) {

@@ -73,6 +73,22 @@ TEST(SlidingWindow, ZeroCapacityRejected) {
   EXPECT_THROW(SlidingWindow<int>(0), InvariantViolation);
 }
 
+TEST(SlidingWindow, VersionBumpsOnEveryMutation) {
+  SlidingWindow<int> w(3);
+  EXPECT_EQ(w.version(), 0u);
+  w.push(1);
+  EXPECT_EQ(w.version(), 1u);
+  // Evicting pushes still count: the distribution changed.
+  for (int i = 0; i < 5; ++i) w.push(i);
+  EXPECT_EQ(w.version(), 6u);
+  w.clear();
+  EXPECT_EQ(w.version(), 7u);
+  // Reads never bump the version.
+  (void)w.values();
+  (void)w.size();
+  EXPECT_EQ(w.version(), 7u);
+}
+
 class SlidingWindowOrderProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(SlidingWindowOrderProperty, ValuesAlwaysOldestFirst) {
