@@ -3,20 +3,24 @@
 // presence of delays and replica failures, if enough replicas are
 // available").
 //
-// Four runs of the standard two-client workload:
+// Five runs of the standard two-client workload:
 //   baseline          — no failures;
 //   primary-crash     — one primary replica fails mid-run;
 //   secondary-crash   — two secondaries fail mid-run;
 //   sequencer-crash   — the sequencer fails mid-run (leader failover: the
 //                       next primary becomes sequencer; the GSN barrier
-//                       prevents sequence-number reuse).
-// Reported: request completion, timing-failure probability, retries, and
-// the GSN-conflict counter (must stay 0).
+//                       prevents sequence-number reuse);
+//   recovery          — a primary crashes and is restarted 15s later: the
+//                       reborn incarnation rejoins, synchronizes via state
+//                       transfer, and is re-admitted to selection.
+// Reported: request completion, timing-failure probability, retries,
+// completed recoveries, and the GSN-conflict counter (must stay 0).
 #include <chrono>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fault/schedule.hpp"
 #include "harness/scenario.hpp"
 #include "harness/stats.hpp"
 #include "harness/table.hpp"
@@ -27,7 +31,7 @@ namespace {
 
 struct FailurePlan {
   std::string name;
-  std::vector<std::size_t> crash_indices;  // replica indices (0 = sequencer)
+  fault::FaultSchedule schedule;  // replica indices (0 = sequencer)
 };
 
 }  // namespace
@@ -37,21 +41,26 @@ int main(int argc, char** argv) {
   // Failure runs do not need the full 1000 requests to show the shape.
   if (opt.requests > 400) opt.requests = 400;
 
-  const std::vector<FailurePlan> plans = {
-      {"baseline (no failures)", {}},
-      {"primary crash", {2}},
-      {"two secondary crashes", {6, 8}},
-      {"sequencer crash", {0}},
-  };
+  using std::chrono::seconds;
+  std::vector<FailurePlan> plans(5);
+  plans[0].name = "baseline (no failures)";
+  plans[1].name = "primary crash";
+  plans[1].schedule.crash(2, seconds(100));
+  plans[2].name = "two secondary crashes";
+  plans[2].schedule.crash(6, seconds(100)).crash(8, seconds(100));
+  plans[3].name = "sequencer crash";
+  plans[3].schedule.crash(0, seconds(100));
+  plans[4].name = "primary crash + recovery";
+  plans[4].schedule.crash_restart(2, seconds(100), seconds(115));
 
   std::cout << "=== Failure injection: adaptivity under replica crashes ===\n"
             << "client QoS: a=2, d=140ms, Pc=0.9; LUI=2s; " << opt.requests
-            << " requests; crashes at t=100s\n\n";
+            << " requests; crashes at t=100s, recovery restart at t=115s\n\n";
 
   harness::Table table({"scenario", "reads_completed", "reads_abandoned",
                         "timing_failure_prob", "retries",
-                        "avg_replicas_selected", "gsn_conflicts",
-                        "staleness_violations"});
+                        "avg_replicas_selected", "reborn",
+                        "gsn_conflicts", "staleness_violations"});
 
   for (const FailurePlan& plan : plans) {
     harness::ScenarioConfig config;
@@ -67,24 +76,25 @@ int main(int argc, char** argv) {
       });
     }
     harness::Scenario scenario(std::move(config));
-    for (const std::size_t idx : plan.crash_indices) {
-      scenario.schedule_crash(idx, sim::kEpoch + std::chrono::seconds(100));
-    }
+    scenario.apply_faults(plan.schedule);
     auto results = scenario.run();
     const auto& stats = results[1].stats;
 
     std::uint64_t conflicts = 0;
+    std::uint64_t reborn = 0;  // restarted slots (fresh incarnations)
     std::uint64_t violations =
         results[0].stats.staleness_violations + stats.staleness_violations;
     for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
       conflicts += scenario.replica(i).stats().gsn_conflicts;
+      reborn += scenario.incarnation(i);
     }
     table.add_row({plan.name, std::to_string(stats.reads_completed),
                    std::to_string(stats.reads_abandoned),
                    harness::Table::num(stats.timing_failure_probability(), 3),
                    std::to_string(stats.retries),
                    harness::Table::num(stats.avg_replicas_selected(), 2),
-                   std::to_string(conflicts), std::to_string(violations)});
+                   std::to_string(reborn), std::to_string(conflicts),
+                   std::to_string(violations)});
   }
   table.print();
   if (opt.csv) table.print_csv(std::cout);

@@ -1,6 +1,7 @@
 #include "client/handler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sim/check.hpp"
@@ -22,6 +23,8 @@ ClientHandler::Instruments::Instruments(obs::MetricsRegistry& reg)
       timing_failures(reg.counter("client.timing_failures")),
       deferred_replies(reg.counter("client.deferred_replies")),
       retries(reg.counter("client.retries")),
+      transmit_attempts(reg.counter("client.transmit_attempts")),
+      retry_backoff_ms(reg.counter("client.retry_backoff_ms")),
       staleness_violations(reg.counter("client.staleness_violations")),
       replicas_selected_total(reg.counter("client.replicas_selected_total")),
       selection_attempts(reg.counter("client.selection_attempts")),
@@ -148,6 +151,8 @@ void ClientHandler::transmit_read(const replication::RequestId& id,
 
   req.tm = now;
   ++req.attempts;
+  ++stats_.transmit_attempts;
+  metrics_.transmit_attempts.inc();
   span(obs::SpanKind::kSend, id, roles.sequencer, selection.selected.size());
   // The selected set K plus the sequencer (Algorithm 1 lines 13/16).
   qos_member_->send_to_set(selection.selected, request);
@@ -168,6 +173,8 @@ void ClientHandler::transmit_update(const replication::RequestId& id,
 
   req.tm = sim_.now();
   ++req.attempts;
+  ++stats_.transmit_attempts;
+  metrics_.transmit_attempts.inc();
   span(obs::SpanKind::kSend, id, roles.sequencer, roles.primaries.size() + 1);
   // Updates go to every member of the primary group, sequencer included
   // (Section 4.1.1).
@@ -179,7 +186,24 @@ void ClientHandler::transmit_update(const replication::RequestId& id,
 void ClientHandler::arm_retry(const replication::RequestId& id) {
   OutstandingRequest& req = outstanding_.at(id);
   sim_.cancel(req.retry_timer);
-  req.retry_timer = sim_.after(config_.retry_timeout, [this, id] { on_retry(id); });
+  // Exponential backoff with seeded jitter: attempt n waits
+  // base * factor^(n-1) (capped), scaled by 1 ± U*jitter so concurrent
+  // clients don't stampede a recovering service in lockstep.
+  const double base_ms = sim::to_ms(config_.retry_timeout);
+  const double cap_ms = sim::to_ms(config_.retry_backoff_cap);
+  const std::uint32_t exponent = req.attempts > 0 ? req.attempts - 1 : 0;
+  double delay_ms = std::min(
+      cap_ms, base_ms * std::pow(config_.retry_backoff_factor,
+                                 static_cast<double>(exponent)));
+  if (config_.retry_jitter > 0.0) {
+    delay_ms *= 1.0 + config_.retry_jitter * (2.0 * rng_.uniform() - 1.0);
+  }
+  delay_ms = std::max(delay_ms, 1.0);
+  const auto delay = std::chrono::duration_cast<sim::Duration>(
+      std::chrono::duration<double, std::milli>(delay_ms));
+  stats_.total_retry_backoff += delay;
+  metrics_.retry_backoff_ms.inc(static_cast<std::uint64_t>(delay_ms));
+  req.retry_timer = sim_.after(delay, [this, id] { on_retry(id); });
 }
 
 void ClientHandler::on_retry(const replication::RequestId& id) {

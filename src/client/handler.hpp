@@ -38,8 +38,18 @@ struct ClientConfig {
   /// Replica-selection strategy; defaults to the paper's Algorithm 1.
   std::unique_ptr<core::ReplicaSelector> selector;
   /// Liveness: re-select and re-send a request that got no reply within
-  /// this duration (covers crashed replicas / sequencer failover).
+  /// this duration (covers crashed replicas / sequencer failover). This is
+  /// the *base* of the backoff schedule: attempt n waits
+  /// retry_timeout * retry_backoff_factor^(n-1), capped and jittered.
   sim::Duration retry_timeout = std::chrono::seconds(2);
+  /// Multiplier applied to the retry delay after every failed attempt.
+  double retry_backoff_factor = 2.0;
+  /// Upper bound on any single retry delay.
+  sim::Duration retry_backoff_cap = std::chrono::seconds(15);
+  /// Symmetric jitter fraction (delay scaled by 1 ± U*jitter, seeded from
+  /// the client's rng) so clients retrying into the same outage
+  /// de-synchronize instead of stampeding the reborn replica.
+  double retry_jitter = 0.1;
   /// Give up after this many retries (the outcome reports failure).
   std::uint32_t max_retries = 10;
 };
@@ -92,6 +102,12 @@ struct ClientStats {
   std::uint64_t timing_failures = 0;
   std::uint64_t deferred_replies = 0;
   std::uint64_t retries = 0;
+  /// Transmissions performed (initial sends plus retries, reads and
+  /// updates alike).
+  std::uint64_t transmit_attempts = 0;
+  /// Sum of armed retry-backoff delays (how long the backoff schedule kept
+  /// this client waiting across all attempts).
+  sim::Duration total_retry_backoff = sim::Duration::zero();
   std::uint64_t staleness_violations = 0;  // replies staler than requested
   std::uint64_t replicas_selected_total = 0;
   /// Selections run, counting the initial transmission AND each retry
@@ -236,6 +252,8 @@ class ClientHandler {
     obs::Counter& timing_failures;
     obs::Counter& deferred_replies;
     obs::Counter& retries;
+    obs::Counter& transmit_attempts;
+    obs::Counter& retry_backoff_ms;
     obs::Counter& staleness_violations;
     obs::Counter& replicas_selected_total;
     obs::Counter& selection_attempts;

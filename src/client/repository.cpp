@@ -1,5 +1,7 @@
 #include "client/repository.hpp"
 
+#include <unordered_set>
+
 #include "sim/check.hpp"
 
 namespace aqueduct::client {
@@ -46,9 +48,63 @@ void InfoRepository::record_reply(net::NodeId replica,
   h.last_reply_at = now;
 }
 
+namespace {
+
+/// Every replica the role map names (the sequencer serves no reads but can
+/// still own a history from its pre-promotion life).
+std::unordered_set<net::NodeId> role_members(const replication::GroupInfo& info) {
+  std::unordered_set<net::NodeId> out;
+  if (info.sequencer.valid()) out.insert(info.sequencer);
+  if (info.lazy_publisher.valid()) out.insert(info.lazy_publisher);
+  out.insert(info.primaries.begin(), info.primaries.end());
+  out.insert(info.secondaries.begin(), info.secondaries.end());
+  return out;
+}
+
+}  // namespace
+
 void InfoRepository::record_group_info(const replication::GroupInfo& info) {
   if (roles_ && info.epoch <= roles_->epoch) return;  // stale broadcast
+  std::unordered_set<net::NodeId> previous;
+  if (roles_) previous = role_members(*roles_);
   roles_ = info;
+  if (previous.empty()) return;  // boot: nothing to evict or warm up
+
+  const std::unordered_set<net::NodeId> current = role_members(info);
+
+  // Evict departed incarnations. NodeIds are never reused, so a replica
+  // missing from the new role map is dead for good — its samples must
+  // never blend into a reborn successor's Eq. 5/6 predictions.
+  for (auto it = histories_.begin(); it != histories_.end();) {
+    if (current.contains(it->first)) {
+      ++it;
+      continue;
+    }
+    estimates_.erase(it->first);
+    it = histories_.erase(it);
+    ++churn_stats_.histories_evicted;
+  }
+
+  // Warm up replicas that newly appear after boot (reincarnations or late
+  // joiners): without samples the selector treats them as unknowns (zero
+  // CDFs, max ert). Seed their service-side windows from the lazy
+  // publisher's history — the best cluster-wide proxy this client holds —
+  // so Algorithm 1 may pick them immediately. Link-local state (gateway
+  // delay, last reply time) stays empty: it is genuinely unknown.
+  const core::PerfHistory* publisher = find_history(info.lazy_publisher);
+  if (publisher == nullptr || !publisher->has_samples()) return;
+  for (const net::NodeId id : current) {
+    if (id == info.sequencer || previous.contains(id) ||
+        histories_.contains(id)) {
+      continue;
+    }
+    core::PerfHistory seeded(window_size_);
+    seeded.service = publisher->service;
+    seeded.queueing = publisher->queueing;
+    seeded.lazy_wait = publisher->lazy_wait;
+    histories_.emplace(id, std::move(seeded));
+    ++churn_stats_.replicas_warmed;
+  }
 }
 
 const replication::GroupInfo& InfoRepository::roles() const {

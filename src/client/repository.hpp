@@ -44,6 +44,17 @@ struct RepositoryCacheStats {
   std::uint64_t lookups() const { return hits + rebuilds + cdf_refreshes; }
 };
 
+/// Membership-churn bookkeeping: what record_group_info() evicted and
+/// warmed as role maps changed (replica crashes and reincarnations).
+struct RepositoryChurnStats {
+  /// Histories dropped because their replica left the role map (its
+  /// incarnation is dead; NodeIds are never reused).
+  std::uint64_t histories_evicted = 0;
+  /// Reborn/new replicas whose history was seeded from the lazy
+  /// publisher's samples so the selector may consider them immediately.
+  std::uint64_t replicas_warmed = 0;
+};
+
 class InfoRepository {
  public:
   /// `window_size` is the sliding-window length l (the paper evaluates 10
@@ -62,7 +73,10 @@ class InfoRepository {
   void record_reply(net::NodeId replica, sim::Duration gateway_delay,
                     sim::TimePoint now);
 
-  /// Latest role map from the sequencer.
+  /// Latest role map from the sequencer. Evicts histories of replicas that
+  /// departed (so Eq. 5/6 never mix incarnations) and warms up replicas
+  /// that newly appear after boot (reincarnations) from the lazy
+  /// publisher's history.
   void record_group_info(const replication::GroupInfo& info);
 
   // ---- queries ----
@@ -113,6 +127,7 @@ class InfoRepository {
   bool cache_enabled() const { return cache_enabled_; }
   const RepositoryCacheStats& cache_stats() const { return cache_stats_; }
   void reset_cache_stats() { cache_stats_ = {}; }
+  const RepositoryChurnStats& churn_stats() const { return churn_stats_; }
 
  private:
   /// Memoized per-replica Eq. 5/6 artifacts. `history_version` and
@@ -148,6 +163,7 @@ class InfoRepository {
   // The memo is observably pure: candidates() stays const.
   mutable std::unordered_map<net::NodeId, CachedEstimate> estimates_;
   mutable RepositoryCacheStats cache_stats_;
+  RepositoryChurnStats churn_stats_;
   bool cache_enabled_ = true;
 };
 

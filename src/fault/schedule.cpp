@@ -1,0 +1,282 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kLinkLoss: return "link_loss";
+    case FaultKind::kInboundLoss: return "inbound_loss";
+    case FaultKind::kOutboundLoss: return "outbound_loss";
+    case FaultKind::kLatencySpike: return "latency_spike";
+  }
+  return "unknown";
+}
+
+FaultSchedule& FaultSchedule::crash(std::size_t replica, sim::Duration at) {
+  FaultEvent e;
+  e.kind = FaultKind::kCrash;
+  e.at = at;
+  e.replica = replica;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::restart(std::size_t replica, sim::Duration at) {
+  FaultEvent e;
+  e.kind = FaultKind::kRestart;
+  e.at = at;
+  e.replica = replica;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::crash_restart(std::size_t replica,
+                                            sim::Duration crash_at,
+                                            sim::Duration restart_at) {
+  AQUEDUCT_CHECK_MSG(restart_at > crash_at,
+                     "restart must come after the crash");
+  crash(replica, crash_at);
+  return restart(replica, restart_at);
+}
+
+FaultSchedule& FaultSchedule::partition(std::vector<std::size_t> side_a,
+                                        std::vector<std::size_t> side_b,
+                                        sim::Duration at) {
+  FaultEvent e;
+  e.kind = FaultKind::kPartition;
+  e.at = at;
+  e.side_a = std::move(side_a);
+  e.side_b = std::move(side_b);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::heal(sim::Duration at) {
+  FaultEvent e;
+  e.kind = FaultKind::kHeal;
+  e.at = at;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::loss(double probability, sim::Duration at) {
+  FaultEvent e;
+  e.kind = FaultKind::kLoss;
+  e.at = at;
+  e.probability = probability;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::link_loss(std::size_t from, std::size_t to,
+                                        double probability, sim::Duration at) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkLoss;
+  e.at = at;
+  e.replica = from;
+  e.peer = to;
+  e.probability = probability;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::inbound_loss(std::size_t replica,
+                                           double probability,
+                                           sim::Duration at) {
+  FaultEvent e;
+  e.kind = FaultKind::kInboundLoss;
+  e.at = at;
+  e.replica = replica;
+  e.probability = probability;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::outbound_loss(std::size_t replica,
+                                            double probability,
+                                            sim::Duration at) {
+  FaultEvent e;
+  e.kind = FaultKind::kOutboundLoss;
+  e.at = at;
+  e.replica = replica;
+  e.probability = probability;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::latency_spike(std::size_t replica,
+                                            sim::Duration mean,
+                                            sim::Duration std,
+                                            sim::Duration at,
+                                            sim::Duration duration) {
+  AQUEDUCT_CHECK(duration > sim::Duration::zero());
+  FaultEvent e;
+  e.kind = FaultKind::kLatencySpike;
+  e.at = at;
+  e.replica = replica;
+  e.latency_mean = mean;
+  e.latency_std = std;
+  e.duration = duration;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule FaultSchedule::random(std::uint64_t seed,
+                                    const RandomFaultParams& params) {
+  AQUEDUCT_CHECK_MSG(params.crash_candidates > params.first_candidate,
+                     "no eligible crash candidates");
+  AQUEDUCT_CHECK(params.min_crashes <= params.max_crashes);
+  sim::Rng rng(seed);
+  FaultSchedule schedule;
+
+  const std::size_t span = params.max_crashes - params.min_crashes + 1;
+  const std::size_t crashes =
+      params.min_crashes + static_cast<std::size_t>(rng.uniform_int(span));
+  const std::size_t pool = params.crash_candidates - params.first_candidate;
+
+  sim::Duration cursor = params.earliest_crash;
+  std::vector<std::size_t> down;  // crashed and not yet restarted
+  for (std::size_t i = 0; i < crashes; ++i) {
+    // Pick a victim that is currently up (a replica can crash repeatedly,
+    // but only after its restart has fired).
+    std::size_t victim = 0;
+    bool found = false;
+    for (std::size_t tries = 0; tries < 16 && !found; ++tries) {
+      victim = params.first_candidate +
+               static_cast<std::size_t>(rng.uniform_int(pool));
+      found = std::find(down.begin(), down.end(), victim) == down.end();
+    }
+    if (!found) break;  // everything eligible is already down
+
+    const auto spacing_ms = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            params.crash_spacing)
+            .count());
+    cursor += std::chrono::duration_cast<sim::Duration>(
+        std::chrono::duration<double, std::milli>(
+            rng.uniform(0.0, spacing_ms)));
+    schedule.crash(victim, cursor);
+
+    if (params.restart) {
+      const auto min_ms = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              params.min_outage)
+              .count());
+      const auto max_ms = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              params.max_outage)
+              .count());
+      const sim::Duration outage = std::chrono::duration_cast<sim::Duration>(
+          std::chrono::duration<double, std::milli>(
+              rng.uniform(min_ms, std::max(min_ms, max_ms))));
+      schedule.restart(victim, cursor + outage);
+    } else {
+      down.push_back(victim);
+    }
+  }
+
+  if (params.loss_probability > 0.0 &&
+      params.loss_until > params.loss_from) {
+    schedule.loss(params.loss_probability, params.loss_from);
+    schedule.loss(0.0, params.loss_until);
+  }
+  return schedule;
+}
+
+std::vector<FaultEvent> FaultSchedule::events() const {
+  std::vector<FaultEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return sorted;
+}
+
+void apply(const FaultSchedule& schedule, sim::Simulator& sim,
+           FaultTargets targets) {
+  auto shared = std::make_shared<FaultTargets>(std::move(targets));
+  for (const FaultEvent& event : schedule.events()) {
+    const bool needs_network = event.kind != FaultKind::kCrash &&
+                               event.kind != FaultKind::kRestart;
+    if (needs_network) {
+      AQUEDUCT_CHECK_MSG(shared->network != nullptr,
+                         "network-affecting fault without a Network target");
+      AQUEDUCT_CHECK_MSG(static_cast<bool>(shared->node_id) ||
+                             event.kind == FaultKind::kLoss ||
+                             event.kind == FaultKind::kHeal,
+                         "fault schedule needs a node_id resolver");
+    }
+    sim.at(sim::kEpoch + event.at, [event, shared, &sim] {
+      net::Network* net = shared->network;
+      switch (event.kind) {
+        case FaultKind::kCrash:
+          AQUEDUCT_CHECK_MSG(static_cast<bool>(shared->crash),
+                             "fault schedule needs a crash callback");
+          shared->crash(event.replica);
+          break;
+        case FaultKind::kRestart:
+          AQUEDUCT_CHECK_MSG(static_cast<bool>(shared->restart),
+                             "fault schedule needs a restart callback");
+          shared->restart(event.replica);
+          break;
+        case FaultKind::kPartition: {
+          std::vector<net::NodeId> a, b;
+          a.reserve(event.side_a.size());
+          b.reserve(event.side_b.size());
+          for (std::size_t idx : event.side_a)
+            a.push_back(shared->node_id(idx));
+          for (std::size_t idx : event.side_b)
+            b.push_back(shared->node_id(idx));
+          net->partition(std::move(a), std::move(b));
+          break;
+        }
+        case FaultKind::kHeal:
+          net->heal();
+          break;
+        case FaultKind::kLoss:
+          net->set_loss_probability(event.probability);
+          break;
+        case FaultKind::kLinkLoss:
+          if (event.probability > 0.0) {
+            net->set_link_loss(shared->node_id(event.replica),
+                               shared->node_id(event.peer),
+                               event.probability);
+          } else {
+            net->clear_link_loss(shared->node_id(event.replica),
+                                 shared->node_id(event.peer));
+          }
+          break;
+        case FaultKind::kInboundLoss:
+          net->set_inbound_loss(shared->node_id(event.replica),
+                                event.probability);
+          break;
+        case FaultKind::kOutboundLoss:
+          net->set_outbound_loss(shared->node_id(event.replica),
+                                 event.probability);
+          break;
+        case FaultKind::kLatencySpike: {
+          const net::NodeId node = shared->node_id(event.replica);
+          net->set_node_latency(node, std::make_shared<sim::NormalDuration>(
+                                          event.latency_mean,
+                                          event.latency_std));
+          sim.after(event.duration,
+                    [node, net] { net->clear_node_latency(node); });
+          break;
+        }
+      }
+    });
+  }
+}
+
+}  // namespace aqueduct::fault

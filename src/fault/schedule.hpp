@@ -1,0 +1,141 @@
+// Deterministic fault schedules (the dependability manager's input).
+//
+// A FaultSchedule is a declarative, seed-reproducible list of fault
+// injections — crashes, restarts, partitions, loss, latency spikes —
+// expressed against *replica indices* and offsets from the simulation
+// epoch. It replaces the ad-hoc `sim.at(..., [&]{ replica.crash(); })`
+// lambdas scattered through tests and benches: the same schedule value can
+// be printed, compared across runs, and replayed bit-identically.
+//
+// Schedules are pure data until apply() binds them to a concrete run via
+// FaultTargets (callbacks into the harness plus the Network to mutate).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace aqueduct::fault {
+
+enum class FaultKind {
+  kCrash,         // fail-stop crash of `replica`
+  kRestart,       // reincarnate + rejoin of `replica`
+  kPartition,     // split side_a | side_b until the next kHeal
+  kHeal,          // remove any active partition
+  kLoss,          // set the network-wide loss probability
+  kLinkLoss,      // directional loss on the (replica, peer) link
+  kInboundLoss,   // loss on everything `replica` receives
+  kOutboundLoss,  // loss on everything `replica` sends
+  kLatencySpike,  // Normal(latency_mean, latency_std) on all of `replica`'s
+                  // links for `duration`, then back to the default model
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  /// Injection time as an offset from sim::kEpoch.
+  sim::Duration at = sim::Duration::zero();
+  /// Target replica index (crash/restart/loss shaping/latency spike).
+  std::size_t replica = 0;
+  /// Link-loss destination replica index.
+  std::size_t peer = 0;
+  /// Partition sides (replica indices).
+  std::vector<std::size_t> side_a;
+  std::vector<std::size_t> side_b;
+  /// Drop probability for the loss kinds (0 clears the override).
+  double probability = 0.0;
+  /// Latency-spike distribution and how long it lasts.
+  sim::Duration latency_mean = sim::Duration::zero();
+  sim::Duration latency_std = sim::Duration::zero();
+  sim::Duration duration = sim::Duration::zero();
+};
+
+/// Parameters for FaultSchedule::random(): seed-derived crash/restart
+/// sequences so chaos tests sweep many distinct-but-reproducible failure
+/// patterns without hand-writing each one.
+struct RandomFaultParams {
+  /// Replica indices [0, crash_candidates) are eligible to crash. Callers
+  /// typically exclude index 0 when they want the sequencer kept alive.
+  std::size_t crash_candidates = 0;
+  /// Smallest eligible index (set to 1 to spare the sequencer).
+  std::size_t first_candidate = 0;
+  std::size_t min_crashes = 1;
+  std::size_t max_crashes = 2;
+  /// No crash before this offset (lets the groups settle).
+  sim::Duration earliest_crash = std::chrono::seconds(5);
+  /// Each successive crash lands uniformly within this window after the
+  /// previous one.
+  sim::Duration crash_spacing = std::chrono::seconds(20);
+  /// Whether crashed replicas are restarted after an outage.
+  bool restart = true;
+  sim::Duration min_outage = std::chrono::seconds(5);
+  sim::Duration max_outage = std::chrono::seconds(15);
+  /// Optional network-wide loss episode (0 disables).
+  double loss_probability = 0.0;
+  sim::Duration loss_from = sim::Duration::zero();
+  sim::Duration loss_until = sim::Duration::zero();
+};
+
+/// Builder for an ordered fault-injection plan. All times are offsets from
+/// sim::kEpoch; events() returns them sorted by time (stable for ties).
+class FaultSchedule {
+ public:
+  FaultSchedule& crash(std::size_t replica, sim::Duration at);
+  FaultSchedule& restart(std::size_t replica, sim::Duration at);
+  /// crash + restart of the same replica (restart_at > crash_at).
+  FaultSchedule& crash_restart(std::size_t replica, sim::Duration crash_at,
+                               sim::Duration restart_at);
+  FaultSchedule& partition(std::vector<std::size_t> side_a,
+                           std::vector<std::size_t> side_b, sim::Duration at);
+  FaultSchedule& heal(sim::Duration at);
+  FaultSchedule& loss(double probability, sim::Duration at);
+  FaultSchedule& link_loss(std::size_t from, std::size_t to,
+                           double probability, sim::Duration at);
+  FaultSchedule& inbound_loss(std::size_t replica, double probability,
+                              sim::Duration at);
+  FaultSchedule& outbound_loss(std::size_t replica, double probability,
+                               sim::Duration at);
+  FaultSchedule& latency_spike(std::size_t replica, sim::Duration mean,
+                               sim::Duration std, sim::Duration at,
+                               sim::Duration duration);
+
+  /// Derives a crash/restart plan from `seed` (same seed, same plan).
+  static FaultSchedule random(std::uint64_t seed,
+                              const RandomFaultParams& params);
+
+  /// Events sorted by injection time.
+  std::vector<FaultEvent> events() const;
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Binds a schedule to one concrete run. The callbacks translate replica
+/// indices into actions on the harness's objects; `node_id` resolves the
+/// *current incarnation*'s NodeId at injection time (the id of a reborn
+/// replica differs from its pre-crash one).
+struct FaultTargets {
+  std::function<void(std::size_t)> crash;
+  std::function<void(std::size_t)> restart;
+  std::function<net::NodeId(std::size_t)> node_id;
+  net::Network* network = nullptr;
+  std::size_t num_replicas = 0;
+};
+
+/// Schedules every event of `schedule` onto `sim`. Network-affecting kinds
+/// require `targets.network`; crash/restart require the matching callback.
+/// Index resolution happens at fire time, so a restart followed by a
+/// latency spike hits the reborn incarnation.
+void apply(const FaultSchedule& schedule, sim::Simulator& sim,
+           FaultTargets targets);
+
+}  // namespace aqueduct::fault

@@ -31,6 +31,17 @@ class Directory {
     coordinator_[group] = coordinator;
   }
 
+  /// Drops the entry for `group` iff it still names `node`. Used when a
+  /// group's *last* member crashed while registered as coordinator: the
+  /// stale entry would otherwise point joiners at a dead process forever.
+  /// Must not be called while other members of the group are alive — their
+  /// failover coordinator updates the entry itself, and erasing it under
+  /// them would let a joiner bootstrap a second, disjoint view.
+  void forget_if(GroupId group, net::NodeId node) {
+    auto it = coordinator_.find(group);
+    if (it != coordinator_.end() && it->second == node) coordinator_.erase(it);
+  }
+
   std::optional<net::NodeId> lookup(GroupId group) const {
     auto it = coordinator_.find(group);
     if (it == coordinator_.end()) return std::nullopt;

@@ -58,6 +58,18 @@ void Endpoint::crash() {
   for (auto& [group, member] : members_) member->stop();
 }
 
+net::NodeId Endpoint::reincarnate() {
+  AQUEDUCT_CHECK_MSG(crashed_, "reincarnate() requires a crashed endpoint");
+  // The dead incarnation's members are unreachable from here on: their
+  // PeriodicTasks are already stopped and their send callbacks would use
+  // the *new* id, so they must not survive into the new incarnation.
+  members_.clear();
+  id_ = network_.attach(*this);
+  crashed_ = false;
+  ++incarnation_;
+  return id_;
+}
+
 void Endpoint::on_message(net::NodeId from, net::MessagePtr msg) {
   if (crashed_) return;
   const GroupId group = group_of(msg);

@@ -36,11 +36,27 @@ class Endpoint final : public net::Endpoint {
   bool has_member(GroupId group) const { return members_.contains(group); }
 
   /// Fail-stop crash: detaches from the network and stops all members.
-  /// Irreversible for this endpoint (a recovered process is a new process).
+  /// A crashed endpoint never resumes its old identity — recovery goes
+  /// through reincarnate(), which makes it a *new* process.
   void crash();
+
+  /// Rebirth after crash(): discards all group members of the dead
+  /// incarnation, re-attaches to the network under a fresh NodeId, and
+  /// bumps the incarnation counter. The reborn process shares nothing with
+  /// its predecessor but the Endpoint object itself — it must join its
+  /// groups again, and the GCS garbage-collects the dead incarnation's
+  /// heartbeat/suspect state once views merge. Returns the new id.
+  ///
+  /// Any raw Member pointers taken before the crash dangle after this
+  /// call; destroy the protocol objects built on this endpoint first.
+  net::NodeId reincarnate();
 
   bool crashed() const { return crashed_; }
   net::NodeId id() const { return id_; }
+  /// Starts at 0; incremented by each reincarnate(). Together with id()
+  /// this tags the incarnation (NodeIds are never reused, so id() alone is
+  /// already unique per incarnation — the counter is for observability).
+  std::uint32_t incarnation() const { return incarnation_; }
   sim::Simulator& simulator() { return sim_; }
   net::Network& network() { return network_; }
   /// The simulation-wide observability context (owned by the network).
@@ -56,6 +72,7 @@ class Endpoint final : public net::Endpoint {
   Config config_;
   net::NodeId id_;
   bool crashed_ = false;
+  std::uint32_t incarnation_ = 0;
   std::unordered_map<GroupId, std::unique_ptr<Member>> members_;
 };
 

@@ -134,9 +134,11 @@ void Member::transmit_mcast(const DataMsgPtr& msg) {
   }
   // Self-delivery goes through the normal accept path, scheduled as an
   // immediate event so the caller's stack unwinds first.
-  sim_.after(sim::Duration::zero(), [this, msg] {
-    if (!stopped_) accept(msg->sender, msg);
-  });
+  sim_.after(sim::Duration::zero(),
+             [this, msg, alive = std::weak_ptr<const bool>(alive_)] {
+               if (alive.expired() || stopped_) return;
+               accept(msg->sender, msg);
+             });
 }
 
 void Member::send_to(net::NodeId dest, net::MessagePtr payload) {
@@ -175,9 +177,11 @@ void Member::send_p2p(net::NodeId dest, net::MessagePtr payload) {
   ++stats_.p2p_sent;
   metrics_.p2p_sent.inc();
   if (dest == self_) {
-    sim_.after(sim::Duration::zero(), [this, frozen] {
-      if (!stopped_) accept(frozen->sender, frozen);
-    });
+    sim_.after(sim::Duration::zero(),
+               [this, frozen, alive = std::weak_ptr<const bool>(alive_)] {
+                 if (alive.expired() || stopped_) return;
+                 accept(frozen->sender, frozen);
+               });
   } else {
     send_(dest, frozen);
   }
@@ -253,11 +257,18 @@ void Member::accept(net::NodeId sender, const DataMsgPtr& msg) {
     // retransmit whatever is still missing after nack_delay.
     schedule_nack_check(sender, msg->is_mcast, msg->seq);
   }
-  deliver_ready(sender, chan, msg->is_mcast);
+  deliver_ready(sender, msg->is_mcast);
 }
 
-void Member::deliver_ready(net::NodeId sender, InChannel& chan, bool is_mcast) {
+void Member::deliver_ready(net::NodeId sender, bool is_mcast) {
+  // The channel is re-looked-up every iteration: delivering a message can
+  // install a view (via dispatch_control) whose garbage collection erases
+  // the sender's channel — a held reference would dangle.
   while (true) {
+    auto& channels = is_mcast ? mcast_in_ : p2p_in_;
+    auto cit = channels.find(sender);
+    if (cit == channels.end()) return;  // sender departed mid-delivery
+    InChannel& chan = cit->second;
     auto it = chan.buffered.find(chan.delivered + 1);
     if (it == chan.buffered.end()) break;
     DataMsgPtr msg = it->second;
@@ -284,8 +295,9 @@ void Member::schedule_nack_check(net::NodeId sender, bool is_mcast,
   InChannel& chan = is_mcast ? mcast_in_[sender] : p2p_in_[sender];
   if (chan.nack_pending_up_to && *chan.nack_pending_up_to >= up_to) return;
   chan.nack_pending_up_to = up_to;
-  sim_.after(config_.nack_delay, [this, sender, is_mcast, up_to] {
-    if (stopped_) return;
+  sim_.after(config_.nack_delay, [this, sender, is_mcast, up_to,
+                                  alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired() || stopped_) return;
     InChannel& c = is_mcast ? mcast_in_[sender] : p2p_in_[sender];
     c.nack_pending_up_to.reset();
     // Determine the first gap below `up_to`.
@@ -620,8 +632,12 @@ void Member::install_view(const std::shared_ptr<const InstallMsg>& msg) {
     }
     // Messages multicast in the *new* view can race ahead of this install;
     // drain anything that became contiguous once the baseline was set.
-    for (auto& [sender, chan] : mcast_in_) {
-      deliver_ready(sender, chan, /*is_mcast=*/true);
+    // (Collect the senders first: delivery can mutate the channel map.)
+    std::vector<net::NodeId> senders;
+    senders.reserve(mcast_in_.size());
+    for (const auto& [sender, chan] : mcast_in_) senders.push_back(sender);
+    for (const net::NodeId sender : senders) {
+      deliver_ready(sender, /*is_mcast=*/true);
       if (stopped_) return;
     }
   } else {
@@ -633,16 +649,20 @@ void Member::install_view(const std::shared_ptr<const InstallMsg>& msg) {
       }
     }
     for (const auto& [sender, target] : msg->deliver_up_to) {
-      InChannel& chan = mcast_in_[sender];
-      deliver_ready(sender, chan, /*is_mcast=*/true);
-      while (chan.delivered < target) {
+      mcast_in_[sender];  // the cut can reference senders we never heard
+      deliver_ready(sender, /*is_mcast=*/true);
+      if (stopped_) return;
+      while (true) {
+        auto cit = mcast_in_.find(sender);
+        if (cit == mcast_in_.end() || cit->second.delivered >= target) break;
         // Gap that no survivor can fill: the only holders crashed. Count it
         // and move on (allowed for a crashed sender's unstable messages).
         ++stats_.flush_gaps;
         metrics_.flush_gaps.inc();
-        chan.delivered += 1;
-        ack_matrix_[self_][sender] = chan.delivered;
-        deliver_ready(sender, chan, /*is_mcast=*/true);
+        cit->second.delivered += 1;
+        ack_matrix_[self_][sender] = cit->second.delivered;
+        deliver_ready(sender, /*is_mcast=*/true);
+        if (stopped_) return;
       }
     }
   }
@@ -671,6 +691,17 @@ void Member::install_view(const std::shared_ptr<const InstallMsg>& msg) {
     return kv.first != self_ && !view_.contains(kv.first);
   });
   std::erase_if(sent_p2p_,
+                [&](const auto& kv) { return !view_.contains(kv.first); });
+  // Garbage-collect per-sender state of departed members. NodeIds are
+  // never reused (a recovered process reincarnates under a fresh id), so
+  // an ex-member's channels and failure-detector timestamps can never be
+  // consulted again — without this, every crash/leave leaks its channel
+  // buffers and `last_heard_` entry for the lifetime of the member.
+  std::erase_if(last_heard_,
+                [&](const auto& kv) { return !view_.contains(kv.first); });
+  std::erase_if(mcast_in_,
+                [&](const auto& kv) { return !view_.contains(kv.first); });
+  std::erase_if(p2p_in_,
                 [&](const auto& kv) { return !view_.contains(kv.first); });
   for (const net::NodeId m : view_.members) last_heard_[m] = sim_.now();
 

@@ -140,7 +140,10 @@ class Member {
   // ---- data path ----
   void send_p2p(net::NodeId dest, net::MessagePtr payload);
   void send_control(net::NodeId dest, net::MessagePtr payload);
-  void deliver_ready(net::NodeId sender, InChannel& chan, bool is_mcast);
+  /// Delivers every contiguous buffered message on the sender's channel.
+  /// Looks the channel up afresh each iteration — a delivered control
+  /// message can install a view whose GC erases the channel.
+  void deliver_ready(net::NodeId sender, bool is_mcast);
   void accept(net::NodeId sender, const DataMsgPtr& msg);
   void schedule_nack_check(net::NodeId sender, bool is_mcast, std::uint64_t up_to);
   void transmit_mcast(const DataMsgPtr& msg);
@@ -166,6 +169,12 @@ class Member {
   SendFn send_;
   DeliverFn on_deliver_;
   ViewFn on_view_;
+
+  /// Liveness token captured (weakly) by self-scheduled simulator events so
+  /// they become no-ops if the member is destroyed before they fire — a
+  /// reincarnated endpoint destroys the dead incarnation's members while
+  /// such events may still be queued.
+  std::shared_ptr<const bool> alive_ = std::make_shared<bool>(true);
 
   bool stopped_ = false;
   bool joined_ = false;

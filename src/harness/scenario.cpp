@@ -60,6 +60,8 @@ void WorkloadClient::issue_next() {
     handler_->read(get, spec_.qos, [this](const client::ReadOutcome& outcome) {
       read_response_times_.push_back(sim::to_sec(outcome.response_time));
       reply_staleness_.push_back(static_cast<double>(outcome.staleness));
+      read_completed_at_.push_back(sim::to_sec(sim_.now() - sim::kEpoch));
+      read_timing_failures_.push_back(outcome.timing_failure);
       on_complete();
     });
   }
@@ -77,6 +79,8 @@ ClientResult WorkloadClient::result_with_stats() const {
   r.stats = handler_->stats();
   r.read_response_times = read_response_times_;
   r.reply_staleness = reply_staleness_;
+  r.read_completed_at = read_completed_at_;
+  r.read_timing_failures = read_timing_failures_;
   return r;
 }
 
@@ -96,31 +100,17 @@ void Scenario::build() {
       *sim_, std::make_unique<sim::NormalDuration>(config_.net_latency_mean,
                                                    config_.net_latency_std));
 
-  auto make_replica = [&](bool is_primary) {
+  // The sequencer (slot 0) is the first primary-group joiner (rank 0 =
+  // leader), then primaries, then secondaries.
+  const std::size_t num_servers =
+      1 + config_.num_primaries + config_.num_secondaries;
+  for (std::size_t index = 0; index < num_servers; ++index) {
     auto endpoint = std::make_unique<gcs::Endpoint>(*sim_, *network_,
                                                     directory_, config_.gcs);
-    const std::size_t index = replicas_.size();
-    double speed = 1.0;
-    if (index < config_.speed_factors.size() &&
-        config_.speed_factors[index] > 0.0) {
-      speed = config_.speed_factors[index];
-    }
-    replication::ReplicaConfig rc;
-    rc.service_time = std::make_shared<sim::NormalDuration>(
-        std::chrono::duration_cast<sim::Duration>(config_.service_mean / speed),
-        std::chrono::duration_cast<sim::Duration>(config_.service_std / speed));
-    rc.lazy_update_interval = config_.lazy_update_interval;
-    auto replica = std::make_unique<replication::ReplicaServer>(
-        *sim_, *endpoint, groups_, is_primary,
-        std::make_unique<replication::KeyValueStore>(), std::move(rc));
+    replicas_.push_back(make_replica_server(index, *endpoint));
     endpoints_.push_back(std::move(endpoint));
-    replicas_.push_back(std::move(replica));
-  };
-
-  // The sequencer is the first primary-group joiner (rank 0 = leader).
-  make_replica(/*is_primary=*/true);
-  for (std::size_t i = 0; i < config_.num_primaries; ++i) make_replica(true);
-  for (std::size_t i = 0; i < config_.num_secondaries; ++i) make_replica(false);
+  }
+  incarnations_.assign(num_servers, 0);
 
   for (const ClientSpec& spec : config_.clients) {
     auto endpoint = std::make_unique<gcs::Endpoint>(*sim_, *network_,
@@ -166,9 +156,124 @@ std::vector<ClientResult> Scenario::run() {
   return results;
 }
 
+std::unique_ptr<replication::ReplicaServer> Scenario::make_replica_server(
+    std::size_t index, gcs::Endpoint& endpoint) {
+  const bool is_primary = index <= config_.num_primaries;  // 0 = sequencer
+  double speed = 1.0;
+  if (index < config_.speed_factors.size() &&
+      config_.speed_factors[index] > 0.0) {
+    speed = config_.speed_factors[index];
+  }
+  replication::ReplicaConfig rc;
+  rc.service_time = std::make_shared<sim::NormalDuration>(
+      std::chrono::duration_cast<sim::Duration>(config_.service_mean / speed),
+      std::chrono::duration_cast<sim::Duration>(config_.service_std / speed));
+  rc.lazy_update_interval = config_.lazy_update_interval;
+  return std::make_unique<replication::ReplicaServer>(
+      *sim_, endpoint, groups_, is_primary,
+      std::make_unique<replication::KeyValueStore>(), std::move(rc));
+}
+
 void Scenario::schedule_crash(std::size_t replica_index, sim::TimePoint at) {
   AQUEDUCT_CHECK(replica_index < replicas_.size());
-  sim_->at(at, [r = replicas_[replica_index].get()] { r->crash(); });
+  // Capture the index, not the server: a restart may have replaced the
+  // object by the time this fires.
+  sim_->at(at, [this, replica_index] { crash_replica(replica_index); });
+}
+
+void Scenario::schedule_restart(std::size_t replica_index, sim::TimePoint at) {
+  AQUEDUCT_CHECK(replica_index < replicas_.size());
+  sim_->at(at, [this, replica_index] { restart_replica(replica_index); });
+}
+
+void Scenario::crash_replica(std::size_t replica_index) {
+  AQUEDUCT_CHECK(replica_index < replicas_.size());
+  if (!replicas_[replica_index]->crashed()) replicas_[replica_index]->crash();
+}
+
+std::size_t Scenario::live_replicas_excluding(std::size_t index) const {
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i != index && !replicas_[i]->crashed()) ++live;
+  }
+  return live;
+}
+
+std::size_t Scenario::live_primaries_excluding(std::size_t index) const {
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i != index && replicas_[i]->is_primary() && !replicas_[i]->crashed())
+      ++live;
+  }
+  return live;
+}
+
+void Scenario::restart_replica(std::size_t replica_index) {
+  AQUEDUCT_CHECK(replica_index < replicas_.size());
+  replication::ReplicaServer& old = *replicas_[replica_index];
+  if (!old.crashed()) old.crash();
+  const net::NodeId old_id = endpoints_[replica_index]->id();
+  const bool was_primary = old.is_primary();
+
+  // Destroy the dead server before reincarnating the endpoint — it holds
+  // raw pointers into the endpoint's Member objects.
+  replicas_[replica_index].reset();
+
+  // Clear directory entries that still name the dead incarnation and have
+  // no surviving member to fail over to (a joiner chasing such an entry
+  // would retry against a dead process forever). When any other member is
+  // alive its failover coordinator refreshes the entry itself, and erasing
+  // it here could split the group into two disjoint views.
+  if (was_primary && live_primaries_excluding(replica_index) == 0) {
+    directory_.forget_if(groups_.primary, old_id);
+  }
+  if (live_replicas_excluding(replica_index) == 0) {
+    directory_.forget_if(groups_.replication, old_id);
+    // Clients are QoS-group members too; only forget when none exist.
+    if (workloads_.empty()) directory_.forget_if(groups_.qos, old_id);
+  }
+
+  endpoints_[replica_index]->reincarnate();
+  replicas_[replica_index] =
+      make_replica_server(replica_index, *endpoints_[replica_index]);
+  replicas_[replica_index]->start();
+  ++incarnations_[replica_index];
+}
+
+std::uint32_t Scenario::incarnation(std::size_t replica_index) const {
+  AQUEDUCT_CHECK(replica_index < incarnations_.size());
+  return incarnations_[replica_index];
+}
+
+net::NodeId Scenario::replica_node(std::size_t replica_index) const {
+  AQUEDUCT_CHECK(replica_index < endpoints_.size());
+  return endpoints_[replica_index]->id();
+}
+
+bool Scenario::replica_alive(std::size_t replica_index) const {
+  AQUEDUCT_CHECK(replica_index < replicas_.size());
+  return !replicas_[replica_index]->crashed();
+}
+
+void Scenario::apply_faults(const fault::FaultSchedule& schedule) {
+  fault::FaultTargets targets;
+  targets.crash = [this](std::size_t i) { crash_replica(i); };
+  targets.restart = [this](std::size_t i) { restart_replica(i); };
+  targets.node_id = [this](std::size_t i) { return replica_node(i); };
+  targets.network = network_.get();
+  targets.num_replicas = replicas_.size();
+  fault::apply(schedule, *sim_, std::move(targets));
+}
+
+void Scenario::enable_dependability(fault::DependabilityConfig config) {
+  AQUEDUCT_CHECK_MSG(!dependability_, "dependability manager already enabled");
+  fault::DependabilityManager::Hooks hooks;
+  hooks.num_replicas = [this] { return replicas_.size(); };
+  hooks.alive = [this](std::size_t i) { return replica_alive(i); };
+  hooks.restart = [this](std::size_t i) { restart_replica(i); };
+  dependability_ = std::make_unique<fault::DependabilityManager>(
+      *sim_, observability(), config, std::move(hooks));
+  dependability_->start();
 }
 
 }  // namespace aqueduct::harness

@@ -18,6 +18,8 @@
 #include "client/handler.hpp"
 #include "core/qos.hpp"
 #include "core/selection.hpp"
+#include "fault/dependability.hpp"
+#include "fault/schedule.hpp"
 #include "gcs/config.hpp"
 #include "gcs/directory.hpp"
 #include "gcs/endpoint.hpp"
@@ -89,6 +91,12 @@ struct ClientResult {
   std::vector<double> read_response_times;
   /// Staleness values observed in read replies.
   std::vector<double> reply_staleness;
+  /// Completion time of each read (seconds since the simulation epoch),
+  /// parallel to read_response_times — lets benches attribute outcomes to
+  /// an outage window.
+  std::vector<double> read_completed_at;
+  /// Whether each read missed its deadline, parallel to the above.
+  std::vector<bool> read_timing_failures;
 };
 
 class WorkloadClient;
@@ -109,6 +117,40 @@ class Scenario {
   /// Schedules a fail-stop crash of the i-th replica at `at` (0-based over
   /// primaries then secondaries; the sequencer is index_sequencer()).
   void schedule_crash(std::size_t replica_index, sim::TimePoint at);
+
+  /// Schedules a restart (reincarnation + rejoin) of the i-th replica.
+  void schedule_restart(std::size_t replica_index, sim::TimePoint at);
+
+  /// Immediately crashes the i-th replica (no-op if already crashed).
+  void crash_replica(std::size_t replica_index);
+
+  /// Restarts the i-th replica slot now: crashes it if still live, destroys
+  /// the dead server, reincarnates the endpoint under a fresh NodeId, and
+  /// boots a new ReplicaServer that rejoins the service groups and runs the
+  /// state-transfer protocol. Callable any number of times per slot.
+  void restart_replica(std::size_t replica_index);
+
+  /// How many times the i-th replica slot has been reborn (0 = original).
+  std::uint32_t incarnation(std::size_t replica_index) const;
+
+  /// Current NodeId of the i-th replica slot (changes across restarts).
+  net::NodeId replica_node(std::size_t replica_index) const;
+
+  /// Live = started (or about to be, pre-run) and not crashed.
+  bool replica_alive(std::size_t replica_index) const;
+
+  /// Schedules every event of `schedule` onto this scenario's simulator
+  /// (crashes/restarts resolve against replica slots; network faults
+  /// against the current incarnations' NodeIds). Call before run().
+  void apply_faults(const fault::FaultSchedule& schedule);
+
+  /// Installs a dependability manager that polls the replication level and
+  /// restarts crashed slots with bounded latency. Call before run().
+  void enable_dependability(fault::DependabilityConfig config);
+  const fault::DependabilityManager* dependability() const {
+    return dependability_.get();
+  }
+
   std::size_t index_sequencer() const { return 0; }
   std::size_t num_replicas() const { return replicas_.size(); }
 
@@ -123,6 +165,13 @@ class Scenario {
 
  private:
   void build();
+  /// Builds the ReplicaServer for slot `index` against `endpoint` (role and
+  /// speed factor derive from the index). Shared by build() and
+  /// restart_replica().
+  std::unique_ptr<replication::ReplicaServer> make_replica_server(
+      std::size_t index, gcs::Endpoint& endpoint);
+  std::size_t live_replicas_excluding(std::size_t index) const;
+  std::size_t live_primaries_excluding(std::size_t index) const;
 
   ScenarioConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
@@ -132,7 +181,9 @@ class Scenario {
   std::vector<std::unique_ptr<gcs::Endpoint>> endpoints_;
   // replicas_[0] = sequencer, then primaries, then secondaries.
   std::vector<std::unique_ptr<replication::ReplicaServer>> replicas_;
+  std::vector<std::uint32_t> incarnations_;  // per replica slot
   std::vector<std::unique_ptr<WorkloadClient>> workloads_;
+  std::unique_ptr<fault::DependabilityManager> dependability_;
   bool ran_ = false;
 };
 
@@ -165,6 +216,8 @@ class WorkloadClient {
   std::size_t completed_ = 0;
   std::vector<double> read_response_times_;
   std::vector<double> reply_staleness_;
+  std::vector<double> read_completed_at_;
+  std::vector<bool> read_timing_failures_;
 };
 
 }  // namespace aqueduct::harness

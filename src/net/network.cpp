@@ -60,9 +60,55 @@ void Network::set_node_latency(
   node_latency_[node] = std::move(latency);
 }
 
+void Network::clear_node_latency(NodeId node) { node_latency_.erase(node); }
+
 void Network::set_loss_probability(double p) {
   AQUEDUCT_CHECK(p >= 0.0 && p <= 1.0);
   loss_probability_ = p;
+}
+
+void Network::set_link_loss(NodeId from, NodeId to, double p) {
+  AQUEDUCT_CHECK(p >= 0.0 && p <= 1.0);
+  link_loss_[{from, to}] = p;
+}
+
+void Network::clear_link_loss(NodeId from, NodeId to) {
+  link_loss_.erase({from, to});
+}
+
+void Network::set_inbound_loss(NodeId node, double p) {
+  AQUEDUCT_CHECK(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) {
+    inbound_loss_.erase(node);
+  } else {
+    inbound_loss_[node] = p;
+  }
+}
+
+void Network::set_outbound_loss(NodeId node, double p) {
+  AQUEDUCT_CHECK(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) {
+    outbound_loss_.erase(node);
+  } else {
+    outbound_loss_[node] = p;
+  }
+}
+
+double Network::loss_probability(NodeId from, NodeId to) const {
+  // A per-link override is authoritative (it can also *lower* loss below
+  // the node/global level); otherwise the pessimistic max of the sender's
+  // outbound, the receiver's inbound, and the global probability governs.
+  if (auto it = link_loss_.find({from, to}); it != link_loss_.end()) {
+    return it->second;
+  }
+  double p = loss_probability_;
+  if (auto it = outbound_loss_.find(from); it != outbound_loss_.end()) {
+    p = std::max(p, it->second);
+  }
+  if (auto it = inbound_loss_.find(to); it != inbound_loss_.end()) {
+    p = std::max(p, it->second);
+  }
+  return p;
 }
 
 void Network::partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b) {
@@ -131,7 +177,8 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     tap(from, to, msg, "partition");
     return;
   }
-  if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
+  const double loss = loss_probability(from, to);
+  if (loss > 0.0 && rng_.bernoulli(loss)) {
     c_dropped_loss_.inc();
     tap(from, to, msg, "loss");
     return;

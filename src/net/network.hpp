@@ -79,8 +79,33 @@ class Network {
   void set_node_latency(NodeId node,
                         std::shared_ptr<sim::DurationDistribution> latency);
 
+  /// Removes a node-level latency override installed by set_node_latency()
+  /// (links fall back to per-link overrides or the default model). Used by
+  /// fault schedules to end a latency spike.
+  void clear_node_latency(NodeId node);
+
   /// Probability in [0, 1] that any given message is silently dropped.
   void set_loss_probability(double p);
+
+  /// Directional per-link loss: messages from `from` to `to` (and only in
+  /// that direction) are dropped with probability `p`. Overrides node and
+  /// global loss for that link. Lets fault schedules degrade a single
+  /// replica's links asymmetrically.
+  void set_link_loss(NodeId from, NodeId to, double p);
+
+  /// Removes a directional per-link loss override.
+  void clear_link_loss(NodeId from, NodeId to);
+
+  /// Loss applied to every message *received* by `node` (unless a per-link
+  /// override matches). Composes with outbound/global loss via max.
+  void set_inbound_loss(NodeId node, double p);
+
+  /// Loss applied to every message *sent* by `node` (unless a per-link
+  /// override matches). Composes with inbound/global loss via max.
+  void set_outbound_loss(NodeId node, double p);
+
+  /// Effective drop probability the send path would use for (from, to).
+  double loss_probability(NodeId from, NodeId to) const;
 
   /// Drops all traffic between the two sides until heal() is called.
   /// Nodes in neither set communicate normally with everyone.
@@ -142,6 +167,9 @@ class Network {
   std::unordered_map<NodeId, std::shared_ptr<sim::DurationDistribution>>
       node_latency_;
   double loss_probability_ = 0.0;
+  std::unordered_map<std::pair<NodeId, NodeId>, double, PairHash> link_loss_;
+  std::unordered_map<NodeId, double> inbound_loss_;
+  std::unordered_map<NodeId, double> outbound_loss_;
   std::unordered_set<NodeId> partition_a_;
   std::unordered_set<NodeId> partition_b_;
   std::uint32_t next_id_ = 1;

@@ -111,6 +111,29 @@ struct LazyUpdate final : net::Message {
   }
 };
 
+/// Recovery: a rejoining primary asks a live primary for its state
+/// (point-to-point on the replication group). The responder is chosen from
+/// the latest GroupInfo role map; any non-recovering primary may answer.
+struct StateRequest final : net::Message {
+  std::string type_name() const override { return "repl.state_req"; }
+};
+
+/// Recovery: full state handed to a rejoining primary. Carries everything
+/// the transfer barrier needs to guarantee no GSN is executed twice: the
+/// object snapshot with its CSN/GSN position, plus the responder's
+/// committed request ids so re-broadcast assignments of already-committed
+/// updates dedup instead of re-executing.
+struct StateSnapshot final : net::Message {
+  core::Csn csn = 0;
+  core::Gsn gsn = 0;
+  net::MessagePtr snapshot;
+  std::vector<RequestId> committed;
+  std::string type_name() const override { return "repl.state_snap"; }
+  std::size_t wire_size() const override {
+    return 32 + (snapshot ? snapshot->wire_size() : 0) + 16 * committed.size();
+  }
+};
+
 /// Extra fields in the lazy publisher's performance broadcasts
 /// (Section 5.4.1): <n_u, t_u> feeds the arrival-rate estimator,
 /// <n_L, t_L> plus the lazy-update period T_L feed the elapsed-interval

@@ -17,6 +17,10 @@ ReplicaServer::Instruments::Instruments(obs::MetricsRegistry& reg)
       lazy_updates_installed(reg.counter("repl.lazy_updates_installed")),
       duplicate_requests(reg.counter("repl.duplicate_requests")),
       gsn_conflicts(reg.counter("repl.gsn_conflicts")),
+      state_transfers_requested(reg.counter("repl.state_transfers_requested")),
+      state_snapshots_served(reg.counter("repl.state_snapshots_served")),
+      state_snapshots_installed(reg.counter("repl.state_snapshots_installed")),
+      recoveries_completed(reg.counter("repl.recoveries_completed")),
       service_ms(reg.histogram("repl.service_ms")),
       queueing_ms(reg.histogram("repl.queueing_ms")),
       lazy_wait_ms(reg.histogram("repl.lazy_wait_ms")) {}
@@ -39,7 +43,10 @@ ReplicaServer::ReplicaServer(sim::Simulator& sim, gcs::Endpoint& endpoint,
                      "ReplicaConfig.service_time must be set");
 }
 
-ReplicaServer::~ReplicaServer() = default;
+ReplicaServer::~ReplicaServer() {
+  sim_.cancel(recovery_retry_);
+  sim_.cancel(service_event_);
+}
 
 void ReplicaServer::start() {
   AQUEDUCT_CHECK(!started_ && !crashed_);
@@ -68,6 +75,12 @@ void ReplicaServer::start() {
     // to define primary membership and elect the sequencer.
   }
 
+  if (is_primary_) {
+    stall_task_ = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.commit_stall_check, [this] { check_commit_stall(); });
+    stall_task_->start();
+  }
+
   qos_member_->join();
   replication_member_->join();
   if (primary_member_ != nullptr) primary_member_->join();
@@ -78,6 +91,9 @@ void ReplicaServer::crash() {
   crashed_ = true;
   lazy_task_.reset();
   perf_task_.reset();
+  stall_task_.reset();
+  sim_.cancel(recovery_retry_);
+  sim_.cancel(service_event_);
   endpoint_.crash();
 }
 
@@ -147,6 +163,14 @@ void ReplicaServer::on_primary_view(const gcs::View& view) {
 
 void ReplicaServer::on_replication_view(const gcs::View& view) {
   if (crashed_ || view.empty()) return;
+  if (!recovery_decided_) {
+    // First view classifies this replica: the genesis member bootstraps a
+    // singleton view and starts from empty state; anyone who lands in a
+    // view with existing members is (re)joining a running service and must
+    // synchronize before committing (the transfer barrier).
+    recovery_decided_ = true;
+    if (view.size() > 1) begin_recovery();
+  }
   maybe_activate_sequencer();
   if (is_sequencer_) publish_group_info();
   if (is_lazy_publisher_) {
@@ -164,10 +188,15 @@ void ReplicaServer::on_qos_view(const gcs::View& view) {
 }
 
 void ReplicaServer::maybe_activate_sequencer() {
-  if (!is_sequencer_ || !sequencer_barrier_) return;
-  if (replication_member_ == nullptr || !replication_member_->joined()) return;
-  if (replication_member_->view().contains(*sequencer_barrier_)) return;
-  sequencer_barrier_.reset();
+  // A recovering sequencer must not assign GSNs: its my_gsn_ may lag the
+  // cluster and reassigning a used GSN would violate safety. Requests
+  // buffer in barrier_queue_ until the snapshot installs.
+  if (!is_sequencer_ || recovering_) return;
+  if (sequencer_barrier_) {
+    if (replication_member_ == nullptr || !replication_member_->joined()) return;
+    if (replication_member_->view().contains(*sequencer_barrier_)) return;
+    sequencer_barrier_.reset();
+  }
   // Sequence the requests that arrived during the barrier, in order.
   auto queued = std::move(barrier_queue_);
   barrier_queue_.clear();
@@ -215,18 +244,23 @@ void ReplicaServer::on_qos_deliver(net::NodeId from, const net::MessagePtr& msg)
     // Track the highest role-map epoch ever published so that a replica
     // taking over as sequencer continues the epoch sequence — clients
     // ignore GroupInfo with a non-increasing epoch.
+    if (info->epoch >= group_info_epoch_) latest_roles_ = info;
     group_info_epoch_ = std::max(group_info_epoch_, info->epoch);
   }
   // PerfPublication / Reply multicasts are for clients; ignore.
 }
 
-void ReplicaServer::on_replication_deliver(net::NodeId /*from*/,
+void ReplicaServer::on_replication_deliver(net::NodeId from,
                                            const net::MessagePtr& msg) {
   if (crashed_) return;
   if (auto assign = net::message_cast<GsnAssign>(msg)) {
     handle_gsn_assign(*assign);
   } else if (auto lazy = net::message_cast<LazyUpdate>(msg)) {
     handle_lazy_update(*lazy);
+  } else if (net::message_cast<StateRequest>(msg)) {
+    handle_state_request(from);
+  } else if (auto snap = net::message_cast<StateSnapshot>(msg)) {
+    handle_state_snapshot(*snap);
   }
 }
 
@@ -262,7 +296,7 @@ void ReplicaServer::handle_update_request(net::NodeId /*from*/,
 }
 
 void ReplicaServer::sequence_update(const UpdateRequest& request) {
-  if (sequencer_barrier_) {
+  if (sequencer_barrier_ || recovering_) {
     barrier_queue_.emplace_back(request.id.client,
                                 std::make_shared<UpdateRequest>(request));
     return;
@@ -336,7 +370,12 @@ void ReplicaServer::handle_gsn_assign(const GsnAssign& assign) {
 }
 
 void ReplicaServer::try_enqueue_commits() {
-  if (!is_primary_) return;
+  // The transfer barrier: a recovering primary buffers assignments and
+  // payloads but must not execute them — committing a mid-stream GSN onto
+  // unsynchronized state would fork the committed prefix. The snapshot
+  // install advances next_enqueue_gsn_ past everything it covers, so after
+  // recovery each GSN is executed exactly once.
+  if (!is_primary_ || recovering_) return;
   while (true) {
     auto it = update_gsn_.find(next_enqueue_gsn_ + 1);
     if (it == update_gsn_.end()) break;
@@ -386,6 +425,11 @@ void ReplicaServer::handle_read_request(
     return;
   }
 
+  // Selection instant: a read addressed to this (non-sequencer) replica
+  // means some client's Algorithm 1 picked it — for a reborn replica this
+  // marks re-admission (bench_recovery's time-to-first-selection).
+  if (first_read_request_at_ == sim::kEpoch) first_read_request_at_ = sim_.now();
+
   if (pending_reads_.contains(id)) {
     ++stats_.duplicate_requests;
     metrics_.duplicate_requests.inc();
@@ -404,7 +448,7 @@ void ReplicaServer::handle_read_request(
 }
 
 void ReplicaServer::sequence_read(const ReadRequest& request) {
-  if (sequencer_barrier_) {
+  if (sequencer_barrier_ || recovering_) {
     barrier_queue_.emplace_back(request.id.client,
                                 std::make_shared<ReadRequest>(request));
     return;
@@ -495,12 +539,153 @@ void ReplicaServer::propagate_lazy_update() {
 
 void ReplicaServer::handle_lazy_update(const LazyUpdate& lazy) {
   if (is_primary_) return;  // primaries are updated immediately
+  // A rejoining secondary catches up from the first lazy propagation: any
+  // LazyUpdate delivery (the publisher pushes one immediately on view
+  // changes) re-synchronizes it, even if the CSN happens to match.
+  if (recovering_) finish_recovery();
   if (lazy.csn <= my_csn_) return;
   object_->install_snapshot(lazy.snapshot);
   my_csn_ = lazy.csn;
   ++stats_.lazy_updates_installed;
   metrics_.lazy_updates_installed.inc();
   recheck_waiting_reads();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery / state transfer (rejoin after crash, or commit-stall repair)
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::begin_recovery() {
+  if (recovering_ || crashed_) return;
+  recovering_ = true;
+  recovery_started_at_ = sim_.now();
+  last_stall_head_ = 0;
+  // Secondaries synchronize passively from the next lazy propagation (the
+  // publisher pushes one on every replication view change); only primaries
+  // pull a snapshot, because they must also reconstruct the commit
+  // position and dedup set.
+  if (is_primary_) send_state_request();
+}
+
+void ReplicaServer::send_state_request() {
+  if (!recovering_ || crashed_) return;
+  sim_.cancel(recovery_retry_);
+  recovery_retry_ = sim_.after(config_.state_transfer_retry,
+                               [this] { send_state_request(); });
+  const auto target = choose_transfer_target();
+  if (!target) return;  // roles unknown yet; retry after the timer
+  ++stats_.state_transfers_requested;
+  metrics_.state_transfers_requested.inc();
+  replication_member_->send_to(*target, std::make_shared<StateRequest>());
+}
+
+std::optional<net::NodeId> ReplicaServer::choose_transfer_target() const {
+  if (replication_member_ == nullptr || !replication_member_->joined()) {
+    return std::nullopt;
+  }
+  const gcs::View& view = replication_member_->view();
+  std::vector<net::NodeId> candidates;
+  if (latest_roles_) {
+    // Prefer the lazy publisher (it snapshots anyway), then the sequencer,
+    // then any other primary. The role map may be stale after a
+    // simultaneous failure; the view filter plus the retry timer (the
+    // sequencer republishes roles on every view change) converge on a live
+    // responder.
+    candidates.push_back(latest_roles_->lazy_publisher);
+    candidates.push_back(latest_roles_->sequencer);
+    candidates.insert(candidates.end(), latest_roles_->primaries.begin(),
+                      latest_roles_->primaries.end());
+  }
+  for (const net::NodeId c : candidates) {
+    if (c.valid() && c != id() && view.contains(c)) return c;
+  }
+  return std::nullopt;
+}
+
+void ReplicaServer::handle_state_request(net::NodeId from) {
+  // Only a synchronized primary may serve a transfer; a recovering one
+  // would hand out the very hole it is trying to fill.
+  if (!is_primary_ || recovering_ || crashed_) return;
+  if (replication_member_ == nullptr || !replication_member_->joined()) return;
+  if (!replication_member_->view().contains(from)) return;
+  auto snap = std::make_shared<StateSnapshot>();
+  snap->csn = my_csn_;
+  snap->gsn = my_gsn_;
+  snap->snapshot = object_->snapshot();
+  snap->committed.assign(committed_order_.begin(), committed_order_.end());
+  ++stats_.state_snapshots_served;
+  metrics_.state_snapshots_served.inc();
+  replication_member_->send_to(from, snap);
+}
+
+void ReplicaServer::handle_state_snapshot(const StateSnapshot& snap) {
+  if (!recovering_ || !is_primary_) return;  // late duplicate
+  if (snap.csn > my_csn_) {
+    object_->install_snapshot(snap.snapshot);
+    my_csn_ = snap.csn;
+    ++stats_.state_snapshots_installed;
+    metrics_.state_snapshots_installed.inc();
+  }
+  my_gsn_ = std::max(my_gsn_, snap.gsn);
+  // Transfer barrier bookkeeping: everything at or below the snapshot CSN
+  // is already reflected in the installed state — consume those GSNs so
+  // they are never executed again, and adopt the responder's dedup set so
+  // re-broadcast assignments of old requests become no-op commits.
+  next_enqueue_gsn_ = std::max(next_enqueue_gsn_, snap.csn);
+  std::erase_if(update_gsn_,
+                [&](const auto& kv) { return kv.first <= next_enqueue_gsn_; });
+  for (const RequestId& rid : snap.committed) {
+    if (committed_.contains(rid)) continue;
+    remember_committed(rid);
+    update_payload_.erase(rid);
+    if (auto it = gsn_of_update_.find(rid);
+        it != gsn_of_update_.end() && it->second <= next_enqueue_gsn_) {
+      gsn_of_update_.erase(it);
+    }
+  }
+  finish_recovery();
+}
+
+void ReplicaServer::finish_recovery() {
+  if (!recovering_) return;
+  recovering_ = false;
+  recovered_at_ = sim_.now();
+  sim_.cancel(recovery_retry_);
+  ++stats_.recoveries_completed;
+  metrics_.recoveries_completed.inc();
+  // Drop the barrier: run everything that accumulated behind it.
+  maybe_activate_sequencer();
+  try_enqueue_commits();
+  recheck_waiting_reads();
+}
+
+void ReplicaServer::check_commit_stall() {
+  if (crashed_ || !is_primary_ || recovering_) {
+    last_stall_head_ = 0;
+    return;
+  }
+  const core::Gsn head = next_enqueue_gsn_ + 1;
+  bool stalled = false;
+  if (!update_gsn_.empty()) {
+    const auto first = update_gsn_.begin();
+    if (first->first > head) {
+      // Assignment gap: GSNs below the first known assignment were
+      // broadcast before this replica (re)joined and will never arrive.
+      stalled = true;
+    } else if (first->first == head && !committed_.contains(first->second) &&
+               !update_payload_.contains(first->second)) {
+      // Head assigned but its payload is missing (lost before the client
+      // learned this replica exists, or the client gave up retrying).
+      stalled = true;
+    }
+  }
+  if (stalled && last_stall_head_ == head) {
+    // Stuck on the same hole for a full check period: re-enter recovery
+    // and jump past it via a snapshot from a synchronized primary.
+    begin_recovery();
+    return;
+  }
+  last_stall_head_ = stalled ? head : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -525,10 +710,11 @@ void ReplicaServer::maybe_start_service() {
   const sim::Duration service_time =
       free ? sim::Duration::zero() : config_.service_time->sample(rng_);
   const sim::TimePoint service_start = sim_.now();
-  sim_.after(service_time, [this, job = std::move(job), service_time,
-                            service_start]() mutable {
-    complete_job(job, service_time, service_start);
-  });
+  service_event_ =
+      sim_.after(service_time, [this, job = std::move(job), service_time,
+                                service_start]() mutable {
+        complete_job(job, service_time, service_start);
+      });
 }
 
 void ReplicaServer::complete_job(const Job& job, sim::Duration service_time,

@@ -52,6 +52,14 @@ struct ReplicaConfig {
   sim::Duration perf_publish_period = std::chrono::milliseconds(500);
   /// Bound on the dedup/reply caches.
   std::size_t cache_limit = 16384;
+  /// How long a rejoining primary waits before re-sending a StateRequest
+  /// (covers lost requests, unknown roles, and a mid-transfer responder
+  /// crash).
+  sim::Duration state_transfer_retry = std::chrono::milliseconds(500);
+  /// Period of the commit-stall watchdog: a primary whose commit pipeline
+  /// has been stuck on the same missing GSN/payload for two consecutive
+  /// checks re-enters recovery and jumps the gap via a fresh snapshot.
+  sim::Duration commit_stall_check = std::chrono::seconds(1);
 };
 
 struct ReplicaStats {
@@ -63,6 +71,11 @@ struct ReplicaStats {
   std::uint64_t lazy_updates_installed = 0;
   std::uint64_t duplicate_requests = 0;
   std::uint64_t gsn_conflicts = 0;  // must stay 0 — safety-net counter
+  // Recovery / state transfer.
+  std::uint64_t state_transfers_requested = 0;
+  std::uint64_t state_snapshots_served = 0;
+  std::uint64_t state_snapshots_installed = 0;
+  std::uint64_t recoveries_completed = 0;
 };
 
 class ReplicaServer {
@@ -85,7 +98,16 @@ class ReplicaServer {
   void crash();
 
   net::NodeId id() const { return endpoint_.id(); }
+  bool crashed() const { return crashed_; }
   bool is_primary() const { return is_primary_; }
+  /// True while the replica is (re)joining an existing service and has not
+  /// yet synchronized its state (transfer barrier up: no commits served).
+  bool recovering() const { return recovering_; }
+  /// When the transfer barrier last dropped (kEpoch if never raised).
+  sim::TimePoint recovered_at() const { return recovered_at_; }
+  /// Arrival time of the first read request addressed to this replica —
+  /// for a reborn replica this is the client re-admission instant.
+  sim::TimePoint first_read_request_at() const { return first_read_request_at_; }
   bool is_sequencer() const { return is_sequencer_; }
   bool is_lazy_publisher() const { return is_lazy_publisher_; }
   core::Gsn gsn() const { return my_gsn_; }
@@ -110,6 +132,15 @@ class ReplicaServer {
                            const std::shared_ptr<const ReadRequest>& request);
   void handle_gsn_assign(const GsnAssign& assign);
   void handle_lazy_update(const LazyUpdate& lazy);
+
+  // ---- recovery / state transfer ----
+  void begin_recovery();
+  void finish_recovery();
+  void send_state_request();
+  std::optional<net::NodeId> choose_transfer_target() const;
+  void handle_state_request(net::NodeId from);
+  void handle_state_snapshot(const StateSnapshot& snap);
+  void check_commit_stall();
 
   // ---- sequencer ----
   void sequence_update(const UpdateRequest& request);
@@ -193,6 +224,19 @@ class ReplicaServer {
   std::optional<net::NodeId> sequencer_barrier_;
   net::NodeId last_primary_leader_;  // previous primary-group leader
   std::uint64_t group_info_epoch_ = 0;
+  /// Newest role map seen on the QoS group; used to pick a state-transfer
+  /// responder when rejoining.
+  std::shared_ptr<const GroupInfo> latest_roles_;
+
+  // Recovery state (transfer barrier).
+  bool recovering_ = false;
+  bool recovery_decided_ = false;  // first replication view classifies us
+  sim::EventHandle recovery_retry_;
+  sim::TimePoint recovery_started_at_ = sim::kEpoch;
+  sim::TimePoint recovered_at_ = sim::kEpoch;
+  sim::TimePoint first_read_request_at_ = sim::kEpoch;
+  std::unique_ptr<sim::PeriodicTask> stall_task_;
+  core::Gsn last_stall_head_ = 0;
 
   // Sequential-consistency protocol state (Section 4.1).
   core::Gsn my_gsn_ = 0;
@@ -227,6 +271,9 @@ class ReplicaServer {
   // Service queue.
   std::deque<Job> queue_;
   bool busy_ = false;
+  /// In-flight service completion; cancelled on crash so a crashed (and
+  /// possibly soon-destroyed) replica never completes a job posthumously.
+  sim::EventHandle service_event_;
 
   // Lazy publisher bookkeeping.
   std::unique_ptr<sim::PeriodicTask> lazy_task_;
@@ -251,6 +298,10 @@ class ReplicaServer {
     obs::Counter& lazy_updates_installed;
     obs::Counter& duplicate_requests;
     obs::Counter& gsn_conflicts;
+    obs::Counter& state_transfers_requested;
+    obs::Counter& state_snapshots_served;
+    obs::Counter& state_snapshots_installed;
+    obs::Counter& recoveries_completed;
     obs::Histogram& service_ms;
     obs::Histogram& queueing_ms;
     obs::Histogram& lazy_wait_ms;

@@ -14,6 +14,7 @@
 
 #include <chrono>
 
+#include "fault/schedule.hpp"
 #include "harness/scenario.hpp"
 #include "replication/objects.hpp"
 
@@ -100,6 +101,78 @@ TEST_P(ChaosProperty, SafetyInvariantsHoldUnderCrashesAndLoss) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// Crash-then-recover chaos: every crash is followed by a seed-derived
+// restart, so safety must hold *across reincarnations* — a reborn replica
+// must never fork the committed prefix, reuse a GSN, or serve stale state,
+// and the run must still terminate.
+class ChaosRecovery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosRecovery, SafetyInvariantsHoldAcrossReincarnations) {
+  const std::uint64_t seed = GetParam();
+  harness::ScenarioConfig config;
+  config.seed = seed;
+  config.num_primaries = 2;
+  config.num_secondaries = 3;
+  config.lazy_update_interval = seconds(2);
+  for (int c = 0; c < 2; ++c) {
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 2,
+                .deadline = milliseconds(200),
+                .min_probability = 0.5},
+        .request_delay = milliseconds(200),
+        .num_requests = 80,
+    });
+  }
+  harness::Scenario scenario(std::move(config));
+
+  // Seed-derived crash/restart plan over every replica (the sequencer
+  // included — restarts keep the service alive), plus a loss episode.
+  fault::RandomFaultParams params;
+  params.crash_candidates = scenario.num_replicas();
+  params.min_crashes = 1;
+  params.max_crashes = 2;
+  params.earliest_crash = seconds(6);
+  params.crash_spacing = seconds(10);
+  params.min_outage = seconds(4);
+  params.max_outage = seconds(10);
+  params.loss_probability = 0.05;
+  params.loss_from = seconds(5);
+  params.loss_until = seconds(20);
+  scenario.apply_faults(fault::FaultSchedule::random(seed * 7919 + 13, params));
+
+  auto results = scenario.run();
+
+  // Liveness: nothing hangs.
+  for (const auto& r : results) {
+    EXPECT_EQ(r.stats.reads_completed + r.stats.reads_abandoned, 40u)
+        << "seed " << seed;
+    EXPECT_EQ(r.stats.staleness_violations, 0u) << "seed " << seed;
+  }
+
+  // Safety across all replicas, original and reborn incarnations alike.
+  std::uint64_t max_csn = 0;
+  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+    const auto& replica = scenario.replica(i);
+    EXPECT_EQ(replica.stats().gsn_conflicts, 0u) << "seed " << seed;
+    if (replica.crashed() || !replica.is_primary() || replica.recovering()) {
+      continue;
+    }
+    const auto& store =
+        dynamic_cast<const replication::KeyValueStore&>(replica.object());
+    EXPECT_EQ(store.version(), replica.csn()) << "seed " << seed;
+    max_csn = std::max(max_csn, replica.csn());
+  }
+  for (std::size_t i = 1; i <= 2; ++i) {
+    const auto& replica = scenario.replica(i);
+    if (replica.crashed() || replica.recovering()) continue;
+    EXPECT_GE(replica.csn() + 2, max_csn)
+        << "primary " << i << " diverged, seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosRecovery,
                          ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace

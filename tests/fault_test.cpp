@@ -1,0 +1,185 @@
+// Fault-schedule DSL and dependability-manager unit tests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "fault/dependability.hpp"
+#include "fault/schedule.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::fault {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+TEST(FaultSchedule, EventsSortedByTime) {
+  FaultSchedule s;
+  s.restart(1, seconds(10));
+  s.crash(2, seconds(3));
+  s.crash(1, seconds(5));
+  const auto events = s.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(events[0].replica, 2u);
+  EXPECT_EQ(events[1].at, seconds(5));
+  EXPECT_EQ(events[2].kind, FaultKind::kRestart);
+}
+
+TEST(FaultSchedule, RandomIsDeterministicPerSeed) {
+  RandomFaultParams params;
+  params.crash_candidates = 5;
+  params.min_crashes = 1;
+  params.max_crashes = 3;
+  const auto a = FaultSchedule::random(99, params).events();
+  const auto b = FaultSchedule::random(99, params).events();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].replica, b[i].replica);
+  }
+  // Different seeds produce a different plan for at least one of a few
+  // tries (kind, victim, or timing).
+  bool diverged = false;
+  for (std::uint64_t seed = 100; seed < 104 && !diverged; ++seed) {
+    const auto c = FaultSchedule::random(seed, params).events();
+    diverged = c.size() != a.size();
+    for (std::size_t i = 0; !diverged && i < c.size(); ++i) {
+      diverged = c[i].at != a[i].at || c[i].replica != a[i].replica;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultSchedule, RandomPairsEveryCrashWithALaterRestart) {
+  RandomFaultParams params;
+  params.crash_candidates = 4;
+  params.min_crashes = 2;
+  params.max_crashes = 2;
+  const auto events = FaultSchedule::random(5, params).events();
+  std::size_t crashes = 0, restarts = 0;
+  for (const auto& e : events) {
+    if (e.kind == FaultKind::kCrash) ++crashes;
+    if (e.kind == FaultKind::kRestart) ++restarts;
+  }
+  EXPECT_EQ(crashes, restarts);
+  EXPECT_GE(crashes, 1u);
+}
+
+TEST(FaultApply, FiresCallbacksAtScheduledTimes) {
+  sim::Simulator sim(1);
+  net::Network network(sim, std::make_unique<sim::FixedDuration>(
+                                milliseconds(1)));
+  std::vector<std::pair<std::size_t, sim::TimePoint>> crashes, restarts;
+
+  FaultSchedule s;
+  s.crash_restart(2, seconds(3), seconds(8));
+  s.loss(0.5, seconds(1));
+
+  FaultTargets targets;
+  targets.crash = [&](std::size_t i) { crashes.emplace_back(i, sim.now()); };
+  targets.restart = [&](std::size_t i) { restarts.emplace_back(i, sim.now()); };
+  targets.node_id = [](std::size_t) { return net::NodeId{1}; };
+  targets.network = &network;
+  apply(s, sim, std::move(targets));
+
+  sim.run_for(seconds(2));
+  EXPECT_TRUE(crashes.empty());
+  EXPECT_DOUBLE_EQ(network.loss_probability(net::NodeId{1}, net::NodeId{2}),
+                   0.5);
+  sim.run_for(seconds(10));
+  ASSERT_EQ(crashes.size(), 1u);
+  ASSERT_EQ(restarts.size(), 1u);
+  EXPECT_EQ(crashes[0].first, 2u);
+  EXPECT_EQ(crashes[0].second, sim::kEpoch + seconds(3));
+  EXPECT_EQ(restarts[0].second, sim::kEpoch + seconds(8));
+}
+
+struct FakeFleet {
+  std::vector<bool> alive;
+  std::vector<std::pair<std::size_t, sim::TimePoint>> restarts;
+
+  DependabilityManager::Hooks hooks(sim::Simulator& sim) {
+    DependabilityManager::Hooks h;
+    h.num_replicas = [this] { return alive.size(); };
+    h.alive = [this](std::size_t i) { return alive[i]; };
+    h.restart = [this, &sim](std::size_t i) {
+      alive[i] = true;
+      restarts.emplace_back(i, sim.now());
+    };
+    return h;
+  }
+};
+
+TEST(DependabilityManager, RestartsDeadReplicaWithinBoundedLatency) {
+  sim::Simulator sim(1);
+  obs::Observability obs;
+  FakeFleet fleet{.alive = {true, true, true}};
+
+  DependabilityConfig config;
+  config.poll_period = milliseconds(500);
+  config.restart_latency = seconds(1);
+  DependabilityManager dm(sim, obs, config, fleet.hooks(sim));
+  dm.start();
+
+  sim.at(sim::kEpoch + seconds(2), [&] { fleet.alive[1] = false; });
+  sim.run_for(seconds(6));
+
+  ASSERT_EQ(fleet.restarts.size(), 1u);
+  EXPECT_EQ(fleet.restarts[0].first, 1u);
+  // Detection within one poll period, then the configured restart latency.
+  EXPECT_LE(fleet.restarts[0].second,
+            sim::kEpoch + seconds(2) + config.poll_period +
+                config.restart_latency + milliseconds(1));
+  EXPECT_TRUE(fleet.alive[1]);
+  EXPECT_EQ(dm.stats().restarts_issued, 1u);
+  EXPECT_GE(dm.stats().deficits_observed, 1u);
+  EXPECT_GT(dm.stats().polls, 0u);
+}
+
+TEST(DependabilityManager, TargetLevelToleratesSomeDeadReplicas) {
+  sim::Simulator sim(1);
+  obs::Observability obs;
+  FakeFleet fleet{.alive = {true, true, true, true}};
+
+  DependabilityConfig config;
+  config.target_level = 3;  // content with 3 of 4 alive
+  config.poll_period = milliseconds(500);
+  DependabilityManager dm(sim, obs, config, fleet.hooks(sim));
+  dm.start();
+
+  sim.at(sim::kEpoch + seconds(1), [&] { fleet.alive[0] = false; });
+  sim.run_for(seconds(4));
+  EXPECT_TRUE(fleet.restarts.empty());  // still at target
+
+  sim.at(sim.now(), [&] { fleet.alive[2] = false; });
+  sim.run_for(seconds(4));
+  ASSERT_EQ(fleet.restarts.size(), 1u);  // one restart regains the target
+  EXPECT_EQ(dm.stats().restarts_issued, 1u);
+}
+
+TEST(DependabilityManager, MaxRestartsCapsIntervention) {
+  sim::Simulator sim(1);
+  obs::Observability obs;
+  FakeFleet fleet{.alive = {true, true}};
+
+  DependabilityConfig config;
+  config.poll_period = milliseconds(500);
+  config.restart_latency = milliseconds(500);
+  config.max_restarts = 0;
+  DependabilityManager dm(sim, obs, config, fleet.hooks(sim));
+  dm.start();
+
+  sim.at(sim::kEpoch + seconds(1), [&] { fleet.alive[0] = false; });
+  sim.run_for(seconds(5));
+  EXPECT_TRUE(fleet.restarts.empty());
+  EXPECT_GE(dm.stats().deficits_observed, 1u);
+  EXPECT_EQ(dm.stats().restarts_issued, 0u);
+}
+
+}  // namespace
+}  // namespace aqueduct::fault

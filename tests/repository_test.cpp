@@ -160,5 +160,73 @@ TEST(InfoRepository, WindowSizeRespected) {
   EXPECT_EQ(h->service.values().front(), milliseconds(80));
 }
 
+TEST(RepositoryChurn, EvictsDepartedIncarnations) {
+  InfoRepository repo(8, milliseconds(1));
+  repo.record_group_info(roles(1));
+  repo.record_publication(sample(2, 50), sim::kEpoch);
+  repo.record_publication(sample(4, 60), sim::kEpoch);
+  ASSERT_NE(repo.find_history(net::NodeId{4}), nullptr);
+
+  // Epoch 2: secondary n4 is gone (crashed), everyone else unchanged.
+  auto info = roles(2);
+  info.secondaries = {net::NodeId{5}};
+  repo.record_group_info(info);
+
+  EXPECT_EQ(repo.find_history(net::NodeId{4}), nullptr);
+  EXPECT_NE(repo.find_history(net::NodeId{2}), nullptr);
+  EXPECT_EQ(repo.churn_stats().histories_evicted, 1u);
+}
+
+TEST(RepositoryChurn, WarmsUpRebornReplicaFromPublisherHistory) {
+  InfoRepository repo(8, milliseconds(1));
+  repo.record_group_info(roles(1));
+  // The lazy publisher (n3) has samples the newcomer can inherit.
+  repo.record_publication(sample(3, 40, 10), sim::kEpoch);
+  repo.record_publication(sample(3, 50, 12), sim::kEpoch);
+
+  // Epoch 2: n6 appears (a reborn replica under a fresh NodeId).
+  auto info = roles(2);
+  info.secondaries = {net::NodeId{4}, net::NodeId{5}, net::NodeId{6}};
+  repo.record_group_info(info);
+
+  const auto* warmed = repo.find_history(net::NodeId{6});
+  ASSERT_NE(warmed, nullptr);
+  EXPECT_TRUE(warmed->has_samples());
+  EXPECT_EQ(warmed->service.size(), 2u);
+  // Link-local state is genuinely unknown and stays empty.
+  EXPECT_EQ(warmed->last_reply_at, sim::kEpoch);
+  EXPECT_EQ(repo.churn_stats().replicas_warmed, 1u);
+
+  // The warmed newcomer gets non-zero CDFs, so Algorithm 1 can pick it.
+  const auto candidates = repo.candidates({.staleness_threshold = 2,
+                                           .deadline = milliseconds(200),
+                                           .min_probability = 0.5},
+                                          sim::kEpoch + seconds(1));
+  bool found = false;
+  for (const auto& c : candidates) {
+    if (c.id == net::NodeId{6}) {
+      found = true;
+      EXPECT_GT(c.immediate_cdf, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RepositoryChurn, NoWarmupAtBootOrWithoutPublisherSamples) {
+  InfoRepository repo(8, milliseconds(1));
+  // Boot: first role map never seeds histories (publisher has none, and
+  // boot behaviour must be unchanged).
+  repo.record_group_info(roles(1));
+  EXPECT_EQ(repo.churn_stats().replicas_warmed, 0u);
+  EXPECT_EQ(repo.find_history(net::NodeId{2}), nullptr);
+
+  // A newcomer while the publisher is still sample-less: no seeding.
+  auto info = roles(2);
+  info.secondaries = {net::NodeId{4}, net::NodeId{5}, net::NodeId{6}};
+  repo.record_group_info(info);
+  EXPECT_EQ(repo.churn_stats().replicas_warmed, 0u);
+  EXPECT_EQ(repo.find_history(net::NodeId{6}), nullptr);
+}
+
 }  // namespace
 }  // namespace aqueduct::client
