@@ -16,31 +16,72 @@
 namespace aqueduct::bench {
 
 /// Command-line options shared by the harness-driven benches.
+///
+/// Parsing is strict: an unknown flag (or a flag missing its value) prints
+/// usage and exits 2, so CI cannot green-light a typo'd invocation that
+/// silently ran with defaults.
 struct Options {
   /// Requests per client per run (the paper uses 1000 alternating
   /// write/read requests).
   std::size_t requests = 1000;
   std::uint64_t seed = 42;
+  /// Seed count for the sweep-driven benches (0 = the bench's default).
+  std::size_t seeds = 0;
+  /// Worker threads for the sweep-driven benches (0 = one per core).
+  /// Output is byte-identical for any value — see runner/sweep.hpp.
+  std::size_t threads = 0;
   bool csv = false;   // also emit CSV blocks
   bool json = true;   // write the BENCH_<name>.json summary
   std::string json_out;  // overrides the default BENCH_<name>.json path
 
+  static void usage(const char* prog, std::ostream& os) {
+    os << "usage: " << prog << " [options]\n"
+       << "  --quick            small request count (200) for CI shards\n"
+       << "  --requests N       requests per client per run\n"
+       << "  --seed N           first seed\n"
+       << "  --seeds N          seed count (sweep-driven benches)\n"
+       << "  --threads N        sweep worker threads (0 = one per core)\n"
+       << "  --csv              also emit CSV blocks\n"
+       << "  --json-out PATH    override the BENCH_<name>.json path\n"
+       << "  --no-json          skip the JSON summary\n"
+       << "  --help             show this help\n";
+  }
+
   static Options parse(int argc, char** argv) {
     Options opt;
+    const auto value = [&](int& i) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": flag " << argv[i] << " needs a value\n";
+        usage(argv[0], std::cerr);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--quick") {
         opt.requests = 200;
-      } else if (arg == "--requests" && i + 1 < argc) {
-        opt.requests = static_cast<std::size_t>(std::stoull(argv[++i]));
-      } else if (arg == "--seed" && i + 1 < argc) {
-        opt.seed = std::stoull(argv[++i]);
+      } else if (arg == "--requests") {
+        opt.requests = static_cast<std::size_t>(std::stoull(value(i)));
+      } else if (arg == "--seed") {
+        opt.seed = std::stoull(value(i));
+      } else if (arg == "--seeds") {
+        opt.seeds = static_cast<std::size_t>(std::stoull(value(i)));
+      } else if (arg == "--threads") {
+        opt.threads = static_cast<std::size_t>(std::stoull(value(i)));
       } else if (arg == "--csv") {
         opt.csv = true;
-      } else if (arg == "--json-out" && i + 1 < argc) {
-        opt.json_out = argv[++i];
+      } else if (arg == "--json-out") {
+        opt.json_out = value(i);
       } else if (arg == "--no-json") {
         opt.json = false;
+      } else if (arg == "--help") {
+        usage(argv[0], std::cout);
+        std::exit(0);
+      } else {
+        std::cerr << argv[0] << ": unknown flag " << arg << "\n";
+        usage(argv[0], std::cerr);
+        std::exit(2);
       }
     }
     return opt;

@@ -3,100 +3,102 @@
 // presence of delays and replica failures, if enough replicas are
 // available").
 //
-// Five runs of the standard two-client workload:
+// Five failure plans of the standard two-client workload:
 //   baseline          — no failures;
 //   primary-crash     — one primary replica fails mid-run;
 //   secondary-crash   — two secondaries fail mid-run;
 //   sequencer-crash   — the sequencer fails mid-run (leader failover: the
 //                       next primary becomes sequencer; the GSN barrier
 //                       prevents sequence-number reuse);
-//   recovery          — a primary crashes and is restarted 15s later: the
-//                       reborn incarnation rejoins, synchronizes via state
-//                       transfer, and is re-admitted to selection.
-// Reported: request completion, timing-failure probability, retries,
-// completed recoveries, and the GSN-conflict counter (must stay 0).
-#include <chrono>
+//   recovery          — a primary crashes and is restarted 15s later.
+//
+// The per-run body lives in the `failure_injection` plan
+// (src/runner/plans.cpp); the (plan x seed) grid fans out across
+// --threads workers on the sweep engine (--seeds N runs each failure plan
+// at N consecutive seeds), and the merged output is byte-identical for
+// any thread count.
+#include <fstream>
 #include <iostream>
-#include <vector>
+#include <string>
 
 #include "bench_common.hpp"
-#include "fault/schedule.hpp"
-#include "harness/scenario.hpp"
-#include "harness/stats.hpp"
 #include "harness/table.hpp"
+#include "runner/plans.hpp"
+#include "runner/sweep.hpp"
 
 using namespace aqueduct;
-
-namespace {
-
-struct FailurePlan {
-  std::string name;
-  fault::FaultSchedule schedule;  // replica indices (0 = sequencer)
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
   // Failure runs do not need the full 1000 requests to show the shape.
   if (opt.requests > 400) opt.requests = 400;
+  const std::size_t seeds = opt.seeds == 0 ? 1 : opt.seeds;
 
-  using std::chrono::seconds;
-  std::vector<FailurePlan> plans(5);
-  plans[0].name = "baseline (no failures)";
-  plans[1].name = "primary crash";
-  plans[1].schedule.crash(2, seconds(100));
-  plans[2].name = "two secondary crashes";
-  plans[2].schedule.crash(6, seconds(100)).crash(8, seconds(100));
-  plans[3].name = "sequencer crash";
-  plans[3].schedule.crash(0, seconds(100));
-  plans[4].name = "primary crash + recovery";
-  plans[4].schedule.crash_restart(2, seconds(100), seconds(115));
+  const runner::Plan* plan = runner::find_plan("failure_injection");
+  const runner::SweepSpec spec =
+      runner::make_spec(*plan, opt.seed, seeds, opt.threads, opt.requests);
 
   std::cout << "=== Failure injection: adaptivity under replica crashes ===\n"
             << "client QoS: a=2, d=140ms, Pc=0.9; LUI=2s; " << opt.requests
-            << " requests; crashes at t=100s, recovery restart at t=115s\n\n";
+            << " requests; crashes at t=100s, recovery restart at t=115s; "
+            << seeds << " seed" << (seeds == 1 ? "" : "s")
+            << " per failure plan\n\n";
+
+  const runner::SweepResult result = runner::run_sweep(spec);
 
   harness::Table table({"scenario", "reads_completed", "reads_abandoned",
                         "timing_failure_prob", "retries",
                         "avg_replicas_selected", "reborn",
                         "gsn_conflicts", "staleness_violations"});
-
-  for (const FailurePlan& plan : plans) {
-    harness::ScenarioConfig config;
-    config.seed = opt.seed;
-    config.lazy_update_interval = std::chrono::seconds(2);
-    for (int c = 0; c < 2; ++c) {
-      config.clients.push_back(harness::ClientSpec{
-          .qos = {.staleness_threshold = c == 0 ? 4u : 2u,
-                  .deadline = std::chrono::milliseconds(c == 0 ? 200 : 140),
-                  .min_probability = c == 0 ? 0.1 : 0.9},
-          .request_delay = std::chrono::milliseconds(1000),
-          .num_requests = opt.requests,
-      });
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const runner::SeedRecord& r = result.rows[i];
+    if (!r.ok) {
+      table.add_row({spec.units[i].label, "FAILED", r.error, "-", "-", "-",
+                     "-", "-", "-"});
+      continue;
     }
-    harness::Scenario scenario(std::move(config));
-    scenario.apply_faults(plan.schedule);
-    auto results = scenario.run();
-    const auto& stats = results[1].stats;
-
-    std::uint64_t conflicts = 0;
-    std::uint64_t reborn = 0;  // restarted slots (fresh incarnations)
-    std::uint64_t violations =
-        results[0].stats.staleness_violations + stats.staleness_violations;
-    for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
-      conflicts += scenario.replica(i).stats().gsn_conflicts;
-      reborn += scenario.incarnation(i);
-    }
-    table.add_row({plan.name, std::to_string(stats.reads_completed),
-                   std::to_string(stats.reads_abandoned),
-                   harness::Table::num(stats.timing_failure_probability(), 3),
-                   std::to_string(stats.retries),
-                   harness::Table::num(stats.avg_replicas_selected(), 2),
-                   std::to_string(reborn), std::to_string(conflicts),
-                   std::to_string(violations)});
+    const std::uint64_t reads = r.counter_or_zero("reads_completed");
+    const double tf_prob =
+        reads == 0 ? 0.0
+                   : static_cast<double>(r.counter_or_zero("timing_failures")) /
+                         static_cast<double>(reads);
+    table.add_row({spec.units[i].label, std::to_string(reads),
+                   std::to_string(r.counter_or_zero("reads_abandoned")),
+                   harness::Table::num(tf_prob, 3),
+                   std::to_string(r.counter_or_zero("retries")),
+                   harness::Table::num(r.value_or("avg_replicas_selected"), 2),
+                   std::to_string(r.counter_or_zero("reborn")),
+                   std::to_string(r.counter_or_zero("gsn_conflicts")),
+                   std::to_string(r.counter_or_zero("staleness_violations"))});
   }
   table.print();
   if (opt.csv) table.print_csv(std::cout);
-  return 0;
+
+  for (const runner::PooledBinomial& b : result.binomials) {
+    std::cout << "\npooled " << b.label << ": "
+              << harness::Table::num(b.ci.point, 3) << " ["
+              << harness::Table::num(b.ci.lower, 3) << ", "
+              << harness::Table::num(b.ci.upper, 3) << "] (" << b.failures
+              << "/" << b.trials << ")";
+  }
+  std::cout << "\nswept " << spec.units.size() << " runs on "
+            << result.threads_used << " thread"
+            << (result.threads_used == 1 ? "" : "s") << " in "
+            << harness::Table::num(result.wall_seconds, 2) << "s wall\n";
+
+  if (opt.json) {
+    const std::string path =
+        opt.json_out.empty() ? "BENCH_failure_injection.json" : opt.json_out;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return 1;
+    }
+    runner::write_sweep_json(os, spec, result);
+    std::cout << "\nwrote " << path << "\n";
+  }
+  return result.all_ok() &&
+                 result.pooled_counter_or_zero("gsn_conflicts") == 0
+             ? 0
+             : 1;
 }

@@ -13,122 +13,122 @@
 // Figure 4b: observed probability of timing failure for client 2 vs
 //            deadline, with 95% binomial confidence intervals.
 //
+// The 32-cell grid (x --seeds N independent seeds per cell) fans out
+// across --threads workers on the sweep engine (the per-cell body is the
+// `fig4_adaptivity` plan in src/runner/plans.cpp); per-cell results pool
+// across seeds before the tables are printed, and the merged output is
+// byte-identical for any thread count.
+//
 // Expected shape (paper): fewer replicas as the QoS loosens; observed
 // failure probability below 1 - Pc in every configuration; larger LUI =>
 // more timing failures at tight deadlines (stale secondaries defer).
-#include <chrono>
-#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "harness/scenario.hpp"
 #include "harness/stats.hpp"
 #include "harness/table.hpp"
+#include "runner/plans.hpp"
+#include "runner/sweep.hpp"
 
 using namespace aqueduct;
 
 namespace {
 
-struct Config {
-  double pc;
-  sim::Duration lui;
-  std::string label() const {
-    return "(prob: " + harness::Table::num(pc, 1) +
-           ", LUI: " + harness::Table::num(sim::to_sec(lui), 0) + " secs)";
-  }
-};
-
-struct RunResult {
-  double avg_selected = 0.0;
-  harness::ConfidenceInterval failure;
-  double deferred_fraction = 0.0;
+/// Pooled view of one grid cell (config x deadline) across its seeds.
+struct Cell {
+  double avg_selected = 0.0;       // seed-averaged
+  double deferred_fraction = 0.0;  // pooled over reads
+  std::uint64_t timing_failures = 0;
+  std::uint64_t reads_completed = 0;
   std::uint64_t staleness_violations = 0;
-  bench::RunSummary summary;
+  harness::ConfidenceInterval failure;
 };
-
-RunResult run_one(double pc, sim::Duration lui, sim::Duration deadline,
-                  const std::string& label, const bench::Options& opt) {
-  harness::ScenarioConfig config;
-  config.seed = opt.seed;
-  config.lazy_update_interval = lui;
-  config.clients.push_back(harness::ClientSpec{
-      .qos = {.staleness_threshold = 4,
-              .deadline = std::chrono::milliseconds(200),
-              .min_probability = 0.1},
-      .request_delay = std::chrono::milliseconds(1000),
-      .num_requests = opt.requests,
-  });
-  config.clients.push_back(harness::ClientSpec{
-      .qos = {.staleness_threshold = 2,
-              .deadline = deadline,
-              .min_probability = pc},
-      .request_delay = std::chrono::milliseconds(1000),
-      .num_requests = opt.requests,
-  });
-  harness::Scenario scenario(std::move(config));
-  auto results = scenario.run();
-  const auto& stats = results[1].stats;  // client 2 is the measured client
-  RunResult out;
-  out.avg_selected = stats.avg_replicas_selected();
-  out.failure =
-      harness::binomial_ci_normal(stats.timing_failures, stats.reads_completed);
-  out.deferred_fraction =
-      stats.reads_completed == 0
-          ? 0.0
-          : static_cast<double>(stats.deferred_replies) /
-                static_cast<double>(stats.reads_completed);
-  out.staleness_violations = stats.staleness_violations;
-  out.summary = bench::summarize_run(label, results[1],
-                                     scenario.simulator().now() - sim::kEpoch);
-  return out;
-}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
-  const std::vector<Config> configs = {
-      {0.9, std::chrono::seconds(4)},
-      {0.5, std::chrono::seconds(4)},
-      {0.9, std::chrono::seconds(2)},
-      {0.5, std::chrono::seconds(2)},
-  };
+  const std::size_t seeds = opt.seeds == 0 ? 1 : opt.seeds;
+
+  const runner::Plan* plan = runner::find_plan("fig4_adaptivity");
+  const runner::SweepSpec spec =
+      runner::make_spec(*plan, opt.seed, seeds, opt.threads, opt.requests);
+  // Labels mirror the plan grid: deadline-major, 4 configs per deadline.
+  constexpr std::size_t kConfigs = 4;
   const std::vector<int> deadlines_ms = {80, 100, 120, 140, 160, 180, 200, 220};
+  const std::vector<std::string> config_labels = {
+      "(prob: 0.9, LUI: 4 secs)", "(prob: 0.5, LUI: 4 secs)",
+      "(prob: 0.9, LUI: 2 secs)", "(prob: 0.5, LUI: 2 secs)"};
 
   std::cout << "=== Figure 4: adaptivity of the probabilistic model ===\n"
             << "setup: sequencer + 4 primaries + 6 secondaries; service ~ "
                "N(100ms, 50ms); 2 clients, "
-            << opt.requests << " alternating write/read requests each\n"
+            << opt.requests << " alternating write/read requests each, "
+            << seeds << " seed" << (seeds == 1 ? "" : "s") << " per cell\n"
             << "client 1 QoS: a=4, d=200ms, Pc=0.1 (fixed); client 2: a=2, "
                "d swept, Pc per config\n\n";
 
-  harness::Table fig4a({"deadline_ms", configs[0].label(), configs[1].label(),
-                        configs[2].label(), configs[3].label()});
-  harness::Table fig4b({"deadline_ms", configs[0].label() + " [95% CI]",
-                        configs[1].label() + " [95% CI]",
-                        configs[2].label() + " [95% CI]",
-                        configs[3].label() + " [95% CI]"});
+  const runner::SweepResult result = runner::run_sweep(spec);
+  if (!result.all_ok()) {
+    for (std::size_t i = 0; i < result.rows.size(); ++i) {
+      if (!result.rows[i].ok) {
+        std::cerr << "FAILED " << spec.units[i].label << ": "
+                  << result.rows[i].error << "\n";
+      }
+    }
+    return 1;
+  }
+
+  // Pool each cell's seeds. Rows are point-major: rows[point * seeds + s].
+  std::vector<Cell> cells(plan->points.size());
+  for (std::size_t point = 0; point < cells.size(); ++point) {
+    Cell& cell = cells[point];
+    std::uint64_t deferred = 0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const runner::SeedRecord& r = result.rows[point * seeds + s];
+      cell.avg_selected += r.value_or("avg_replicas_selected");
+      cell.timing_failures += r.counter_or_zero("timing_failures");
+      cell.reads_completed += r.counter_or_zero("reads_completed");
+      cell.staleness_violations += r.counter_or_zero("staleness_violations");
+      deferred += r.counter_or_zero("deferred_replies");
+    }
+    cell.avg_selected /= static_cast<double>(seeds);
+    cell.deferred_fraction =
+        cell.reads_completed == 0
+            ? 0.0
+            : static_cast<double>(deferred) /
+                  static_cast<double>(cell.reads_completed);
+    cell.failure = harness::binomial_ci_normal(cell.timing_failures,
+                                               cell.reads_completed);
+  }
+
+  harness::Table fig4a({"deadline_ms", config_labels[0], config_labels[1],
+                        config_labels[2], config_labels[3]});
+  harness::Table fig4b({"deadline_ms", config_labels[0] + " [95% CI]",
+                        config_labels[1] + " [95% CI]",
+                        config_labels[2] + " [95% CI]",
+                        config_labels[3] + " [95% CI]"});
   harness::Table extras({"deadline_ms", "config", "deferred_fraction",
                          "staleness_violations", "within_1-Pc"});
+  const double pcs[kConfigs] = {0.9, 0.5, 0.9, 0.5};
 
-  std::vector<bench::RunSummary> runs;
-  for (const int d : deadlines_ms) {
-    std::vector<std::string> row_a = {std::to_string(d)};
-    std::vector<std::string> row_b = {std::to_string(d)};
-    for (const Config& c : configs) {
-      const RunResult r =
-          run_one(c.pc, c.lui, std::chrono::milliseconds(d),
-                  "d=" + std::to_string(d) + "ms " + c.label(), opt);
-      runs.push_back(r.summary);
-      row_a.push_back(harness::Table::num(r.avg_selected, 2));
-      row_b.push_back(harness::Table::num(r.failure.point, 3) + " [" +
-                      harness::Table::num(r.failure.lower, 3) + "," +
-                      harness::Table::num(r.failure.upper, 3) + "]");
-      extras.add_row({std::to_string(d), c.label(),
-                      harness::Table::num(r.deferred_fraction, 3),
-                      std::to_string(r.staleness_violations),
-                      r.failure.point <= (1.0 - c.pc) + 0.02 ? "yes" : "NO"});
+  for (std::size_t d = 0; d < deadlines_ms.size(); ++d) {
+    std::vector<std::string> row_a = {std::to_string(deadlines_ms[d])};
+    std::vector<std::string> row_b = {std::to_string(deadlines_ms[d])};
+    for (std::size_t c = 0; c < kConfigs; ++c) {
+      const Cell& cell = cells[d * kConfigs + c];
+      row_a.push_back(harness::Table::num(cell.avg_selected, 2));
+      row_b.push_back(harness::Table::num(cell.failure.point, 3) + " [" +
+                      harness::Table::num(cell.failure.lower, 3) + "," +
+                      harness::Table::num(cell.failure.upper, 3) + "]");
+      extras.add_row({std::to_string(deadlines_ms[d]), config_labels[c],
+                      harness::Table::num(cell.deferred_fraction, 3),
+                      std::to_string(cell.staleness_violations),
+                      cell.failure.point <= (1.0 - pcs[c]) + 0.02 ? "yes"
+                                                                  : "NO"});
     }
     fig4a.add_row(std::move(row_a));
     fig4b.add_row(std::move(row_b));
@@ -149,8 +149,21 @@ int main(int argc, char** argv) {
     std::cout << "\nCSV fig4b\n";
     fig4b.print_csv(std::cout);
   }
-  if (const auto path = bench::write_json_summary(opt, "fig4_adaptivity", runs);
-      !path.empty()) {
+  std::cout << "\nswept " << spec.units.size() << " runs on "
+            << result.threads_used << " thread"
+            << (result.threads_used == 1 ? "" : "s") << " in "
+            << harness::Table::num(result.wall_seconds, 2) << "s wall\n";
+
+  if (opt.json) {
+    const std::string path = opt.json_out.empty()
+                                 ? "BENCH_fig4_adaptivity.json"
+                                 : opt.json_out;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return 1;
+    }
+    runner::write_sweep_json(os, spec, result);
     std::cout << "\nwrote " << path << "\n";
   }
   return 0;

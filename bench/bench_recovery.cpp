@@ -5,42 +5,28 @@
 // (fresh incarnation, fresh NodeId). The reborn replica rejoins the
 // groups, pulls a state snapshot behind the transfer barrier, and is
 // re-admitted to client selection. Reported per seed:
-//   time_to_rejoin          — restart until the transfer barrier drops
-//                             (recovered_at - restart time);
+//   time_to_rejoin          — restart until the transfer barrier drops;
 //   time_to_first_selection — restart until a client's selection first
 //                             includes the reborn replica (its first read);
 //   outage vs steady timing-failure probability — read outcomes
 //                             attributed to the [crash, recovered] window
 //                             vs the rest of the run.
-#include <algorithm>
-#include <chrono>
+//
+// The per-seed body lives in the `recovery` plan (src/runner/plans.cpp)
+// and the seeds fan out across --threads workers on the sweep engine; the
+// merged output is byte-identical for any thread count.
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <vector>
 
 #include "bench_common.hpp"
-#include "fault/schedule.hpp"
-#include "harness/scenario.hpp"
 #include "harness/table.hpp"
-#include "obs/json.hpp"
+#include "runner/plans.hpp"
+#include "runner/sweep.hpp"
 
 using namespace aqueduct;
 
 namespace {
-
-struct SeedResult {
-  std::uint64_t seed = 0;
-  double time_to_rejoin_s = 0.0;
-  double time_to_first_selection_s = 0.0;
-  std::uint64_t outage_reads = 0;
-  std::uint64_t outage_failures = 0;
-  std::uint64_t steady_reads = 0;
-  std::uint64_t steady_failures = 0;
-  std::uint64_t reads_completed = 0;
-  std::uint64_t reads_abandoned = 0;
-  std::uint64_t gsn_conflicts = 0;
-};
 
 double rate(std::uint64_t failures, std::uint64_t total) {
   return total == 0 ? 0.0 : static_cast<double>(failures) /
@@ -53,125 +39,73 @@ int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
   // Each run only needs to cover the outage plus a steady tail.
   if (opt.requests > 300) opt.requests = 300;
+  const std::size_t seeds = opt.seeds == 0 ? 10 : opt.seeds;
 
-  constexpr std::size_t kVictim = 1;  // a primary (0 = sequencer)
-  const auto crash_at = std::chrono::seconds(8);
-  const auto restart_at = std::chrono::seconds(14);
-  constexpr std::uint64_t kSeeds = 10;
+  const runner::Plan* plan = runner::find_plan("recovery");
+  const runner::SweepSpec spec =
+      runner::make_spec(*plan, opt.seed, seeds, opt.threads, opt.requests);
 
   std::cout << "=== Recovery: time-to-rejoin and the cost of an outage ===\n"
-            << "2 primaries + 2 secondaries; primary " << kVictim
-            << " crashes at t=8s, restarts at t=14s; client QoS: a=2, "
-               "d=250ms, Pc=0.5; "
-            << opt.requests << " requests per client, " << kSeeds
+            << "2 primaries + 2 secondaries; a primary crashes at t=8s, "
+               "restarts at t=14s; client QoS: a=2, d=250ms, Pc=0.5; "
+            << opt.requests << " requests per client, " << seeds
             << " seeds\n\n";
+
+  const runner::SweepResult result = runner::run_sweep(spec);
 
   harness::Table table({"seed", "rejoin_s", "first_selection_s",
                         "outage_reads", "outage_tf_prob", "steady_tf_prob",
                         "reads_completed"});
-
-  std::vector<SeedResult> results;
-  for (std::uint64_t seed = opt.seed; seed < opt.seed + kSeeds; ++seed) {
-    harness::ScenarioConfig config;
-    config.seed = seed;
-    config.num_primaries = 2;
-    config.num_secondaries = 2;
-    config.lazy_update_interval = std::chrono::seconds(2);
-    for (int c = 0; c < 2; ++c) {
-      config.clients.push_back(harness::ClientSpec{
-          .qos = {.staleness_threshold = 2,
-                  .deadline = std::chrono::milliseconds(250),
-                  .min_probability = 0.5},
-          .request_delay = std::chrono::milliseconds(150),
-          .num_requests = opt.requests,
-      });
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const runner::SeedRecord& r = result.rows[i];
+    if (!r.ok) {
+      table.add_row({std::to_string(spec.units[i].seed), "FAILED", r.error,
+                     "-", "-", "-", "-"});
+      continue;
     }
-    harness::Scenario scenario(std::move(config));
-
-    fault::FaultSchedule plan;
-    plan.crash_restart(kVictim, crash_at, restart_at);
-    scenario.apply_faults(plan);
-
-    auto run = scenario.run();
-    const auto& reborn = scenario.replica(kVictim);
-
-    SeedResult r;
-    r.seed = seed;
-    // recovered_at / first_read_request_at are stamped on the reborn
-    // incarnation; kEpoch means the event never happened.
-    const double recovered_s =
-        reborn.recovered_at() > sim::kEpoch
-            ? sim::to_sec(reborn.recovered_at() - sim::kEpoch)
-            : -1.0;
-    r.time_to_rejoin_s =
-        recovered_s < 0.0 ? -1.0
-                          : recovered_s - sim::to_sec(sim::Duration(restart_at));
-    r.time_to_first_selection_s =
-        reborn.first_read_request_at() > sim::kEpoch
-            ? sim::to_sec(reborn.first_read_request_at() - sim::kEpoch) -
-                  sim::to_sec(sim::Duration(restart_at))
-            : -1.0;
-
-    // Attribute every completed read to the outage window or steady state.
-    const double outage_from = sim::to_sec(sim::Duration(crash_at));
-    const double outage_until =
-        recovered_s < 0.0 ? sim::to_sec(scenario.simulator().now() - sim::kEpoch)
-                          : recovered_s;
-    for (const auto& client : run) {
-      r.reads_completed += client.stats.reads_completed;
-      r.reads_abandoned += client.stats.reads_abandoned;
-      for (std::size_t i = 0; i < client.read_completed_at.size(); ++i) {
-        const bool in_outage = client.read_completed_at[i] >= outage_from &&
-                               client.read_completed_at[i] < outage_until;
-        const bool failed = client.read_timing_failures[i];
-        (in_outage ? r.outage_reads : r.steady_reads) += 1;
-        if (failed) (in_outage ? r.outage_failures : r.steady_failures) += 1;
-      }
-    }
-    for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
-      r.gsn_conflicts += scenario.replica(i).stats().gsn_conflicts;
-    }
-    results.push_back(r);
-
-    table.add_row({std::to_string(seed),
-                   harness::Table::num(r.time_to_rejoin_s, 3),
-                   harness::Table::num(r.time_to_first_selection_s, 3),
-                   std::to_string(r.outage_reads),
-                   harness::Table::num(rate(r.outage_failures, r.outage_reads), 3),
-                   harness::Table::num(rate(r.steady_failures, r.steady_reads), 3),
-                   std::to_string(r.reads_completed)});
+    table.add_row(
+        {std::to_string(spec.units[i].seed),
+         harness::Table::num(r.value_or("time_to_rejoin_s", -1.0), 3),
+         harness::Table::num(r.value_or("time_to_first_selection_s", -1.0), 3),
+         std::to_string(r.counter_or_zero("outage_reads")),
+         harness::Table::num(rate(r.counter_or_zero("outage_failures"),
+                                  r.counter_or_zero("outage_reads")),
+                             3),
+         harness::Table::num(rate(r.counter_or_zero("steady_failures"),
+                                  r.counter_or_zero("steady_reads")),
+                             3),
+         std::to_string(r.counter_or_zero("reads_completed"))});
   }
   table.print();
 
-  // Aggregates (pooled across seeds).
-  double sum_rejoin = 0.0, sum_first = 0.0;
-  std::uint64_t recovered = 0, selected = 0, conflicts = 0;
-  std::uint64_t outage_reads = 0, outage_failures = 0;
-  std::uint64_t steady_reads = 0, steady_failures = 0;
-  for (const SeedResult& r : results) {
-    if (r.time_to_rejoin_s >= 0.0) { sum_rejoin += r.time_to_rejoin_s; ++recovered; }
-    if (r.time_to_first_selection_s >= 0.0) {
-      sum_first += r.time_to_first_selection_s;
-      ++selected;
-    }
-    outage_reads += r.outage_reads;
-    outage_failures += r.outage_failures;
-    steady_reads += r.steady_reads;
-    steady_failures += r.steady_failures;
-    conflicts += r.gsn_conflicts;
+  const std::uint64_t recovered = result.pooled_counter_or_zero("recovered");
+  const std::uint64_t conflicts =
+      result.pooled_counter_or_zero("gsn_conflicts");
+  double mean_rejoin = -1.0, mean_first = -1.0;
+  for (const runner::PooledSamples& s : result.samples) {
+    if (s.name == "rejoin_s" && s.count > 0) mean_rejoin = s.mean;
+    if (s.name == "first_selection_s" && s.count > 0) mean_first = s.mean;
   }
-  const double mean_rejoin = recovered == 0 ? -1.0 : sum_rejoin / recovered;
-  const double mean_first = selected == 0 ? -1.0 : sum_first / selected;
-  std::cout << "\nrecovered in " << recovered << "/" << kSeeds
+  std::cout << "\nrecovered in " << recovered << "/" << seeds
             << " seeds; mean time_to_rejoin "
             << harness::Table::num(mean_rejoin, 3)
             << "s; mean time_to_first_selection "
             << harness::Table::num(mean_first, 3)
             << "s\npooled timing-failure probability: outage "
-            << harness::Table::num(rate(outage_failures, outage_reads), 3)
+            << harness::Table::num(
+                   rate(result.pooled_counter_or_zero("outage_failures"),
+                        result.pooled_counter_or_zero("outage_reads")),
+                   3)
             << " vs steady "
-            << harness::Table::num(rate(steady_failures, steady_reads), 3)
-            << "; gsn_conflicts " << conflicts << " (must be 0)\n";
+            << harness::Table::num(
+                   rate(result.pooled_counter_or_zero("steady_failures"),
+                        result.pooled_counter_or_zero("steady_reads")),
+                   3)
+            << "; gsn_conflicts " << conflicts << " (must be 0)\n"
+            << "swept " << spec.units.size() << " seeds on "
+            << result.threads_used << " thread"
+            << (result.threads_used == 1 ? "" : "s") << " in "
+            << harness::Table::num(result.wall_seconds, 2) << "s wall\n";
 
   if (opt.json) {
     const std::string path =
@@ -181,40 +115,7 @@ int main(int argc, char** argv) {
       std::cerr << "bench: cannot write " << path << "\n";
       return 1;
     }
-    obs::JsonWriter w(os);
-    w.begin_object();
-    w.field("bench", std::string("recovery"));
-    w.field("seed", static_cast<std::uint64_t>(opt.seed));
-    w.field("requests", static_cast<std::uint64_t>(opt.requests));
-    w.field("crash_at_s", sim::to_sec(sim::Duration(crash_at)));
-    w.field("restart_at_s", sim::to_sec(sim::Duration(restart_at)));
-    w.field("seeds_recovered", recovered);
-    w.field("mean_time_to_rejoin_s", mean_rejoin);
-    w.field("mean_time_to_first_selection_s", mean_first);
-    w.field("outage_timing_failure_rate", rate(outage_failures, outage_reads));
-    w.field("steady_timing_failure_rate", rate(steady_failures, steady_reads));
-    w.field("gsn_conflicts", conflicts);
-    w.key("runs");
-    w.begin_array();
-    for (const SeedResult& r : results) {
-      w.begin_object();
-      w.field("name", "seed_" + std::to_string(r.seed));
-      w.field("seed", r.seed);
-      w.field("time_to_rejoin_s", r.time_to_rejoin_s);
-      w.field("time_to_first_selection_s", r.time_to_first_selection_s);
-      w.field("outage_reads", r.outage_reads);
-      w.field("outage_timing_failure_rate",
-              rate(r.outage_failures, r.outage_reads));
-      w.field("steady_timing_failure_rate",
-              rate(r.steady_failures, r.steady_reads));
-      w.field("reads_completed", r.reads_completed);
-      w.field("reads_abandoned", r.reads_abandoned);
-      w.field("gsn_conflicts", r.gsn_conflicts);
-      w.end_object();
-    }
-    w.end_array();
-    w.end_object();
-    os << "\n";
+    runner::write_sweep_json(os, spec, result);
     std::cout << "\nwrote " << path << "\n";
   }
 
@@ -223,5 +124,5 @@ int main(int argc, char** argv) {
                "(warm-up seeds the reborn replica's\nhistory), and a modestly "
                "higher timing-failure probability during the outage\nwindow "
                "while the pool is one primary short.\n";
-  return (conflicts == 0 && recovered == kSeeds) ? 0 : 1;
+  return (result.all_ok() && conflicts == 0 && recovered == seeds) ? 0 : 1;
 }

@@ -40,20 +40,43 @@ struct Options {
   bool json = true;
   std::string json_out;
 
+  // Strict like bench::Options::parse — an unknown flag exits 2 so CI
+  // cannot green-light a typo'd invocation.
+  static void usage(const char* prog, std::ostream& os) {
+    os << "usage: " << prog
+       << " [--smoke] [--iterations N] [--seed N] [--json-out PATH]"
+          " [--no-json] [--help]\n";
+  }
+
   static Options parse(int argc, char** argv) {
     Options opt;
+    const auto value = [&](int& i) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": flag " << argv[i] << " needs a value\n";
+        usage(argv[0], std::cerr);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--smoke") {
         opt.iterations = 200;
-      } else if (arg == "--iterations" && i + 1 < argc) {
-        opt.iterations = static_cast<std::size_t>(std::stoull(argv[++i]));
-      } else if (arg == "--seed" && i + 1 < argc) {
-        opt.seed = std::stoull(argv[++i]);
-      } else if (arg == "--json-out" && i + 1 < argc) {
-        opt.json_out = argv[++i];
+      } else if (arg == "--iterations") {
+        opt.iterations = static_cast<std::size_t>(std::stoull(value(i)));
+      } else if (arg == "--seed") {
+        opt.seed = std::stoull(value(i));
+      } else if (arg == "--json-out") {
+        opt.json_out = value(i);
       } else if (arg == "--no-json") {
         opt.json = false;
+      } else if (arg == "--help") {
+        usage(argv[0], std::cout);
+        std::exit(0);
+      } else {
+        std::cerr << argv[0] << ": unknown flag " << arg << "\n";
+        usage(argv[0], std::cerr);
+        std::exit(2);
       }
     }
     return opt;

@@ -16,7 +16,10 @@ sim::Duration bucket(sim::Duration v, sim::Duration resolution) {
   return sim::Duration((v.count() / r) * r);
 }
 
-std::uint64_t g_convolutions = 0;
+// Thread-local so shared-nothing sweep workers (src/runner) meter their own
+// runs without racing or perturbing each other's counts. Every scenario runs
+// entirely on one thread, so a worker's before/after delta is exact.
+thread_local std::uint64_t g_convolutions = 0;
 
 }  // namespace
 

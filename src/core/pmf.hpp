@@ -60,9 +60,12 @@ class Pmf {
 
   sim::Duration resolution() const { return resolution_; }
 
-  /// Process-wide count of non-trivial convolutions performed (both
-  /// operands non-empty). The O(n·m) double loop dominates the selection
-  /// hot path, so benches and cache-effectiveness tests meter it.
+  /// Thread-local count of non-trivial convolutions performed (both
+  /// operands non-empty) on the calling thread. The O(n·m) double loop
+  /// dominates the selection hot path, so benches and cache-effectiveness
+  /// tests meter it. Thread-local (not process-wide) so concurrent sweep
+  /// workers neither race nor perturb each other's stats; a simulation runs
+  /// entirely on one thread, so per-run deltas stay exact.
   static std::uint64_t convolutions_performed();
   static void reset_convolution_counter();
 

@@ -1,0 +1,503 @@
+#include "runner/plans.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "fault/schedule.hpp"
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+#include "replication/objects.hpp"
+#include "sim/random.hpp"
+
+namespace aqueduct::runner {
+
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+// ---------------------------------------------------------------- recovery
+
+constexpr std::size_t kRecoveryVictim = 1;  // a primary (0 = sequencer)
+constexpr auto kRecoveryCrashAt = seconds(8);
+constexpr auto kRecoveryRestartAt = seconds(14);
+
+SeedRecord run_recovery(const Unit& unit, std::size_t requests) {
+  harness::ScenarioConfig config;
+  config.seed = unit.seed;
+  config.num_primaries = 2;
+  config.num_secondaries = 2;
+  config.lazy_update_interval = seconds(2);
+  for (int c = 0; c < 2; ++c) {
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 2,
+                .deadline = milliseconds(250),
+                .min_probability = 0.5},
+        .request_delay = milliseconds(150),
+        .num_requests = requests,
+    });
+  }
+  harness::Scenario scenario(std::move(config));
+
+  fault::FaultSchedule plan;
+  plan.crash_restart(kRecoveryVictim, kRecoveryCrashAt, kRecoveryRestartAt);
+  scenario.apply_faults(plan);
+
+  auto run = scenario.run();
+  const auto& reborn = scenario.replica(kRecoveryVictim);
+
+  SeedRecord rec;
+  const double recovered_s =
+      reborn.recovered_at() > sim::kEpoch
+          ? sim::to_sec(reborn.recovered_at() - sim::kEpoch)
+          : -1.0;
+  const double restart_s = sim::to_sec(sim::Duration(kRecoveryRestartAt));
+  const double rejoin =
+      recovered_s < 0.0 ? -1.0 : recovered_s - restart_s;
+  const double first_selection =
+      reborn.first_read_request_at() > sim::kEpoch
+          ? sim::to_sec(reborn.first_read_request_at() - sim::kEpoch) -
+                restart_s
+          : -1.0;
+  rec.value("time_to_rejoin_s", rejoin);
+  rec.value("time_to_first_selection_s", first_selection);
+  if (rejoin >= 0.0) rec.sample("rejoin_s", {rejoin});
+  if (first_selection >= 0.0) rec.sample("first_selection_s", {first_selection});
+
+  // Attribute every completed read to the outage window or steady state.
+  const double outage_from = sim::to_sec(sim::Duration(kRecoveryCrashAt));
+  const double outage_until =
+      recovered_s < 0.0 ? sim::to_sec(scenario.simulator().now() - sim::kEpoch)
+                        : recovered_s;
+  std::uint64_t reads_completed = 0, reads_abandoned = 0;
+  std::uint64_t outage_reads = 0, outage_failures = 0;
+  std::uint64_t steady_reads = 0, steady_failures = 0;
+  for (const auto& client : run) {
+    reads_completed += client.stats.reads_completed;
+    reads_abandoned += client.stats.reads_abandoned;
+    for (std::size_t i = 0; i < client.read_completed_at.size(); ++i) {
+      const bool in_outage = client.read_completed_at[i] >= outage_from &&
+                             client.read_completed_at[i] < outage_until;
+      const bool failed = client.read_timing_failures[i];
+      (in_outage ? outage_reads : steady_reads) += 1;
+      if (failed) (in_outage ? outage_failures : steady_failures) += 1;
+    }
+  }
+  std::uint64_t conflicts = 0;
+  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+    conflicts += scenario.replica(i).stats().gsn_conflicts;
+  }
+  rec.counter("reads_completed", reads_completed);
+  rec.counter("reads_abandoned", reads_abandoned);
+  rec.counter("outage_reads", outage_reads);
+  rec.counter("outage_failures", outage_failures);
+  rec.counter("steady_reads", steady_reads);
+  rec.counter("steady_failures", steady_failures);
+  rec.counter("gsn_conflicts", conflicts);
+  rec.counter("recovered", rejoin >= 0.0 ? 1 : 0);
+  rec.counter("selected", first_selection >= 0.0 ? 1 : 0);
+  return rec;
+}
+
+// ------------------------------------------------------- failure injection
+
+fault::FaultSchedule failure_schedule(std::size_t point) {
+  fault::FaultSchedule schedule;
+  switch (point) {
+    case 0:  // baseline — no failures
+      break;
+    case 1:  // primary crash
+      schedule.crash(2, seconds(100));
+      break;
+    case 2:  // two secondary crashes
+      schedule.crash(6, seconds(100)).crash(8, seconds(100));
+      break;
+    case 3:  // sequencer crash
+      schedule.crash(0, seconds(100));
+      break;
+    case 4:  // primary crash + recovery
+      schedule.crash_restart(2, seconds(100), seconds(115));
+      break;
+  }
+  return schedule;
+}
+
+SeedRecord run_failure_injection(const Unit& unit, std::size_t requests) {
+  harness::ScenarioConfig config;
+  config.seed = unit.seed;
+  config.lazy_update_interval = seconds(2);
+  for (int c = 0; c < 2; ++c) {
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = c == 0 ? 4u : 2u,
+                .deadline = milliseconds(c == 0 ? 200 : 140),
+                .min_probability = c == 0 ? 0.1 : 0.9},
+        .request_delay = milliseconds(1000),
+        .num_requests = requests,
+    });
+  }
+  harness::Scenario scenario(std::move(config));
+  scenario.apply_faults(failure_schedule(unit.point));
+  auto results = scenario.run();
+  const auto& stats = results[1].stats;  // the tight-QoS client
+
+  std::uint64_t conflicts = 0;
+  std::uint64_t reborn = 0;  // restarted slots (fresh incarnations)
+  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+    conflicts += scenario.replica(i).stats().gsn_conflicts;
+    reborn += scenario.incarnation(i);
+  }
+  SeedRecord rec;
+  rec.value("avg_replicas_selected", stats.avg_replicas_selected());
+  rec.counter("reads_completed", stats.reads_completed);
+  rec.counter("reads_abandoned", stats.reads_abandoned);
+  rec.counter("timing_failures", stats.timing_failures);
+  rec.counter("retries", stats.retries);
+  rec.counter("staleness_violations", results[0].stats.staleness_violations +
+                                          stats.staleness_violations);
+  rec.counter("reborn", reborn);
+  rec.counter("gsn_conflicts", conflicts);
+  return rec;
+}
+
+// --------------------------------------------------------- fig4 adaptivity
+
+struct Fig4Config {
+  double pc;
+  sim::Duration lui;
+  std::string label() const {
+    return "(prob: " + harness::Table::num(pc, 1) +
+           ", LUI: " + harness::Table::num(sim::to_sec(lui), 0) + " secs)";
+  }
+};
+
+const std::vector<Fig4Config>& fig4_configs() {
+  static const std::vector<Fig4Config> configs = {
+      {0.9, seconds(4)},
+      {0.5, seconds(4)},
+      {0.9, seconds(2)},
+      {0.5, seconds(2)},
+  };
+  return configs;
+}
+
+const std::vector<int>& fig4_deadlines_ms() {
+  static const std::vector<int> deadlines = {80,  100, 120, 140,
+                                             160, 180, 200, 220};
+  return deadlines;
+}
+
+SeedRecord run_fig4(const Unit& unit, std::size_t requests) {
+  const auto& configs = fig4_configs();
+  const auto& deadlines = fig4_deadlines_ms();
+  const Fig4Config& c = configs[unit.point % configs.size()];
+  const int deadline_ms = deadlines[unit.point / configs.size()];
+
+  harness::ScenarioConfig config;
+  config.seed = unit.seed;
+  config.lazy_update_interval = c.lui;
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 4,
+              .deadline = milliseconds(200),
+              .min_probability = 0.1},
+      .request_delay = milliseconds(1000),
+      .num_requests = requests,
+  });
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 2,
+              .deadline = milliseconds(deadline_ms),
+              .min_probability = c.pc},
+      .request_delay = milliseconds(1000),
+      .num_requests = requests,
+  });
+  harness::Scenario scenario(std::move(config));
+  auto results = scenario.run();
+  const auto& stats = results[1].stats;  // client 2 is the measured client
+
+  SeedRecord rec;
+  rec.value("deadline_ms", static_cast<double>(deadline_ms));
+  rec.value("pc", c.pc);
+  rec.value("lui_s", sim::to_sec(c.lui));
+  rec.value("avg_replicas_selected", stats.avg_replicas_selected());
+  rec.value("deferred_fraction",
+            stats.reads_completed == 0
+                ? 0.0
+                : static_cast<double>(stats.deferred_replies) /
+                      static_cast<double>(stats.reads_completed));
+  rec.counter("reads_completed", stats.reads_completed);
+  rec.counter("reads_abandoned", stats.reads_abandoned);
+  rec.counter("timing_failures", stats.timing_failures);
+  rec.counter("staleness_violations", stats.staleness_violations);
+  rec.counter("deferred_replies", stats.deferred_replies);
+  std::vector<double> read_ms;
+  read_ms.reserve(results[1].read_response_times.size());
+  for (const double s : results[1].read_response_times) {
+    read_ms.push_back(s * 1000.0);
+  }
+  rec.sample("read_ms", std::move(read_ms));
+  return rec;
+}
+
+// ------------------------------------------------------------ chaos suites
+
+/// Shared invariant distillation: liveness, staleness, GSN uniqueness,
+/// exactly-once commits, committed-prefix convergence. Violation counters
+/// stay 0 on a healthy run; the chaos tests assert exactly that.
+struct ChaosInvariants {
+  std::uint64_t liveness_violations = 0;
+  std::uint64_t staleness_violations = 0;
+  std::uint64_t gsn_conflicts = 0;
+  std::uint64_t csn_mismatches = 0;
+  std::uint64_t divergences = 0;
+
+  void report(SeedRecord& rec) const {
+    rec.counter("liveness_violations", liveness_violations);
+    rec.counter("staleness_violations", staleness_violations);
+    rec.counter("gsn_conflicts", gsn_conflicts);
+    rec.counter("csn_mismatches", csn_mismatches);
+    rec.counter("divergences", divergences);
+    rec.counter("violations", liveness_violations + staleness_violations +
+                                  gsn_conflicts + csn_mismatches +
+                                  divergences);
+  }
+};
+
+harness::ScenarioConfig chaos_config(std::uint64_t seed,
+                                     std::size_t num_primaries,
+                                     std::size_t num_secondaries,
+                                     std::size_t requests) {
+  harness::ScenarioConfig config;
+  config.seed = seed;
+  config.num_primaries = num_primaries;
+  config.num_secondaries = num_secondaries;
+  config.lazy_update_interval = seconds(2);
+  for (int c = 0; c < 2; ++c) {
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 2,
+                .deadline = milliseconds(200),
+                .min_probability = 0.5},
+        .request_delay = milliseconds(200),
+        .num_requests = requests,
+    });
+  }
+  return config;
+}
+
+/// Randomized loss + crashes (no restarts): the original ChaosProperty
+/// suite. Crash candidates avoid primary 1 and the last secondary so the
+/// service always stays alive.
+SeedRecord run_chaos(const Unit& unit, std::size_t requests) {
+  harness::Scenario scenario(chaos_config(unit.seed, 3, 3, requests));
+
+  sim::Rng chaos(unit.seed * 7919 + 13);
+  fault::FaultSchedule plan;
+  plan.loss(0.10, seconds(5)).loss(0.0, seconds(25));
+  const std::size_t crashes = 1 + chaos.uniform_int(2);
+  std::vector<std::size_t> crashed;
+  for (std::size_t i = 0; i < crashes; ++i) {
+    const std::size_t candidates[] = {0, 2, 3, 4, 5};
+    const std::size_t victim = candidates[chaos.uniform_int(5)];
+    if (std::find(crashed.begin(), crashed.end(), victim) != crashed.end()) {
+      continue;
+    }
+    crashed.push_back(victim);
+    plan.crash(victim, seconds(8 + 10 * static_cast<int>(i)));
+  }
+  scenario.apply_faults(plan);
+
+  auto results = scenario.run();
+
+  ChaosInvariants inv;
+  const std::uint64_t expected_reads = requests / 2;
+  for (const auto& r : results) {
+    if (r.stats.reads_completed + r.stats.reads_abandoned != expected_reads) {
+      ++inv.liveness_violations;
+    }
+    inv.staleness_violations += r.stats.staleness_violations;
+  }
+  std::uint64_t max_csn = 0;
+  for (std::size_t i = 0; i <= 3; ++i) {
+    if (std::find(crashed.begin(), crashed.end(), i) != crashed.end()) continue;
+    const auto& replica = scenario.replica(i);
+    inv.gsn_conflicts += replica.stats().gsn_conflicts;
+    const auto& store =
+        dynamic_cast<const replication::KeyValueStore&>(replica.object());
+    if (store.version() != replica.csn()) ++inv.csn_mismatches;
+    max_csn = std::max(max_csn, replica.csn());
+  }
+  for (std::size_t i = 1; i <= 3; ++i) {
+    if (std::find(crashed.begin(), crashed.end(), i) != crashed.end()) continue;
+    if (scenario.replica(i).csn() + 2 < max_csn) ++inv.divergences;
+  }
+  SeedRecord rec;
+  inv.report(rec);
+  return rec;
+}
+
+/// Crash-then-recover chaos: every crash is followed by a seed-derived
+/// restart, so the invariants must hold across reincarnations.
+SeedRecord run_chaos_recovery(const Unit& unit, std::size_t requests) {
+  harness::Scenario scenario(chaos_config(unit.seed, 2, 3, requests));
+
+  fault::RandomFaultParams params;
+  params.crash_candidates = scenario.num_replicas();
+  params.min_crashes = 1;
+  params.max_crashes = 2;
+  params.earliest_crash = seconds(6);
+  params.crash_spacing = seconds(10);
+  params.min_outage = seconds(4);
+  params.max_outage = seconds(10);
+  params.loss_probability = 0.05;
+  params.loss_from = seconds(5);
+  params.loss_until = seconds(20);
+  scenario.apply_faults(
+      fault::FaultSchedule::random(unit.seed * 7919 + 13, params));
+
+  auto results = scenario.run();
+
+  ChaosInvariants inv;
+  const std::uint64_t expected_reads = requests / 2;
+  for (const auto& r : results) {
+    if (r.stats.reads_completed + r.stats.reads_abandoned != expected_reads) {
+      ++inv.liveness_violations;
+    }
+    inv.staleness_violations += r.stats.staleness_violations;
+  }
+  std::uint64_t max_csn = 0;
+  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+    const auto& replica = scenario.replica(i);
+    inv.gsn_conflicts += replica.stats().gsn_conflicts;
+    if (replica.crashed() || !replica.is_primary() || replica.recovering()) {
+      continue;
+    }
+    const auto& store =
+        dynamic_cast<const replication::KeyValueStore&>(replica.object());
+    if (store.version() != replica.csn()) ++inv.csn_mismatches;
+    max_csn = std::max(max_csn, replica.csn());
+  }
+  for (std::size_t i = 1; i <= 2; ++i) {
+    const auto& replica = scenario.replica(i);
+    if (replica.crashed() || replica.recovering()) continue;
+    if (replica.csn() + 2 < max_csn) ++inv.divergences;
+  }
+  SeedRecord rec;
+  inv.report(rec);
+  return rec;
+}
+
+std::vector<Plan> build_plans() {
+  std::vector<Plan> all;
+
+  {
+    Plan p;
+    p.name = "recovery";
+    p.description =
+        "primary crash at t=8s, restart at t=14s: time-to-rejoin, "
+        "time-to-first-selection, outage vs steady timing failures";
+    p.default_requests = 300;
+    p.points = {"crash_restart_primary"};
+    p.binomials = {
+        {"outage_timing_failure", "outage_failures", "outage_reads"},
+        {"steady_timing_failure", "steady_failures", "steady_reads"},
+    };
+    p.run = run_recovery;
+    all.push_back(std::move(p));
+  }
+  {
+    Plan p;
+    p.name = "failure_injection";
+    p.description =
+        "adaptivity under replica crashes: baseline, primary, two "
+        "secondaries, sequencer, crash+recovery";
+    p.default_requests = 400;
+    p.points = {"baseline", "primary_crash", "two_secondary_crashes",
+                "sequencer_crash", "primary_crash_recovery"};
+    p.binomials = {
+        {"timing_failure", "timing_failures", "reads_completed"},
+    };
+    p.run = run_failure_injection;
+    all.push_back(std::move(p));
+  }
+  {
+    Plan p;
+    p.name = "fig4_adaptivity";
+    p.description =
+        "Figure 4 grid: 4 (Pc, LUI) configs x 8 deadlines, client 2 measured";
+    p.default_requests = 1000;
+    for (const int d : fig4_deadlines_ms()) {
+      for (const Fig4Config& c : fig4_configs()) {
+        p.points.push_back("d=" + std::to_string(d) + "ms " + c.label());
+      }
+    }
+    p.binomials = {
+        {"timing_failure", "timing_failures", "reads_completed"},
+    };
+    p.run = run_fig4;
+    all.push_back(std::move(p));
+  }
+  {
+    Plan p;
+    p.name = "chaos";
+    p.description =
+        "randomized loss + crashes; safety/liveness invariant violations "
+        "(must pool to 0)";
+    p.default_requests = 80;
+    p.points = {"crash_loss"};
+    p.run = run_chaos;
+    all.push_back(std::move(p));
+  }
+  {
+    Plan p;
+    p.name = "chaos_recovery";
+    p.description =
+        "randomized crash+restart chaos; invariants across reincarnations "
+        "(must pool to 0)";
+    p.default_requests = 80;
+    p.points = {"crash_restart_loss"};
+    p.run = run_chaos_recovery;
+    all.push_back(std::move(p));
+  }
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Plan>& plans() {
+  static const std::vector<Plan> all = build_plans();
+  return all;
+}
+
+const Plan* find_plan(const std::string& name) {
+  for (const Plan& p : plans()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+SweepSpec make_spec(const Plan& plan, std::uint64_t seed_begin,
+                    std::size_t seed_count, std::size_t threads,
+                    std::size_t requests) {
+  const std::size_t effective_requests =
+      requests == 0 ? plan.default_requests : requests;
+  SweepSpec spec;
+  spec.name = plan.name;
+  spec.threads = threads;
+  spec.binomials = plan.binomials;
+  for (std::size_t point = 0; point < plan.points.size(); ++point) {
+    for (std::uint64_t s = 0; s < seed_count; ++s) {
+      Unit unit;
+      unit.seed = seed_begin + s;
+      unit.point = point;
+      unit.label = plan.points.size() == 1
+                       ? "seed_" + std::to_string(unit.seed)
+                       : plan.points[point] + " seed_" + std::to_string(unit.seed);
+      spec.units.push_back(std::move(unit));
+    }
+  }
+  const auto run_body = plan.run;
+  spec.run = [run_body, effective_requests](const Unit& unit) {
+    return run_body(unit, effective_requests);
+  };
+  return spec;
+}
+
+}  // namespace aqueduct::runner

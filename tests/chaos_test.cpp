@@ -1,6 +1,6 @@
-// Chaos property test: randomized message loss and replica crashes under
-// a concurrent workload. Whatever happens, the core safety invariants
-// must hold:
+// Chaos property suites: randomized message loss and replica crashes
+// (plus crash-then-recover reincarnations) under a concurrent workload.
+// Whatever happens, the core safety invariants must hold:
 //   * no GSN is ever bound to two different requests (gsn_conflicts == 0);
 //   * every pair of surviving primaries agrees on the committed prefix
 //     (equal CSN implies equal replicated state, and the lower CSN is a
@@ -10,170 +10,56 @@
 //     double-commit under retries, no lost commit for completed updates).
 // Liveness (modulo abandonment): every request eventually completes or is
 // abandoned — none hangs.
+//
+// The per-seed bodies live in the `chaos` / `chaos_recovery` plans
+// (src/runner/plans.cpp) and distill every invariant into violation
+// counters; this suite fans the seeds across worker threads through
+// runner::run_sweep — the same multithreaded path sweep_cli uses, so the
+// ThreadSanitizer CI lane exercises real concurrent scenario runs — and
+// asserts that each seed's violation counters are zero.
 #include <gtest/gtest.h>
 
-#include <chrono>
-
-#include "fault/schedule.hpp"
-#include "harness/scenario.hpp"
-#include "replication/objects.hpp"
+#include "runner/plans.hpp"
+#include "runner/sweep.hpp"
 
 namespace aqueduct {
 namespace {
 
-using std::chrono::milliseconds;
-using std::chrono::seconds;
+constexpr std::uint64_t kFirstSeed = 1;
+constexpr std::size_t kSeeds = 12;
+constexpr std::size_t kThreads = 4;
 
-class ChaosProperty : public ::testing::TestWithParam<std::uint64_t> {};
+void run_chaos_plan(const char* plan_name) {
+  const runner::Plan* plan = runner::find_plan(plan_name);
+  ASSERT_NE(plan, nullptr) << plan_name;
+  const runner::SweepSpec spec =
+      runner::make_spec(*plan, kFirstSeed, kSeeds, kThreads);
+  const runner::SweepResult result = runner::run_sweep(spec);
 
-TEST_P(ChaosProperty, SafetyInvariantsHoldUnderCrashesAndLoss) {
-  const std::uint64_t seed = GetParam();
-  harness::ScenarioConfig config;
-  config.seed = seed;
-  config.num_primaries = 3;
-  config.num_secondaries = 3;
-  config.lazy_update_interval = seconds(2);
-  // Aggressive GCS timers keep chaos runs short.
-  for (int c = 0; c < 2; ++c) {
-    config.clients.push_back(harness::ClientSpec{
-        .qos = {.staleness_threshold = 2,
-                .deadline = milliseconds(200),
-                .min_probability = 0.5},
-        .request_delay = milliseconds(200),
-        .num_requests = 80,
-    });
+  ASSERT_EQ(result.rows.size(), kSeeds);
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const runner::SeedRecord& row = result.rows[i];
+    ASSERT_TRUE(row.ok) << spec.units[i].label << ": " << row.error;
+    EXPECT_EQ(row.counter_or_zero("liveness_violations"), 0u)
+        << spec.units[i].label;
+    EXPECT_EQ(row.counter_or_zero("staleness_violations"), 0u)
+        << spec.units[i].label;
+    EXPECT_EQ(row.counter_or_zero("gsn_conflicts"), 0u)
+        << spec.units[i].label;
+    EXPECT_EQ(row.counter_or_zero("csn_mismatches"), 0u)
+        << spec.units[i].label;
+    EXPECT_EQ(row.counter_or_zero("divergences"), 0u) << spec.units[i].label;
   }
-  harness::Scenario scenario(std::move(config));
-
-  // Seed-derived chaos: 10% loss for a stretch, plus 1-2 crashes at
-  // random times (never the last primary, so the service stays alive).
-  sim::Rng chaos(seed * 7919 + 13);
-  scenario.simulator().after(seconds(5), [&scenario] {
-    scenario.network().set_loss_probability(0.10);
-  });
-  scenario.simulator().after(seconds(25), [&scenario] {
-    scenario.network().set_loss_probability(0.0);
-  });
-  const std::size_t crashes = 1 + chaos.uniform_int(2);
-  std::vector<std::size_t> crashed;
-  for (std::size_t i = 0; i < crashes; ++i) {
-    // Candidates: sequencer (0), primary 2, secondaries 4/5. Keep primary
-    // 1 and secondary 6(3+3 → index 6 exists? replicas: 0 seq,1-3 prim,
-    // 4-6 sec) — keep 1 and 6 alive.
-    const std::size_t candidates[] = {0, 2, 3, 4, 5};
-    const std::size_t victim = candidates[chaos.uniform_int(5)];
-    if (std::find(crashed.begin(), crashed.end(), victim) != crashed.end()) {
-      continue;
-    }
-    crashed.push_back(victim);
-    scenario.schedule_crash(
-        victim, sim::kEpoch + seconds(8 + 10 * static_cast<int>(i)));
-  }
-
-  auto results = scenario.run();
-
-  // Liveness: nothing hangs.
-  for (const auto& r : results) {
-    EXPECT_EQ(r.stats.reads_completed + r.stats.reads_abandoned, 40u)
-        << "seed " << seed;
-    EXPECT_EQ(r.stats.staleness_violations, 0u) << "seed " << seed;
-  }
-
-  // Safety across surviving primaries.
-  std::uint64_t max_csn = 0;
-  for (std::size_t i = 0; i <= 3; ++i) {
-    if (std::find(crashed.begin(), crashed.end(), i) != crashed.end()) continue;
-    const auto& replica = scenario.replica(i);
-    EXPECT_EQ(replica.stats().gsn_conflicts, 0u) << "seed " << seed;
-    // CSN == applied updates == register value (exactly-once commits).
-    const auto& store =
-        dynamic_cast<const replication::KeyValueStore&>(replica.object());
-    EXPECT_EQ(store.version(), replica.csn()) << "seed " << seed;
-    max_csn = std::max(max_csn, replica.csn());
-  }
-  // Surviving primaries converge on the commit point once traffic drains
-  // (the run() tail gives them time): allow only in-flight slack.
-  for (std::size_t i = 1; i <= 3; ++i) {
-    if (std::find(crashed.begin(), crashed.end(), i) != crashed.end()) continue;
-    EXPECT_GE(scenario.replica(i).csn() + 2, max_csn)
-        << "primary " << i << " diverged, seed " << seed;
-  }
+  EXPECT_EQ(result.pooled_counter_or_zero("violations"), 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ChaosProperty,
-                         ::testing::Range<std::uint64_t>(1, 13));
-
-// Crash-then-recover chaos: every crash is followed by a seed-derived
-// restart, so safety must hold *across reincarnations* — a reborn replica
-// must never fork the committed prefix, reuse a GSN, or serve stale state,
-// and the run must still terminate.
-class ChaosRecovery : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(ChaosRecovery, SafetyInvariantsHoldAcrossReincarnations) {
-  const std::uint64_t seed = GetParam();
-  harness::ScenarioConfig config;
-  config.seed = seed;
-  config.num_primaries = 2;
-  config.num_secondaries = 3;
-  config.lazy_update_interval = seconds(2);
-  for (int c = 0; c < 2; ++c) {
-    config.clients.push_back(harness::ClientSpec{
-        .qos = {.staleness_threshold = 2,
-                .deadline = milliseconds(200),
-                .min_probability = 0.5},
-        .request_delay = milliseconds(200),
-        .num_requests = 80,
-    });
-  }
-  harness::Scenario scenario(std::move(config));
-
-  // Seed-derived crash/restart plan over every replica (the sequencer
-  // included — restarts keep the service alive), plus a loss episode.
-  fault::RandomFaultParams params;
-  params.crash_candidates = scenario.num_replicas();
-  params.min_crashes = 1;
-  params.max_crashes = 2;
-  params.earliest_crash = seconds(6);
-  params.crash_spacing = seconds(10);
-  params.min_outage = seconds(4);
-  params.max_outage = seconds(10);
-  params.loss_probability = 0.05;
-  params.loss_from = seconds(5);
-  params.loss_until = seconds(20);
-  scenario.apply_faults(fault::FaultSchedule::random(seed * 7919 + 13, params));
-
-  auto results = scenario.run();
-
-  // Liveness: nothing hangs.
-  for (const auto& r : results) {
-    EXPECT_EQ(r.stats.reads_completed + r.stats.reads_abandoned, 40u)
-        << "seed " << seed;
-    EXPECT_EQ(r.stats.staleness_violations, 0u) << "seed " << seed;
-  }
-
-  // Safety across all replicas, original and reborn incarnations alike.
-  std::uint64_t max_csn = 0;
-  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
-    const auto& replica = scenario.replica(i);
-    EXPECT_EQ(replica.stats().gsn_conflicts, 0u) << "seed " << seed;
-    if (replica.crashed() || !replica.is_primary() || replica.recovering()) {
-      continue;
-    }
-    const auto& store =
-        dynamic_cast<const replication::KeyValueStore&>(replica.object());
-    EXPECT_EQ(store.version(), replica.csn()) << "seed " << seed;
-    max_csn = std::max(max_csn, replica.csn());
-  }
-  for (std::size_t i = 1; i <= 2; ++i) {
-    const auto& replica = scenario.replica(i);
-    if (replica.crashed() || replica.recovering()) continue;
-    EXPECT_GE(replica.csn() + 2, max_csn)
-        << "primary " << i << " diverged, seed " << seed;
-  }
+TEST(ChaosProperty, SafetyInvariantsHoldUnderCrashesAndLoss) {
+  run_chaos_plan("chaos");
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ChaosRecovery,
-                         ::testing::Range<std::uint64_t>(1, 13));
+TEST(ChaosRecovery, SafetyInvariantsHoldAcrossReincarnations) {
+  run_chaos_plan("chaos_recovery");
+}
 
 }  // namespace
 }  // namespace aqueduct

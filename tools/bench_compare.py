@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Bench-trend regression gate.
+
+Diffs a freshly produced BENCH_<name>.json against the committed baseline
+under bench/baselines/ and fails (exit 1) on a regression beyond the
+tolerance in any gated metric. Only *deterministic* metrics are gated —
+simulated-time results, convolution counts, and pooled probability bounds
+are pure functions of the seeds, so a committed baseline stays valid on
+any machine; wall-clock fields (selections/sec, wall seconds) are reported
+in the JSON but never gated.
+
+Gated metrics:
+  selection_scale — cached_convolutions_per_read per (replicas, window)
+                    point (the memoized hot path must not regress);
+  recovery        — pooled mean time-to-rejoin (seconds of simulated time)
+                    and the Pc(d) lower bound, i.e. the pooled Wilson lower
+                    bound of steady-state deadline-hit probability
+                    (1 - upper CI bound of the steady timing-failure rate).
+
+Usage: bench_compare.py BASELINE FRESH [--tolerance 0.20]
+The bench kind is read from the JSON "bench" field; both files must match.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable
+
+
+class Gate:
+    """One gated metric: extract from both files, compare directionally.
+
+    direction "max": lower is better, fail when fresh exceeds baseline by
+    more than tolerance (relative) plus slack (absolute).
+    direction "min": higher is better, fail when fresh falls short of the
+    baseline by more than tolerance plus slack.
+    """
+
+    def __init__(self, name: str, extract: Callable[[dict], float],
+                 direction: str, slack: float = 0.0):
+        assert direction in ("max", "min")
+        self.name = name
+        self.extract = extract
+        self.direction = direction
+        self.slack = slack
+
+    def check(self, baseline: dict, fresh: dict, tolerance: float):
+        base = self.extract(baseline)
+        new = self.extract(fresh)
+        if self.direction == "max":
+            limit = base * (1.0 + tolerance) + self.slack
+            ok = new <= limit
+        else:
+            limit = base * (1.0 - tolerance) - self.slack
+            ok = new >= limit
+        delta = 0.0 if base == 0 else (new - base) / base * 100.0
+        return ok, base, new, delta
+
+
+def selection_scale_gates(baseline: dict) -> list[Gate]:
+    gates = []
+    for run in baseline["runs"]:
+        key = (run["replicas"], run["window"])
+
+        def extract(doc: dict, key=key) -> float:
+            for r in doc["runs"]:
+                if (r["replicas"], r["window"]) == key:
+                    return float(r["cached_convolutions_per_read"])
+            raise KeyError(f"no (replicas, window) == {key} in fresh run set")
+
+        # Slack of 0.5 conv/read: near-zero steady-state points must not
+        # flag on a single extra rebuild.
+        gates.append(Gate(f"conv/read r={key[0]} w={key[1]}", extract,
+                          "max", slack=0.5))
+    return gates
+
+
+def recovery_gates(_baseline: dict) -> list[Gate]:
+    def rejoin(doc: dict) -> float:
+        return float(doc["pooled"]["rejoin_s"]["mean"])
+
+    def pc_lower_bound(doc: dict) -> float:
+        # Pc(d): probability a steady-state read meets its deadline. The
+        # conservative (lower) bound is 1 minus the Wilson *upper* bound of
+        # the steady timing-failure rate.
+        return 1.0 - float(doc["pooled"]["steady_timing_failure"]["ci_upper"])
+
+    return [
+        # 50 ms of absolute slack: rejoin is sub-second, so pure relative
+        # tolerance would flag noise-level shifts.
+        Gate("mean time_to_rejoin_s", rejoin, "max", slack=0.05),
+        Gate("Pc(d) lower bound (steady)", pc_lower_bound, "min", slack=0.02),
+    ]
+
+
+GATE_BUILDERS = {
+    "selection_scale": selection_scale_gates,
+    "recovery": recovery_gates,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed bench/baselines/BENCH_*.json")
+    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="relative regression tolerance (default 0.20)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    kind = baseline.get("bench")
+    if fresh.get("bench") != kind:
+        print(f"bench_compare: baseline is '{kind}' but fresh is "
+              f"'{fresh.get('bench')}'", file=sys.stderr)
+        return 2
+    if kind not in GATE_BUILDERS:
+        print(f"bench_compare: no gates defined for bench '{kind}'",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    print(f"bench-trend gate: {kind} (tolerance ±{args.tolerance:.0%})")
+    for gate in GATE_BUILDERS[kind](baseline):
+        try:
+            ok, base, new, delta = gate.check(baseline, fresh, args.tolerance)
+        except KeyError as e:
+            print(f"  FAIL {gate.name}: {e}")
+            failures += 1
+            continue
+        verdict = "ok" if ok else "FAIL"
+        print(f"  {verdict:4} {gate.name}: baseline {base:.6g} -> "
+              f"fresh {new:.6g} ({delta:+.1f}%)")
+        if not ok:
+            failures += 1
+
+    if failures:
+        print(f"bench_compare: {failures} gated metric(s) regressed beyond "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    print("bench_compare: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
