@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
     auto results = scenario.run();
     const auto& stats = results[1].stats;
     runs.push_back(bench::summarize_run(entry.name, results[1],
-                                        scenario.simulator().now() - sim::kEpoch));
+                                        scenario.executor().now() - sim::kEpoch));
     const auto ci = harness::binomial_ci_normal(stats.timing_failures,
                                                 stats.reads_completed);
     // Load proxy: how many replica services each read consumed.

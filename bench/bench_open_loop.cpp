@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     const auto& stats = results[1].stats;
     runs.push_back(bench::summarize_run(
         "interarrival_" + std::to_string(gap_ms) + "ms", results[1],
-        scenario.simulator().now() - sim::kEpoch));
+        scenario.executor().now() - sim::kEpoch));
     table.add_row(
         {std::to_string(gap_ms),
          harness::Table::num(2.0 * 1000.0 / gap_ms, 1),

@@ -38,22 +38,29 @@ int main(int argc, char** argv) {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
   };
-  std::map<std::string, TypeCost> by_type;
-  std::uint64_t total_messages = 0;
-  std::uint64_t total_bytes = 0;
   // The gcs wraps application payloads in gcs.data envelopes; attribute
   // them to the payload type where possible is not observable at the
   // network layer, so gcs.data aggregates all reliable traffic and the
   // remaining rows are the gcs control plane.
-  scenario.network().set_tap([&](const net::TraceEvent& event) {
-    auto& cost = by_type[event.type_name];
-    ++cost.messages;
-    cost.bytes += event.wire_size;
-    ++total_messages;
-    total_bytes += event.wire_size;
-  });
+  struct CostSink final : obs::TraceSink {
+    std::map<std::string, TypeCost> by_type;
+    std::uint64_t total_messages = 0;
+    std::uint64_t total_bytes = 0;
+    void on_message(const obs::MessageEvent& event) override {
+      auto& cost = by_type[event.type_name];
+      ++cost.messages;
+      cost.bytes += event.wire_size;
+      ++total_messages;
+      total_bytes += event.wire_size;
+    }
+  } sink;
+  scenario.network().tracing().add(&sink);
 
   auto results = scenario.run();
+  scenario.network().tracing().remove(&sink);
+  const auto& by_type = sink.by_type;
+  const std::uint64_t total_messages = sink.total_messages;
+  const std::uint64_t total_bytes = sink.total_bytes;
 
   const std::uint64_t reads = results[0].stats.reads_completed +
                               results[1].stats.reads_completed;

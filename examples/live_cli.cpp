@@ -1,0 +1,250 @@
+// Live scenario runner: the same protocol stack every experiment runs
+// under the discrete-event simulator, driven by the wall clock instead.
+//
+//   live_cli [--duration SEC] [--requests N] [--seed S]
+//            [--runtime real|sim] [--json-out FILE] [--no-json]
+//
+// Boots a sequencer, two primaries, two secondaries, and two workload
+// clients with different QoS specs (a strict low-deadline reader and a
+// relaxed staleness-tolerant one) on a RealTimeExecutor: messages are
+// delivered in-process after real injected latency, heartbeats and the
+// lazy publisher fire on wall-clock timers, and requests complete in real
+// elapsed time. Prints the observed timing-failure probability and the
+// per-request latency breakdown from the obs pipeline, then verifies
+// committed-prefix agreement across the replicas before exiting.
+//
+// Exit status: 0 on a clean run, 1 if no request completed or any
+// ordering/agreement check failed. The emitted BENCH_live.json is
+// machine- and load-dependent by construction and is NOT part of the
+// bench-trend gate (see EXPERIMENTS.md).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "harness/stats.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "replication/objects.hpp"
+
+using namespace aqueduct;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: live_cli [--duration SEC] [--requests N] [--seed S]\n"
+               "  [--runtime real|sim] [--json-out FILE] [--no-json]\n");
+  std::exit(2);
+}
+
+/// Committed-prefix agreement at shutdown: no replica ever observed a GSN
+/// conflict, every live non-recovering primary applied exactly the prefix
+/// it committed (store version == CSN), and live primaries agree on the
+/// commit point up to in-flight slack. Returns the number of violations.
+int check_agreement(harness::Scenario& scenario) {
+  int violations = 0;
+  std::uint64_t max_csn = 0;
+  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+    const auto& replica = scenario.replica(i);
+    if (replica.stats().gsn_conflicts != 0) {
+      std::fprintf(stderr, "VIOLATION: replica %zu saw %llu gsn conflicts\n",
+                   i, static_cast<unsigned long long>(
+                          replica.stats().gsn_conflicts));
+      ++violations;
+    }
+    if (!replica.crashed() && replica.is_primary() && !replica.recovering()) {
+      const auto& store =
+          dynamic_cast<const replication::KeyValueStore&>(replica.object());
+      if (store.version() != replica.csn()) {
+        std::fprintf(stderr,
+                     "VIOLATION: replica %zu applied %llu updates but "
+                     "committed %llu\n",
+                     i, static_cast<unsigned long long>(store.version()),
+                     static_cast<unsigned long long>(replica.csn()));
+        ++violations;
+      }
+      max_csn = std::max(max_csn, replica.csn());
+    }
+  }
+  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+    const auto& replica = scenario.replica(i);
+    if (replica.crashed() || !replica.is_primary() || replica.recovering() ||
+        i == scenario.index_sequencer()) {
+      continue;
+    }
+    if (replica.csn() + 2 < max_csn) {
+      std::fprintf(stderr,
+                   "VIOLATION: primary %zu diverged (csn %llu, max %llu)\n",
+                   i, static_cast<unsigned long long>(replica.csn()),
+                   static_cast<unsigned long long>(max_csn));
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double duration_s = 2.0;
+  std::size_t requests = 15;
+  std::uint64_t seed = 42;
+  runtime::Kind kind = runtime::Kind::kRealTime;
+  std::string json_out = "BENCH_live.json";
+  bool write_json = true;
+
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage();
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--duration") {
+      duration_s = std::stod(next_value(i));
+    } else if (arg == "--requests") {
+      requests = std::stoul(next_value(i));
+    } else if (arg == "--seed") {
+      seed = std::stoull(next_value(i));
+    } else if (arg == "--runtime") {
+      const std::string name = next_value(i);
+      if (name == "real") {
+        kind = runtime::Kind::kRealTime;
+      } else if (name == "sim") {
+        kind = runtime::Kind::kSim;
+      } else {
+        usage();
+      }
+    } else if (arg == "--json-out") {
+      json_out = next_value(i);
+    } else if (arg == "--no-json") {
+      write_json = false;
+    } else {
+      usage();
+    }
+  }
+
+  // A small cluster with fast service times so a couple of wall-clock
+  // seconds carries a meaningful number of requests: sequencer + 2
+  // primaries + 2 secondaries, ~20 ms service, 500 ms lazy publication.
+  harness::ScenarioConfig config;
+  config.seed = seed;
+  config.runtime = kind;
+  config.num_primaries = 2;
+  config.num_secondaries = 2;
+  config.service_mean = std::chrono::milliseconds(20);
+  config.service_std = std::chrono::milliseconds(5);
+  config.lazy_update_interval = std::chrono::milliseconds(500);
+  config.max_sim_time = sim::from_sec(duration_s);
+  config.drain = std::chrono::milliseconds(250);
+  // Client 0 is demanding (fresh data, tight deadline, high assurance);
+  // client 1 tolerates staleness for cheap reads — the paper's trade-off,
+  // live.
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 1,
+              .deadline = std::chrono::milliseconds(150),
+              .min_probability = 0.9},
+      .request_delay = std::chrono::milliseconds(50),
+      .num_requests = requests,
+  });
+  config.clients.push_back(harness::ClientSpec{
+      .qos = {.staleness_threshold = 4,
+              .deadline = std::chrono::milliseconds(250),
+              .min_probability = 0.5},
+      .request_delay = std::chrono::milliseconds(50),
+      .num_requests = requests,
+  });
+
+  harness::Scenario scenario(std::move(config));
+  obs::LatencyBreakdownCollector breakdown;
+  scenario.observability().trace.add(&breakdown);
+
+  std::printf("live_cli: %s runtime, %zu requests x 2 clients, %.1fs cap\n",
+              runtime::to_string(kind), requests, duration_s);
+  auto results = scenario.run();
+  scenario.observability().trace.remove(&breakdown);
+
+  std::uint64_t completed = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t timing_failures = 0;
+  std::vector<double> read_times_s;
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    const auto& stats = results[c].stats;
+    completed += stats.reads_completed + stats.updates_completed;
+    reads_completed += stats.reads_completed;
+    timing_failures += stats.timing_failures;
+    read_times_s.insert(read_times_s.end(),
+                        results[c].read_response_times.begin(),
+                        results[c].read_response_times.end());
+    std::printf(
+        "client %zu: %llu reads, %llu updates, %llu timing failures, "
+        "avg read %.1f ms\n",
+        c, static_cast<unsigned long long>(stats.reads_completed),
+        static_cast<unsigned long long>(stats.updates_completed),
+        static_cast<unsigned long long>(stats.timing_failures),
+        sim::to_ms(stats.avg_response_time()));
+  }
+  const double failure_rate =
+      reads_completed > 0
+          ? static_cast<double>(timing_failures) /
+                static_cast<double>(reads_completed)
+          : 0.0;
+  const double p50_ms = harness::percentile(read_times_s, 0.50) * 1000.0;
+  const double p95_ms = harness::percentile(read_times_s, 0.95) * 1000.0;
+
+  std::printf("\n%llu requests completed in %s (%llu events)\n",
+              static_cast<unsigned long long>(completed),
+              sim::format(scenario.executor().now()).c_str(),
+              static_cast<unsigned long long>(
+                  scenario.executor().events_executed()));
+  std::printf("observed timing-failure probability: %.3f (%llu/%llu)\n",
+              failure_rate, static_cast<unsigned long long>(timing_failures),
+              static_cast<unsigned long long>(reads_completed));
+  std::printf("read latency: p50 %.1f ms, p95 %.1f ms\n", p50_ms, p95_ms);
+  std::printf("\nper-request latency breakdown (%zu requests):\n",
+              breakdown.events().size());
+  breakdown.write_json(std::cout);
+  std::printf("\n");
+
+  const int violations = check_agreement(scenario);
+  if (violations == 0) {
+    std::printf("committed-prefix agreement: OK\n");
+  }
+
+  if (write_json) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.field("bench", "live");
+    w.field("runtime", runtime::to_string(kind));
+    w.field("seed", seed);
+    w.field("duration_cap_s", duration_s);
+    w.field("elapsed_s", sim::to_sec(scenario.executor().now() - sim::kEpoch));
+    w.field("requests_completed", completed);
+    w.field("reads_completed", reads_completed);
+    w.field("timing_failure_rate", failure_rate);
+    w.field("p50_ms", p50_ms);
+    w.field("p95_ms", p95_ms);
+    w.field("agreement_violations", static_cast<std::int64_t>(violations));
+    w.end_object();
+    out << "\n";
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+
+  if (completed == 0) {
+    std::fprintf(stderr, "FAIL: no request completed\n");
+    return 1;
+  }
+  if (violations != 0) {
+    std::fprintf(stderr, "FAIL: %d agreement violations\n", violations);
+    return 1;
+  }
+  return 0;
+}

@@ -177,9 +177,9 @@ int main(int argc, char** argv) {
          std::to_string(stats.reads_abandoned)});
   }
   std::printf("simulated %s, %llu events\n",
-              sim::format(scenario.simulator().now()).c_str(),
+              sim::format(scenario.executor().now()).c_str(),
               static_cast<unsigned long long>(
-                  scenario.simulator().events_executed()));
+                  scenario.executor().events_executed()));
   if (csv) {
     table.print_csv(std::cout);
   } else {

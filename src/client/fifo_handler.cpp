@@ -7,14 +7,14 @@
 
 namespace aqueduct::client {
 
-FifoClientHandler::FifoClientHandler(sim::Simulator& sim,
+FifoClientHandler::FifoClientHandler(runtime::Executor& exec,
                                      gcs::Endpoint& endpoint,
                                      replication::ServiceGroups groups,
                                      std::size_t window_size)
-    : sim_(sim),
+    : exec_(exec),
       endpoint_(endpoint),
       groups_(groups),
-      rng_(sim.rng().split()),
+      rng_(exec.rng().split()),
       repository_(window_size, std::chrono::milliseconds(1)) {}
 
 void FifoClientHandler::start() {
@@ -39,7 +39,7 @@ void FifoClientHandler::update(net::MessagePtr op, UpdateCallback done) {
   Outstanding& req = outstanding_[id];
   req.is_read = false;
   req.update_done = std::move(done);
-  req.t0 = sim_.now();
+  req.t0 = exec_.now();
   req.tm = req.t0;
 
   auto request = std::make_shared<replication::FifoUpdateRequest>();
@@ -64,16 +64,16 @@ void FifoClientHandler::read(net::MessagePtr op, const core::QoSSpec& qos,
   req.is_read = true;
   req.qos = qos;
   req.read_done = std::move(done);
-  req.t0 = sim_.now();
+  req.t0 = exec_.now();
   req.tm = req.t0;
 
   // FIFO consistency has no global staleness: the stale factor is 1; the
   // deferred-read distributions still account for read-your-writes waits.
   core::SelectionContext ctx;
-  ctx.candidates = repository_.candidates(qos, sim_.now());
+  ctx.candidates = repository_.candidates(qos, exec_.now());
   ctx.stale_factor = 1.0;
   ctx.qos = qos;
-  ctx.now = sim_.now();
+  ctx.now = exec_.now();
   ctx.rng = &rng_;
   auto selection = selector_.select(ctx);
   req.replicas_selected = selection.selected.size();
@@ -84,7 +84,7 @@ void FifoClientHandler::read(net::MessagePtr op, const core::QoSSpec& qos,
   request->horizon = read_your_writes ? my_update_horizon_ : 0;
   qos_member_->send_to_set(selection.selected, request);
 
-  req.deadline_timer = sim_.at(req.t0 + qos.deadline, [this, id] {
+  req.deadline_timer = exec_.at(req.t0 + qos.deadline, [this, id] {
     auto it = outstanding_.find(id);
     if (it != outstanding_.end() && !it->second.completed) {
       it->second.timing_failure = true;
@@ -100,7 +100,7 @@ void FifoClientHandler::drain_pending() {
 
 void FifoClientHandler::on_deliver(net::NodeId /*from*/,
                                    const net::MessagePtr& msg) {
-  const sim::TimePoint now = sim_.now();
+  const sim::TimePoint now = exec_.now();
   if (auto reply = net::message_cast<replication::FifoReply>(msg)) {
     auto it = outstanding_.find(reply->id);
     if (it == outstanding_.end()) return;
@@ -110,7 +110,7 @@ void FifoClientHandler::on_deliver(net::NodeId /*from*/,
     repository_.record_reply(reply->replica, tg, now);
     if (req.completed) return;
     req.completed = true;
-    sim_.cancel(req.deadline_timer);
+    exec_.cancel(req.deadline_timer);
     const sim::Duration tr = now - req.t0;
     if (req.is_read) {
       FifoReadOutcome outcome;

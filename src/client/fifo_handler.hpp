@@ -27,7 +27,7 @@
 #include "replication/fifo.hpp"
 #include "replication/service.hpp"
 #include "sim/random.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/executor.hpp"
 
 namespace aqueduct::client {
 
@@ -59,7 +59,7 @@ class FifoClientHandler {
   using ReadCallback = std::function<void(const FifoReadOutcome&)>;
   using UpdateCallback = std::function<void(sim::Duration response_time)>;
 
-  FifoClientHandler(sim::Simulator& sim, gcs::Endpoint& endpoint,
+  FifoClientHandler(runtime::Executor& exec, gcs::Endpoint& endpoint,
                     replication::ServiceGroups groups,
                     std::size_t window_size = 20);
 
@@ -98,7 +98,7 @@ class FifoClientHandler {
   void on_deliver(net::NodeId from, const net::MessagePtr& msg);
   void drain_pending();
 
-  sim::Simulator& sim_;
+  runtime::Executor& exec_;
   gcs::Endpoint& endpoint_;
   replication::ServiceGroups groups_;
   sim::Rng rng_;

@@ -32,14 +32,14 @@ ClientHandler::Instruments::Instruments(obs::MetricsRegistry& reg)
       update_response_ms(reg.histogram("client.update_response_ms")),
       gateway_ms(reg.histogram("client.gateway_ms")) {}
 
-ClientHandler::ClientHandler(sim::Simulator& sim, gcs::Endpoint& endpoint,
+ClientHandler::ClientHandler(runtime::Executor& exec, gcs::Endpoint& endpoint,
                              replication::ServiceGroups groups,
                              ClientConfig config)
-    : sim_(sim),
+    : exec_(exec),
       endpoint_(endpoint),
       groups_(groups),
       config_(std::move(config)),
-      rng_(sim.rng().split()),
+      rng_(exec.rng().split()),
       repository_(config_.window_size, config_.pmf_resolution),
       obs_(endpoint.observability()),
       metrics_(obs_.metrics) {
@@ -69,7 +69,7 @@ void ClientHandler::read(net::MessagePtr op, const core::QoSSpec& qos,
                          ReadCallback done) {
   qos.validate();
   AQUEDUCT_CHECK(op != nullptr);
-  const sim::TimePoint t0 = sim_.now();
+  const sim::TimePoint t0 = exec_.now();
   if (!ready()) {
     pending_.push_back({true, std::move(op), qos, std::move(done), {}, t0});
     return;
@@ -86,12 +86,12 @@ void ClientHandler::read(net::MessagePtr op, const core::QoSSpec& qos,
   span(obs::SpanKind::kIssue, id, net::NodeId{},
        static_cast<std::uint64_t>(sim::to_ms(qos.deadline)));
   transmit_read(id, req);
-  req.deadline_timer = sim_.at(t0 + qos.deadline, [this, id] { on_deadline(id); });
+  req.deadline_timer = exec_.at(t0 + qos.deadline, [this, id] { on_deadline(id); });
 }
 
 void ClientHandler::update(net::MessagePtr op, UpdateCallback done) {
   AQUEDUCT_CHECK(op != nullptr);
-  const sim::TimePoint t0 = sim_.now();
+  const sim::TimePoint t0 = exec_.now();
   if (!ready()) {
     pending_.push_back({false, std::move(op), {}, {}, std::move(done), t0});
     return;
@@ -129,7 +129,7 @@ void ClientHandler::drain_pending() {
 void ClientHandler::transmit_read(const replication::RequestId& id,
                                   OutstandingRequest& req) {
   const auto& roles = repository_.roles();
-  const sim::TimePoint now = sim_.now();
+  const sim::TimePoint now = exec_.now();
 
   auto ctx = repository_.selection_context(req.qos, now, rng_);
   auto selection = config_.selector->select(ctx);
@@ -171,7 +171,7 @@ void ClientHandler::transmit_update(const replication::RequestId& id,
   request->id = id;
   request->op = req.op;
 
-  req.tm = sim_.now();
+  req.tm = exec_.now();
   ++req.attempts;
   ++stats_.transmit_attempts;
   metrics_.transmit_attempts.inc();
@@ -185,7 +185,7 @@ void ClientHandler::transmit_update(const replication::RequestId& id,
 
 void ClientHandler::arm_retry(const replication::RequestId& id) {
   OutstandingRequest& req = outstanding_.at(id);
-  sim_.cancel(req.retry_timer);
+  exec_.cancel(req.retry_timer);
   // Exponential backoff with seeded jitter: attempt n waits
   // base * factor^(n-1) (capped), scaled by 1 ± U*jitter so concurrent
   // clients don't stampede a recovering service in lockstep.
@@ -203,7 +203,7 @@ void ClientHandler::arm_retry(const replication::RequestId& id) {
       std::chrono::duration<double, std::milli>(delay_ms));
   stats_.total_retry_backoff += delay;
   metrics_.retry_backoff_ms.inc(static_cast<std::uint64_t>(delay_ms));
-  req.retry_timer = sim_.after(delay, [this, id] { on_retry(id); });
+  req.retry_timer = exec_.after(delay, [this, id] { on_retry(id); });
 }
 
 void ClientHandler::on_retry(const replication::RequestId& id) {
@@ -213,14 +213,14 @@ void ClientHandler::on_retry(const replication::RequestId& id) {
   if (req.attempts > config_.max_retries) {
     // Give up: report failure to the application.
     req.completed = true;
-    sim_.cancel(req.deadline_timer);
+    exec_.cancel(req.deadline_timer);
     span(obs::SpanKind::kAbandon, id, net::NodeId{}, req.attempts,
-         sim_.now() - req.t0);
+         exec_.now() - req.t0);
     if (req.is_read) {
       ++stats_.reads_abandoned;
       metrics_.reads_abandoned.inc();
       ReadOutcome outcome;
-      outcome.response_time = sim_.now() - req.t0;
+      outcome.response_time = exec_.now() - req.t0;
       outcome.timing_failure = true;
       outcome.replicas_selected = req.replicas_selected;
       outcome.selection_satisfied = req.selection_satisfied;
@@ -228,7 +228,7 @@ void ClientHandler::on_retry(const replication::RequestId& id) {
       if (req.read_done) req.read_done(outcome);
     } else if (req.update_done) {
       UpdateOutcome outcome;
-      outcome.response_time = sim_.now() - req.t0;
+      outcome.response_time = exec_.now() - req.t0;
       req.update_done(outcome);
     }
     outstanding_.erase(it);
@@ -251,7 +251,7 @@ void ClientHandler::on_deadline(const replication::RequestId& id) {
   // when (or whether) a reply eventually arrives.
   it->second.timing_failure = true;
   span(obs::SpanKind::kTimingFailure, id, net::NodeId{}, it->second.attempts,
-       sim_.now() - it->second.t0);
+       exec_.now() - it->second.t0);
 }
 
 // ---------------------------------------------------------------------------
@@ -259,7 +259,7 @@ void ClientHandler::on_deadline(const replication::RequestId& id) {
 // ---------------------------------------------------------------------------
 
 void ClientHandler::on_deliver(net::NodeId /*from*/, const net::MessagePtr& msg) {
-  const sim::TimePoint now = sim_.now();
+  const sim::TimePoint now = exec_.now();
   if (auto reply = net::message_cast<replication::Reply>(msg)) {
     handle_reply(reply);
   } else if (auto perf = net::message_cast<replication::PerfPublication>(msg)) {
@@ -279,7 +279,7 @@ void ClientHandler::handle_reply(
 
   // Gateway-delay measurement: t_g = t_p - t_m - t_1 (Section 5.4). A reply
   // from an earlier attempt can make this negative after a retry; clamp.
-  const sim::TimePoint tp = sim_.now();
+  const sim::TimePoint tp = exec_.now();
   const sim::Duration tg =
       std::max(sim::Duration::zero(), (tp - req.tm) - reply->t1);
   repository_.record_reply(reply->replica, tg, tp);
@@ -289,8 +289,8 @@ void ClientHandler::handle_reply(
 
   if (req.completed) return;  // later replies only feed the repository
   req.completed = true;
-  sim_.cancel(req.retry_timer);
-  sim_.cancel(req.deadline_timer);
+  exec_.cancel(req.retry_timer);
+  exec_.cancel(req.deadline_timer);
 
   if (req.is_read) {
     complete_read(reply->id, req, reply.get());
@@ -313,7 +313,7 @@ void ClientHandler::handle_reply(
 void ClientHandler::complete_read(const replication::RequestId& id,
                                   OutstandingRequest& req,
                                   const replication::Reply* reply) {
-  const sim::Duration tr = sim_.now() - req.t0;
+  const sim::Duration tr = exec_.now() - req.t0;
   ReadOutcome outcome;
   outcome.result = reply->result;
   outcome.response_time = tr;
@@ -369,7 +369,7 @@ void ClientHandler::check_alarm(const core::QoSSpec& qos) {
 }
 
 void ClientHandler::forget_later(const replication::RequestId& id) {
-  sim_.after(kLinger, [this, id] { outstanding_.erase(id); });
+  exec_.after(kLinger, [this, id] { outstanding_.erase(id); });
 }
 
 // ---------------------------------------------------------------------------
@@ -383,7 +383,7 @@ void ClientHandler::span(obs::SpanKind kind, const replication::RequestId& id,
   obs::SpanEvent event;
   event.trace = replication::trace_of(id);
   event.kind = kind;
-  event.at = sim_.now();
+  event.at = exec_.now();
   event.duration = duration;
   event.node = this->id();
   event.peer = peer;
@@ -398,7 +398,7 @@ void ClientHandler::emit_breakdown(const replication::RequestId& id,
   if (!obs_.trace.active()) return;
   obs::BreakdownEvent event;
   event.trace = replication::trace_of(id);
-  event.at = sim_.now();
+  event.at = exec_.now();
   event.client = this->id();
   event.replica = reply.replica;
   event.is_read = req.is_read;

@@ -26,7 +26,7 @@
 #include "replication/messages.hpp"
 #include "replication/service.hpp"
 #include "sim/random.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/executor.hpp"
 
 namespace aqueduct::client {
 
@@ -150,7 +150,7 @@ class ClientHandler {
   /// client's requested probability (paper Section 5.4).
   using QoSAlarm = std::function<void(double observed_failure_rate)>;
 
-  ClientHandler(sim::Simulator& sim, gcs::Endpoint& endpoint,
+  ClientHandler(runtime::Executor& exec, gcs::Endpoint& endpoint,
                 replication::ServiceGroups groups, ClientConfig config);
   ~ClientHandler();
 
@@ -216,7 +216,7 @@ class ClientHandler {
                       const replication::Reply& reply, sim::Duration total,
                       bool timing_failure);
 
-  sim::Simulator& sim_;
+  runtime::Executor& exec_;
   gcs::Endpoint& endpoint_;
   replication::ServiceGroups groups_;
   ClientConfig config_;

@@ -55,22 +55,6 @@ void sort_candidates(std::vector<CandidateReplica>& candidates, bool by_ert) {
 
 }  // namespace
 
-// Definition of the deprecated shim; suppress the self-referential
-// deprecation diagnostic the definition itself would emit.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-SelectionResult ReplicaSelector::select(
-    std::vector<CandidateReplica> candidates, double stale_factor,
-    const QoSSpec& qos, sim::Rng& rng) {
-  SelectionContext ctx;
-  ctx.candidates = std::move(candidates);
-  ctx.stale_factor = stale_factor;
-  ctx.qos = qos;
-  ctx.rng = &rng;
-  return select(ctx);
-}
-#pragma GCC diagnostic pop
-
 SelectionResult ProbabilisticSelector::select(SelectionContext& ctx) {
   std::vector<CandidateReplica>& candidates = ctx.candidates;
   const double stale_factor = ctx.stale_factor;

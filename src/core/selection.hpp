@@ -72,13 +72,6 @@ class ReplicaSelector {
   /// vector in place.
   virtual SelectionResult select(SelectionContext& ctx) = 0;
 
-  /// Forwarding shim for the pre-SelectionContext signature; migrate call
-  /// sites to select(SelectionContext&).
-  [[deprecated("bundle the arguments in a SelectionContext")]]
-  SelectionResult select(std::vector<CandidateReplica> candidates,
-                         double stale_factor, const QoSSpec& qos,
-                         sim::Rng& rng);
-
   virtual std::string name() const = 0;
 };
 
@@ -101,7 +94,6 @@ class ProbabilisticSelector final : public ReplicaSelector {
   explicit ProbabilisticSelector(ProbabilisticOptions options = {})
       : options_(options) {}
 
-  using ReplicaSelector::select;
   SelectionResult select(SelectionContext& ctx) override;
 
   std::string name() const override;
@@ -114,7 +106,6 @@ class ProbabilisticSelector final : public ReplicaSelector {
 /// "simple approach" the paper rejects as unscalable, Section 5).
 class SelectAllSelector final : public ReplicaSelector {
  public:
-  using ReplicaSelector::select;
   SelectionResult select(SelectionContext& ctx) override;
   std::string name() const override { return "select-all"; }
 };
@@ -127,7 +118,6 @@ class SelectOneSelector final : public ReplicaSelector {
   enum class Policy { kRandom, kLeastRecentlyUsed };
   explicit SelectOneSelector(Policy policy) : policy_(policy) {}
 
-  using ReplicaSelector::select;
   SelectionResult select(SelectionContext& ctx) override;
   std::string name() const override;
 
@@ -140,7 +130,6 @@ class FixedKSelector final : public ReplicaSelector {
  public:
   explicit FixedKSelector(std::size_t k) : k_(k) {}
 
-  using ReplicaSelector::select;
   SelectionResult select(SelectionContext& ctx) override;
   std::string name() const override;
 

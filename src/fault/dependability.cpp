@@ -6,11 +6,11 @@
 
 namespace aqueduct::fault {
 
-DependabilityManager::DependabilityManager(sim::Simulator& sim,
+DependabilityManager::DependabilityManager(runtime::Executor& exec,
                                            obs::Observability& obs,
                                            DependabilityConfig config,
                                            Hooks hooks)
-    : sim_(sim),
+    : exec_(exec),
       config_(config),
       hooks_(std::move(hooks)),
       restarts_budget_(config.max_restarts),
@@ -20,8 +20,8 @@ DependabilityManager::DependabilityManager(sim::Simulator& sim,
   AQUEDUCT_CHECK(static_cast<bool>(hooks_.num_replicas));
   AQUEDUCT_CHECK(static_cast<bool>(hooks_.alive));
   AQUEDUCT_CHECK(static_cast<bool>(hooks_.restart));
-  poll_task_ = std::make_unique<sim::PeriodicTask>(
-      sim_, config_.poll_period, [this] { tick(); });
+  poll_task_ = std::make_unique<runtime::PeriodicTask>(
+      exec_, config_.poll_period, [this] { tick(); });
 }
 
 DependabilityManager::~DependabilityManager() { stop(); }
@@ -58,7 +58,7 @@ void DependabilityManager::tick() {
     --restarts_budget_;
     --needed;
     pending_.insert(i);
-    sim_.after(config_.restart_latency,
+    exec_.after(config_.restart_latency,
                [this, i, token = std::weak_ptr<const bool>(alive_token_)] {
                  if (token.expired()) return;
                  pending_.erase(i);

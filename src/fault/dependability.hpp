@@ -17,7 +17,8 @@
 #include <unordered_set>
 
 #include "obs/observability.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/periodic_task.hpp"
 #include "sim/time.hpp"
 
 namespace aqueduct::fault {
@@ -51,7 +52,7 @@ class DependabilityManager {
     std::function<void(std::size_t)> restart;
   };
 
-  DependabilityManager(sim::Simulator& sim, obs::Observability& obs,
+  DependabilityManager(runtime::Executor& exec, obs::Observability& obs,
                        DependabilityConfig config, Hooks hooks);
   ~DependabilityManager();
 
@@ -66,10 +67,10 @@ class DependabilityManager {
  private:
   void tick();
 
-  sim::Simulator& sim_;
+  runtime::Executor& exec_;
   DependabilityConfig config_;
   Hooks hooks_;
-  std::unique_ptr<sim::PeriodicTask> poll_task_;
+  std::unique_ptr<runtime::PeriodicTask> poll_task_;
   /// Slots with a restart scheduled but not yet fired.
   std::unordered_set<std::size_t> pending_;
   std::size_t restarts_budget_;

@@ -203,7 +203,7 @@ std::vector<FaultEvent> FaultSchedule::events() const {
   return sorted;
 }
 
-void apply(const FaultSchedule& schedule, sim::Simulator& sim,
+void apply(const FaultSchedule& schedule, runtime::Executor& exec,
            FaultTargets targets) {
   auto shared = std::make_shared<FaultTargets>(std::move(targets));
   for (const FaultEvent& event : schedule.events()) {
@@ -217,7 +217,7 @@ void apply(const FaultSchedule& schedule, sim::Simulator& sim,
                              event.kind == FaultKind::kHeal,
                          "fault schedule needs a node_id resolver");
     }
-    sim.at(sim::kEpoch + event.at, [event, shared, &sim] {
+    exec.at(sim::kEpoch + event.at, [event, shared, &exec] {
       net::Network* net = shared->network;
       switch (event.kind) {
         case FaultKind::kCrash:
@@ -270,7 +270,7 @@ void apply(const FaultSchedule& schedule, sim::Simulator& sim,
           net->set_node_latency(node, std::make_shared<sim::NormalDuration>(
                                           event.latency_mean,
                                           event.latency_std));
-          sim.after(event.duration,
+          exec.after(event.duration,
                     [node, net] { net->clear_node_latency(node); });
           break;
         }

@@ -17,8 +17,8 @@
 
 #include "net/network.hpp"
 #include "net/node.hpp"
+#include "runtime/executor.hpp"
 #include "sim/random.hpp"
-#include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
 namespace aqueduct::fault {
@@ -131,11 +131,11 @@ struct FaultTargets {
   std::size_t num_replicas = 0;
 };
 
-/// Schedules every event of `schedule` onto `sim`. Network-affecting kinds
+/// Schedules every event of `schedule` onto `exec`. Network-affecting kinds
 /// require `targets.network`; crash/restart require the matching callback.
 /// Index resolution happens at fire time, so a restart followed by a
 /// latency spike hits the reborn incarnation.
-void apply(const FaultSchedule& schedule, sim::Simulator& sim,
+void apply(const FaultSchedule& schedule, runtime::Executor& exec,
            FaultTargets targets);
 
 }  // namespace aqueduct::fault

@@ -25,9 +25,9 @@ GroupId group_of(const net::MessagePtr& msg) {
 
 }  // namespace
 
-Endpoint::Endpoint(sim::Simulator& sim, net::Network& network,
+Endpoint::Endpoint(runtime::Executor& exec, net::Network& network,
                    Directory& directory, Config config)
-    : sim_(sim), network_(network), directory_(directory), config_(config) {
+    : exec_(exec), network_(network), directory_(directory), config_(config) {
   id_ = network_.attach(*this);
 }
 
@@ -41,7 +41,7 @@ Member& Endpoint::member(GroupId group) {
   auto it = members_.find(group);
   if (it == members_.end()) {
     auto member = std::make_unique<Member>(
-        sim_, directory_, config_, group, id_,
+        exec_, directory_, config_, group, id_,
         [this](net::NodeId to, net::MessagePtr msg) {
           if (!crashed_) network_.send(id_, to, std::move(msg));
         },

@@ -13,7 +13,7 @@
 #include "gcs/member.hpp"
 #include "gcs/types.hpp"
 #include "net/network.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/executor.hpp"
 
 namespace aqueduct::gcs {
 
@@ -21,7 +21,7 @@ class Endpoint final : public net::Endpoint {
  public:
   /// Attaches a new process to `network`. All processes of one simulation
   /// share the same Directory (the bootstrap name service).
-  Endpoint(sim::Simulator& sim, net::Network& network, Directory& directory,
+  Endpoint(runtime::Executor& exec, net::Network& network, Directory& directory,
            Config config = {});
   ~Endpoint() override;
 
@@ -57,7 +57,7 @@ class Endpoint final : public net::Endpoint {
   /// this tags the incarnation (NodeIds are never reused, so id() alone is
   /// already unique per incarnation — the counter is for observability).
   std::uint32_t incarnation() const { return incarnation_; }
-  sim::Simulator& simulator() { return sim_; }
+  runtime::Executor& executor() { return exec_; }
   net::Network& network() { return network_; }
   /// The simulation-wide observability context (owned by the network).
   obs::Observability& observability() { return network_.observability(); }
@@ -66,7 +66,7 @@ class Endpoint final : public net::Endpoint {
   void on_message(net::NodeId from, net::MessagePtr msg) override;
 
  private:
-  sim::Simulator& sim_;
+  runtime::Executor& exec_;
   net::Network& network_;
   Directory& directory_;
   Config config_;

@@ -17,10 +17,10 @@ Member::Instruments::Instruments(obs::MetricsRegistry& reg)
       view_changes(reg.counter("gcs.view_changes")),
       flush_gaps(reg.counter("gcs.flush_gaps")) {}
 
-Member::Member(sim::Simulator& sim, Directory& directory, Config config,
+Member::Member(runtime::Executor& exec, Directory& directory, Config config,
                GroupId group, net::NodeId self, SendFn send,
                obs::Observability* obs)
-    : sim_(sim),
+    : exec_(exec),
       directory_(directory),
       config_(config),
       group_(group),
@@ -30,10 +30,10 @@ Member::Member(sim::Simulator& sim, Directory& directory, Config config,
   AQUEDUCT_CHECK(group_.valid());
   AQUEDUCT_CHECK(self_.valid());
   AQUEDUCT_CHECK(send_ != nullptr);
-  heartbeat_task_ = std::make_unique<sim::PeriodicTask>(
-      sim_, config_.heartbeat_period, [this] { send_heartbeat(); });
-  fd_task_ = std::make_unique<sim::PeriodicTask>(
-      sim_, config_.heartbeat_period, [this] { fd_tick(); });
+  heartbeat_task_ = std::make_unique<runtime::PeriodicTask>(
+      exec_, config_.heartbeat_period, [this] { send_heartbeat(); });
+  fd_task_ = std::make_unique<runtime::PeriodicTask>(
+      exec_, config_.heartbeat_period, [this] { fd_tick(); });
 }
 
 Member::~Member() { stop(); }
@@ -44,8 +44,8 @@ void Member::stop() {
   joined_ = false;
   heartbeat_task_->stop();
   fd_task_->stop();
-  sim_.cancel(flush_timeout_);
-  sim_.cancel(join_retry_);
+  exec_.cancel(flush_timeout_);
+  exec_.cancel(join_retry_);
 }
 
 // ---------------------------------------------------------------------------
@@ -68,7 +68,7 @@ void Member::bootstrap_singleton() {
   view_ = View{group_, 1, {self_}};
   joined_ = true;
   last_proposal_seen_ = 1;
-  last_heard_[self_] = sim_.now();
+  last_heard_[self_] = exec_.now();
   heartbeat_task_->start();
   fd_task_->start();
   directory_.update(group_, self_);
@@ -85,7 +85,7 @@ void Member::send_join_request() {
     msg->group = group_;
     send_(*coordinator, msg);
   }
-  join_retry_ = sim_.after(config_.join_retry, [this] { send_join_request(); });
+  join_retry_ = exec_.after(config_.join_retry, [this] { send_join_request(); });
 }
 
 void Member::leave() {
@@ -134,7 +134,7 @@ void Member::transmit_mcast(const DataMsgPtr& msg) {
   }
   // Self-delivery goes through the normal accept path, scheduled as an
   // immediate event so the caller's stack unwinds first.
-  sim_.after(sim::Duration::zero(),
+  exec_.after(sim::Duration::zero(),
              [this, msg, alive = std::weak_ptr<const bool>(alive_)] {
                if (alive.expired() || stopped_) return;
                accept(msg->sender, msg);
@@ -177,7 +177,7 @@ void Member::send_p2p(net::NodeId dest, net::MessagePtr payload) {
   ++stats_.p2p_sent;
   metrics_.p2p_sent.inc();
   if (dest == self_) {
-    sim_.after(sim::Duration::zero(),
+    exec_.after(sim::Duration::zero(),
                [this, frozen, alive = std::weak_ptr<const bool>(alive_)] {
                  if (alive.expired() || stopped_) return;
                  accept(frozen->sender, frozen);
@@ -198,7 +198,7 @@ void Member::send_to_set(const std::vector<net::NodeId>& dests,
 
 void Member::handle(net::NodeId from, const net::MessagePtr& msg) {
   if (stopped_) return;
-  last_heard_[from] = sim_.now();
+  last_heard_[from] = exec_.now();
   if (auto data = net::message_cast<DataMsg>(msg)) {
     handle_data(from, data);
   } else if (auto hb = net::message_cast<HeartbeatMsg>(msg)) {
@@ -295,7 +295,7 @@ void Member::schedule_nack_check(net::NodeId sender, bool is_mcast,
   InChannel& chan = is_mcast ? mcast_in_[sender] : p2p_in_[sender];
   if (chan.nack_pending_up_to && *chan.nack_pending_up_to >= up_to) return;
   chan.nack_pending_up_to = up_to;
-  sim_.after(config_.nack_delay, [this, sender, is_mcast, up_to,
+  exec_.after(config_.nack_delay, [this, sender, is_mcast, up_to,
                                   alive = std::weak_ptr<const bool>(alive_)] {
     if (alive.expired() || stopped_) return;
     InChannel& c = is_mcast ? mcast_in_[sender] : p2p_in_[sender];
@@ -418,7 +418,7 @@ void Member::collect_stability() {
 
 void Member::fd_tick() {
   if (!joined_ || stopped_) return;
-  const sim::TimePoint now = sim_.now();
+  const sim::TimePoint now = exec_.now();
   for (const net::NodeId m : view_.members) {
     if (m == self_) continue;
     auto it = last_heard_.find(m);
@@ -522,8 +522,8 @@ void Member::start_view_change() {
   propose->members = proposed_members_;
   for (const net::NodeId m : flush_waiting_) send_control(m, propose);
 
-  sim_.cancel(flush_timeout_);
-  flush_timeout_ = sim_.after(config_.flush_timeout, [this] {
+  exec_.cancel(flush_timeout_);
+  flush_timeout_ = exec_.after(config_.flush_timeout, [this] {
     if (!coordinating_ || flush_waiting_.empty()) return;
     // Slow round (e.g. repair in progress): re-propose with a fresh
     // proposal number. Genuinely crashed members are removed when the
@@ -565,7 +565,7 @@ void Member::handle_flush(net::NodeId from,
 }
 
 void Member::finish_flush() {
-  sim_.cancel(flush_timeout_);
+  exec_.cancel(flush_timeout_);
 
   auto install = std::make_shared<InstallMsg>();
   install->group = group_;
@@ -703,11 +703,11 @@ void Member::install_view(const std::shared_ptr<const InstallMsg>& msg) {
                 [&](const auto& kv) { return !view_.contains(kv.first); });
   std::erase_if(p2p_in_,
                 [&](const auto& kv) { return !view_.contains(kv.first); });
-  for (const net::NodeId m : view_.members) last_heard_[m] = sim_.now();
+  for (const net::NodeId m : view_.members) last_heard_[m] = exec_.now();
 
   heartbeat_task_->start();
   fd_task_->start();
-  sim_.cancel(join_retry_);
+  exec_.cancel(join_retry_);
   if (is_leader()) directory_.update(group_, self_);
 
   if (on_view_) on_view_(view_);

@@ -35,7 +35,8 @@
 #include "net/message.hpp"
 #include "net/node.hpp"
 #include "obs/observability.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/periodic_task.hpp"
 
 namespace aqueduct::gcs {
 
@@ -62,7 +63,7 @@ class Member {
   /// `obs` is the simulation's observability context (aggregate "gcs.*"
   /// metrics are mirrored into its registry); pass nullptr to fall back to
   /// the process-wide scratch context (isolated unit tests).
-  Member(sim::Simulator& sim, Directory& directory, Config config,
+  Member(runtime::Executor& exec, Directory& directory, Config config,
          GroupId group, net::NodeId self, SendFn send,
          obs::Observability* obs = nullptr);
   ~Member();
@@ -161,7 +162,7 @@ class Member {
   void fd_tick();
   void send_heartbeat();
 
-  sim::Simulator& sim_;
+  runtime::Executor& exec_;
   Directory& directory_;
   Config config_;
   GroupId group_;
@@ -219,8 +220,8 @@ class Member {
   sim::EventHandle join_retry_;
   std::shared_ptr<const InstallMsg> last_install_;  // for lost-install repair
 
-  std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
-  std::unique_ptr<sim::PeriodicTask> fd_task_;
+  std::unique_ptr<runtime::PeriodicTask> heartbeat_task_;
+  std::unique_ptr<runtime::PeriodicTask> fd_task_;
 
   /// Per-member view (the `stats()` accessor); the same increments are
   /// mirrored into the registry-wide "gcs.*" aggregates below.

@@ -1,5 +1,6 @@
 #include "harness/scenario.hpp"
 
+#include "runtime/sim_executor.hpp"
 #include <algorithm>
 #include <string>
 #include <utility>
@@ -12,14 +13,14 @@ namespace aqueduct::harness {
 // WorkloadClient
 // ---------------------------------------------------------------------------
 
-WorkloadClient::WorkloadClient(sim::Simulator& sim, gcs::Endpoint& endpoint,
+WorkloadClient::WorkloadClient(runtime::Executor& exec, gcs::Endpoint& endpoint,
                                replication::ServiceGroups groups,
                                ClientSpec spec, std::size_t window_size)
-    : sim_(sim), spec_(std::move(spec)) {
+    : exec_(exec), spec_(std::move(spec)) {
   client::ClientConfig config;
   config.window_size = window_size;
   if (spec_.selector) config.selector = spec_.selector();
-  handler_ = std::make_unique<client::ClientHandler>(sim, endpoint, groups,
+  handler_ = std::make_unique<client::ClientHandler>(exec, endpoint, groups,
                                                      std::move(config));
 }
 
@@ -28,7 +29,7 @@ void WorkloadClient::start() {
   if (spec_.arrival == Arrival::kClosedLoop) {
     issue_next();
   } else {
-    arrival_rng_ = std::make_unique<sim::Rng>(sim_.rng().split());
+    arrival_rng_ = std::make_unique<sim::Rng>(exec_.rng().split());
     schedule_open_arrival();
   }
 }
@@ -39,7 +40,7 @@ void WorkloadClient::schedule_open_arrival() {
       spec_.arrival == Arrival::kOpenPoisson
           ? arrival_rng_->exponential_duration(spec_.request_delay)
           : spec_.request_delay;
-  sim_.after(gap, [this] {
+  exec_.after(gap, [this] {
     issue_next();
     schedule_open_arrival();
   });
@@ -60,7 +61,7 @@ void WorkloadClient::issue_next() {
     handler_->read(get, spec_.qos, [this](const client::ReadOutcome& outcome) {
       read_response_times_.push_back(sim::to_sec(outcome.response_time));
       reply_staleness_.push_back(static_cast<double>(outcome.staleness));
-      read_completed_at_.push_back(sim::to_sec(sim_.now() - sim::kEpoch));
+      read_completed_at_.push_back(sim::to_sec(exec_.now() - sim::kEpoch));
       read_timing_failures_.push_back(outcome.timing_failure);
       on_complete();
     });
@@ -71,7 +72,7 @@ void WorkloadClient::on_complete() {
   ++completed_;
   if (spec_.arrival != Arrival::kClosedLoop) return;  // arrivals self-pace
   if (issued_ >= spec_.num_requests) return;
-  sim_.after(spec_.request_delay, [this] { issue_next(); });
+  exec_.after(spec_.request_delay, [this] { issue_next(); });
 }
 
 ClientResult WorkloadClient::result_with_stats() const {
@@ -95,9 +96,9 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
 Scenario::~Scenario() = default;
 
 void Scenario::build() {
-  sim_ = std::make_unique<sim::Simulator>(config_.seed);
+  exec_ = runtime::make_executor(config_.runtime, config_.seed);
   network_ = std::make_unique<net::Network>(
-      *sim_, std::make_unique<sim::NormalDuration>(config_.net_latency_mean,
+      *exec_, std::make_unique<sim::NormalDuration>(config_.net_latency_mean,
                                                    config_.net_latency_std));
 
   // The sequencer (slot 0) is the first primary-group joiner (rank 0 =
@@ -105,7 +106,7 @@ void Scenario::build() {
   const std::size_t num_servers =
       1 + config_.num_primaries + config_.num_secondaries;
   for (std::size_t index = 0; index < num_servers; ++index) {
-    auto endpoint = std::make_unique<gcs::Endpoint>(*sim_, *network_,
+    auto endpoint = std::make_unique<gcs::Endpoint>(*exec_, *network_,
                                                     directory_, config_.gcs);
     replicas_.push_back(make_replica_server(index, *endpoint));
     endpoints_.push_back(std::move(endpoint));
@@ -113,10 +114,10 @@ void Scenario::build() {
   incarnations_.assign(num_servers, 0);
 
   for (const ClientSpec& spec : config_.clients) {
-    auto endpoint = std::make_unique<gcs::Endpoint>(*sim_, *network_,
+    auto endpoint = std::make_unique<gcs::Endpoint>(*exec_, *network_,
                                                     directory_, config_.gcs);
     workloads_.push_back(std::make_unique<WorkloadClient>(
-        *sim_, *endpoint, groups_, spec, config_.window_size));
+        *exec_, *endpoint, groups_, spec, config_.window_size));
     endpoints_.push_back(std::move(endpoint));
   }
 }
@@ -127,28 +128,31 @@ std::vector<ClientResult> Scenario::run() {
 
   // Staggered start: the sequencer boots first so it becomes the
   // primary-group leader; replicas follow, then clients after the groups
-  // have settled.
+  // have settled. Offsets are relative to now(): under kSim now() is
+  // kEpoch here (identical schedule to an absolute one); under kRealTime
+  // construction already consumed wall time, so relative is the only
+  // correct choice.
   sim::Duration at = sim::Duration::zero();
   for (auto& replica : replicas_) {
-    sim_->at(sim::kEpoch + at, [r = replica.get()] { r->start(); });
+    exec_->after(at, [r = replica.get()] { r->start(); });
     at += std::chrono::milliseconds(10);
   }
   at += std::chrono::milliseconds(500);
   for (auto& workload : workloads_) {
-    sim_->at(sim::kEpoch + at, [w = workload.get()] { w->start(); });
+    exec_->after(at, [w = workload.get()] { w->start(); });
     at += std::chrono::milliseconds(10);
   }
 
-  const sim::TimePoint deadline = sim::kEpoch + config_.max_sim_time;
-  while (sim_->now() < deadline) {
+  const sim::TimePoint deadline = exec_->now() + config_.max_sim_time;
+  while (exec_->now() < deadline) {
     const bool all_done =
         std::all_of(workloads_.begin(), workloads_.end(),
                     [](const auto& w) { return w->done(); });
     if (all_done) break;
-    sim_->run_for(std::chrono::seconds(1));
+    exec_->run_for(std::chrono::seconds(1));
   }
   // Drain trailing protocol work (late replies, final publications).
-  sim_->run_for(std::chrono::seconds(2));
+  exec_->run_for(config_.drain);
 
   std::vector<ClientResult> results;
   results.reserve(workloads_.size());
@@ -170,7 +174,7 @@ std::unique_ptr<replication::ReplicaServer> Scenario::make_replica_server(
       std::chrono::duration_cast<sim::Duration>(config_.service_std / speed));
   rc.lazy_update_interval = config_.lazy_update_interval;
   return std::make_unique<replication::ReplicaServer>(
-      *sim_, endpoint, groups_, is_primary,
+      *exec_, endpoint, groups_, is_primary,
       std::make_unique<replication::KeyValueStore>(), std::move(rc));
 }
 
@@ -178,12 +182,12 @@ void Scenario::schedule_crash(std::size_t replica_index, sim::TimePoint at) {
   AQUEDUCT_CHECK(replica_index < replicas_.size());
   // Capture the index, not the server: a restart may have replaced the
   // object by the time this fires.
-  sim_->at(at, [this, replica_index] { crash_replica(replica_index); });
+  exec_->at(at, [this, replica_index] { crash_replica(replica_index); });
 }
 
 void Scenario::schedule_restart(std::size_t replica_index, sim::TimePoint at) {
   AQUEDUCT_CHECK(replica_index < replicas_.size());
-  sim_->at(at, [this, replica_index] { restart_replica(replica_index); });
+  exec_->at(at, [this, replica_index] { restart_replica(replica_index); });
 }
 
 void Scenario::crash_replica(std::size_t replica_index) {
@@ -262,7 +266,7 @@ void Scenario::apply_faults(const fault::FaultSchedule& schedule) {
   targets.node_id = [this](std::size_t i) { return replica_node(i); };
   targets.network = network_.get();
   targets.num_replicas = replicas_.size();
-  fault::apply(schedule, *sim_, std::move(targets));
+  fault::apply(schedule, *exec_, std::move(targets));
 }
 
 void Scenario::enable_dependability(fault::DependabilityConfig config) {
@@ -272,7 +276,7 @@ void Scenario::enable_dependability(fault::DependabilityConfig config) {
   hooks.alive = [this](std::size_t i) { return replica_alive(i); };
   hooks.restart = [this](std::size_t i) { restart_replica(i); };
   dependability_ = std::make_unique<fault::DependabilityManager>(
-      *sim_, observability(), config, std::move(hooks));
+      *exec_, observability(), config, std::move(hooks));
   dependability_->start();
 }
 

@@ -27,7 +27,7 @@
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
 #include "replication/service.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/executor.hpp"
 
 namespace aqueduct::harness {
 
@@ -60,6 +60,10 @@ struct ClientSpec {
 
 struct ScenarioConfig {
   std::uint64_t seed = 1;
+  /// Which runtime drives the scenario. kSim (the default) reproduces the
+  /// paper's discrete-event experiments deterministically; kRealTime runs
+  /// the identical protocol stack against the wall clock (live_cli).
+  runtime::Kind runtime = runtime::Kind::kSim;
   std::size_t num_primaries = 4;    // excluding the sequencer
   std::size_t num_secondaries = 6;
   /// Simulated background load: service delay ~ Normal(mean, std).
@@ -80,8 +84,12 @@ struct ScenarioConfig {
   std::vector<double> speed_factors;
   gcs::Config gcs;
   std::vector<ClientSpec> clients;
-  /// Safety cap on simulated time.
+  /// Safety cap on simulated (or, under kRealTime, wall-clock) time.
   sim::Duration max_sim_time = std::chrono::hours(24);
+  /// Trailing run time after the workloads finish (or max_sim_time is
+  /// reached) so late replies and final publications drain. Under
+  /// kRealTime this is real seconds — live_cli shortens it.
+  sim::Duration drain = std::chrono::seconds(2);
 };
 
 /// Per-client results of a run.
@@ -139,7 +147,7 @@ class Scenario {
   /// Live = started (or about to be, pre-run) and not crashed.
   bool replica_alive(std::size_t replica_index) const;
 
-  /// Schedules every event of `schedule` onto this scenario's simulator
+  /// Schedules every event of `schedule` onto this scenario's executor
   /// (crashes/restarts resolve against replica slots; network faults
   /// against the current incarnations' NodeIds). Call before run().
   void apply_faults(const fault::FaultSchedule& schedule);
@@ -154,7 +162,7 @@ class Scenario {
   std::size_t index_sequencer() const { return 0; }
   std::size_t num_replicas() const { return replicas_.size(); }
 
-  sim::Simulator& simulator() { return *sim_; }
+  runtime::Executor& executor() { return *exec_; }
   replication::ReplicaServer& replica(std::size_t index) { return *replicas_.at(index); }
   /// Snapshot of the network counters (assembled from the metrics registry).
   net::NetworkStats network_stats() const { return network_->stats(); }
@@ -174,7 +182,7 @@ class Scenario {
   std::size_t live_primaries_excluding(std::size_t index) const;
 
   ScenarioConfig config_;
-  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<runtime::Executor> exec_;
   std::unique_ptr<net::Network> network_;
   gcs::Directory directory_;
   replication::ServiceGroups groups_ = replication::ServiceGroups::for_service(1);
@@ -192,7 +200,7 @@ class Scenario {
 /// `request_delay` after each completion before issuing the next.
 class WorkloadClient {
  public:
-  WorkloadClient(sim::Simulator& sim, gcs::Endpoint& endpoint,
+  WorkloadClient(runtime::Executor& exec, gcs::Endpoint& endpoint,
                  replication::ServiceGroups groups, ClientSpec spec,
                  std::size_t window_size);
 
@@ -208,7 +216,7 @@ class WorkloadClient {
   void on_complete();
   void schedule_open_arrival();
 
-  sim::Simulator& sim_;
+  runtime::Executor& exec_;
   ClientSpec spec_;
   std::unique_ptr<client::ClientHandler> handler_;
   std::unique_ptr<sim::Rng> arrival_rng_;

@@ -7,10 +7,10 @@
 
 namespace aqueduct::net {
 
-Network::Network(sim::Simulator& sim,
+Network::Network(runtime::Executor& exec,
                  std::unique_ptr<sim::DurationDistribution> default_latency)
-    : sim_(sim),
-      rng_(sim.rng().split()),
+    : exec_(exec),
+      rng_(exec.rng().split()),
       default_latency_(std::move(default_latency)),
       c_sent_(obs_.metrics.counter("net.messages_sent")),
       c_delivered_(obs_.metrics.counter("net.messages_delivered")),
@@ -31,12 +31,6 @@ NetworkStats Network::stats() const {
   s.messages_dropped_detached = c_dropped_detached_.value();
   s.bytes_sent = c_bytes_sent_.value();
   return s;
-}
-
-void Network::set_tap(std::function<void(const TraceEvent&)> tap) {
-  obs_.trace.remove(&tap_shim_);
-  tap_shim_.fn = std::move(tap);
-  if (tap_shim_.fn) obs_.trace.add(&tap_shim_);
 }
 
 NodeId Network::attach(Endpoint& endpoint) {
@@ -152,7 +146,7 @@ void Network::tap(NodeId from, NodeId to, const MessagePtr& msg,
                   const char* dropped) {
   if (!obs_.trace.active()) return;
   TraceEvent event;
-  event.at = sim_.now();
+  event.at = exec_.now();
   event.from = from;
   event.to = to;
   event.type_name = msg->type_name();
@@ -186,7 +180,7 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   tap(from, to, msg, "");
   const sim::Duration latency = sample_latency(from, to);
   h_delivery_latency_ms_.observe(sim::to_ms(latency));
-  sim_.after(latency, [this, from, to, msg = std::move(msg)] {
+  exec_.after(latency, [this, from, to, msg = std::move(msg)] {
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
       c_dropped_detached_.inc();

@@ -19,8 +19,8 @@
 #include "net/message.hpp"
 #include "net/node.hpp"
 #include "obs/observability.hpp"
+#include "runtime/executor.hpp"
 #include "sim/random.hpp"
-#include "sim/simulator.hpp"
 
 namespace aqueduct::net {
 
@@ -52,8 +52,10 @@ struct NetworkStats {
 class Network {
  public:
   /// `default_latency` is sampled independently per message for every link
-  /// without an explicit override.
-  Network(sim::Simulator& sim,
+  /// without an explicit override. Under a SimExecutor delivery happens in
+  /// virtual time; under a RealTimeExecutor the same code is a loopback
+  /// transport — delivery callbacks fire after real wall-clock latency.
+  Network(runtime::Executor& exec,
           std::unique_ptr<sim::DurationDistribution> default_latency);
 
   Network(const Network&) = delete;
@@ -124,19 +126,13 @@ class Network {
 
   NetworkStats stats() const;
 
-  /// Deprecated single-subscriber shim over tracing(): observes every send
-  /// (delivered or dropped) at *send* time. Pass nullptr to remove. New
-  /// code should register an obs::TraceSink on tracing() instead — any
-  /// number of sinks can subscribe concurrently.
-  void set_tap(std::function<void(const TraceEvent&)> tap);
-
   /// Per-simulation observability context. The network owns it because it
   /// is the one object every process of a simulation shares.
   obs::Observability& observability() { return obs_; }
   obs::MetricsRegistry& metrics() { return obs_.metrics; }
   obs::TraceHub& tracing() { return obs_.trace; }
 
-  sim::Simulator& simulator() { return sim_; }
+  runtime::Executor& executor() { return exec_; }
 
  private:
   sim::Duration sample_latency(NodeId from, NodeId to);
@@ -149,15 +145,7 @@ class Network {
     }
   };
 
-  /// Adapts the legacy set_tap() callback to the TraceSink interface.
-  struct TapShim final : obs::TraceSink {
-    std::function<void(const TraceEvent&)> fn;
-    void on_message(const TraceEvent& e) override {
-      if (fn) fn(e);
-    }
-  };
-
-  sim::Simulator& sim_;
+  runtime::Executor& exec_;
   sim::Rng rng_;
   std::unique_ptr<sim::DurationDistribution> default_latency_;
   std::unordered_map<NodeId, Endpoint*> endpoints_;
@@ -182,7 +170,6 @@ class Network {
   obs::Counter& c_dropped_detached_;
   obs::Counter& c_bytes_sent_;
   obs::Histogram& h_delivery_latency_ms_;
-  TapShim tap_shim_;
 };
 
 }  // namespace aqueduct::net

@@ -6,18 +6,18 @@
 
 namespace aqueduct::replication {
 
-FifoReplicaServer::FifoReplicaServer(sim::Simulator& sim,
+FifoReplicaServer::FifoReplicaServer(runtime::Executor& exec,
                                      gcs::Endpoint& endpoint,
                                      ServiceGroups groups, bool is_primary,
                                      std::unique_ptr<ReplicatedObject> object,
                                      FifoReplicaConfig config)
-    : sim_(sim),
+    : exec_(exec),
       endpoint_(endpoint),
       groups_(groups),
       is_primary_(is_primary),
       object_(std::move(object)),
       config_(std::move(config)),
-      rng_(sim.rng().split()) {
+      rng_(exec.rng().split()) {
   AQUEDUCT_CHECK(object_ != nullptr);
   AQUEDUCT_CHECK(config_.service_time != nullptr);
 }
@@ -81,8 +81,8 @@ void FifoReplicaServer::on_primary_view(const gcs::View& view) {
   const bool was_publisher = is_lazy_publisher_;
   is_lazy_publisher_ = (publisher == id());
   if (is_lazy_publisher_ && !was_publisher) {
-    lazy_task_ = std::make_unique<sim::PeriodicTask>(
-        sim_, config_.lazy_update_interval, [this] { propagate_lazy_update(); });
+    lazy_task_ = std::make_unique<runtime::PeriodicTask>(
+        exec_, config_.lazy_update_interval, [this] { propagate_lazy_update(); });
     lazy_task_->start();
   } else if (!is_lazy_publisher_ && was_publisher) {
     lazy_task_.reset();
@@ -141,7 +141,7 @@ void FifoReplicaServer::handle_update(
   job.is_update = true;
   job.id = id;
   job.op = request->op;
-  job.arrival = sim_.now();
+  job.arrival = exec_.now();
   enqueue(std::move(job));
 }
 
@@ -159,7 +159,7 @@ void FifoReplicaServer::handle_read(
   }
   PendingRead pending;
   pending.request = request;
-  pending.arrival = sim_.now();
+  pending.arrival = exec_.now();
   pending_reads_.emplace(id, std::move(pending));
   try_ready_read(id);
 }
@@ -180,7 +180,7 @@ void FifoReplicaServer::try_ready_read(const RequestId& id) {
   job.op = pending.request->op;
   job.arrival = pending.arrival;
   job.deferred = pending.deferred;
-  job.tb = pending.deferred ? sim_.now() - pending.arrival : sim::Duration::zero();
+  job.tb = pending.deferred ? exec_.now() - pending.arrival : sim::Duration::zero();
   pending_reads_.erase(it);
   enqueue(std::move(job));
 }
@@ -223,8 +223,8 @@ void FifoReplicaServer::maybe_start_service() {
   Job job = std::move(queue_.front());
   queue_.pop_front();
   const sim::Duration service_time = config_.service_time->sample(rng_);
-  const sim::TimePoint start = sim_.now();
-  sim_.after(service_time, [this, job = std::move(job), service_time, start]() mutable {
+  const sim::TimePoint start = exec_.now();
+  exec_.after(service_time, [this, job = std::move(job), service_time, start]() mutable {
     complete(job, service_time, start);
   });
 }

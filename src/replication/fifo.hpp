@@ -27,7 +27,8 @@
 #include "replication/replicated_object.hpp"
 #include "replication/service.hpp"
 #include "sim/random.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/periodic_task.hpp"
 
 namespace aqueduct::replication {
 
@@ -102,7 +103,7 @@ struct FifoReplicaStats {
 
 class FifoReplicaServer {
  public:
-  FifoReplicaServer(sim::Simulator& sim, gcs::Endpoint& endpoint,
+  FifoReplicaServer(runtime::Executor& exec, gcs::Endpoint& endpoint,
                     ServiceGroups groups, bool is_primary,
                     std::unique_ptr<ReplicatedObject> object,
                     FifoReplicaConfig config);
@@ -155,7 +156,7 @@ class FifoReplicaServer {
   void publish_perf(sim::Duration ts, sim::Duration tq, sim::Duration tb,
                     bool deferred);
 
-  sim::Simulator& sim_;
+  runtime::Executor& exec_;
   gcs::Endpoint& endpoint_;
   ServiceGroups groups_;
   bool is_primary_;
@@ -184,7 +185,7 @@ class FifoReplicaServer {
   std::deque<Job> queue_;
   bool busy_ = false;
 
-  std::unique_ptr<sim::PeriodicTask> lazy_task_;
+  std::unique_ptr<runtime::PeriodicTask> lazy_task_;
   std::uint64_t lazy_seq_ = 0;
 
   FifoReplicaStats stats_;

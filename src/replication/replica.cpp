@@ -25,17 +25,17 @@ ReplicaServer::Instruments::Instruments(obs::MetricsRegistry& reg)
       queueing_ms(reg.histogram("repl.queueing_ms")),
       lazy_wait_ms(reg.histogram("repl.lazy_wait_ms")) {}
 
-ReplicaServer::ReplicaServer(sim::Simulator& sim, gcs::Endpoint& endpoint,
+ReplicaServer::ReplicaServer(runtime::Executor& exec, gcs::Endpoint& endpoint,
                              ServiceGroups groups, bool is_primary,
                              std::unique_ptr<ReplicatedObject> object,
                              ReplicaConfig config)
-    : sim_(sim),
+    : exec_(exec),
       endpoint_(endpoint),
       groups_(groups),
       is_primary_(is_primary),
       object_(std::move(object)),
       config_(std::move(config)),
-      rng_(sim.rng().split()),
+      rng_(exec.rng().split()),
       obs_(endpoint.observability()),
       metrics_(obs_.metrics) {
   AQUEDUCT_CHECK(object_ != nullptr);
@@ -44,8 +44,8 @@ ReplicaServer::ReplicaServer(sim::Simulator& sim, gcs::Endpoint& endpoint,
 }
 
 ReplicaServer::~ReplicaServer() {
-  sim_.cancel(recovery_retry_);
-  sim_.cancel(service_event_);
+  exec_.cancel(recovery_retry_);
+  exec_.cancel(service_event_);
 }
 
 void ReplicaServer::start() {
@@ -76,8 +76,8 @@ void ReplicaServer::start() {
   }
 
   if (is_primary_) {
-    stall_task_ = std::make_unique<sim::PeriodicTask>(
-        sim_, config_.commit_stall_check, [this] { check_commit_stall(); });
+    stall_task_ = std::make_unique<runtime::PeriodicTask>(
+        exec_, config_.commit_stall_check, [this] { check_commit_stall(); });
     stall_task_->start();
   }
 
@@ -92,8 +92,8 @@ void ReplicaServer::crash() {
   lazy_task_.reset();
   perf_task_.reset();
   stall_task_.reset();
-  sim_.cancel(recovery_retry_);
-  sim_.cancel(service_event_);
+  exec_.cancel(recovery_retry_);
+  exec_.cancel(service_event_);
   endpoint_.crash();
 }
 
@@ -101,8 +101,8 @@ void ReplicaServer::set_lazy_update_interval(sim::Duration interval) {
   AQUEDUCT_CHECK(interval > sim::Duration::zero());
   config_.lazy_update_interval = interval;
   if (lazy_task_ && lazy_task_->running()) {
-    lazy_task_ = std::make_unique<sim::PeriodicTask>(
-        sim_, config_.lazy_update_interval, [this] { propagate_lazy_update(); });
+    lazy_task_ = std::make_unique<runtime::PeriodicTask>(
+        exec_, config_.lazy_update_interval, [this] { propagate_lazy_update(); });
     lazy_task_->start();
   }
 }
@@ -140,15 +140,15 @@ void ReplicaServer::on_primary_view(const gcs::View& view) {
   }
 
   if (is_lazy_publisher_ && !was_publisher) {
-    last_lazy_update_ = sim_.now();
-    last_perf_publish_ = sim_.now();
+    last_lazy_update_ = exec_.now();
+    last_perf_publish_ = exec_.now();
     updates_since_lazy_ = 0;
     updates_since_publish_ = 0;
-    lazy_task_ = std::make_unique<sim::PeriodicTask>(
-        sim_, config_.lazy_update_interval, [this] { propagate_lazy_update(); });
+    lazy_task_ = std::make_unique<runtime::PeriodicTask>(
+        exec_, config_.lazy_update_interval, [this] { propagate_lazy_update(); });
     lazy_task_->start();
-    perf_task_ = std::make_unique<sim::PeriodicTask>(
-        sim_, config_.perf_publish_period,
+    perf_task_ = std::make_unique<runtime::PeriodicTask>(
+        exec_, config_.perf_publish_period,
         [this] { publish_perf(std::nullopt, std::nullopt, std::nullopt, false); });
     perf_task_->start();
   } else if (!is_lazy_publisher_ && was_publisher) {
@@ -338,7 +338,7 @@ void ReplicaServer::handle_gsn_assign(const GsnAssign& assign) {
     if (auto it = pending_reads_.find(assign.id); it != pending_reads_.end()) {
       if (!it->second.gsn) {
         it->second.gsn = assign.gsn;
-        it->second.gsn_at = sim_.now();
+        it->second.gsn_at = exec_.now();
         try_ready_read(assign.id);
       }
     }
@@ -385,7 +385,7 @@ void ReplicaServer::try_enqueue_commits() {
     job.id = rid;
     job.gsn = it->first;
     job.client = rid.client;
-    job.arrival = sim_.now();
+    job.arrival = exec_.now();
     if (committed_.contains(rid)) {
       // Retried request that a failed-over sequencer re-assigned: consume
       // the GSN as a no-op so the commit sequence stays contiguous.
@@ -428,7 +428,7 @@ void ReplicaServer::handle_read_request(
   // Selection instant: a read addressed to this (non-sequencer) replica
   // means some client's Algorithm 1 picked it — for a reborn replica this
   // marks re-admission (bench_recovery's time-to-first-selection).
-  if (first_read_request_at_ == sim::kEpoch) first_read_request_at_ = sim_.now();
+  if (first_read_request_at_ == sim::kEpoch) first_read_request_at_ = exec_.now();
 
   if (pending_reads_.contains(id)) {
     ++stats_.duplicate_requests;
@@ -438,10 +438,10 @@ void ReplicaServer::handle_read_request(
   PendingRead pending;
   pending.request = request;
   pending.client = from;
-  pending.arrival = sim_.now();
+  pending.arrival = exec_.now();
   if (auto it = gsn_of_read_.find(id); it != gsn_of_read_.end()) {
     pending.gsn = it->second;
-    pending.gsn_at = sim_.now();
+    pending.gsn_at = exec_.now();
   }
   pending_reads_.emplace(id, std::move(pending));
   if (pending_reads_.at(id).gsn) try_ready_read(id);
@@ -493,7 +493,7 @@ void ReplicaServer::try_ready_read(const RequestId& id) {
   job.client = pending.client;
   job.arrival = pending.arrival;
   job.deferred = pending.deferred;
-  job.tb = pending.deferred ? sim_.now() - pending.gsn_at : sim::Duration::zero();
+  job.tb = pending.deferred ? exec_.now() - pending.gsn_at : sim::Duration::zero();
   job.gsn = *pending.gsn;
   waiting_reads_.erase(id);
   pending_reads_.erase(it);
@@ -519,7 +519,7 @@ void ReplicaServer::propagate_lazy_update() {
   lazy->lazy_seq = ++lazy_seq_;
   replication_member_->multicast(lazy);
   updates_since_lazy_ = 0;
-  last_lazy_update_ = sim_.now();
+  last_lazy_update_ = exec_.now();
   ++stats_.lazy_updates_published;
   metrics_.lazy_updates_published.inc();
   if (obs_.trace.active()) {
@@ -527,7 +527,7 @@ void ReplicaServer::propagate_lazy_update() {
     // under the invalid TraceId so timelines still show them per node.
     obs::SpanEvent event;
     event.kind = obs::SpanKind::kLazyPublish;
-    event.at = sim_.now();
+    event.at = exec_.now();
     event.node = id();
     event.value = lazy_seq_;
     obs_.trace.span(event);
@@ -558,7 +558,7 @@ void ReplicaServer::handle_lazy_update(const LazyUpdate& lazy) {
 void ReplicaServer::begin_recovery() {
   if (recovering_ || crashed_) return;
   recovering_ = true;
-  recovery_started_at_ = sim_.now();
+  recovery_started_at_ = exec_.now();
   last_stall_head_ = 0;
   // Secondaries synchronize passively from the next lazy propagation (the
   // publisher pushes one on every replication view change); only primaries
@@ -569,8 +569,8 @@ void ReplicaServer::begin_recovery() {
 
 void ReplicaServer::send_state_request() {
   if (!recovering_ || crashed_) return;
-  sim_.cancel(recovery_retry_);
-  recovery_retry_ = sim_.after(config_.state_transfer_retry,
+  exec_.cancel(recovery_retry_);
+  recovery_retry_ = exec_.after(config_.state_transfer_retry,
                                [this] { send_state_request(); });
   const auto target = choose_transfer_target();
   if (!target) return;  // roles unknown yet; retry after the timer
@@ -649,8 +649,8 @@ void ReplicaServer::handle_state_snapshot(const StateSnapshot& snap) {
 void ReplicaServer::finish_recovery() {
   if (!recovering_) return;
   recovering_ = false;
-  recovered_at_ = sim_.now();
-  sim_.cancel(recovery_retry_);
+  recovered_at_ = exec_.now();
+  exec_.cancel(recovery_retry_);
   ++stats_.recoveries_completed;
   metrics_.recoveries_completed.inc();
   // Drop the barrier: run everything that accumulated behind it.
@@ -709,9 +709,9 @@ void ReplicaServer::maybe_start_service() {
   const bool free = (job.is_update && job.op == nullptr) || is_sequencer_;
   const sim::Duration service_time =
       free ? sim::Duration::zero() : config_.service_time->sample(rng_);
-  const sim::TimePoint service_start = sim_.now();
+  const sim::TimePoint service_start = exec_.now();
   service_event_ =
-      sim_.after(service_time, [this, job = std::move(job), service_time,
+      exec_.after(service_time, [this, job = std::move(job), service_time,
                                 service_start]() mutable {
         complete_job(job, service_time, service_start);
       });
@@ -806,7 +806,7 @@ void ReplicaServer::publish_perf(std::optional<sim::Duration> ts,
   if (is_lazy_publisher_) {
     perf->lazy = build_lazy_info();
     updates_since_publish_ = 0;
-    last_perf_publish_ = sim_.now();
+    last_perf_publish_ = exec_.now();
   }
   qos_member_->multicast(perf);
 }
@@ -814,9 +814,9 @@ void ReplicaServer::publish_perf(std::optional<sim::Duration> ts,
 std::optional<LazyInfo> ReplicaServer::build_lazy_info() {
   LazyInfo info;
   info.n_u = updates_since_publish_;
-  info.t_u = sim_.now() - last_perf_publish_;
+  info.t_u = exec_.now() - last_perf_publish_;
   info.n_l = updates_since_lazy_;
-  info.t_l = sim_.now() - last_lazy_update_;
+  info.t_l = exec_.now() - last_lazy_update_;
   info.period = config_.lazy_update_interval;
   return info;
 }
@@ -857,7 +857,7 @@ void ReplicaServer::span(obs::SpanKind kind, const RequestId& request,
   obs::SpanEvent event;
   event.trace = trace_of(request);
   event.kind = kind;
-  event.at = sim_.now();
+  event.at = exec_.now();
   event.duration = duration;
   event.node = id();
   event.peer = peer;

@@ -34,7 +34,8 @@
 #include "replication/replicated_object.hpp"
 #include "replication/service.hpp"
 #include "sim/random.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/periodic_task.hpp"
 
 namespace aqueduct::replication {
 
@@ -83,7 +84,7 @@ class ReplicaServer {
   /// `is_primary` decides which groups this replica joins: primaries (and
   /// the sequencer) join the primary group; everyone joins the replication
   /// and QoS groups. Call start() to join.
-  ReplicaServer(sim::Simulator& sim, gcs::Endpoint& endpoint,
+  ReplicaServer(runtime::Executor& exec, gcs::Endpoint& endpoint,
                 ServiceGroups groups, bool is_primary,
                 std::unique_ptr<ReplicatedObject> object, ReplicaConfig config);
   ~ReplicaServer();
@@ -199,7 +200,7 @@ class ReplicaServer {
             std::uint64_t value = 0,
             sim::Duration duration = sim::Duration::zero());
 
-  sim::Simulator& sim_;
+  runtime::Executor& exec_;
   gcs::Endpoint& endpoint_;
   ServiceGroups groups_;
   bool is_primary_;
@@ -235,7 +236,7 @@ class ReplicaServer {
   sim::TimePoint recovery_started_at_ = sim::kEpoch;
   sim::TimePoint recovered_at_ = sim::kEpoch;
   sim::TimePoint first_read_request_at_ = sim::kEpoch;
-  std::unique_ptr<sim::PeriodicTask> stall_task_;
+  std::unique_ptr<runtime::PeriodicTask> stall_task_;
   core::Gsn last_stall_head_ = 0;
 
   // Sequential-consistency protocol state (Section 4.1).
@@ -276,8 +277,8 @@ class ReplicaServer {
   sim::EventHandle service_event_;
 
   // Lazy publisher bookkeeping.
-  std::unique_ptr<sim::PeriodicTask> lazy_task_;
-  std::unique_ptr<sim::PeriodicTask> perf_task_;
+  std::unique_ptr<runtime::PeriodicTask> lazy_task_;
+  std::unique_ptr<runtime::PeriodicTask> perf_task_;
   std::uint64_t lazy_seq_ = 0;
   std::uint32_t updates_since_publish_ = 0;
   sim::TimePoint last_perf_publish_ = sim::kEpoch;

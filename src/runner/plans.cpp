@@ -67,7 +67,7 @@ SeedRecord run_recovery(const Unit& unit, std::size_t requests) {
   // Attribute every completed read to the outage window or steady state.
   const double outage_from = sim::to_sec(sim::Duration(kRecoveryCrashAt));
   const double outage_until =
-      recovered_s < 0.0 ? sim::to_sec(scenario.simulator().now() - sim::kEpoch)
+      recovered_s < 0.0 ? sim::to_sec(scenario.executor().now() - sim::kEpoch)
                         : recovered_s;
   std::uint64_t reads_completed = 0, reads_abandoned = 0;
   std::uint64_t outage_reads = 0, outage_failures = 0;

@@ -1,0 +1,119 @@
+// The runtime abstraction every protocol layer is written against.
+//
+// An Executor owns a clock, a timer queue, and a seeded random source. The
+// protocol stack (net, gcs, replication, client, fault, harness) schedules
+// all of its work through this interface and never names a concrete
+// implementation, so the same gateway logic runs unmodified under
+//
+//   * SimExecutor (sim::Simulator) — the discrete-event simulator: virtual
+//     time, deterministic event order, reproducible randomness. Used by
+//     every experiment, bench, and test.
+//   * RealTimeExecutor — a single-threaded event loop over
+//     std::steady_clock: wall-clock timers, cross-thread post(), real
+//     elapsed time. Used by live_cli and anything that serves real traffic.
+//
+// TimePoint is epoch-relative in both cases: kEpoch is the start of the
+// simulation (SimExecutor) or the construction of the executor
+// (RealTimeExecutor). Only the shared primitive headers (time, random,
+// event queue) are pulled in here — never the concrete simulator; the
+// layering lint (tools/check_layering.py) enforces that protocol code
+// includes this header and not sim/simulator.hpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace aqueduct::runtime {
+
+// The time/randomness vocabulary of the runtime layer. These are the
+// shared primitives from sim/{time,random,event_queue}.hpp — re-exported
+// so code written against the Executor interface can spell them without
+// naming the simulator namespace.
+using Duration = sim::Duration;
+using TimePoint = sim::TimePoint;
+using Rng = sim::Rng;
+/// Opaque handle to a scheduled callback, usable for cancellation.
+using TaskHandle = sim::EventHandle;
+
+/// The executor's origin: t = 0 of the simulation, or the construction
+/// time of a RealTimeExecutor.
+inline constexpr TimePoint kEpoch = sim::kEpoch;
+
+/// Which Executor a composition root should build. The concrete types
+/// live in sim_executor.hpp / realtime_executor.hpp; this tag lets
+/// configuration structs express the choice without naming them.
+enum class Kind {
+  kSim,       // discrete-event simulation, deterministic per seed
+  kRealTime,  // wall-clock event loop
+};
+
+inline const char* to_string(Kind kind) {
+  return kind == Kind::kSim ? "sim" : "real-time";
+}
+
+/// Abstract clock + timer + randomness service.
+///
+/// Threading contract: SimExecutor is strictly single-threaded.
+/// RealTimeExecutor runs callbacks on the thread inside run(); at(),
+/// after(), post(), cancel(), and stop() may be called from any thread,
+/// everything else only from the loop thread.
+class Executor {
+ public:
+  using Callback = std::function<void()>;
+
+  Executor() = default;
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+  virtual ~Executor() = default;
+
+  /// Current time, relative to kEpoch.
+  virtual TimePoint now() const = 0;
+
+  /// Schedules `cb` at absolute time `t`. Under SimExecutor `t` must not
+  /// be in the past; RealTimeExecutor clamps past times to "as soon as
+  /// possible" (wall clocks cannot help but drift past a target).
+  virtual TaskHandle at(TimePoint t, Callback cb) = 0;
+
+  /// Schedules `cb` after delay `d` (>= 0) from now().
+  virtual TaskHandle after(Duration d, Callback cb) = 0;
+
+  /// Cancels a previously scheduled callback. Returns false if it already
+  /// fired or was cancelled.
+  virtual bool cancel(const TaskHandle& h) = 0;
+
+  /// Schedules `cb` to run as soon as possible on the loop thread. The
+  /// only scheduling entry point that is thread-safe on every executor.
+  virtual void post(Callback cb) = 0;
+
+  /// Requests the run loop to return after the current callback completes.
+  virtual void stop() = 0;
+
+  /// Shared random source; components should derive child streams with
+  /// rng().split() at construction time so runs stay reproducible under
+  /// SimExecutor.
+  virtual Rng& rng() = 0;
+
+  /// Drives the loop until the queue drains or stop() is called. Returns
+  /// the number of callbacks executed.
+  virtual std::size_t run() = 0;
+
+  /// Drives the loop until `deadline`: SimExecutor executes events with
+  /// time <= deadline and leaves now() == deadline; RealTimeExecutor
+  /// blocks until the wall clock reaches it (or stop()).
+  virtual std::size_t run_until(TimePoint deadline) = 0;
+
+  /// Runs for `d` from now().
+  std::size_t run_for(Duration d) { return run_until(now() + d); }
+
+  /// Number of callbacks executed since construction.
+  virtual std::uint64_t events_executed() const = 0;
+
+  /// Number of callbacks currently scheduled.
+  virtual std::size_t pending_events() const = 0;
+};
+
+}  // namespace aqueduct::runtime

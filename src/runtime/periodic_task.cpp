@@ -1,0 +1,50 @@
+#include "runtime/periodic_task.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::runtime {
+
+PeriodicTask::PeriodicTask(Executor& exec, Duration period,
+                           std::function<void()> fn)
+    : PeriodicTask(exec, period, period, std::move(fn)) {}
+
+PeriodicTask::PeriodicTask(Executor& exec, Duration period,
+                           Duration initial_delay, std::function<void()> fn)
+    : exec_(exec),
+      period_(period),
+      initial_delay_(initial_delay),
+      fn_(std::move(fn)) {
+  AQUEDUCT_CHECK(period_ > Duration::zero());
+  AQUEDUCT_CHECK(initial_delay_ >= Duration::zero());
+  AQUEDUCT_CHECK(fn_ != nullptr);
+}
+
+void PeriodicTask::start() {
+  if (running_) return;
+  running_ = true;
+  next_time_ = exec_.now() + initial_delay_;
+  next_ = exec_.at(next_time_, [this] { fire(); });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  exec_.cancel(next_);
+}
+
+void PeriodicTask::fire() {
+  if (!running_) return;
+  // Advance along the anchored grid; skip slots the clock already passed
+  // (a real-time callback can overrun its period — never schedule into
+  // the past, never build a backlog).
+  next_time_ += period_;
+  const TimePoint now = exec_.now();
+  while (next_time_ <= now) next_time_ += period_;
+  // Schedule before running the callback so the callback can stop() us.
+  next_ = exec_.at(next_time_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace aqueduct::runtime

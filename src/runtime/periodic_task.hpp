@@ -1,0 +1,54 @@
+// Repeats a callback at a fixed period until stopped or destroyed.
+// Used for heartbeats, lazy-update publication, and performance broadcast.
+#pragma once
+
+#include <functional>
+
+#include "runtime/executor.hpp"
+
+namespace aqueduct::runtime {
+
+/// Drift-free periodic timer.
+///
+/// Firings are anchored to the grid `start + initial_delay + k * period`,
+/// not to `last_fire + period`: a callback that runs long (or a loop that
+/// wakes late) under RealTimeExecutor delays at most the next firing and
+/// never skews the grid itself. Slots the clock has already passed when a
+/// firing completes are skipped, so a callback slower than the period
+/// degrades to "fire once per completed slot" instead of queueing a
+/// backlog. Under SimExecutor callbacks take zero simulated time, so the
+/// anchored schedule is indistinguishable from the naive one and event
+/// traces are unchanged.
+class PeriodicTask {
+ public:
+  /// The first firing happens `initial_delay` after start(); subsequent
+  /// firings are `period` apart on the anchored grid.
+  PeriodicTask(Executor& exec, Duration period, std::function<void()> fn);
+  PeriodicTask(Executor& exec, Duration period, Duration initial_delay,
+               std::function<void()> fn);
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();
+  /// Stops future firings. Safe to call from inside the callback: the
+  /// next firing is already scheduled when the callback runs, and stop()
+  /// cancels it.
+  void stop();
+  bool running() const { return running_; }
+  Duration period() const { return period_; }
+
+ private:
+  void fire();
+
+  Executor& exec_;
+  Duration period_;
+  Duration initial_delay_;
+  std::function<void()> fn_;
+  TimePoint next_time_{};
+  TaskHandle next_;
+  bool running_ = false;
+};
+
+}  // namespace aqueduct::runtime

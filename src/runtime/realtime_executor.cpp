@@ -1,0 +1,92 @@
+#include "runtime/realtime_executor.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::runtime {
+
+TaskHandle RealTimeExecutor::at(TimePoint t, Callback cb) {
+  const TimePoint current = now();
+  if (t < current) t = current;  // wall clocks drift past targets; clamp
+  TaskHandle h;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    h = queue_.schedule(t, std::move(cb));
+  }
+  // The new timer may be earlier than the one the loop is sleeping on.
+  cv_.notify_all();
+  return h;
+}
+
+TaskHandle RealTimeExecutor::after(Duration d, Callback cb) {
+  AQUEDUCT_CHECK_MSG(d >= Duration::zero(), "negative delay");
+  return at(now() + d, std::move(cb));
+}
+
+bool RealTimeExecutor::cancel(const TaskHandle& h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.cancel(h);
+}
+
+void RealTimeExecutor::post(Callback cb) {
+  at(now(), std::move(cb));
+}
+
+void RealTimeExecutor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RealTimeExecutor::pending_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t RealTimeExecutor::run_loop(TimePoint deadline) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  std::size_t executed = 0;
+  for (;;) {
+    Callback cb;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_requested_) break;
+      if (queue_.empty()) {
+        // run(): a drained queue ends the loop. run_until(): sleep out
+        // the deadline — timers may still arrive from other threads, and
+        // callers use run_for() to pace polling loops.
+        if (deadline == TimePoint::max()) break;
+        if (now() >= deadline) break;
+        cv_.wait_until(lock, to_wall(deadline));
+        continue;
+      }
+      const TimePoint next = queue_.next_time();
+      if (next > deadline) {
+        if (now() >= deadline) break;
+        cv_.wait_until(lock, to_wall(deadline));
+        continue;
+      }
+      if (std::chrono::steady_clock::now() < to_wall(next)) {
+        // Woken early by a new timer, a cancel, or a spurious wakeup —
+        // re-evaluate the queue head either way.
+        cv_.wait_until(lock, to_wall(next));
+        continue;
+      }
+      auto [at, ready] = queue_.pop();
+      static_cast<void>(at);
+      cb = std::move(ready);
+    }
+    cb();  // unlocked: callbacks may schedule, cancel, or stop
+    ++executed;
+    events_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return executed;
+}
+
+}  // namespace aqueduct::runtime

@@ -1,0 +1,92 @@
+// Wall-clock implementation of runtime::Executor.
+//
+// A single-threaded event loop over std::steady_clock: run() pops timers
+// in (time, scheduling-order) order, sleeping on a condition variable
+// until the earliest deadline. at()/after()/post()/cancel()/stop() are
+// thread-safe — a cross-thread post() wakes the loop immediately — while
+// callbacks always execute on the thread inside run(), so protocol state
+// needs no locking.
+//
+// Paired with net::Network this is a loopback transport with real elapsed
+// time: send() samples the configured latency model and delivery happens
+// that many *wall-clock* nanoseconds later, in-process. Determinism is NOT
+// provided — the rng is seeded, but event interleaving follows the real
+// clock. All experiments stay on SimExecutor; this runtime exists for
+// live traffic (live_cli today, real sockets tomorrow).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "runtime/executor.hpp"
+
+namespace aqueduct::runtime {
+
+class RealTimeExecutor final : public Executor {
+ public:
+  explicit RealTimeExecutor(std::uint64_t seed = 1)
+      : origin_(std::chrono::steady_clock::now()), rng_(seed) {}
+
+  /// Wall-clock time elapsed since construction (kEpoch = construction).
+  TimePoint now() const override {
+    return TimePoint(std::chrono::duration_cast<Duration>(
+        std::chrono::steady_clock::now() - origin_));
+  }
+
+  /// Thread-safe. A `t` already in the past is clamped to "now" — the
+  /// callback runs as soon as the loop gets to it.
+  TaskHandle at(TimePoint t, Callback cb) override;
+
+  /// Thread-safe. Negative delays are rejected like on the simulator.
+  TaskHandle after(Duration d, Callback cb) override;
+
+  /// Thread-safe.
+  bool cancel(const TaskHandle& h) override;
+
+  /// Thread-safe: schedules `cb` to run as soon as possible on the loop
+  /// thread and wakes the loop if it is sleeping.
+  void post(Callback cb) override;
+
+  /// Thread-safe: the loop returns after the callback in flight (if any)
+  /// completes.
+  void stop() override;
+
+  /// Loop thread only (callbacks and pre-run setup).
+  Rng& rng() override { return rng_; }
+
+  /// Runs until the timer queue drains or stop() is called.
+  std::size_t run() override { return run_loop(TimePoint::max()); }
+
+  /// Runs until the wall clock reaches `deadline` (sleeping through idle
+  /// stretches, so cross-thread posts still get in) or stop() is called.
+  /// Timers due after `deadline` stay queued.
+  std::size_t run_until(TimePoint deadline) override {
+    return run_loop(deadline);
+  }
+
+  std::uint64_t events_executed() const override {
+    return events_executed_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t pending_events() const override;
+
+ private:
+  std::size_t run_loop(TimePoint deadline);
+  std::chrono::steady_clock::time_point to_wall(TimePoint t) const {
+    return origin_ + t.time_since_epoch();
+  }
+
+  const std::chrono::steady_clock::time_point origin_;
+  Rng rng_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  sim::EventQueue queue_;  // guarded by mu_
+  bool stop_requested_ = false;  // guarded by mu_
+  std::atomic<std::uint64_t> events_executed_{0};
+};
+
+}  // namespace aqueduct::runtime

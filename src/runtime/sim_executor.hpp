@@ -1,0 +1,27 @@
+// The deterministic Executor: the discrete-event simulator.
+//
+// sim::Simulator *is* the simulation-side implementation of
+// runtime::Executor; this header gives composition roots (harness, CLIs,
+// tests) the runtime-layer name for it plus a factory over both runtimes.
+// Protocol code must not include this — it names the concrete simulator
+// (tools/check_layering.py enforces it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/realtime_executor.hpp"
+#include "sim/simulator.hpp"
+
+namespace aqueduct::runtime {
+
+using SimExecutor = sim::Simulator;
+
+inline std::unique_ptr<Executor> make_executor(Kind kind, std::uint64_t seed) {
+  if (kind == Kind::kRealTime) {
+    return std::make_unique<RealTimeExecutor>(seed);
+  }
+  return std::make_unique<SimExecutor>(seed);
+}
+
+}  // namespace aqueduct::runtime

@@ -34,37 +34,4 @@ std::size_t Simulator::run_until(TimePoint deadline) {
   return executed;
 }
 
-PeriodicTask::PeriodicTask(Simulator& sim, Duration period,
-                           std::function<void()> fn)
-    : PeriodicTask(sim, period, period, std::move(fn)) {}
-
-PeriodicTask::PeriodicTask(Simulator& sim, Duration period,
-                           Duration initial_delay, std::function<void()> fn)
-    : sim_(sim),
-      period_(period),
-      initial_delay_(initial_delay),
-      fn_(std::move(fn)) {
-  AQUEDUCT_CHECK(period_ > Duration::zero());
-  AQUEDUCT_CHECK(initial_delay_ >= Duration::zero());
-  AQUEDUCT_CHECK(fn_ != nullptr);
-}
-
-void PeriodicTask::start() {
-  if (running_) return;
-  running_ = true;
-  next_ = sim_.after(initial_delay_, [this] { fire(); });
-}
-
-void PeriodicTask::stop() {
-  if (!running_) return;
-  running_ = false;
-  sim_.cancel(next_);
-}
-
-void PeriodicTask::fire() {
-  if (!running_) return;
-  next_ = sim_.after(period_, [this] { fire(); });
-  fn_();
-}
-
 }  // namespace aqueduct::sim

@@ -4,63 +4,69 @@
 // clock from event to event until the queue drains, a stop condition fires,
 // or a time/event budget is exhausted. All randomness flows through the
 // simulator's seeded Rng, so runs are reproducible.
+//
+// Simulator is the deterministic implementation of runtime::Executor
+// (runtime::SimExecutor aliases it): the protocol stack is written against
+// the interface, and experiments inject this class to get virtual time and
+// bit-reproducible runs.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <utility>
 
+#include "runtime/executor.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
 namespace aqueduct::sim {
 
-class Simulator {
+class Simulator final : public runtime::Executor {
  public:
   using Callback = EventQueue::Callback;
 
   explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
 
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
-
   /// Current simulated time.
-  TimePoint now() const { return now_; }
+  TimePoint now() const override { return now_; }
 
   /// Schedules `cb` at absolute time `t`. `t` must not be in the past.
-  EventHandle at(TimePoint t, Callback cb);
+  EventHandle at(TimePoint t, Callback cb) override;
 
   /// Schedules `cb` after delay `d` (>= 0) from now.
-  EventHandle after(Duration d, Callback cb);
+  EventHandle after(Duration d, Callback cb) override;
 
   /// Cancels a previously scheduled event. Returns false if it already
   /// fired or was cancelled.
-  bool cancel(const EventHandle& h) { return queue_.cancel(h); }
+  bool cancel(const EventHandle& h) override { return queue_.cancel(h); }
+
+  /// Schedules `cb` at the current simulated time (after events already
+  /// queued for it). The simulator is single-threaded: unlike the
+  /// real-time executor this is NOT safe to call from another thread.
+  void post(Callback cb) override { after(Duration::zero(), std::move(cb)); }
 
   /// Runs until the queue is empty or stop() is called.
   /// Returns the number of events executed.
-  std::size_t run() { return run_until(TimePoint::max()); }
+  std::size_t run() override { return run_until(TimePoint::max()); }
 
   /// Runs events with time <= `deadline`; afterwards now() == deadline
   /// unless the queue drained earlier or stop() was called.
-  std::size_t run_until(TimePoint deadline);
-
-  /// Runs for `d` of simulated time from now().
-  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+  std::size_t run_until(TimePoint deadline) override;
 
   /// Requests the run loop to return after the current event completes.
-  void stop() { stop_requested_ = true; }
+  void stop() override { stop_requested_ = true; }
 
   /// Shared random source; components should derive child streams with
   /// rng().split() at construction time.
-  Rng& rng() { return rng_; }
+  Rng& rng() override { return rng_; }
 
   /// Number of events executed since construction.
-  std::uint64_t events_executed() const { return events_executed_; }
+  std::uint64_t events_executed() const override { return events_executed_; }
 
   /// Number of events currently pending.
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const override { return queue_.size(); }
 
  private:
   EventQueue queue_;
@@ -68,36 +74,6 @@ class Simulator {
   Rng rng_;
   bool stop_requested_ = false;
   std::uint64_t events_executed_ = 0;
-};
-
-/// Repeats a callback at a fixed period until stopped or destroyed.
-/// Used for heartbeats, lazy-update publication, and performance broadcast.
-class PeriodicTask {
- public:
-  /// The first firing happens `initial_delay` after start(); subsequent
-  /// firings are `period` apart.
-  PeriodicTask(Simulator& sim, Duration period, std::function<void()> fn);
-  PeriodicTask(Simulator& sim, Duration period, Duration initial_delay,
-               std::function<void()> fn);
-  ~PeriodicTask() { stop(); }
-
-  PeriodicTask(const PeriodicTask&) = delete;
-  PeriodicTask& operator=(const PeriodicTask&) = delete;
-
-  void start();
-  void stop();
-  bool running() const { return running_; }
-  Duration period() const { return period_; }
-
- private:
-  void fire();
-
-  Simulator& sim_;
-  Duration period_;
-  Duration initial_delay_;
-  std::function<void()> fn_;
-  EventHandle next_;
-  bool running_ = false;
 };
 
 }  // namespace aqueduct::sim

@@ -79,7 +79,7 @@ TEST(HarnessArrival, OpenPeriodicFinishesInBoundedTime) {
   EXPECT_EQ(results[0].stats.reads_completed, 20u);
   // 40 arrivals at 300 ms spacing start within 12 s; with boot and the
   // drain tail the run must stay well under a minute of simulated time.
-  EXPECT_LT(scenario.simulator().now(), sim::kEpoch + seconds(60));
+  EXPECT_LT(scenario.executor().now(), sim::kEpoch + seconds(60));
 }
 
 TEST(HarnessArrival, OpenLoopIsFasterThanClosedLoopWallClock) {
@@ -89,7 +89,7 @@ TEST(HarnessArrival, OpenLoopIsFasterThanClosedLoopWallClock) {
     config.clients.push_back(basic_client(60, arrival));
     Scenario scenario(std::move(config));
     scenario.run();
-    return scenario.simulator().now() - sim::kEpoch;
+    return scenario.executor().now() - sim::kEpoch;
   };
   // Closed loop waits for each completion; open loop overlaps requests.
   EXPECT_LT(sim_time(Arrival::kOpenPeriodic), sim_time(Arrival::kClosedLoop));

@@ -1,10 +1,13 @@
+// Message-level tracing at the network layer, observed through the
+// obs::TraceSink pipeline (network.tracing() is the per-simulation hub).
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
 #include "net/network.hpp"
-#include "sim/simulator.hpp"
+#include "obs/trace.hpp"
+#include "runtime/sim_executor.hpp"
 
 namespace aqueduct::net {
 namespace {
@@ -20,15 +23,20 @@ struct NullEndpoint final : Endpoint {
   void on_message(NodeId, MessagePtr) override {}
 };
 
-TEST(NetworkTap, ObservesDeliveriesAndDrops) {
-  sim::Simulator sim(1);
+struct RecordingSink final : obs::TraceSink {
+  std::vector<TraceEvent> events;
+  void on_message(const obs::MessageEvent& e) override { events.push_back(e); }
+};
+
+TEST(NetworkTrace, ObservesDeliveriesAndDrops) {
+  runtime::SimExecutor sim(1);
   Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
   NullEndpoint a, b;
   const NodeId ida = network.attach(a);
   const NodeId idb = network.attach(b);
 
-  std::vector<TraceEvent> events;
-  network.set_tap([&](const TraceEvent& e) { events.push_back(e); });
+  RecordingSink sink;
+  network.tracing().add(&sink);
 
   network.send(ida, idb, std::make_shared<PingMsg>());
   network.partition({ida}, {idb});
@@ -36,44 +44,51 @@ TEST(NetworkTap, ObservesDeliveriesAndDrops) {
   network.heal();
   sim.run();
 
-  ASSERT_EQ(events.size(), 2u);
-  EXPECT_EQ(events[0].type_name, "test.ping");
-  EXPECT_EQ(events[0].wire_size, 100u);
-  EXPECT_TRUE(events[0].dropped.empty());
-  EXPECT_EQ(events[0].from, ida);
-  EXPECT_EQ(events[0].to, idb);
-  EXPECT_EQ(events[1].dropped, "partition");
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].type_name, "test.ping");
+  EXPECT_EQ(sink.events[0].wire_size, 100u);
+  EXPECT_TRUE(sink.events[0].dropped.empty());
+  EXPECT_EQ(sink.events[0].from, ida);
+  EXPECT_EQ(sink.events[0].to, idb);
+  EXPECT_EQ(sink.events[1].dropped, "partition");
+  network.tracing().remove(&sink);
 }
 
-TEST(NetworkTap, LossEventsTagged) {
-  sim::Simulator sim(2);
+TEST(NetworkTrace, LossEventsTagged) {
+  runtime::SimExecutor sim(2);
   Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
   NullEndpoint a, b;
   const NodeId ida = network.attach(a);
   const NodeId idb = network.attach(b);
   network.set_loss_probability(1.0);
-  int losses = 0;
-  network.set_tap([&](const TraceEvent& e) {
-    if (e.dropped == "loss") ++losses;
-  });
+  RecordingSink sink;
+  network.tracing().add(&sink);
   for (int i = 0; i < 5; ++i) network.send(ida, idb, std::make_shared<PingMsg>());
   sim.run();
+  int losses = 0;
+  for (const auto& e : sink.events) {
+    if (e.dropped == "loss") ++losses;
+  }
   EXPECT_EQ(losses, 5);
+  network.tracing().remove(&sink);
 }
 
-TEST(NetworkTap, RemovableAndReplaceable) {
-  sim::Simulator sim(3);
+TEST(NetworkTrace, RemovedSinkStopsObserving) {
+  runtime::SimExecutor sim(3);
   Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
   NullEndpoint a, b;
   const NodeId ida = network.attach(a);
   const NodeId idb = network.attach(b);
-  int count = 0;
-  network.set_tap([&](const TraceEvent&) { ++count; });
+  RecordingSink sink;
+  network.tracing().add(&sink);
   network.send(ida, idb, std::make_shared<PingMsg>());
-  network.set_tap(nullptr);
+  network.tracing().remove(&sink);
   network.send(ida, idb, std::make_shared<PingMsg>());
   sim.run();
-  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sink.events.size(), 1u);
+  // With no sinks the hub is inactive and the send path skips event
+  // assembly entirely.
+  EXPECT_FALSE(network.tracing().active());
 }
 
 }  // namespace

@@ -206,7 +206,7 @@ TEST(TraceHub, RemovingUnknownSinkIsHarmless) {
 }
 
 // ---------------------------------------------------------------------------
-// Network tap shim — the deprecated single-slot API rides on the hub
+// Network trace events through the hub
 // ---------------------------------------------------------------------------
 
 struct PingMsg final : net::Message {
@@ -217,41 +217,6 @@ struct PingMsg final : net::Message {
 struct NullEndpoint final : net::Endpoint {
   void on_message(net::NodeId, net::MessagePtr) override {}
 };
-
-TEST(NetworkTapShim, TapCoexistsWithHubSinks) {
-  sim::Simulator sim(1);
-  net::Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
-  NullEndpoint a, b;
-  const net::NodeId ida = network.attach(a);
-  const net::NodeId idb = network.attach(b);
-
-  int tap_events = 0;
-  network.set_tap([&](const net::TraceEvent&) { ++tap_events; });
-  CountingSink sink;
-  network.tracing().add(&sink);
-  EXPECT_EQ(network.tracing().num_sinks(), 2u);
-
-  network.send(ida, idb, std::make_shared<PingMsg>());
-  sim.run();
-  EXPECT_EQ(tap_events, 1);
-  EXPECT_EQ(sink.messages, 1);
-
-  // Clearing the tap removes only the shim; the direct sink stays.
-  network.set_tap(nullptr);
-  EXPECT_EQ(network.tracing().num_sinks(), 1u);
-  network.send(ida, idb, std::make_shared<PingMsg>());
-  sim.run();
-  EXPECT_EQ(tap_events, 1);
-  EXPECT_EQ(sink.messages, 2);
-}
-
-TEST(NetworkTapShim, ReplacingTapKeepsSingleSubscription) {
-  sim::Simulator sim(1);
-  net::Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
-  network.set_tap([](const net::TraceEvent&) {});
-  network.set_tap([](const net::TraceEvent&) {});
-  EXPECT_EQ(network.tracing().num_sinks(), 1u);
-}
 
 TEST(NetworkStats, SnapshotAssembledFromRegistry) {
   sim::Simulator sim(1);

@@ -1,0 +1,163 @@
+// runtime::PeriodicTask semantics on both executors.
+//
+// The drift contract under test: firings are anchored to the grid
+// `start + initial_delay + k * period`, never to `last_fire + period`.
+// Under the simulator callbacks take zero virtual time so the anchored
+// schedule is indistinguishable from the naive one; under the real-time
+// executor a slow callback must not skew the grid, and slots the clock
+// has already passed are skipped rather than queued as a backlog.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/periodic_task.hpp"
+#include "runtime/sim_executor.hpp"
+
+namespace aqueduct::runtime {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+std::string kind_name(const ::testing::TestParamInfo<Kind>& info) {
+  return info.param == Kind::kSim ? "Sim" : "RealTime";
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  SimExecutor sim;
+  int fired = 0;
+  PeriodicTask task(sim, milliseconds(100), [&] { ++fired; });
+  task.start();
+  sim.run_until(kEpoch + milliseconds(450));
+  EXPECT_EQ(fired, 4);
+  task.stop();
+  sim.run_until(kEpoch + seconds(1));
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(PeriodicTask, InitialDelayRespected) {
+  SimExecutor sim;
+  std::vector<TimePoint> times;
+  PeriodicTask task(sim, milliseconds(100), milliseconds(10),
+                    [&] { times.push_back(sim.now()); });
+  task.start();
+  sim.run_until(kEpoch + milliseconds(250));
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], kEpoch + milliseconds(10));
+  EXPECT_EQ(times[1], kEpoch + milliseconds(110));
+}
+
+TEST(PeriodicTask, StartIsIdempotent) {
+  SimExecutor sim;
+  int fired = 0;
+  PeriodicTask task(sim, milliseconds(100), [&] { ++fired; });
+  task.start();
+  task.start();
+  sim.run_until(kEpoch + milliseconds(150));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PeriodicTask, DestructorStops) {
+  SimExecutor sim;
+  int fired = 0;
+  {
+    PeriodicTask task(sim, milliseconds(10), [&] { ++fired; });
+    task.start();
+  }
+  sim.run_until(kEpoch + milliseconds(100));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(PeriodicTask, AnchoredGridExactUnderSim) {
+  // Under virtual time the grid is exact: firing k lands on
+  // start + initial_delay + k * period with no accumulation whatsoever.
+  SimExecutor sim;
+  std::vector<TimePoint> times;
+  PeriodicTask task(sim, milliseconds(7), milliseconds(3),
+                    [&] { times.push_back(sim.now()); });
+  sim.after(milliseconds(1), [&] { task.start(); });
+  sim.run_until(kEpoch + milliseconds(100));
+  ASSERT_GE(times.size(), 5u);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    EXPECT_EQ(times[k], kEpoch + milliseconds(1) + milliseconds(3) +
+                            milliseconds(7) * static_cast<int>(k));
+  }
+}
+
+class PeriodicTaskOnBoth : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(PeriodicTaskOnBoth, StopFromInsideCallback) {
+  auto exec = make_executor(GetParam(), 1);
+  int fired = 0;
+  PeriodicTask task(*exec, milliseconds(5), [&] {
+    if (++fired == 3) task.stop();
+  });
+  task.start();
+  exec->run_for(milliseconds(100));
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST_P(PeriodicTaskOnBoth, StopPreventsFurtherFirings) {
+  auto exec = make_executor(GetParam(), 1);
+  int fired = 0;
+  PeriodicTask task(*exec, milliseconds(5), [&] { ++fired; });
+  task.start();
+  exec->run_for(milliseconds(12));
+  task.stop();
+  const int at_stop = fired;
+  exec->run_for(milliseconds(30));
+  EXPECT_EQ(fired, at_stop);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRuntimes, PeriodicTaskOnBoth,
+                         ::testing::Values(Kind::kSim, Kind::kRealTime),
+                         kind_name);
+
+TEST(PeriodicTaskRealTime, SlowCallbackDoesNotSkewTheGrid) {
+  // Naive `last_fire + period` rescheduling would drift by the callback
+  // cost every firing (~+10 ms each here, ~30 ms by the fourth). Anchored
+  // firings stay within scheduling jitter of the k * 50 ms grid.
+  RealTimeExecutor exec;
+  const auto period = milliseconds(50);
+  std::vector<Duration> offsets;
+  TimePoint start{};
+  PeriodicTask task(exec, period, [&] {
+    offsets.push_back(exec.now() - start);
+    std::this_thread::sleep_for(milliseconds(10));
+    if (offsets.size() == 4) exec.stop();
+  });
+  start = exec.now();
+  task.start();
+  exec.run_until(exec.now() + seconds(5));
+  ASSERT_EQ(offsets.size(), 4u);
+  for (std::size_t k = 0; k < offsets.size(); ++k) {
+    const Duration expected = period * static_cast<int>(k + 1);
+    EXPECT_GE(offsets[k], expected);
+    EXPECT_LT(offsets[k] - expected, milliseconds(25))
+        << "firing " << k << " drifted off the anchored grid";
+  }
+}
+
+TEST(PeriodicTaskRealTime, OverrunningCallbackSkipsSlotsInsteadOfBacklogging) {
+  // A callback slower than its period fires once per *completed* slot:
+  // with a 10 ms period and a ~25 ms callback, 120 ms of wall time allows
+  // at most ~5 firings — nowhere near the 12 a queued backlog would give.
+  RealTimeExecutor exec;
+  int fired = 0;
+  PeriodicTask task(exec, milliseconds(10), [&] {
+    ++fired;
+    std::this_thread::sleep_for(milliseconds(25));
+  });
+  task.start();
+  exec.run_until(exec.now() + milliseconds(120));
+  task.stop();
+  EXPECT_GE(fired, 2);
+  EXPECT_LE(fired, 6);
+}
+
+}  // namespace
+}  // namespace aqueduct::runtime

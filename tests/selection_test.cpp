@@ -278,25 +278,6 @@ TEST(FixedKSelector, CapsAtAvailable) {
   EXPECT_EQ(result.selected.size(), 1u);
 }
 
-TEST(ReplicaSelector, DeprecatedOverloadForwardsToContext) {
-  // The pre-SelectionContext signature is kept for one release as a
-  // forwarding shim; it must behave exactly like the context call.
-  ProbabilisticSelector selector;
-  sim::Rng rng(1);
-  std::vector<CandidateReplica> candidates;
-  for (std::uint32_t i = 1; i <= 6; ++i) {
-    candidates.push_back(replica(i, i <= 3, 0.9, 0.1, 100 * static_cast<int>(i)));
-  }
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto legacy = selector.select(candidates, 0.7, qos(0.9), rng);
-#pragma GCC diagnostic pop
-  const auto current = run(selector, candidates, 0.7, qos(0.9), rng);
-  EXPECT_EQ(legacy.selected, current.selected);
-  EXPECT_EQ(legacy.satisfied, current.satisfied);
-  EXPECT_DOUBLE_EQ(legacy.predicted_probability, current.predicted_probability);
-}
-
 TEST(SelectorNames, AreDescriptive) {
   EXPECT_EQ(ProbabilisticSelector{}.name(), "probabilistic");
   EXPECT_EQ(ProbabilisticSelector(ProbabilisticOptions{.tolerate_one_failure = false})

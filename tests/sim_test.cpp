@@ -143,51 +143,6 @@ TEST(Simulator, CountsExecutedEvents) {
   EXPECT_EQ(sim.events_executed(), 7u);
 }
 
-TEST(PeriodicTask, FiresAtPeriod) {
-  Simulator sim;
-  int fired = 0;
-  PeriodicTask task(sim, milliseconds(100), [&] { ++fired; });
-  task.start();
-  sim.run_until(kEpoch + milliseconds(450));
-  EXPECT_EQ(fired, 4);
-  task.stop();
-  sim.run_until(kEpoch + seconds(1));
-  EXPECT_EQ(fired, 4);
-}
-
-TEST(PeriodicTask, InitialDelayRespected) {
-  Simulator sim;
-  std::vector<TimePoint> times;
-  PeriodicTask task(sim, milliseconds(100), milliseconds(10),
-                    [&] { times.push_back(sim.now()); });
-  task.start();
-  sim.run_until(kEpoch + milliseconds(250));
-  ASSERT_EQ(times.size(), 3u);
-  EXPECT_EQ(times[0], kEpoch + milliseconds(10));
-  EXPECT_EQ(times[1], kEpoch + milliseconds(110));
-}
-
-TEST(PeriodicTask, StartIsIdempotent) {
-  Simulator sim;
-  int fired = 0;
-  PeriodicTask task(sim, milliseconds(100), [&] { ++fired; });
-  task.start();
-  task.start();
-  sim.run_until(kEpoch + milliseconds(150));
-  EXPECT_EQ(fired, 1);
-}
-
-TEST(PeriodicTask, DestructorStops) {
-  Simulator sim;
-  int fired = 0;
-  {
-    PeriodicTask task(sim, milliseconds(10), [&] { ++fired; });
-    task.start();
-  }
-  sim.run_until(kEpoch + milliseconds(100));
-  EXPECT_EQ(fired, 0);
-}
-
 // --- randomness --------------------------------------------------------------
 
 TEST(Rng, DeterministicForSeed) {

@@ -66,9 +66,9 @@ TEST(TraceDeterminism, TracingDoesNotPerturbTheSimulation) {
   auto results_traced = traced.run();
   traced.observability().trace.remove(&sink);
 
-  EXPECT_EQ(untraced.simulator().events_executed(),
-            traced.simulator().events_executed());
-  EXPECT_EQ(untraced.simulator().now(), traced.simulator().now());
+  EXPECT_EQ(untraced.executor().events_executed(),
+            traced.executor().events_executed());
+  EXPECT_EQ(untraced.executor().now(), traced.executor().now());
   ASSERT_EQ(results_untraced.size(), results_traced.size());
   EXPECT_EQ(results_untraced[0].stats.reads_completed,
             results_traced[0].stats.reads_completed);

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Layering lint: the protocol stack must not name a concrete executor.
+
+Everything in src/{net,gcs,replication,client,fault} (and src/core, which
+is executor-free entirely) is written against runtime::Executor, so the
+same code runs under the discrete-event simulator and the real-time loop.
+Including sim/simulator.hpp — or the runtime headers that name the
+concrete implementations — from those layers would silently re-couple the
+stack to one runtime. Composition roots (src/harness, src/runner, tests,
+benches, examples) are allowed to name them; that is where executors are
+built.
+
+Exits non-zero listing every offending include.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Layers that must stay runtime-agnostic.
+PROTOCOL_DIRS = ["src/net", "src/gcs", "src/replication", "src/client",
+                 "src/fault", "src/core"]
+
+# Headers naming a concrete executor.
+FORBIDDEN = [
+    "sim/simulator.hpp",
+    "runtime/sim_executor.hpp",
+    "runtime/realtime_executor.hpp",
+]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
+
+
+def main() -> int:
+    violations = []
+    for layer in PROTOCOL_DIRS:
+        for path in sorted((REPO / layer).rglob("*")):
+            if path.suffix not in {".hpp", ".cpp", ".h", ".cc"}:
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), start=1):
+                match = INCLUDE_RE.match(line)
+                if match and match.group(1) in FORBIDDEN:
+                    violations.append(
+                        f"{path.relative_to(REPO)}:{lineno}: "
+                        f"protocol layer includes {match.group(1)}")
+    if violations:
+        print("layering violations (protocol code must depend only on "
+              "runtime/executor.hpp):", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print(f"layering OK: {len(PROTOCOL_DIRS)} protocol layers depend only "
+          "on the Executor interface")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
