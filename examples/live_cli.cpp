@@ -3,15 +3,21 @@
 //
 //   live_cli [--duration SEC] [--requests N] [--seed S]
 //            [--runtime real|sim] [--json-out FILE] [--no-json]
+//            [--telemetry-out FILE] [--telemetry-period MS]
+//            [--prom-out FILE]
 //
 // Boots a sequencer, two primaries, two secondaries, and two workload
 // clients with different QoS specs (a strict low-deadline reader and a
 // relaxed staleness-tolerant one) on a RealTimeExecutor: messages are
 // delivered in-process after real injected latency, heartbeats and the
 // lazy publisher fire on wall-clock timers, and requests complete in real
-// elapsed time. Prints the observed timing-failure probability and the
-// per-request latency breakdown from the obs pipeline, then verifies
-// committed-prefix agreement across the replicas before exiting.
+// elapsed time. While running, a MetricsSnapshotter captures the registry
+// every --telemetry-period ms and streams it to the console, a JSONL time
+// series (--telemetry-out), and a Prometheus text file (--prom-out).
+// Prints the observed timing-failure probability, per-client SLA status
+// from the live SlaMonitor, and the per-request latency breakdown from the
+// obs pipeline, then verifies committed-prefix agreement across the
+// replicas before exiting.
 //
 // Exit status: 0 on a clean run, 1 if no request completed or any
 // ordering/agreement check failed. The emitted BENCH_live.json is
@@ -21,6 +27,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +35,7 @@
 #include "harness/stats.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
+#include "obs/sinks.hpp"
 #include "replication/objects.hpp"
 
 using namespace aqueduct;
@@ -37,9 +45,40 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: live_cli [--duration SEC] [--requests N] [--seed S]\n"
-               "  [--runtime real|sim] [--json-out FILE] [--no-json]\n");
+               "  [--runtime real|sim] [--json-out FILE] [--no-json]\n"
+               "  [--telemetry-out FILE] [--telemetry-period MS]\n"
+               "  [--prom-out FILE]\n");
   std::exit(2);
 }
+
+/// One console line per snapshot: elapsed time, request progress (total and
+/// delta since the previous snapshot), SLA violations so far.
+class ConsoleTelemetry final : public obs::SnapshotSink {
+ public:
+  void on_snapshot(const obs::MetricsSnapshot& snap) override {
+    const auto counter = [](const auto& pairs, const char* name) {
+      for (const auto& [n, v] : pairs) {
+        if (n == name) return v;
+      }
+      return std::uint64_t{0};
+    };
+    const std::uint64_t reads = counter(snap.counters, "client.reads_completed");
+    const std::uint64_t updates =
+        counter(snap.counters, "client.updates_completed");
+    const std::uint64_t delta =
+        counter(snap.counter_deltas, "client.reads_completed") +
+        counter(snap.counter_deltas, "client.updates_completed");
+    const std::uint64_t violations = counter(snap.counters, "sla.violations");
+    std::printf(
+        "[telemetry] t=%8.3fs seq=%3llu reads=%llu updates=%llu (+%llu) "
+        "sla_violations=%llu\n",
+        sim::to_sec(snap.at), static_cast<unsigned long long>(snap.seq),
+        static_cast<unsigned long long>(reads),
+        static_cast<unsigned long long>(updates),
+        static_cast<unsigned long long>(delta),
+        static_cast<unsigned long long>(violations));
+  }
+};
 
 /// Committed-prefix agreement at shutdown: no replica ever observed a GSN
 /// conflict, every live non-recovering primary applied exactly the prefix
@@ -96,6 +135,9 @@ int main(int argc, char** argv) {
   runtime::Kind kind = runtime::Kind::kRealTime;
   std::string json_out = "BENCH_live.json";
   bool write_json = true;
+  std::string telemetry_out;  // empty = console only
+  double telemetry_period_ms = 100.0;
+  std::string prom_out;  // empty = no Prometheus dump
 
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage();
@@ -122,6 +164,13 @@ int main(int argc, char** argv) {
       json_out = next_value(i);
     } else if (arg == "--no-json") {
       write_json = false;
+    } else if (arg == "--telemetry-out") {
+      telemetry_out = next_value(i);
+    } else if (arg == "--telemetry-period") {
+      telemetry_period_ms = std::stod(next_value(i));
+      if (telemetry_period_ms <= 0.0) usage();
+    } else if (arg == "--prom-out") {
+      prom_out = next_value(i);
     } else {
       usage();
     }
@@ -161,6 +210,31 @@ int main(int argc, char** argv) {
   harness::Scenario scenario(std::move(config));
   obs::LatencyBreakdownCollector breakdown;
   scenario.observability().trace.add(&breakdown);
+
+  // Telemetry pipeline: console every period, plus optional JSONL time
+  // series and Prometheus text dump. The snapshotter runs on the scenario's
+  // executor, so the cadence is wall time under `real` and simulated time
+  // under `sim`.
+  obs::MetricsSnapshotter& telemetry =
+      scenario.enable_telemetry(sim::from_ms(telemetry_period_ms));
+  ConsoleTelemetry console;
+  telemetry.add_sink(&console);
+  std::ofstream telemetry_file;
+  std::unique_ptr<obs::JsonlSnapshotSink> jsonl_sink;
+  if (!telemetry_out.empty()) {
+    telemetry_file.open(telemetry_out, std::ios::trunc);
+    if (!telemetry_file) {
+      std::fprintf(stderr, "cannot write %s\n", telemetry_out.c_str());
+      return 1;
+    }
+    jsonl_sink = std::make_unique<obs::JsonlSnapshotSink>(telemetry_file);
+    telemetry.add_sink(jsonl_sink.get());
+  }
+  std::unique_ptr<obs::PrometheusTextSink> prom_sink;
+  if (!prom_out.empty()) {
+    prom_sink = std::make_unique<obs::PrometheusTextSink>(prom_out);
+    telemetry.add_sink(prom_sink.get());
+  }
 
   std::printf("live_cli: %s runtime, %zu requests x 2 clients, %.1fs cap\n",
               runtime::to_string(kind), requests, duration_s);
@@ -204,6 +278,28 @@ int main(int argc, char** argv) {
               failure_rate, static_cast<unsigned long long>(timing_failures),
               static_cast<unsigned long long>(reads_completed));
   std::printf("read latency: p50 %.1f ms, p95 %.1f ms\n", p50_ms, p95_ms);
+
+  // Per-client SLA status from the live monitor (one line per monitored
+  // (client, spec) pair; the workload guarantees at least one read each).
+  const auto sla_statuses =
+      scenario.observability().sla.statuses(scenario.executor().now());
+  std::printf("\nSLA status (%llu snapshots captured):\n",
+              static_cast<unsigned long long>(telemetry.snapshots()));
+  if (sla_statuses.empty()) {
+    std::printf("sla: no reads recorded\n");
+  }
+  for (const auto& s : sla_statuses) {
+    std::printf(
+        "sla client n%u spec%u: Pc(d)=%.2f budget=%.3f observed=%.3f "
+        "[wilson %.3f..%.3f] window=%llu/%llu %s, avg staleness %.2f, "
+        "avg attempts %.2f\n",
+        s.client.value(), s.spec_index, s.spec.min_probability, s.budget,
+        s.failure_rate, s.wilson_lower, s.wilson_upper,
+        static_cast<unsigned long long>(s.window_failures),
+        static_cast<unsigned long long>(s.window_reads),
+        s.violating ? "VIOLATING" : "ok", s.avg_staleness, s.avg_attempts);
+  }
+
   std::printf("\nper-request latency breakdown (%zu requests):\n",
               breakdown.events().size());
   breakdown.write_json(std::cout);
@@ -233,6 +329,9 @@ int main(int argc, char** argv) {
     w.field("p50_ms", p50_ms);
     w.field("p95_ms", p95_ms);
     w.field("agreement_violations", static_cast<std::int64_t>(violations));
+    w.field("telemetry_snapshots", telemetry.snapshots());
+    w.field("sla_violations",
+            scenario.observability().sla.total_violations());
     w.end_object();
     out << "\n";
     std::printf("wrote %s\n", json_out.c_str());

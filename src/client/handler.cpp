@@ -225,6 +225,11 @@ void ClientHandler::on_retry(const replication::RequestId& id) {
       outcome.replicas_selected = req.replicas_selected;
       outcome.selection_satisfied = req.selection_satisfied;
       outcome.predicted_probability = req.predicted_probability;
+      obs_.sla.record_read(
+          this->id(),
+          obs::SlaSpec{req.qos.staleness_threshold, req.qos.deadline,
+                       req.qos.min_probability},
+          exec_.now(), /*timing_failure=*/true, /*staleness=*/0, req.attempts);
       if (req.read_done) req.read_done(outcome);
     } else if (req.update_done) {
       UpdateOutcome outcome;
@@ -355,6 +360,11 @@ void ClientHandler::complete_read(const replication::RequestId& id,
   span(obs::SpanKind::kComplete, id, reply->replica,
        outcome.timing_failure ? 1 : 0, tr);
   emit_breakdown(id, req, *reply, tr, outcome.timing_failure);
+  obs_.sla.record_read(
+      this->id(),
+      obs::SlaSpec{req.qos.staleness_threshold, req.qos.deadline,
+                   req.qos.min_probability},
+      exec_.now(), outcome.timing_failure, outcome.staleness, req.attempts);
   check_alarm(req.qos);
   if (req.read_done) req.read_done(outcome);
 }

@@ -122,9 +122,18 @@ void Scenario::build() {
   }
 }
 
+obs::MetricsSnapshotter& Scenario::enable_telemetry(sim::Duration period) {
+  AQUEDUCT_CHECK_MSG(!ran_, "enable_telemetry() must precede run()");
+  AQUEDUCT_CHECK_MSG(!snapshotter_, "telemetry already enabled");
+  snapshotter_ = std::make_unique<obs::MetricsSnapshotter>(
+      *exec_, observability().metrics, period);
+  return *snapshotter_;
+}
+
 std::vector<ClientResult> Scenario::run() {
   AQUEDUCT_CHECK_MSG(!ran_, "Scenario::run() called twice");
   ran_ = true;
+  if (snapshotter_) snapshotter_->start();
 
   // Staggered start: the sequencer boots first so it becomes the
   // primary-group leader; replicas follow, then clients after the groups
@@ -153,6 +162,10 @@ std::vector<ClientResult> Scenario::run() {
   }
   // Drain trailing protocol work (late replies, final publications).
   exec_->run_for(config_.drain);
+  if (snapshotter_) {
+    snapshotter_->stop();
+    snapshotter_->capture_now();  // pick up the post-drain tail
+  }
 
   std::vector<ClientResult> results;
   results.reserve(workloads_.size());

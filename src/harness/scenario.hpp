@@ -24,6 +24,7 @@
 #include "gcs/directory.hpp"
 #include "gcs/endpoint.hpp"
 #include "net/network.hpp"
+#include "obs/snapshot.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
 #include "replication/service.hpp"
@@ -171,6 +172,17 @@ class Scenario {
   /// sinks here before run().
   obs::Observability& observability() { return network_->observability(); }
 
+  /// Enables periodic telemetry: a MetricsSnapshotter on this scenario's
+  /// executor capturing the registry every `period` (simulated time under
+  /// kSim, wall time under kRealTime). Call before run(), then subscribe
+  /// sinks on the returned snapshotter. run() starts it with the scenario
+  /// and captures one final snapshot after the drain. Snapshot callbacks
+  /// read metrics but never touch protocol state or the RNG, so enabling
+  /// telemetry does not perturb the simulated trajectory.
+  obs::MetricsSnapshotter& enable_telemetry(sim::Duration period);
+  /// Null until enable_telemetry() is called.
+  obs::MetricsSnapshotter* telemetry() { return snapshotter_.get(); }
+
  private:
   void build();
   /// Builds the ReplicaServer for slot `index` against `endpoint` (role and
@@ -192,6 +204,7 @@ class Scenario {
   std::vector<std::uint32_t> incarnations_;  // per replica slot
   std::vector<std::unique_ptr<WorkloadClient>> workloads_;
   std::unique_ptr<fault::DependabilityManager> dependability_;
+  std::unique_ptr<obs::MetricsSnapshotter> snapshotter_;
   bool ran_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/sla.hpp"
 #include "sim/check.hpp"
 
 namespace aqueduct::harness {
@@ -22,18 +23,13 @@ ConfidenceInterval binomial_ci_normal(std::uint64_t successes,
 
 ConfidenceInterval binomial_ci_wilson(std::uint64_t successes,
                                       std::uint64_t trials, double z) {
+  // One Wilson formula in the repo: the live SlaMonitor and the offline
+  // harness must agree bit-for-bit, so this delegates to the obs layer.
+  const obs::WilsonInterval w = obs::wilson_interval(successes, trials, z);
   ConfidenceInterval ci;
-  if (trials == 0) return ci;
-  const double n = static_cast<double>(trials);
-  const double p = static_cast<double>(successes) / n;
-  const double z2 = z * z;
-  const double denom = 1.0 + z2 / n;
-  const double center = (p + z2 / (2.0 * n)) / denom;
-  const double half =
-      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
-  ci.point = p;
-  ci.lower = std::max(0.0, center - half);
-  ci.upper = std::min(1.0, center + half);
+  ci.lower = w.lower;
+  ci.upper = w.upper;
+  ci.point = w.point;
   return ci;
 }
 

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "obs/json.hpp"
+#include "obs/sla.hpp"
 
 namespace aqueduct::obs {
 
@@ -85,6 +86,22 @@ void JsonLinesSink::on_breakdown(const BreakdownEvent& e) {
   w.field("queue_ns", ns(e.queueing));
   w.field("service_ns", ns(e.service));
   w.field("lazy_ns", ns(e.lazy_wait));
+  w.end_object();
+  os_ << '\n';
+}
+
+void JsonLinesSink::on_sla(const SlaEvent& e) {
+  JsonWriter w(os_);
+  w.begin_object();
+  w.field("type", e.violating ? "sla_violation" : "sla_recovered");
+  w.field("t_ns", ns_since_epoch(e.at));
+  w.field("client", e.client.value());
+  w.field("spec", e.spec_index);
+  w.field("failure_rate", e.failure_rate);
+  w.field("wilson_lower", e.wilson_lower);
+  w.field("budget", e.budget);
+  w.field("window_reads", e.window_reads);
+  w.field("window_failures", e.window_failures);
   w.end_object();
   os_ << '\n';
 }

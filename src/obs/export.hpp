@@ -28,6 +28,7 @@ class JsonLinesSink final : public TraceSink {
   void on_message(const MessageEvent& e) override;
   void on_span(const SpanEvent& e) override;
   void on_breakdown(const BreakdownEvent& e) override;
+  void on_sla(const SlaEvent& e) override;
 
  private:
   std::ostream& os_;

@@ -12,29 +12,44 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (bounds_.empty()) bounds_ = default_latency_bounds_ms();
   AQUEDUCT_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
                      "histogram bounds must be sorted");
-  buckets_.assign(bounds_.size() + 1, 0);
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
 }
 
 void Histogram::observe(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
-  ++count_;
-  sum_ += v;
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 double Histogram::quantile(double q) const {
   AQUEDUCT_CHECK(q >= 0.0 && q <= 1.0);
-  if (count_ == 0) return 0.0;
-  const double target = q * static_cast<double>(count_);
+  const std::vector<std::uint64_t> snap = buckets();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : snap) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    const std::uint64_t next = cumulative + buckets_[i];
-    if (static_cast<double>(next) >= target && buckets_[i] > 0) {
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    const std::uint64_t next = cumulative + snap[i];
+    if (static_cast<double>(next) >= target && snap[i] > 0) {
       if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
       const double lo = i == 0 ? 0.0 : bounds_[i - 1];
       const double hi = bounds_[i];
       const double frac =
-          (target - static_cast<double>(cumulative)) / static_cast<double>(buckets_[i]);
+          (target - static_cast<double>(cumulative)) / static_cast<double>(snap[i]);
       return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
     }
     cumulative = next;
@@ -42,13 +57,27 @@ double Histogram::quantile(double q) const {
   return bounds_.back();
 }
 
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  AQUEDUCT_CHECK_MSG(start > 0.0 && factor > 1.0 && count > 0,
+                     "exponential_bounds requires start > 0, factor > 1, count > 0");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
 std::vector<double> default_latency_bounds_ms() {
-  return {0.1,  0.2,  0.5,  1.0,   2.0,   5.0,   10.0,   20.0,   50.0,
-          75.0, 100.0, 150.0, 200.0, 300.0, 500.0, 1000.0, 2000.0, 5000.0,
-          10000.0, 30000.0};
+  // 0.1 ms .. ~28.6 s in 40 log-spaced buckets (~2.9 buckets per octave).
+  return Histogram::exponential_bounds(0.1, 1.38, 40);
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   Instrument& inst = instruments_[name];
   if (!inst.counter) {
     AQUEDUCT_CHECK_MSG(!inst.gauge && !inst.histogram,
@@ -59,6 +88,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   Instrument& inst = instruments_[name];
   if (!inst.gauge) {
     AQUEDUCT_CHECK_MSG(!inst.counter && !inst.histogram,
@@ -70,6 +100,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
   Instrument& inst = instruments_[name];
   if (!inst.histogram) {
     AQUEDUCT_CHECK_MSG(!inst.counter && !inst.gauge,
@@ -79,7 +110,18 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *inst.histogram;
 }
 
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.contains(name);
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w(os);
   w.begin_object();
   w.key("counters");

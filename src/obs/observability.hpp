@@ -1,10 +1,11 @@
-// Bundle of the per-simulation observability state: the metrics registry
-// and the trace hub. Owned by the net::Network (every process of one
-// simulation attaches to exactly one network, so it is the natural shared
-// fabric); higher layers reach it through their endpoint.
+// Bundle of the per-simulation observability state: the metrics registry,
+// the trace hub, and the SLA monitor. Owned by the net::Network (every
+// process of one simulation attaches to exactly one network, so it is the
+// natural shared fabric); higher layers reach it through their endpoint.
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/sla.hpp"
 #include "obs/trace.hpp"
 
 namespace aqueduct::obs {
@@ -12,6 +13,9 @@ namespace aqueduct::obs {
 struct Observability {
   MetricsRegistry metrics;
   TraceHub trace;
+  /// Watches observed per-client timing-failure rates against each QoS
+  /// spec's Pc(d); fed by the client gateway on every completed read.
+  SlaMonitor sla{metrics, trace};
 
   /// Shared fallback for components constructed without a context (layers
   /// unit-tested in isolation). Never exported, never subscribed to.

@@ -1,0 +1,61 @@
+#include "obs/snapshot.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace aqueduct::obs {
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, inst] : instruments_) {  // std::map: name-sorted
+    if (inst.counter) {
+      snap.counters.emplace_back(name, inst.counter->value());
+    } else if (inst.gauge) {
+      snap.gauges.emplace_back(name, inst.gauge->value());
+    } else if (inst.histogram) {
+      const Histogram& h = *inst.histogram;
+      HistogramSnapshot hs;
+      hs.bounds = h.bounds();
+      hs.buckets = h.buckets();
+      hs.count = h.count();
+      hs.sum = h.sum();
+      snap.histograms.emplace_back(name, std::move(hs));
+    }
+  }
+  return snap;
+}
+
+MetricsSnapshotter::MetricsSnapshotter(runtime::Executor& exec,
+                                       MetricsRegistry& registry,
+                                       sim::Duration period)
+    : registry_(registry),
+      exec_(exec),
+      task_(exec, period, [this] { capture(); }) {}
+
+void MetricsSnapshotter::add_sink(SnapshotSink* sink) {
+  if (sink == nullptr) return;
+  if (std::find(sinks_.begin(), sinks_.end(), sink) != sinks_.end()) return;
+  sinks_.push_back(sink);
+}
+
+void MetricsSnapshotter::remove_sink(SnapshotSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void MetricsSnapshotter::capture() {
+  MetricsSnapshot snap = registry_.snapshot();
+  snap.seq = seq_++;
+  snap.at = exec_.now() - runtime::kEpoch;
+  snap.counter_deltas.reserve(snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    const auto it = last_counters_.find(name);
+    const std::uint64_t prev = it == last_counters_.end() ? 0 : it->second;
+    snap.counter_deltas.emplace_back(name, value - prev);
+    last_counters_[name] = value;
+  }
+  for (SnapshotSink* sink : sinks_) sink->on_snapshot(snap);
+}
+
+}  // namespace aqueduct::obs

@@ -1,0 +1,98 @@
+// Periodic metrics snapshots — the time-series half of the telemetry
+// pipeline.
+//
+// A MetricsSnapshot is one coherent, name-sorted copy of every instrument
+// in a MetricsRegistry: counters both cumulative and as deltas since the
+// previous snapshot (rates without client-side state), gauges as current
+// values, histograms as cumulative bucket counts (the Prometheus model —
+// consumers diff adjacent snapshots for per-interval rates).
+//
+// The MetricsSnapshotter drives capture on a runtime::PeriodicTask, so the
+// same code emits a snapshot every N milliseconds of *simulated* time under
+// SimExecutor (deterministic: same seed => byte-identical series from the
+// JSONL sink) and every N milliseconds of wall time under RealTimeExecutor.
+// Capture happens on the executor's loop thread; sinks must tolerate being
+// called from there.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/periodic_task.hpp"
+#include "sim/time.hpp"
+
+namespace aqueduct::obs {
+
+class MetricsRegistry;
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<double> bounds;
+  /// Per-bucket counts since the start of the run (bounds.size() + 1
+  /// entries; last is overflow). Cumulative over time, not diffed.
+  std::vector<std::uint64_t> buckets;
+};
+
+/// One capture of the whole registry. All vectors are name-sorted, so two
+/// snapshots of identical registry state compare (and serialize) equal.
+struct MetricsSnapshot {
+  std::uint64_t seq = 0;               ///< 0-based capture index.
+  sim::Duration at = sim::Duration::zero();  ///< Capture time since kEpoch.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Counter increments since the previous snapshot (== counters on seq 0).
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Receives each captured snapshot. Implementations live in obs/sinks.hpp
+/// (JSONL time series, Prometheus text) or in composition roots (console).
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+  virtual void on_snapshot(const MetricsSnapshot& snap) = 0;
+};
+
+/// Captures the registry on a fixed period and fans each snapshot out to
+/// the subscribed sinks. start()/stop() bracket the periodic grid; a final
+/// capture_now() after the workload drains picks up the tail.
+class MetricsSnapshotter {
+ public:
+  MetricsSnapshotter(runtime::Executor& exec, MetricsRegistry& registry,
+                     sim::Duration period);
+
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  /// Sinks are notified in subscription order and must outlive the
+  /// snapshotter (or be removed first).
+  void add_sink(SnapshotSink* sink);
+  void remove_sink(SnapshotSink* sink);
+
+  void start() { task_.start(); }
+  void stop() { task_.stop(); }
+  bool running() const { return task_.running(); }
+  sim::Duration period() const { return task_.period(); }
+
+  /// Captures one snapshot immediately, outside the periodic grid.
+  void capture_now() { capture(); }
+
+  /// Number of snapshots captured so far.
+  std::uint64_t snapshots() const { return seq_; }
+
+ private:
+  void capture();
+
+  MetricsRegistry& registry_;
+  runtime::Executor& exec_;
+  runtime::PeriodicTask task_;
+  std::vector<SnapshotSink*> sinks_;
+  std::map<std::string, std::uint64_t> last_counters_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace aqueduct::obs

@@ -103,6 +103,10 @@ struct BreakdownEvent {
   sim::Duration lazy_wait = sim::Duration::zero();  // U (t_b)
 };
 
+/// SLA boundary crossing (entered or left violation), emitted by the
+/// SlaMonitor. Defined in obs/sla.hpp.
+struct SlaEvent;
+
 /// Subscriber interface. Override only what you need.
 class TraceSink {
  public:
@@ -110,6 +114,7 @@ class TraceSink {
   virtual void on_message(const MessageEvent&) {}
   virtual void on_span(const SpanEvent&) {}
   virtual void on_breakdown(const BreakdownEvent&) {}
+  virtual void on_sla(const SlaEvent&) {}
 };
 
 /// Multi-subscriber dispatch point. Sinks are notified in subscription
@@ -135,6 +140,9 @@ class TraceHub {
   }
   void breakdown(const BreakdownEvent& e) const {
     for (TraceSink* s : sinks_) s->on_breakdown(e);
+  }
+  void sla(const SlaEvent& e) const {
+    for (TraceSink* s : sinks_) s->on_sla(e);
   }
 
   /// Process-wide scratch hub (never has subscribers by convention) for

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iomanip>
+#include <sstream>
 
 #include "fault/schedule.hpp"
 #include "harness/scenario.hpp"
 #include "harness/table.hpp"
+#include "obs/sinks.hpp"
 #include "replication/objects.hpp"
 #include "sim/random.hpp"
 
@@ -15,6 +18,36 @@ namespace {
 
 using std::chrono::milliseconds;
 using std::chrono::seconds;
+
+// ------------------------------------------------------ per-unit telemetry
+
+/// Every plan unit runs with periodic telemetry streaming to an in-memory
+/// JSONL sink; the series is rolled up into the row as a deterministic
+/// digest plus snapshot/violation counters. Because the series is a pure
+/// function of the unit's (seed, point), the digest is byte-identical for
+/// any sweep thread count — the determinism suite asserts it.
+class UnitTelemetry {
+ public:
+  explicit UnitTelemetry(harness::Scenario& scenario) : sink_(jsonl_) {
+    scenario.enable_telemetry(milliseconds(250)).add_sink(&sink_);
+  }
+
+  void report(harness::Scenario& scenario, SeedRecord& rec) {
+    const std::string series = jsonl_.str();
+    std::ostringstream digest;
+    digest << std::hex << std::setw(16) << std::setfill('0')
+           << obs::digest_fnv1a64(series);
+    rec.text("telemetry_digest", digest.str());
+    rec.counter("telemetry_snapshots", scenario.telemetry()->snapshots());
+    rec.counter("telemetry_bytes", series.size());
+    rec.counter("sla_violations",
+                scenario.observability().sla.total_violations());
+  }
+
+ private:
+  std::ostringstream jsonl_;
+  obs::JsonlSnapshotSink sink_;
+};
 
 // ---------------------------------------------------------------- recovery
 
@@ -38,6 +71,7 @@ SeedRecord run_recovery(const Unit& unit, std::size_t requests) {
     });
   }
   harness::Scenario scenario(std::move(config));
+  UnitTelemetry telemetry(scenario);
 
   fault::FaultSchedule plan;
   plan.crash_restart(kRecoveryVictim, kRecoveryCrashAt, kRecoveryRestartAt);
@@ -96,6 +130,7 @@ SeedRecord run_recovery(const Unit& unit, std::size_t requests) {
   rec.counter("gsn_conflicts", conflicts);
   rec.counter("recovered", rejoin >= 0.0 ? 1 : 0);
   rec.counter("selected", first_selection >= 0.0 ? 1 : 0);
+  telemetry.report(scenario, rec);
   return rec;
 }
 
@@ -136,6 +171,7 @@ SeedRecord run_failure_injection(const Unit& unit, std::size_t requests) {
     });
   }
   harness::Scenario scenario(std::move(config));
+  UnitTelemetry telemetry(scenario);
   scenario.apply_faults(failure_schedule(unit.point));
   auto results = scenario.run();
   const auto& stats = results[1].stats;  // the tight-QoS client
@@ -156,6 +192,7 @@ SeedRecord run_failure_injection(const Unit& unit, std::size_t requests) {
                                           stats.staleness_violations);
   rec.counter("reborn", reborn);
   rec.counter("gsn_conflicts", conflicts);
+  telemetry.report(scenario, rec);
   return rec;
 }
 
@@ -210,6 +247,7 @@ SeedRecord run_fig4(const Unit& unit, std::size_t requests) {
       .num_requests = requests,
   });
   harness::Scenario scenario(std::move(config));
+  UnitTelemetry telemetry(scenario);
   auto results = scenario.run();
   const auto& stats = results[1].stats;  // client 2 is the measured client
 
@@ -234,6 +272,7 @@ SeedRecord run_fig4(const Unit& unit, std::size_t requests) {
     read_ms.push_back(s * 1000.0);
   }
   rec.sample("read_ms", std::move(read_ms));
+  telemetry.report(scenario, rec);
   return rec;
 }
 
@@ -287,6 +326,7 @@ harness::ScenarioConfig chaos_config(std::uint64_t seed,
 /// service always stays alive.
 SeedRecord run_chaos(const Unit& unit, std::size_t requests) {
   harness::Scenario scenario(chaos_config(unit.seed, 3, 3, requests));
+  UnitTelemetry telemetry(scenario);
 
   sim::Rng chaos(unit.seed * 7919 + 13);
   fault::FaultSchedule plan;
@@ -330,6 +370,7 @@ SeedRecord run_chaos(const Unit& unit, std::size_t requests) {
   }
   SeedRecord rec;
   inv.report(rec);
+  telemetry.report(scenario, rec);
   return rec;
 }
 
@@ -337,6 +378,7 @@ SeedRecord run_chaos(const Unit& unit, std::size_t requests) {
 /// restart, so the invariants must hold across reincarnations.
 SeedRecord run_chaos_recovery(const Unit& unit, std::size_t requests) {
   harness::Scenario scenario(chaos_config(unit.seed, 2, 3, requests));
+  UnitTelemetry telemetry(scenario);
 
   fault::RandomFaultParams params;
   params.crash_candidates = scenario.num_replicas();
@@ -381,6 +423,7 @@ SeedRecord run_chaos_recovery(const Unit& unit, std::size_t requests) {
   }
   SeedRecord rec;
   inv.report(rec);
+  telemetry.report(scenario, rec);
   return rec;
 }
 

@@ -38,6 +38,7 @@ void write_row(obs::JsonWriter& w, const Unit& unit, const SeedRecord& row,
   if (!row.ok) w.field("error", row.error);
   for (const auto& [name, v] : row.values) w.field(name, v);
   for (const auto& [name, v] : row.counters) w.field(name, v);
+  for (const auto& [name, v] : row.texts) w.field(name, v);
   for (const auto& [name, samples] : row.samples) {
     w.key(name);
     w.begin_object();

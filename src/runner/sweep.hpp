@@ -51,6 +51,8 @@ struct SeedRecord {
   /// Sample sets (e.g. read response times): summarized per row and pooled
   /// across rows for merged percentiles.
   std::vector<std::pair<std::string, std::vector<double>>> samples;
+  /// String results (e.g. the per-unit telemetry digest), reported per row.
+  std::vector<std::pair<std::string, std::string>> texts;
 
   void value(std::string name, double v) {
     values.emplace_back(std::move(name), v);
@@ -60,6 +62,9 @@ struct SeedRecord {
   }
   void sample(std::string name, std::vector<double> v) {
     samples.emplace_back(std::move(name), std::move(v));
+  }
+  void text(std::string name, std::string v) {
+    texts.emplace_back(std::move(name), std::move(v));
   }
   /// Counter lookup (0 when absent) — used by aggregation and tests.
   std::uint64_t counter_or_zero(const std::string& name) const;

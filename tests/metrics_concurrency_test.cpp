@@ -1,0 +1,159 @@
+// Concurrency suite for the metrics instruments (src/obs/metrics).
+//
+// The telemetry contract: Counter/Gauge/Histogram writes are lock-free
+// relaxed atomics safe from any thread, registration and iteration are
+// mutex-guarded, and with all writers quiesced every count is exact — no
+// lost updates. CI runs this suite under ThreadSanitizer (the TSan job's
+// test filter includes "ConcurrentMetrics"), so a data race here is a
+// build failure, not a flake.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
+#include "obs/snapshot.hpp"
+
+namespace aqueduct {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 20000;
+
+void run_threads(int n, const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int t = 0; t < n; ++t) threads.emplace_back(body, t);
+  for (auto& th : threads) th.join();
+}
+
+TEST(ConcurrentMetrics, CounterIncrementsAreExact) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("hits");
+  run_threads(kThreads, [&](int) {
+    for (int i = 0; i < kOpsPerThread; ++i) c.inc();
+  });
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(ConcurrentMetrics, CounterBulkIncrementsAreExact) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("bytes");
+  run_threads(kThreads, [&](int) {
+    for (int i = 0; i < kOpsPerThread; ++i) c.inc(3);
+  });
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread * 3);
+}
+
+TEST(ConcurrentMetrics, GaugeAddIsExactUnderContention) {
+  // Gauge::add is a CAS loop on an atomic<double>; integer-valued deltas
+  // stay exact in doubles far beyond this total.
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("depth");
+  run_threads(kThreads, [&](int t) {
+    const double delta = (t % 2 == 0) ? 1.0 : -1.0;
+    for (int i = 0; i < kOpsPerThread; ++i) g.add(delta);
+  });
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);  // equal up/down writers cancel
+}
+
+TEST(ConcurrentMetrics, HistogramObservationsAreExact) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  run_threads(kThreads, [&](int t) {
+    // Each thread hammers one bucket: t%4 selects underflow-most bucket,
+    // the two middle ones, or overflow.
+    const double v = (t % 4 == 0)   ? 0.5
+                     : (t % 4 == 1) ? 5.0
+                     : (t % 4 == 2) ? 50.0
+                                    : 500.0;
+    for (int i = 0; i < kOpsPerThread; ++i) h.observe(v);
+  });
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kOpsPerThread;
+  EXPECT_EQ(h.count(), total);
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 4u);
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, total);
+  // kThreads=8 spreads evenly over the 4 values.
+  for (std::uint64_t b : buckets) EXPECT_EQ(b, total / 4);
+  EXPECT_DOUBLE_EQ(h.sum(), (0.5 + 5.0 + 50.0 + 500.0) * 2 * kOpsPerThread);
+}
+
+TEST(ConcurrentMetrics, RegistrationRacesResolveToOneInstrument) {
+  obs::MetricsRegistry reg;
+  std::vector<obs::Counter*> seen(kThreads, nullptr);
+  run_threads(kThreads, [&](int t) {
+    // All threads race to register the same name, then write through
+    // whichever cell they got back.
+    obs::Counter& c = reg.counter("shared");
+    seen[t] = &c;
+    for (int i = 0; i < kOpsPerThread; ++i) c.inc();
+    // And each registers a private name, exercising map growth under
+    // concurrent lookups.
+    reg.counter("private." + std::to_string(t)).inc(t + 1);
+  });
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.counter("private." + std::to_string(t)).value(),
+              static_cast<std::uint64_t>(t) + 1);
+  }
+}
+
+TEST(ConcurrentMetrics, SnapshotDuringWritesIsWellFormed) {
+  // Snapshots under concurrent writers are eventually consistent, never
+  // torn: every value read is one some writer actually published, and the
+  // JSONL serialization stays structurally valid throughout.
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("reads");
+  obs::Histogram& h = reg.histogram("lat", {1.0, 2.0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      c.inc();
+      h.observe(1.5);
+    }
+  });
+  std::ostringstream out;
+  obs::JsonlSnapshotSink sink(out);
+  for (int i = 0; i < 200; ++i) {
+    obs::MetricsSnapshot snap = reg.snapshot();
+    snap.seq = static_cast<std::uint64_t>(i);
+    sink.on_snapshot(snap);
+    ASSERT_EQ(snap.counters.size(), 1u);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    // Bucket sum never exceeds the count observed *after* the buckets were
+    // read... ordering is relaxed, so only sanity-check non-tearing:
+    // all observations land in the 1..2 bucket.
+    const auto& hs = snap.histograms[0].second;
+    ASSERT_EQ(hs.buckets.size(), 3u);
+    EXPECT_EQ(hs.buckets[0], 0u);
+    EXPECT_EQ(hs.buckets[2], 0u);
+  }
+  stop.store(true);
+  writer.join();
+  // Every line is one JSON object.
+  std::istringstream lines(out.str());
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(n, 200);
+}
+
+}  // namespace
+}  // namespace aqueduct

@@ -15,7 +15,12 @@ Gated metrics:
   recovery        — pooled mean time-to-rejoin (seconds of simulated time)
                     and the Pc(d) lower bound, i.e. the pooled Wilson lower
                     bound of steady-state deadline-hit probability
-                    (1 - upper CI bound of the steady timing-failure rate).
+                    (1 - upper CI bound of the steady timing-failure rate);
+  obs_overhead    — telemetry cost: overhead_percent against the absolute
+                    <2% budget (the one wall-clock-derived exception — it
+                    is a ratio of two runs on the same machine, so the
+                    budget holds anywhere), plus the deterministic snapshot
+                    count / JSONL size / reads completed as trend gates.
 
 Usage: bench_compare.py BASELINE FRESH [--tolerance 0.20]
 The bench kind is read from the JSON "bench" field; both files must match.
@@ -36,20 +41,29 @@ class Gate:
     more than tolerance (relative) plus slack (absolute).
     direction "min": higher is better, fail when fresh falls short of the
     baseline by more than tolerance plus slack.
+
+    With absolute_limit set, the baseline value is ignored for the verdict:
+    fresh is compared directly against the fixed limit (a budget gate, e.g.
+    "telemetry overhead stays under 2%"), tolerance and slack unused.
     """
 
     def __init__(self, name: str, extract: Callable[[dict], float],
-                 direction: str, slack: float = 0.0):
+                 direction: str, slack: float = 0.0,
+                 absolute_limit: float | None = None):
         assert direction in ("max", "min")
         self.name = name
         self.extract = extract
         self.direction = direction
         self.slack = slack
+        self.absolute_limit = absolute_limit
 
     def check(self, baseline: dict, fresh: dict, tolerance: float):
         base = self.extract(baseline)
         new = self.extract(fresh)
-        if self.direction == "max":
+        if self.absolute_limit is not None:
+            limit = self.absolute_limit
+            ok = new <= limit if self.direction == "max" else new >= limit
+        elif self.direction == "max":
             limit = base * (1.0 + tolerance) + self.slack
             ok = new <= limit
         else:
@@ -95,9 +109,29 @@ def recovery_gates(_baseline: dict) -> list[Gate]:
     ]
 
 
+def obs_overhead_gates(baseline: dict) -> list[Gate]:
+    budget = float(baseline.get("budget_percent", 2.0))
+    return [
+        # The budget gate: absolute, not relative to the baseline's own
+        # (noise-level) overhead measurement.
+        Gate("telemetry overhead %", lambda d: float(d["overhead_percent"]),
+             "max", absolute_limit=budget),
+        # Deterministic per-(seed, requests) fields: drift means the
+        # snapshot pipeline changed shape, which should be a deliberate
+        # baseline update, not an accident.
+        Gate("snapshots captured", lambda d: float(d["snapshots"]), "min"),
+        Gate("jsonl bytes", lambda d: float(d["jsonl_bytes"]), "max"),
+        Gate("reads completed", lambda d: float(d["reads_completed"]), "min"),
+        # 1.0 = byte-identical series across same-seed reps.
+        Gate("series deterministic", lambda d: float(d["deterministic"]),
+             "min", absolute_limit=1.0),
+    ]
+
+
 GATE_BUILDERS = {
     "selection_scale": selection_scale_gates,
     "recovery": recovery_gates,
+    "obs_overhead": obs_overhead_gates,
 }
 
 

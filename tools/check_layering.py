@@ -1,13 +1,24 @@
 #!/usr/bin/env python3
-"""Layering lint: the protocol stack must not name a concrete executor.
+"""Layering lint: the protocol stack must not name concrete infrastructure.
 
-Everything in src/{net,gcs,replication,client,fault} (and src/core, which
-is executor-free entirely) is written against runtime::Executor, so the
-same code runs under the discrete-event simulator and the real-time loop.
-Including sim/simulator.hpp — or the runtime headers that name the
-concrete implementations — from those layers would silently re-couple the
-stack to one runtime. Composition roots (src/harness, src/runner, tests,
-benches, examples) are allowed to name them; that is where executors are
+Two rules, same motivation — keep the protocol stack substitutable:
+
+1. Executors. Everything in src/{net,gcs,replication,client,fault} (and
+   src/core, which is executor-free entirely) is written against
+   runtime::Executor, so the same code runs under the discrete-event
+   simulator and the real-time loop. Including sim/simulator.hpp — or the
+   runtime headers that name the concrete implementations — from those
+   layers would silently re-couple the stack to one runtime.
+
+2. Telemetry exporters. Protocol layers may depend on the obs *interfaces*
+   (obs/metrics.hpp, obs/trace.hpp, obs/snapshot.hpp) to record what
+   happened, but never on the concrete sinks/exporters (obs/sinks.hpp,
+   obs/export.hpp): the choice of export format (JSONL, Prometheus text,
+   Chrome trace) belongs to composition roots, and a protocol file naming
+   a sink could smuggle I/O into the deterministic hot path.
+
+Composition roots (src/harness, src/runner, tests, benches, examples) are
+allowed to name all of these; that is where executors and exporters are
 built.
 
 Exits non-zero listing every offending include.
@@ -19,16 +30,26 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
-# Layers that must stay runtime-agnostic.
+# Layers that must stay runtime- and exporter-agnostic.
 PROTOCOL_DIRS = ["src/net", "src/gcs", "src/replication", "src/client",
                  "src/fault", "src/core"]
 
 # Headers naming a concrete executor.
-FORBIDDEN = [
+FORBIDDEN_EXECUTORS = [
     "sim/simulator.hpp",
     "runtime/sim_executor.hpp",
     "runtime/realtime_executor.hpp",
 ]
+
+# Headers naming a concrete telemetry exporter.
+FORBIDDEN_EXPORTERS = [
+    "obs/sinks.hpp",
+    "obs/export.hpp",
+]
+
+FORBIDDEN = {h: "concrete executor" for h in FORBIDDEN_EXECUTORS}
+FORBIDDEN.update({h: "concrete telemetry exporter"
+                  for h in FORBIDDEN_EXPORTERS})
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
 
@@ -45,15 +66,17 @@ def main() -> int:
                 if match and match.group(1) in FORBIDDEN:
                     violations.append(
                         f"{path.relative_to(REPO)}:{lineno}: "
-                        f"protocol layer includes {match.group(1)}")
+                        f"protocol layer includes {match.group(1)} "
+                        f"({FORBIDDEN[match.group(1)]})")
     if violations:
         print("layering violations (protocol code must depend only on "
-              "runtime/executor.hpp):", file=sys.stderr)
+              "runtime/executor.hpp and the obs interfaces):",
+              file=sys.stderr)
         for v in violations:
             print(f"  {v}", file=sys.stderr)
         return 1
     print(f"layering OK: {len(PROTOCOL_DIRS)} protocol layers depend only "
-          "on the Executor interface")
+          "on the Executor interface and obs interfaces")
     return 0
 
 
