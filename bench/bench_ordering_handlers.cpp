@@ -20,7 +20,7 @@
 #include "gcs/endpoint.hpp"
 #include "harness/stats.hpp"
 #include "harness/table.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "replication/fifo.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
@@ -50,7 +50,7 @@ core::QoSSpec bench_qos() {
 /// network before either is destroyed.
 struct Testbed {
   std::unique_ptr<sim::Simulator> sim;
-  std::unique_ptr<net::Network> lan;
+  std::unique_ptr<net::LoopbackTransport> lan;
   gcs::Directory directory;
   std::vector<std::unique_ptr<gcs::Endpoint>> endpoints;
 };
@@ -59,7 +59,7 @@ template <typename MakeReplica>
 Testbed boot(std::uint64_t seed, MakeReplica make) {
   Testbed t;
   t.sim = std::make_unique<sim::Simulator>(seed);
-  t.lan = std::make_unique<net::Network>(
+  t.lan = std::make_unique<net::LoopbackTransport>(
       *t.sim, std::make_unique<sim::NormalDuration>(500us, 200us));
   for (std::size_t i = 0; i < kPrimaries + kSecondaries; ++i) {
     auto endpoint = std::make_unique<gcs::Endpoint>(*t.sim, *t.lan, t.directory);

@@ -54,10 +54,10 @@ int main(int argc, char** argv) {
       total_bytes += event.wire_size;
     }
   } sink;
-  scenario.network().tracing().add(&sink);
+  scenario.transport().tracing().add(&sink);
 
   auto results = scenario.run();
-  scenario.network().tracing().remove(&sink);
+  scenario.transport().tracing().remove(&sink);
   const auto& by_type = sink.by_type;
   const std::uint64_t total_messages = sink.total_messages;
   const std::uint64_t total_bytes = sink.total_bytes;

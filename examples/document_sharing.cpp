@@ -14,7 +14,7 @@
 
 #include "client/handler.hpp"
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
 #include "sim/simulator.hpp"
@@ -38,7 +38,7 @@ struct Reader {
 
 int main() {
   sim::Simulator sim(7);
-  net::Network lan(sim, std::make_unique<sim::NormalDuration>(600us, 250us));
+  net::LoopbackTransport lan(sim, std::make_unique<sim::NormalDuration>(600us, 250us));
   gcs::Directory directory;
   const auto groups = replication::ServiceGroups::for_service(1);
 

@@ -5,51 +5,406 @@
 //            [--runtime real|sim] [--json-out FILE] [--no-json]
 //            [--telemetry-out FILE] [--telemetry-period MS]
 //            [--prom-out FILE]
+//   live_cli --role {sequencer,primary,secondary,publisher,client}
+//            --listen HOST:PORT --peer NAME=HOST:PORT [--peer ...]
+//            [--duration SEC] [--requests N] [--seed S]
+//            [--json-out FILE] [--no-json]
 //
-// Boots a sequencer, two primaries, two secondaries, and two workload
-// clients with different QoS specs (a strict low-deadline reader and a
-// relaxed staleness-tolerant one) on a RealTimeExecutor: messages are
-// delivered in-process after real injected latency, heartbeats and the
-// lazy publisher fire on wall-clock timers, and requests complete in real
-// elapsed time. While running, a MetricsSnapshotter captures the registry
-// every --telemetry-period ms and streams it to the console, a JSONL time
-// series (--telemetry-out), and a Prometheus text file (--prom-out).
-// Prints the observed timing-failure probability, per-client SLA status
-// from the live SlaMonitor, and the per-request latency breakdown from the
-// obs pipeline, then verifies committed-prefix agreement across the
-// replicas before exiting.
+// Single-process mode boots a sequencer, two primaries, two secondaries,
+// and two workload clients with different QoS specs (a strict low-deadline
+// reader and a relaxed staleness-tolerant one) on a RealTimeExecutor:
+// messages are delivered in-process after real injected latency,
+// heartbeats and the lazy publisher fire on wall-clock timers, and
+// requests complete in real elapsed time. While running, a
+// MetricsSnapshotter captures the registry every --telemetry-period ms and
+// streams it to the console, a JSONL time series (--telemetry-out), and a
+// Prometheus text file (--prom-out). Prints the observed timing-failure
+// probability, per-client SLA status from the live SlaMonitor, and the
+// per-request latency breakdown from the obs pipeline, then verifies
+// committed-prefix agreement across the replicas before exiting.
+//
+// Multi-process mode (--role) runs ONE node of the service per OS process
+// over localhost UDP: the identical protocol stack, but messages cross a
+// real socket through the wire codec (net/codec.hpp). Every process gets
+// the same --peer address book; --listen must match this process's own
+// entry, which names it (e.g. "primary2") and fixes its NodeId. The
+// process whose name is "sequencer" bootstraps the groups; everyone else
+// pre-seeds its join directory with the sequencer and joins through the
+// normal gcs machinery. tools/live_smoke.py launches a full cluster and
+// cross-checks the per-process reports for committed-prefix agreement.
 //
 // Exit status: 0 on a clean run, 1 if no request completed or any
-// ordering/agreement check failed. The emitted BENCH_live.json is
-// machine- and load-dependent by construction and is NOT part of the
-// bench-trend gate (see EXPERIMENTS.md).
+// ordering/agreement check failed, 2 on a malformed command line. The
+// emitted BENCH_live.json is machine- and load-dependent by construction
+// and is NOT part of the bench-trend gate (see EXPERIMENTS.md).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "gcs/directory.hpp"
+#include "gcs/endpoint.hpp"
 #include "harness/scenario.hpp"
 #include "harness/stats.hpp"
+#include "net/udp_transport.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/sinks.hpp"
 #include "replication/objects.hpp"
+#include "replication/replica.hpp"
+#include "runtime/sim_executor.hpp"
 
 using namespace aqueduct;
 
 namespace {
 
 [[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: live_cli [--duration SEC] [--requests N] [--seed S]\n"
-               "  [--runtime real|sim] [--json-out FILE] [--no-json]\n"
-               "  [--telemetry-out FILE] [--telemetry-period MS]\n"
-               "  [--prom-out FILE]\n");
+  std::fprintf(
+      stderr,
+      "usage: live_cli [--duration SEC] [--requests N] [--seed S]\n"
+      "  [--runtime real|sim] [--json-out FILE] [--no-json]\n"
+      "  [--telemetry-out FILE] [--telemetry-period MS]\n"
+      "  [--prom-out FILE]\n"
+      "or (one node per process, over localhost UDP):\n"
+      "  live_cli --role {sequencer,primary,secondary,publisher,client}\n"
+      "    --listen HOST:PORT --peer NAME=HOST:PORT [--peer ...]\n"
+      "    [--duration SEC] [--requests N] [--seed S]\n"
+      "    [--json-out FILE] [--no-json]\n"
+      "  where NAME is sequencer, primaryN, secondaryN, publisher, or\n"
+      "  clientN, and --listen matches this process's --peer entry.\n");
   std::exit(2);
 }
+
+// Strict numeric parsing: the whole argument must convert, anything else
+// (including trailing garbage) is a usage error, never UB or silence.
+double parse_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) usage();
+    return v;
+  } catch (const std::exception&) {
+    usage();
+  }
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size() || (!s.empty() && s[0] == '-')) usage();
+    return v;
+  } catch (const std::exception&) {
+    usage();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process deployment
+// ---------------------------------------------------------------------------
+
+/// One "NAME=HOST:PORT" address-book entry.
+struct PeerSpec {
+  std::string name;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Splits "HOST:PORT"; exits with usage() on malformed input.
+std::pair<std::string, std::uint16_t> parse_hostport(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    usage();
+  }
+  const std::uint64_t port = parse_u64(s.substr(colon + 1));
+  if (port == 0 || port > 65535) usage();
+  return {s.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+PeerSpec parse_peer(const std::string& s) {
+  const std::size_t eq = s.find('=');
+  if (eq == std::string::npos || eq == 0) usage();
+  PeerSpec peer;
+  peer.name = s.substr(0, eq);
+  std::tie(peer.host, peer.port) = parse_hostport(s.substr(eq + 1));
+  return peer;
+}
+
+/// Deterministic node identity from a peer name. The mapping is part of
+/// the deployment contract: every process derives the same NodeId for the
+/// same name, so the address book needs no coordination service.
+///   sequencer -> 1, primaryN -> 1+N (N in 1..8), publisher -> 10,
+///   secondaryN -> 10+N, clientN -> 20+N (N in 1..9).
+struct NodeName {
+  std::string role;       // sequencer|primary|secondary|publisher|client
+  std::size_t index = 0;  // the N suffix (0 for sequencer/publisher)
+  net::NodeId id;
+};
+
+std::optional<NodeName> resolve_name(const std::string& name) {
+  const auto suffix_index = [&](const std::string& prefix,
+                                std::size_t max_n) -> std::optional<std::size_t> {
+    const std::string digits = name.substr(prefix.size());
+    if (digits.empty() || digits.size() > 1) return std::nullopt;
+    if (digits[0] < '1' || digits[0] > '9') return std::nullopt;
+    const std::size_t n = static_cast<std::size_t>(digits[0] - '0');
+    if (n > max_n) return std::nullopt;
+    return n;
+  };
+  if (name == "sequencer") return NodeName{"sequencer", 0, net::NodeId{1}};
+  if (name == "publisher") return NodeName{"publisher", 0, net::NodeId{10}};
+  if (name.rfind("primary", 0) == 0) {
+    if (auto n = suffix_index("primary", 8)) {
+      return NodeName{"primary", *n, net::NodeId{static_cast<std::uint32_t>(1 + *n)}};
+    }
+  }
+  if (name.rfind("secondary", 0) == 0) {
+    if (auto n = suffix_index("secondary", 9)) {
+      return NodeName{"secondary", *n,
+                      net::NodeId{static_cast<std::uint32_t>(10 + *n)}};
+    }
+  }
+  if (name.rfind("client", 0) == 0) {
+    if (auto n = suffix_index("client", 9)) {
+      return NodeName{"client", *n,
+                      net::NodeId{static_cast<std::uint32_t>(20 + *n)}};
+    }
+  }
+  return std::nullopt;
+}
+
+/// Join stagger: the sequencer must bootstrap before anyone joins, and the
+/// publisher must join the primary group *last* so the lazy-publisher role
+/// (the last primary-view member) lands on it. Offsets are from this
+/// process's own startup; the 1 s gcs join retry absorbs skew between
+/// process launches.
+sim::Duration start_delay(const NodeName& self) {
+  if (self.role == "sequencer") return sim::Duration::zero();
+  if (self.role == "primary") {
+    return std::chrono::milliseconds(300 + 100 * self.index);
+  }
+  if (self.role == "secondary") {
+    return std::chrono::milliseconds(600 + 100 * self.index);
+  }
+  if (self.role == "publisher") return std::chrono::milliseconds(1500);
+  return std::chrono::milliseconds(2000);  // client workloads start last
+}
+
+struct MultiprocOptions {
+  std::string role;
+  std::string listen;
+  std::vector<PeerSpec> peers;
+  double duration_s = 10.0;
+  std::size_t requests = 15;
+  std::uint64_t seed = 42;
+  std::string json_out = "BENCH_live.json";
+  bool write_json = true;
+};
+
+int run_multiproc(const MultiprocOptions& opt) {
+  if (opt.listen.empty() || opt.peers.empty()) usage();
+  const auto [listen_host, listen_port] = parse_hostport(opt.listen);
+
+  // This process is the address-book entry whose endpoint matches
+  // --listen; the entry's name fixes the NodeId and (via the role prefix)
+  // must agree with --role.
+  std::optional<NodeName> self;
+  std::string self_name;
+  net::UdpConfig ucfg;
+  for (const PeerSpec& peer : opt.peers) {
+    const auto resolved = resolve_name(peer.name);
+    if (!resolved) {
+      std::fprintf(stderr, "live_cli: unknown peer name '%s'\n",
+                   peer.name.c_str());
+      return 2;
+    }
+    ucfg.peers.push_back(net::UdpPeer{resolved->id, peer.host, peer.port});
+    if (peer.host == listen_host && peer.port == listen_port) {
+      self = resolved;
+      self_name = peer.name;
+    }
+  }
+  if (!self) {
+    std::fprintf(stderr, "live_cli: --listen %s matches no --peer entry\n",
+                 opt.listen.c_str());
+    return 2;
+  }
+  if (self->role != opt.role) {
+    std::fprintf(stderr, "live_cli: --role %s but --listen names '%s'\n",
+                 opt.role.c_str(), self_name.c_str());
+    return 2;
+  }
+  ucfg.local_id = self->id;
+  ucfg.listen_host = listen_host;
+  ucfg.listen_port = listen_port;
+
+  // Receiving serialized frames requires the decoders of every layer in
+  // the stack (replication's registration pulls in gcs's).
+  replication::register_wire_codecs();
+
+  auto exec = runtime::make_executor(runtime::Kind::kRealTime, opt.seed);
+  net::UdpTransport transport(*exec, ucfg);
+
+  // Per-process join directory: everyone but the sequencer is told where
+  // the groups' coordinator lives; the sequencer finds its directory empty,
+  // claims the groups, and bootstraps singleton views.
+  const auto groups = replication::ServiceGroups::for_service(1);
+  gcs::Directory directory;
+  const net::NodeId sequencer_id{1};
+  if (self->id != sequencer_id) {
+    directory.update(groups.primary, sequencer_id);
+    directory.update(groups.replication, sequencer_id);
+    directory.update(groups.qos, sequencer_id);
+  }
+  gcs::Endpoint endpoint(*exec, transport, directory, gcs::Config{});
+
+  const sim::TimePoint deadline = runtime::kEpoch + sim::from_sec(opt.duration_s);
+  std::printf("live_cli[%s]: node n%u listening on %s:%u, %zu peers, %.1fs\n",
+              self_name.c_str(), self->id.value(), listen_host.c_str(),
+              listen_port, ucfg.peers.size(), opt.duration_s);
+
+  int exit_code = 0;
+  std::uint64_t completed = 0;
+  double failure_rate = 0.0;
+
+  const auto write_report = [&](const std::function<void(obs::JsonWriter&)>& extra) {
+    if (!opt.write_json) return;
+    std::ofstream out(opt.json_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_out.c_str());
+      exit_code = 1;
+      return;
+    }
+    const net::TransportStats tstats = transport.stats();
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.field("bench", "live_multiproc");
+    w.field("role", opt.role);
+    w.field("name", self_name);
+    w.field("node", std::uint64_t{self->id.value()});
+    w.field("seed", opt.seed);
+    w.field("elapsed_s", sim::to_sec(exec->now() - runtime::kEpoch));
+    w.field("messages_sent", tstats.messages_sent);
+    w.field("messages_delivered", tstats.messages_delivered);
+    w.field("decode_errors", tstats.decode_errors);
+    w.field("bytes_sent", tstats.bytes_sent);
+    extra(w);
+    w.end_object();
+    out << "\n";
+    std::printf("wrote %s\n", opt.json_out.c_str());
+  };
+
+  if (opt.role == "client") {
+    harness::ClientSpec spec;
+    spec.qos = {.staleness_threshold = self->index % 2 == 1 ? 1u : 4u,
+                .deadline = std::chrono::milliseconds(
+                    self->index % 2 == 1 ? 150 : 250),
+                .min_probability = self->index % 2 == 1 ? 0.9 : 0.5};
+    spec.request_delay = std::chrono::milliseconds(50);
+    spec.num_requests = opt.requests;
+    harness::WorkloadClient workload(*exec, endpoint, groups, std::move(spec),
+                                     /*window_size=*/20);
+    exec->after(start_delay(*self), [&] { workload.start(); });
+    // Poll for completion so a finished workload exits without burning the
+    // full duration cap; the cap still bounds a stuck run.
+    std::function<void()> check = [&] {
+      if (workload.done()) {
+        exec->stop();
+        return;
+      }
+      exec->after(std::chrono::milliseconds(100), check);
+    };
+    exec->after(std::chrono::milliseconds(100), check);
+    exec->run_until(deadline);
+
+    const harness::ClientResult result = workload.result();
+    const auto& stats = result.stats;
+    completed = stats.reads_completed + stats.updates_completed;
+    std::uint64_t timing_failures = stats.timing_failures;
+    failure_rate = stats.reads_completed > 0
+                       ? static_cast<double>(timing_failures) /
+                             static_cast<double>(stats.reads_completed)
+                       : 0.0;
+    std::printf(
+        "%s: %llu reads, %llu updates, %llu timing failures "
+        "(rate %.3f), avg read %.1f ms\n",
+        self_name.c_str(),
+        static_cast<unsigned long long>(stats.reads_completed),
+        static_cast<unsigned long long>(stats.updates_completed),
+        static_cast<unsigned long long>(timing_failures), failure_rate,
+        sim::to_ms(stats.avg_response_time()));
+    write_report([&](obs::JsonWriter& w) {
+      w.field("requests_completed", completed);
+      w.field("reads_completed", stats.reads_completed);
+      w.field("timing_failure_rate", failure_rate);
+    });
+    if (completed == 0) {
+      std::fprintf(stderr, "FAIL[%s]: no request completed\n",
+                   self_name.c_str());
+      exit_code = 1;
+    }
+  } else {
+    const bool is_primary = opt.role != "secondary";
+    replication::ReplicaConfig rcfg;
+    rcfg.service_time = std::make_shared<sim::NormalDuration>(
+        std::chrono::milliseconds(20), std::chrono::milliseconds(5));
+    rcfg.lazy_update_interval = std::chrono::milliseconds(500);
+    replication::ReplicaServer server(
+        *exec, endpoint, groups, is_primary,
+        std::make_unique<replication::KeyValueStore>(), rcfg);
+    exec->after(start_delay(*self), [&] { server.start(); });
+    exec->run_until(deadline);
+
+    const auto& store =
+        dynamic_cast<const replication::KeyValueStore&>(server.object());
+    const auto& rstats = server.stats();
+    std::printf(
+        "%s: csn=%llu gsn=%llu store_version=%llu conflicts=%llu "
+        "lazy_published=%llu recovering=%d\n",
+        self_name.c_str(), static_cast<unsigned long long>(server.csn()),
+        static_cast<unsigned long long>(server.gsn()),
+        static_cast<unsigned long long>(store.version()),
+        static_cast<unsigned long long>(rstats.gsn_conflicts),
+        static_cast<unsigned long long>(rstats.lazy_updates_published),
+        server.recovering() ? 1 : 0);
+    // Local committed-prefix checks; cross-process CSN agreement is
+    // asserted by tools/live_smoke.py over the per-process reports.
+    if (rstats.gsn_conflicts != 0) {
+      std::fprintf(stderr, "FAIL[%s]: %llu gsn conflicts\n", self_name.c_str(),
+                   static_cast<unsigned long long>(rstats.gsn_conflicts));
+      exit_code = 1;
+    }
+    if (is_primary && !server.recovering() &&
+        store.version() != server.csn()) {
+      std::fprintf(stderr,
+                   "FAIL[%s]: applied %llu updates but committed %llu\n",
+                   self_name.c_str(),
+                   static_cast<unsigned long long>(store.version()),
+                   static_cast<unsigned long long>(server.csn()));
+      exit_code = 1;
+    }
+    write_report([&](obs::JsonWriter& w) {
+      w.field("csn", server.csn());
+      w.field("gsn", server.gsn());
+      w.field("store_version", store.version());
+      w.field("gsn_conflicts", rstats.gsn_conflicts);
+      w.field("is_primary", is_primary);
+      w.field("recovering", server.recovering());
+    });
+  }
+  return exit_code;
+}
+
+// ---------------------------------------------------------------------------
+// Single-process mode (the original live scenario)
+// ---------------------------------------------------------------------------
 
 /// One console line per snapshot: elapsed time, request progress (total and
 /// delta since the previous snapshot), SLA violations so far.
@@ -130,6 +485,7 @@ int check_agreement(harness::Scenario& scenario) {
 
 int main(int argc, char** argv) {
   double duration_s = 2.0;
+  bool duration_set = false;
   std::size_t requests = 15;
   std::uint64_t seed = 42;
   runtime::Kind kind = runtime::Kind::kRealTime;
@@ -138,6 +494,9 @@ int main(int argc, char** argv) {
   std::string telemetry_out;  // empty = console only
   double telemetry_period_ms = 100.0;
   std::string prom_out;  // empty = no Prometheus dump
+  std::string role;
+  std::string listen;
+  std::vector<PeerSpec> peers;
 
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage();
@@ -146,11 +505,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--duration") {
-      duration_s = std::stod(next_value(i));
+      duration_s = parse_double(next_value(i));
+      if (duration_s <= 0.0) usage();
+      duration_set = true;
     } else if (arg == "--requests") {
-      requests = std::stoul(next_value(i));
+      requests = static_cast<std::size_t>(parse_u64(next_value(i)));
     } else if (arg == "--seed") {
-      seed = std::stoull(next_value(i));
+      seed = parse_u64(next_value(i));
     } else if (arg == "--runtime") {
       const std::string name = next_value(i);
       if (name == "real") {
@@ -167,13 +528,38 @@ int main(int argc, char** argv) {
     } else if (arg == "--telemetry-out") {
       telemetry_out = next_value(i);
     } else if (arg == "--telemetry-period") {
-      telemetry_period_ms = std::stod(next_value(i));
+      telemetry_period_ms = parse_double(next_value(i));
       if (telemetry_period_ms <= 0.0) usage();
     } else if (arg == "--prom-out") {
       prom_out = next_value(i);
+    } else if (arg == "--role") {
+      role = next_value(i);
+      if (role != "sequencer" && role != "primary" && role != "secondary" &&
+          role != "publisher" && role != "client") {
+        usage();
+      }
+    } else if (arg == "--listen") {
+      listen = next_value(i);
+    } else if (arg == "--peer") {
+      peers.push_back(parse_peer(next_value(i)));
     } else {
       usage();
     }
+  }
+
+  if (!role.empty() || !listen.empty() || !peers.empty()) {
+    if (role.empty()) usage();
+    if (!telemetry_out.empty() || !prom_out.empty()) usage();
+    MultiprocOptions opt;
+    opt.role = role;
+    opt.listen = listen;
+    opt.peers = std::move(peers);
+    opt.duration_s = duration_set ? duration_s : 10.0;
+    opt.requests = requests;
+    opt.seed = seed;
+    opt.json_out = json_out;
+    opt.write_json = write_json;
+    return run_multiproc(opt);
   }
 
   // A small cluster with fast service times so a couple of wall-clock

@@ -15,7 +15,7 @@
 
 #include "client/handler.hpp"
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
 #include "sim/simulator.hpp"
@@ -26,7 +26,7 @@ using namespace std::chrono_literals;
 int main() {
   // --- 1. The simulated LAN -------------------------------------------------
   sim::Simulator sim(/*seed=*/2026);
-  net::Network lan(sim, std::make_unique<sim::NormalDuration>(500us, 200us));
+  net::LoopbackTransport lan(sim, std::make_unique<sim::NormalDuration>(500us, 200us));
   gcs::Directory directory;
   const auto groups = replication::ServiceGroups::for_service(1);
 

@@ -14,7 +14,7 @@
 
 #include "client/handler.hpp"
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
 #include "sim/simulator.hpp"
@@ -24,7 +24,7 @@ using namespace std::chrono_literals;
 
 int main() {
   sim::Simulator sim(99);
-  net::Network lan(sim, std::make_unique<sim::NormalDuration>(400us, 150us));
+  net::LoopbackTransport lan(sim, std::make_unique<sim::NormalDuration>(400us, 150us));
   gcs::Directory directory;
   const auto groups = replication::ServiceGroups::for_service(1);
 

@@ -211,14 +211,15 @@ void apply(const FaultSchedule& schedule, runtime::Executor& exec,
                                event.kind != FaultKind::kRestart;
     if (needs_network) {
       AQUEDUCT_CHECK_MSG(shared->network != nullptr,
-                         "network-affecting fault without a Network target");
+                         "network-affecting fault without a FaultInjection "
+                         "target (real transports have none)");
       AQUEDUCT_CHECK_MSG(static_cast<bool>(shared->node_id) ||
                              event.kind == FaultKind::kLoss ||
                              event.kind == FaultKind::kHeal,
                          "fault schedule needs a node_id resolver");
     }
     exec.at(sim::kEpoch + event.at, [event, shared, &exec] {
-      net::Network* net = shared->network;
+      net::FaultInjection* net = shared->network;
       switch (event.kind) {
         case FaultKind::kCrash:
           AQUEDUCT_CHECK_MSG(static_cast<bool>(shared->crash),

@@ -8,14 +8,14 @@
 // be printed, compared across runs, and replayed bit-identically.
 //
 // Schedules are pure data until apply() binds them to a concrete run via
-// FaultTargets (callbacks into the harness plus the Network to mutate).
+// FaultTargets (callbacks into the harness plus the transport FaultInjection surface to mutate).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "net/node.hpp"
 #include "runtime/executor.hpp"
 #include "sim/random.hpp"
@@ -127,7 +127,7 @@ struct FaultTargets {
   std::function<void(std::size_t)> crash;
   std::function<void(std::size_t)> restart;
   std::function<net::NodeId(std::size_t)> node_id;
-  net::Network* network = nullptr;
+  net::FaultInjection* network = nullptr;
   std::size_t num_replicas = 0;
 };
 

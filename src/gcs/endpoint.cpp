@@ -25,14 +25,14 @@ GroupId group_of(const net::MessagePtr& msg) {
 
 }  // namespace
 
-Endpoint::Endpoint(runtime::Executor& exec, net::Network& network,
+Endpoint::Endpoint(runtime::Executor& exec, net::Transport& transport,
                    Directory& directory, Config config)
-    : exec_(exec), network_(network), directory_(directory), config_(config) {
-  id_ = network_.attach(*this);
+    : exec_(exec), transport_(transport), directory_(directory), config_(config) {
+  id_ = transport_.attach(*this);
 }
 
 Endpoint::~Endpoint() {
-  if (!crashed_) network_.detach(id_);
+  if (!crashed_) transport_.detach(id_);
 }
 
 Member& Endpoint::member(GroupId group) {
@@ -43,9 +43,9 @@ Member& Endpoint::member(GroupId group) {
     auto member = std::make_unique<Member>(
         exec_, directory_, config_, group, id_,
         [this](net::NodeId to, net::MessagePtr msg) {
-          if (!crashed_) network_.send(id_, to, std::move(msg));
+          if (!crashed_) transport_.send(id_, to, std::move(msg));
         },
-        &network_.observability());
+        &transport_.observability());
     it = members_.emplace(group, std::move(member)).first;
   }
   return *it->second;
@@ -54,7 +54,7 @@ Member& Endpoint::member(GroupId group) {
 void Endpoint::crash() {
   if (crashed_) return;
   crashed_ = true;
-  network_.detach(id_);
+  transport_.detach(id_);
   for (auto& [group, member] : members_) member->stop();
 }
 
@@ -64,7 +64,7 @@ net::NodeId Endpoint::reincarnate() {
   // PeriodicTasks are already stopped and their send callbacks would use
   // the *new* id, so they must not survive into the new incarnation.
   members_.clear();
-  id_ = network_.attach(*this);
+  id_ = transport_.attach(*this);
   crashed_ = false;
   ++incarnation_;
   return id_;

@@ -12,16 +12,16 @@
 #include "gcs/directory.hpp"
 #include "gcs/member.hpp"
 #include "gcs/types.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "runtime/executor.hpp"
 
 namespace aqueduct::gcs {
 
 class Endpoint final : public net::Endpoint {
  public:
-  /// Attaches a new process to `network`. All processes of one simulation
+  /// Attaches a new process to `transport`. All processes of one simulation
   /// share the same Directory (the bootstrap name service).
-  Endpoint(runtime::Executor& exec, net::Network& network, Directory& directory,
+  Endpoint(runtime::Executor& exec, net::Transport& transport, Directory& directory,
            Config config = {});
   ~Endpoint() override;
 
@@ -35,13 +35,13 @@ class Endpoint final : public net::Endpoint {
   /// True if this process participates in `group` (join() was called).
   bool has_member(GroupId group) const { return members_.contains(group); }
 
-  /// Fail-stop crash: detaches from the network and stops all members.
+  /// Fail-stop crash: detaches from the transport and stops all members.
   /// A crashed endpoint never resumes its old identity — recovery goes
   /// through reincarnate(), which makes it a *new* process.
   void crash();
 
   /// Rebirth after crash(): discards all group members of the dead
-  /// incarnation, re-attaches to the network under a fresh NodeId, and
+  /// incarnation, re-attaches to the transport under a fresh NodeId, and
   /// bumps the incarnation counter. The reborn process shares nothing with
   /// its predecessor but the Endpoint object itself — it must join its
   /// groups again, and the GCS garbage-collects the dead incarnation's
@@ -58,16 +58,16 @@ class Endpoint final : public net::Endpoint {
   /// already unique per incarnation — the counter is for observability).
   std::uint32_t incarnation() const { return incarnation_; }
   runtime::Executor& executor() { return exec_; }
-  net::Network& network() { return network_; }
-  /// The simulation-wide observability context (owned by the network).
-  obs::Observability& observability() { return network_.observability(); }
+  net::Transport& transport() { return transport_; }
+  /// The simulation-wide observability context (owned by the transport).
+  obs::Observability& observability() { return transport_.observability(); }
 
   // net::Endpoint
   void on_message(net::NodeId from, net::MessagePtr msg) override;
 
  private:
   runtime::Executor& exec_;
-  net::Network& network_;
+  net::Transport& transport_;
   Directory& directory_;
   Config config_;
   net::NodeId id_;

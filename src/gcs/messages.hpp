@@ -1,7 +1,11 @@
 // Wire messages of the group-communication protocol.
 //
-// In a real deployment these would be serialized; in the simulator they are
-// immutable heap objects shared between sender buffers and receivers.
+// In the simulator they travel as immutable heap objects shared between
+// sender buffers and receivers; over a socket transport they are framed by
+// the wire codec. Each type carries a stable wire id (kWire* below) and an
+// encode() override; the matching decoders are registered by
+// gcs::register_wire_codecs() (gcs/codec.cpp). Wire ids are append-only:
+// never renumber, never reuse.
 #pragma once
 
 #include <cstdint>
@@ -10,10 +14,27 @@
 #include <vector>
 
 #include "gcs/types.hpp"
+#include "net/codec.hpp"
 #include "net/message.hpp"
 #include "net/node.hpp"
 
 namespace aqueduct::gcs {
+
+// Wire type ids of the gcs layer (block 0x1*).
+inline constexpr net::WireTypeId kWireData = 0x11;
+inline constexpr net::WireTypeId kWireHeartbeat = 0x12;
+inline constexpr net::WireTypeId kWireNack = 0x13;
+inline constexpr net::WireTypeId kWireJoin = 0x14;
+inline constexpr net::WireTypeId kWireLeave = 0x15;
+inline constexpr net::WireTypeId kWireSuspect = 0x16;
+inline constexpr net::WireTypeId kWirePropose = 0x17;
+inline constexpr net::WireTypeId kWireFlush = 0x18;
+inline constexpr net::WireTypeId kWireInstall = 0x19;
+
+/// Registers every gcs decoder in the global net::CodecRegistry.
+/// Idempotent; composition roots that receive serialized frames call it
+/// once at startup.
+void register_wire_codecs();
 
 /// Application payload wrapped for reliable FIFO delivery.
 ///
@@ -31,9 +52,8 @@ struct DataMsg final : net::Message {
   net::MessagePtr payload;
 
   std::string type_name() const override { return "gcs.data"; }
-  std::size_t wire_size() const override {
-    return 48 + (payload ? payload->wire_size() : 0);
-  }
+  net::WireTypeId wire_type() const override { return kWireData; }
+  void encode(net::Writer& w) const override;
 };
 
 using DataMsgPtr = std::shared_ptr<const DataMsg>;
@@ -55,9 +75,8 @@ struct HeartbeatMsg final : net::Message {
   std::map<net::NodeId, std::uint64_t> p2p_acks;
 
   std::string type_name() const override { return "gcs.heartbeat"; }
-  std::size_t wire_size() const override {
-    return 32 + 16 * (my_p2p_seq.size() + mcast_acks.size() + p2p_acks.size());
-  }
+  net::WireTypeId wire_type() const override { return kWireHeartbeat; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Retransmission request: "re-send your {mcast|p2p} messages in
@@ -69,18 +88,24 @@ struct NackMsg final : net::Message {
   std::uint64_t to_seq = 0;
 
   std::string type_name() const override { return "gcs.nack"; }
+  net::WireTypeId wire_type() const override { return kWireNack; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Sent by a process that wants to join the group, to the coordinator.
 struct JoinMsg final : net::Message {
   GroupId group;
   std::string type_name() const override { return "gcs.join"; }
+  net::WireTypeId wire_type() const override { return kWireJoin; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Graceful leave notice, to the coordinator.
 struct LeaveMsg final : net::Message {
   GroupId group;
   std::string type_name() const override { return "gcs.leave"; }
+  net::WireTypeId wire_type() const override { return kWireLeave; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Failure notification: "I suspect `suspect` has crashed", sent to the
@@ -89,6 +114,8 @@ struct SuspectMsg final : net::Message {
   GroupId group;
   net::NodeId suspect;
   std::string type_name() const override { return "gcs.suspect"; }
+  net::WireTypeId wire_type() const override { return kWireSuspect; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Phase 1 of the view change: the coordinator proposes a new membership.
@@ -98,6 +125,8 @@ struct ProposeMsg final : net::Message {
   std::uint64_t proposal = 0;  // monotone per group; becomes the new ViewId
   std::vector<net::NodeId> members;
   std::string type_name() const override { return "gcs.propose"; }
+  net::WireTypeId wire_type() const override { return kWirePropose; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Phase 1 reply: everything this member knows about the multicast streams,
@@ -111,11 +140,8 @@ struct FlushMsg final : net::Message {
   /// messages, buffered out-of-order messages, and its own unstable sends.
   std::vector<DataMsgPtr> held;
   std::string type_name() const override { return "gcs.flush"; }
-  std::size_t wire_size() const override {
-    std::size_t n = 32 + 16 * delivered.size();
-    for (const auto& m : held) n += m->wire_size();
-    return n;
-  }
+  net::WireTypeId wire_type() const override { return kWireFlush; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Phase 2: the coordinator installs the new view. Members first deliver
@@ -131,11 +157,8 @@ struct InstallMsg final : net::Message {
   /// Copies of every unstable message known to any flushed member.
   std::vector<DataMsgPtr> resolution;
   std::string type_name() const override { return "gcs.install"; }
-  std::size_t wire_size() const override {
-    std::size_t n = 64 + 16 * deliver_up_to.size() + 8 * view.members.size();
-    for (const auto& m : resolution) n += m->wire_size();
-    return n;
-  }
+  net::WireTypeId wire_type() const override { return kWireInstall; }
+  void encode(net::Writer& w) const override;
 };
 
 }  // namespace aqueduct::gcs

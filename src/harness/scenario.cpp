@@ -97,16 +97,16 @@ Scenario::~Scenario() = default;
 
 void Scenario::build() {
   exec_ = runtime::make_executor(config_.runtime, config_.seed);
-  network_ = std::make_unique<net::Network>(
+  transport_ = net::make_loopback_transport(
       *exec_, std::make_unique<sim::NormalDuration>(config_.net_latency_mean,
-                                                   config_.net_latency_std));
+                                                    config_.net_latency_std));
 
   // The sequencer (slot 0) is the first primary-group joiner (rank 0 =
   // leader), then primaries, then secondaries.
   const std::size_t num_servers =
       1 + config_.num_primaries + config_.num_secondaries;
   for (std::size_t index = 0; index < num_servers; ++index) {
-    auto endpoint = std::make_unique<gcs::Endpoint>(*exec_, *network_,
+    auto endpoint = std::make_unique<gcs::Endpoint>(*exec_, *transport_,
                                                     directory_, config_.gcs);
     replicas_.push_back(make_replica_server(index, *endpoint));
     endpoints_.push_back(std::move(endpoint));
@@ -114,7 +114,7 @@ void Scenario::build() {
   incarnations_.assign(num_servers, 0);
 
   for (const ClientSpec& spec : config_.clients) {
-    auto endpoint = std::make_unique<gcs::Endpoint>(*exec_, *network_,
+    auto endpoint = std::make_unique<gcs::Endpoint>(*exec_, *transport_,
                                                     directory_, config_.gcs);
     workloads_.push_back(std::make_unique<WorkloadClient>(
         *exec_, *endpoint, groups_, spec, config_.window_size));
@@ -277,7 +277,7 @@ void Scenario::apply_faults(const fault::FaultSchedule& schedule) {
   targets.crash = [this](std::size_t i) { crash_replica(i); };
   targets.restart = [this](std::size_t i) { restart_replica(i); };
   targets.node_id = [this](std::size_t i) { return replica_node(i); };
-  targets.network = network_.get();
+  targets.network = transport_->fault_injection();
   targets.num_replicas = replicas_.size();
   fault::apply(schedule, *exec_, std::move(targets));
 }

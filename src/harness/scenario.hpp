@@ -1,4 +1,4 @@
-// Experiment scenario: builds the full simulated testbed — network, group
+// Experiment scenario: builds the full simulated testbed — transport, group
 // communication, sequencer + primary + secondary replicas, and workload
 // clients — and runs it to completion.
 //
@@ -23,7 +23,7 @@
 #include "gcs/config.hpp"
 #include "gcs/directory.hpp"
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "obs/snapshot.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
@@ -165,12 +165,14 @@ class Scenario {
 
   runtime::Executor& executor() { return *exec_; }
   replication::ReplicaServer& replica(std::size_t index) { return *replicas_.at(index); }
-  /// Snapshot of the network counters (assembled from the metrics registry).
-  net::NetworkStats network_stats() const { return network_->stats(); }
-  net::Network& network() { return *network_; }
+  /// Snapshot of the transport counters (assembled from the metrics
+  /// registry).
+  net::TransportStats transport_stats() const { return transport_->stats(); }
+  /// The loopback transport every scenario process is attached to.
+  net::Transport& transport() { return *transport_; }
   /// The simulation-wide metrics registry + trace hub. Register trace
   /// sinks here before run().
-  obs::Observability& observability() { return network_->observability(); }
+  obs::Observability& observability() { return transport_->observability(); }
 
   /// Enables periodic telemetry: a MetricsSnapshotter on this scenario's
   /// executor capturing the registry every `period` (simulated time under
@@ -195,7 +197,7 @@ class Scenario {
 
   ScenarioConfig config_;
   std::unique_ptr<runtime::Executor> exec_;
-  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::Transport> transport_;
   gcs::Directory directory_;
   replication::ServiceGroups groups_ = replication::ServiceGroups::for_service(1);
   std::vector<std::unique_ptr<gcs::Endpoint>> endpoints_;

@@ -1,0 +1,103 @@
+#include "net/codec.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::net {
+
+void Message::encode(Writer&) const {
+  throw CodecError("message type '" + type_name() + "' is not codec-enabled");
+}
+
+std::size_t Message::wire_size() const {
+  if (wire_type() == 0) return 64;  // nominal size for non-wire types
+  try {
+    Writer w;
+    encode_frame(*this, w);
+    return w.size();
+  } catch (const CodecError&) {
+    // A codec-enabled envelope carrying a non-encodable payload (tests
+    // wrap ad-hoc local messages in gcs frames): fall back to the nominal
+    // estimate rather than poison bandwidth accounting.
+    return 64;
+  }
+}
+
+CodecRegistry& CodecRegistry::global() {
+  static CodecRegistry registry;
+  return registry;
+}
+
+void CodecRegistry::add(WireTypeId id, std::string type_name, DecodeFn decode) {
+  AQUEDUCT_CHECK_MSG(id != 0, "wire type id 0 is reserved");
+  auto [it, inserted] = entries_.emplace(id, Entry{std::move(type_name), decode});
+  if (!inserted) {
+    // Idempotent re-registration (several composition roots may register
+    // the same layer); a *different* decoder under the same id is a
+    // protocol-definition bug.
+    AQUEDUCT_CHECK_MSG(it->second.decode == decode,
+                       "conflicting decoder for wire type id");
+  }
+}
+
+std::vector<WireTypeId> CodecRegistry::ids() const {
+  std::vector<WireTypeId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  return out;
+}
+
+void encode_frame(const Message& msg, Writer& w) {
+  const WireTypeId id = msg.wire_type();
+  if (id == 0) {
+    throw CodecError("message type '" + msg.type_name() +
+                     "' is not codec-enabled");
+  }
+  w.u32(kWireMagic);
+  w.u8(kWireVersion);
+  w.u32(id);
+  const std::size_t len_offset = w.size();
+  w.u32(0);  // payload length, patched below
+  const std::size_t body_start = w.size();
+  msg.encode(w);
+  w.patch_u32(len_offset, static_cast<std::uint32_t>(w.size() - body_start));
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& msg) {
+  Writer w;
+  encode_frame(msg, w);
+  return w.bytes();
+}
+
+MessagePtr decode_frame(Reader& r, const CodecRegistry& registry) {
+  if (r.u32() != kWireMagic) throw CodecError("bad frame magic");
+  const std::uint8_t version = r.u8();
+  if (version != kWireVersion) {
+    throw CodecError("unsupported wire version " + std::to_string(version));
+  }
+  const WireTypeId id = r.u32();
+  const std::uint32_t len = r.u32();
+  if (len > r.remaining()) throw CodecError("frame length exceeds input");
+  const CodecRegistry::DecodeFn decode = registry.find(id);
+  if (decode == nullptr) {
+    throw CodecError("unknown wire type id " + std::to_string(id));
+  }
+  Reader body = r.sub(len);
+  MessagePtr msg = decode(body);
+  AQUEDUCT_CHECK(msg != nullptr);
+  if (!body.done()) throw CodecError("decoder left trailing payload bytes");
+  return msg;
+}
+
+void encode_nested(Writer& w, const MessagePtr& msg) {
+  w.boolean(msg != nullptr);
+  if (msg) encode_frame(*msg, w);
+}
+
+MessagePtr decode_nested(Reader& r, const CodecRegistry& registry) {
+  if (!r.boolean()) return nullptr;
+  return decode_frame(r, registry);
+}
+
+}  // namespace aqueduct::net

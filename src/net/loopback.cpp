@@ -1,4 +1,4 @@
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 
 #include <algorithm>
 #include <utility>
@@ -7,8 +7,9 @@
 
 namespace aqueduct::net {
 
-Network::Network(runtime::Executor& exec,
-                 std::unique_ptr<sim::DurationDistribution> default_latency)
+LoopbackTransport::LoopbackTransport(
+    runtime::Executor& exec,
+    std::unique_ptr<sim::DurationDistribution> default_latency)
     : exec_(exec),
       rng_(exec.rng().split()),
       default_latency_(std::move(default_latency)),
@@ -22,8 +23,8 @@ Network::Network(runtime::Executor& exec,
   AQUEDUCT_CHECK(default_latency_ != nullptr);
 }
 
-NetworkStats Network::stats() const {
-  NetworkStats s;
+TransportStats LoopbackTransport::stats() const {
+  TransportStats s;
   s.messages_sent = c_sent_.value();
   s.messages_delivered = c_delivered_.value();
   s.messages_dropped_loss = c_dropped_loss_.value();
@@ -33,44 +34,44 @@ NetworkStats Network::stats() const {
   return s;
 }
 
-NodeId Network::attach(Endpoint& endpoint) {
+NodeId LoopbackTransport::attach(Endpoint& endpoint) {
   const NodeId id{next_id_++};
   endpoints_.emplace(id, &endpoint);
   return id;
 }
 
-void Network::detach(NodeId id) { endpoints_.erase(id); }
+void LoopbackTransport::detach(NodeId id) { endpoints_.erase(id); }
 
-void Network::set_link_latency(
+void LoopbackTransport::set_link_latency(
     NodeId a, NodeId b, std::shared_ptr<sim::DurationDistribution> latency) {
   AQUEDUCT_CHECK(latency != nullptr);
   link_latency_[{a, b}] = latency;
   link_latency_[{b, a}] = std::move(latency);
 }
 
-void Network::set_node_latency(
+void LoopbackTransport::set_node_latency(
     NodeId node, std::shared_ptr<sim::DurationDistribution> latency) {
   AQUEDUCT_CHECK(latency != nullptr);
   node_latency_[node] = std::move(latency);
 }
 
-void Network::clear_node_latency(NodeId node) { node_latency_.erase(node); }
+void LoopbackTransport::clear_node_latency(NodeId node) { node_latency_.erase(node); }
 
-void Network::set_loss_probability(double p) {
+void LoopbackTransport::set_loss_probability(double p) {
   AQUEDUCT_CHECK(p >= 0.0 && p <= 1.0);
   loss_probability_ = p;
 }
 
-void Network::set_link_loss(NodeId from, NodeId to, double p) {
+void LoopbackTransport::set_link_loss(NodeId from, NodeId to, double p) {
   AQUEDUCT_CHECK(p >= 0.0 && p <= 1.0);
   link_loss_[{from, to}] = p;
 }
 
-void Network::clear_link_loss(NodeId from, NodeId to) {
+void LoopbackTransport::clear_link_loss(NodeId from, NodeId to) {
   link_loss_.erase({from, to});
 }
 
-void Network::set_inbound_loss(NodeId node, double p) {
+void LoopbackTransport::set_inbound_loss(NodeId node, double p) {
   AQUEDUCT_CHECK(p >= 0.0 && p <= 1.0);
   if (p == 0.0) {
     inbound_loss_.erase(node);
@@ -79,7 +80,7 @@ void Network::set_inbound_loss(NodeId node, double p) {
   }
 }
 
-void Network::set_outbound_loss(NodeId node, double p) {
+void LoopbackTransport::set_outbound_loss(NodeId node, double p) {
   AQUEDUCT_CHECK(p >= 0.0 && p <= 1.0);
   if (p == 0.0) {
     outbound_loss_.erase(node);
@@ -88,7 +89,7 @@ void Network::set_outbound_loss(NodeId node, double p) {
   }
 }
 
-double Network::loss_probability(NodeId from, NodeId to) const {
+double LoopbackTransport::loss_probability(NodeId from, NodeId to) const {
   // A per-link override is authoritative (it can also *lower* loss below
   // the node/global level); otherwise the pessimistic max of the sender's
   // outbound, the receiver's inbound, and the global probability governs.
@@ -105,19 +106,19 @@ double Network::loss_probability(NodeId from, NodeId to) const {
   return p;
 }
 
-void Network::partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b) {
+void LoopbackTransport::partition(std::vector<NodeId> side_a, std::vector<NodeId> side_b) {
   partition_a_.clear();
   partition_b_.clear();
   partition_a_.insert(side_a.begin(), side_a.end());
   partition_b_.insert(side_b.begin(), side_b.end());
 }
 
-void Network::heal() {
+void LoopbackTransport::heal() {
   partition_a_.clear();
   partition_b_.clear();
 }
 
-bool Network::partitioned(NodeId a, NodeId b) const {
+bool LoopbackTransport::partitioned(NodeId a, NodeId b) const {
   const bool a_in_a = partition_a_.contains(a);
   const bool a_in_b = partition_b_.contains(a);
   const bool b_in_a = partition_a_.contains(b);
@@ -125,7 +126,7 @@ bool Network::partitioned(NodeId a, NodeId b) const {
   return (a_in_a && b_in_b) || (a_in_b && b_in_a);
 }
 
-sim::Duration Network::sample_latency(NodeId from, NodeId to) {
+sim::Duration LoopbackTransport::sample_latency(NodeId from, NodeId to) {
   if (auto it = link_latency_.find({from, to}); it != link_latency_.end()) {
     return it->second->sample(rng_);
   }
@@ -142,10 +143,10 @@ sim::Duration Network::sample_latency(NodeId from, NodeId to) {
   return default_latency_->sample(rng_);
 }
 
-void Network::tap(NodeId from, NodeId to, const MessagePtr& msg,
+void LoopbackTransport::tap(NodeId from, NodeId to, const MessagePtr& msg,
                   const char* dropped) {
   if (!obs_.trace.active()) return;
-  TraceEvent event;
+  obs::MessageEvent event;
   event.at = exec_.now();
   event.from = from;
   event.to = to;
@@ -155,7 +156,7 @@ void Network::tap(NodeId from, NodeId to, const MessagePtr& msg,
   obs_.trace.message(event);
 }
 
-void Network::send(NodeId from, NodeId to, MessagePtr msg) {
+void LoopbackTransport::send(NodeId from, NodeId to, MessagePtr msg) {
   AQUEDUCT_CHECK(msg != nullptr);
   AQUEDUCT_CHECK_MSG(from.valid() && to.valid(), "send with invalid node id");
   c_sent_.inc();
@@ -191,9 +192,10 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   });
 }
 
-void Network::multicast(NodeId from, const std::vector<NodeId>& to,
-                        const MessagePtr& msg) {
-  for (NodeId dest : to) send(from, dest, msg);
+std::unique_ptr<Transport> make_loopback_transport(
+    runtime::Executor& exec,
+    std::unique_ptr<sim::DurationDistribution> default_latency) {
+  return std::make_unique<LoopbackTransport>(exec, std::move(default_latency));
 }
 
 }  // namespace aqueduct::net

@@ -1,16 +1,30 @@
-// Base message type exchanged over the simulated network.
+// Base message type exchanged over a net::Transport.
 //
 // Protocol layers define concrete messages by deriving from Message; the
 // receiving layer recovers the concrete type with dynamic_pointer_cast.
 // Messages are immutable after send (shared by sender-side retransmission
 // buffers and receivers), hence they travel as shared_ptr<const Message>.
+//
+// Codec surface: a message that can cross a process boundary declares a
+// stable wire type id (wire_type()) and a body encoder (encode()); its
+// decoder is registered in the net::CodecRegistry by the owning layer's
+// register_wire_codecs(). In-process transports never serialize — the
+// codec is exercised only by socket transports and the round-trip tests.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
 namespace aqueduct::net {
+
+class Writer;
+
+/// Stable identifier of a concrete message type on the wire. 0 is
+/// reserved for "not codec-enabled". Ids are assigned once per type and
+/// never reused; see the kWire* constants in each layer's messages header.
+using WireTypeId = std::uint32_t;
 
 class Message {
  public:
@@ -19,10 +33,22 @@ class Message {
   /// Human-readable type tag used in logs and traces.
   virtual std::string type_name() const = 0;
 
-  /// Approximate wire size in bytes. Purely informational: used for
-  /// bandwidth accounting in traces; delivery latency is governed by the
-  /// link's latency model.
-  virtual std::size_t wire_size() const { return 64; }
+  /// The type's stable wire id, or 0 if the message cannot be serialized
+  /// (test-local and process-local types).
+  virtual WireTypeId wire_type() const { return 0; }
+
+  /// Appends the message body (no frame header) to `w`. The default
+  /// throws CodecError; every type with a non-zero wire_type() overrides
+  /// it. Must be the exact inverse of the decoder registered for
+  /// wire_type().
+  virtual void encode(Writer& w) const;
+
+  /// Wire size in bytes, used for bandwidth accounting in traces and the
+  /// protocol-overhead benches; delivery latency is governed by the
+  /// link's latency model. For codec-enabled messages the default derives
+  /// it from the real encoded frame length; types outside the codec fall
+  /// back to a nominal 64 bytes.
+  virtual std::size_t wire_size() const;
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

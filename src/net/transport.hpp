@@ -1,0 +1,176 @@
+// The transport abstraction every protocol layer is written against.
+//
+// A Transport moves immutable messages between attached endpoints. The
+// protocol stack (gcs, replication, client, fault, harness) names only
+// this interface — never a concrete backend — so the same gateway logic
+// runs unmodified over
+//
+//   * LoopbackTransport (net/loopback.hpp) — in-process delivery through
+//     the executor's timer queue with configurable latency models, loss,
+//     partitions, and crashes. Under a SimExecutor this is the paper's
+//     deterministic simulated LAN; under a RealTimeExecutor it is a
+//     loopback with real injected latency.
+//   * UdpTransport (net/udp_transport.hpp) — non-blocking UDP sockets
+//     between OS processes, with a per-peer address book and the wire
+//     codec (net/codec.hpp) for framing. Used by live_cli's multi-process
+//     deployment.
+//
+// The layering lint (tools/check_layering.py) enforces that protocol code
+// includes this header and not the concrete transport headers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/node.hpp"
+#include "obs/observability.hpp"
+#include "runtime/executor.hpp"
+#include "sim/random.hpp"
+
+namespace aqueduct::net {
+
+/// Implemented by anything that can receive messages from a transport.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Invoked (on the executor's loop thread, at the delivery time) for
+  /// each message addressed to this endpoint.
+  virtual void on_message(NodeId from, MessagePtr msg) = 0;
+};
+
+/// Snapshot of the transport counters (assembled from the registry-backed
+/// instruments; see metrics "net.*").
+struct TransportStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped_loss = 0;
+  std::uint64_t messages_dropped_partition = 0;
+  std::uint64_t messages_dropped_detached = 0;
+  /// Sends to a destination the transport has no route for (UDP: not in
+  /// the address book). Always 0 on the loopback.
+  std::uint64_t messages_dropped_unroutable = 0;
+  /// Inbound frames rejected by the wire codec (bad magic/version/type,
+  /// truncation, trailing bytes). Always 0 on the loopback, which never
+  /// serializes.
+  std::uint64_t decode_errors = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Fault-injection surface of a transport that can misbehave on demand.
+/// Only the loopback implements it (failure-injection experiments are
+/// DES-only); real-socket transports return nullptr from
+/// Transport::fault_injection() and suffer only genuine faults.
+class FaultInjection {
+ public:
+  virtual ~FaultInjection() = default;
+
+  /// Overrides the latency model for the (a, b) pair, both directions.
+  virtual void set_link_latency(
+      NodeId a, NodeId b, std::shared_ptr<sim::DurationDistribution> latency) = 0;
+
+  /// Overrides the latency model for every link touching `node` (both
+  /// directions). Models a slow host/NIC, as in the paper's heterogeneous
+  /// 300 MHz–1 GHz testbed.
+  virtual void set_node_latency(
+      NodeId node, std::shared_ptr<sim::DurationDistribution> latency) = 0;
+
+  /// Removes a node-level latency override installed by set_node_latency()
+  /// (links fall back to per-link overrides or the default model). Used by
+  /// fault schedules to end a latency spike.
+  virtual void clear_node_latency(NodeId node) = 0;
+
+  /// Probability in [0, 1] that any given message is silently dropped.
+  virtual void set_loss_probability(double p) = 0;
+
+  /// Directional per-link loss: messages from `from` to `to` (and only in
+  /// that direction) are dropped with probability `p`. Overrides node and
+  /// global loss for that link.
+  virtual void set_link_loss(NodeId from, NodeId to, double p) = 0;
+
+  /// Removes a directional per-link loss override.
+  virtual void clear_link_loss(NodeId from, NodeId to) = 0;
+
+  /// Loss applied to every message *received* by `node` (unless a per-link
+  /// override matches). Composes with outbound/global loss via max.
+  virtual void set_inbound_loss(NodeId node, double p) = 0;
+
+  /// Loss applied to every message *sent* by `node` (unless a per-link
+  /// override matches). Composes with inbound/global loss via max.
+  virtual void set_outbound_loss(NodeId node, double p) = 0;
+
+  /// Effective drop probability the send path would use for (from, to).
+  virtual double loss_probability(NodeId from, NodeId to) const = 0;
+
+  /// Drops all traffic between the two sides until heal() is called.
+  /// Nodes in neither set communicate normally with everyone.
+  virtual void partition(std::vector<NodeId> side_a,
+                         std::vector<NodeId> side_b) = 0;
+
+  /// Removes any active partition.
+  virtual void heal() = 0;
+};
+
+/// Abstract message mover: endpoint attach/detach, unreliable datagram
+/// send/multicast, counters, and the per-process observability context
+/// (metrics registry + multi-subscriber trace hub).
+///
+/// Delivery guarantees: none beyond best effort. Messages can be
+/// reordered, dropped, and (over real sockets) duplicated; reliable
+/// virtually synchronous FIFO delivery is built on top by the gcs layer,
+/// exactly as AQuA builds on Maestro/Ensemble over a physical LAN.
+class Transport {
+ public:
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  virtual ~Transport() = default;
+
+  /// Registers an endpoint and returns its id. The loopback assigns fresh
+  /// ids; socket transports return the process's configured identity. The
+  /// endpoint must outlive the transport or call detach() first.
+  virtual NodeId attach(Endpoint& endpoint) = 0;
+
+  /// Removes the endpoint: all in-flight and future messages to or from it
+  /// are dropped. Used to model fail-stop crashes.
+  virtual void detach(NodeId id) = 0;
+
+  virtual bool is_attached(NodeId id) const = 0;
+
+  /// Sends `msg` from `from` to `to`. Sending to an unknown or detached
+  /// node silently drops (the sender cannot know the destination crashed —
+  /// that is the failure detector's job).
+  virtual void send(NodeId from, NodeId to, MessagePtr msg) = 0;
+
+  /// Sends to each destination individually (unreliable multicast).
+  virtual void multicast(NodeId from, const std::vector<NodeId>& to,
+                         const MessagePtr& msg) {
+    for (NodeId dest : to) send(from, dest, msg);
+  }
+
+  virtual TransportStats stats() const = 0;
+
+  /// Per-process observability context. The transport owns it because it
+  /// is the one object every component of a deployment shares.
+  virtual obs::Observability& observability() = 0;
+  obs::MetricsRegistry& metrics() { return observability().metrics; }
+  obs::TraceHub& tracing() { return observability().trace; }
+
+  virtual runtime::Executor& executor() = 0;
+
+  /// The transport's fault-injection surface, or nullptr if it cannot
+  /// inject faults (real sockets).
+  virtual FaultInjection* fault_injection() { return nullptr; }
+};
+
+/// Builds the in-process loopback backend (a LoopbackTransport) without
+/// naming its header. `default_latency` is sampled independently per
+/// message for every link without an explicit override. This is the
+/// factory composition roots that must stay backend-agnostic (e.g.
+/// harness::Scenario) construct through.
+std::unique_ptr<Transport> make_loopback_transport(
+    runtime::Executor& exec,
+    std::unique_ptr<sim::DurationDistribution> default_latency);
+
+}  // namespace aqueduct::net

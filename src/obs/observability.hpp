@@ -1,5 +1,5 @@
 // Bundle of the per-simulation observability state: the metrics registry,
-// the trace hub, and the SLA monitor. Owned by the net::Network (every
+// the trace hub, and the SLA monitor. Owned by the net::Transport backend (every
 // process of one simulation attaches to exactly one network, so it is the
 // natural shared fabric); higher layers reach it through their endpoint.
 #pragma once

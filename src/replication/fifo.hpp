@@ -33,13 +33,22 @@
 namespace aqueduct::replication {
 
 // ---------------------------------------------------------------------------
-// Wire messages
+// Wire messages (id block 0x3*; registered by
+// replication::register_wire_codecs())
 // ---------------------------------------------------------------------------
+
+inline constexpr net::WireTypeId kWireFifoUpdate = 0x31;
+inline constexpr net::WireTypeId kWireFifoRead = 0x32;
+inline constexpr net::WireTypeId kWireFifoReply = 0x33;
+inline constexpr net::WireTypeId kWireFifoLazy = 0x34;
+inline constexpr net::WireTypeId kWireFifoGroupInfo = 0x35;
 
 struct FifoUpdateRequest final : net::Message {
   RequestId id;
   net::MessagePtr op;
   std::string type_name() const override { return "fifo.update"; }
+  net::WireTypeId wire_type() const override { return kWireFifoUpdate; }
+  void encode(net::Writer& w) const override;
 };
 
 struct FifoReadRequest final : net::Message {
@@ -49,6 +58,8 @@ struct FifoReadRequest final : net::Message {
   /// 0 = no session requirement (any replica state will do).
   std::uint64_t horizon = 0;
   std::string type_name() const override { return "fifo.read"; }
+  net::WireTypeId wire_type() const override { return kWireFifoRead; }
+  void encode(net::Writer& w) const override;
 };
 
 struct FifoReply final : net::Message {
@@ -59,6 +70,8 @@ struct FifoReply final : net::Message {
   sim::Duration t1 = sim::Duration::zero();
   bool deferred = false;
   std::string type_name() const override { return "fifo.reply"; }
+  net::WireTypeId wire_type() const override { return kWireFifoReply; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Lazy state propagation: full snapshot plus the per-client horizons it
@@ -68,9 +81,8 @@ struct FifoLazyUpdate final : net::Message {
   std::map<net::NodeId, std::uint64_t> horizons;
   std::uint64_t lazy_seq = 0;
   std::string type_name() const override { return "fifo.lazy"; }
-  std::size_t wire_size() const override {
-    return 24 + 16 * horizons.size() + (snapshot ? snapshot->wire_size() : 0);
-  }
+  net::WireTypeId wire_type() const override { return kWireFifoLazy; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Role map for the FIFO service (no sequencer role).
@@ -80,6 +92,8 @@ struct FifoGroupInfo final : net::Message {
   std::vector<net::NodeId> secondaries;
   net::NodeId lazy_publisher;
   std::string type_name() const override { return "fifo.groupinfo"; }
+  net::WireTypeId wire_type() const override { return kWireFifoGroupInfo; }
+  void encode(net::Writer& w) const override;
 };
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,24 @@
 
 namespace aqueduct::replication {
 
+// Wire type ids of the sequencer-protocol messages (block 0x2*), the FIFO
+// handler's messages (0x3*, fifo.hpp), and the example replicated objects
+// (0x4*, objects.hpp). Append-only: never renumber, never reuse.
+inline constexpr net::WireTypeId kWireUpdate = 0x21;
+inline constexpr net::WireTypeId kWireRead = 0x22;
+inline constexpr net::WireTypeId kWireGsnAssign = 0x23;
+inline constexpr net::WireTypeId kWireReply = 0x24;
+inline constexpr net::WireTypeId kWireLazyUpdate = 0x25;
+inline constexpr net::WireTypeId kWireStateRequest = 0x26;
+inline constexpr net::WireTypeId kWireStateSnapshot = 0x27;
+inline constexpr net::WireTypeId kWirePerf = 0x28;
+inline constexpr net::WireTypeId kWireGroupInfo = 0x29;
+
+/// Registers every replication-layer decoder (sequencer protocol, FIFO
+/// handler, example objects) in the global net::CodecRegistry, plus the
+/// gcs decoders the transport needs below them. Idempotent.
+void register_wire_codecs();
+
 /// Globally unique request identity: issuing client plus a per-client
 /// counter. Used for GSN assignment, deduplication of retries, and
 /// matching replies.
@@ -42,9 +60,8 @@ struct UpdateRequest final : net::Message {
   RequestId id;
   net::MessagePtr op;
   std::string type_name() const override { return "repl.update"; }
-  std::size_t wire_size() const override {
-    return 32 + (op ? op->wire_size() : 0);
-  }
+  net::WireTypeId wire_type() const override { return kWireUpdate; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Read-only operation, sent to the sequencer plus the selected replica
@@ -56,9 +73,8 @@ struct ReadRequest final : net::Message {
   /// if its state is at most this stale.
   core::Staleness staleness_threshold = 0;
   std::string type_name() const override { return "repl.read"; }
-  std::size_t wire_size() const override {
-    return 40 + (op ? op->wire_size() : 0);
-  }
+  net::WireTypeId wire_type() const override { return kWireRead; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Sequencer broadcast on the replication group. For an update the GSN was
@@ -69,6 +85,8 @@ struct GsnAssign final : net::Message {
   core::Gsn gsn = 0;
   bool is_update = false;
   std::string type_name() const override { return "repl.gsn"; }
+  net::WireTypeId wire_type() const override { return kWireGsnAssign; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Reply from a replica to the issuing client. Carries the piggybacked
@@ -94,9 +112,8 @@ struct Reply final : net::Message {
   /// staleness bound end to end.
   core::Staleness staleness = 0;
   std::string type_name() const override { return "repl.reply"; }
-  std::size_t wire_size() const override {
-    return 88 + (result ? result->wire_size() : 0);
-  }
+  net::WireTypeId wire_type() const override { return kWireReply; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Lazy state propagation from the lazy publisher to the secondary group
@@ -106,9 +123,8 @@ struct LazyUpdate final : net::Message {
   net::MessagePtr snapshot;
   std::uint64_t lazy_seq = 0;  // ordinal of this propagation
   std::string type_name() const override { return "repl.lazy"; }
-  std::size_t wire_size() const override {
-    return 24 + (snapshot ? snapshot->wire_size() : 0);
-  }
+  net::WireTypeId wire_type() const override { return kWireLazyUpdate; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Recovery: a rejoining primary asks a live primary for its state
@@ -116,6 +132,8 @@ struct LazyUpdate final : net::Message {
 /// the latest GroupInfo role map; any non-recovering primary may answer.
 struct StateRequest final : net::Message {
   std::string type_name() const override { return "repl.state_req"; }
+  net::WireTypeId wire_type() const override { return kWireStateRequest; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Recovery: full state handed to a rejoining primary. Carries everything
@@ -129,9 +147,8 @@ struct StateSnapshot final : net::Message {
   net::MessagePtr snapshot;
   std::vector<RequestId> committed;
   std::string type_name() const override { return "repl.state_snap"; }
-  std::size_t wire_size() const override {
-    return 32 + (snapshot ? snapshot->wire_size() : 0) + 16 * committed.size();
-  }
+  net::WireTypeId wire_type() const override { return kWireStateSnapshot; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Extra fields in the lazy publisher's performance broadcasts
@@ -159,6 +176,8 @@ struct PerfPublication final : net::Message {
   bool deferred = false;
   std::optional<LazyInfo> lazy;
   std::string type_name() const override { return "repl.perf"; }
+  net::WireTypeId wire_type() const override { return kWirePerf; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Service configuration published by the sequencer on the QoS group so
@@ -171,9 +190,8 @@ struct GroupInfo final : net::Message {
   std::vector<net::NodeId> secondaries;
   net::NodeId lazy_publisher;
   std::string type_name() const override { return "repl.groupinfo"; }
-  std::size_t wire_size() const override {
-    return 48 + 8 * (primaries.size() + secondaries.size());
-  }
+  net::WireTypeId wire_type() const override { return kWireGroupInfo; }
+  void encode(net::Writer& w) const override;
 };
 
 }  // namespace aqueduct::replication

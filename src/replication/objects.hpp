@@ -11,6 +11,23 @@
 
 namespace aqueduct::replication {
 
+// Wire type ids of the example objects (block 0x4*; registered by
+// replication::register_wire_codecs()). Append-only: never renumber.
+inline constexpr net::WireTypeId kWireKvPut = 0x41;
+inline constexpr net::WireTypeId kWireKvGet = 0x42;
+inline constexpr net::WireTypeId kWireKvResult = 0x43;
+inline constexpr net::WireTypeId kWireKvSnapshot = 0x44;
+inline constexpr net::WireTypeId kWireDocAppend = 0x45;
+inline constexpr net::WireTypeId kWireDocRead = 0x46;
+inline constexpr net::WireTypeId kWireDocContents = 0x47;
+inline constexpr net::WireTypeId kWireTickerSet = 0x48;
+inline constexpr net::WireTypeId kWireTickerGet = 0x49;
+inline constexpr net::WireTypeId kWireTickerQuote = 0x4a;
+inline constexpr net::WireTypeId kWireTickerSnapshot = 0x4b;
+inline constexpr net::WireTypeId kWireRegisterBump = 0x4c;
+inline constexpr net::WireTypeId kWireRegisterRead = 0x4d;
+inline constexpr net::WireTypeId kWireRegisterValue = 0x4e;
+
 // ---------------------------------------------------------------------------
 // Versioned key-value store
 // ---------------------------------------------------------------------------
@@ -19,13 +36,15 @@ struct KvPut final : net::Message {
   std::string key;
   std::string value;
   std::string type_name() const override { return "kv.put"; }
-  std::size_t wire_size() const override { return 16 + key.size() + value.size(); }
+  net::WireTypeId wire_type() const override { return kWireKvPut; }
+  void encode(net::Writer& w) const override;
 };
 
 struct KvGet final : net::Message {
   std::string key;
   std::string type_name() const override { return "kv.get"; }
-  std::size_t wire_size() const override { return 16 + key.size(); }
+  net::WireTypeId wire_type() const override { return kWireKvGet; }
+  void encode(net::Writer& w) const override;
 };
 
 struct KvResult final : net::Message {
@@ -33,13 +52,16 @@ struct KvResult final : net::Message {
   /// Number of updates applied to the store when this result was produced.
   std::uint64_t version = 0;
   std::string type_name() const override { return "kv.result"; }
+  net::WireTypeId wire_type() const override { return kWireKvResult; }
+  void encode(net::Writer& w) const override;
 };
 
 struct KvSnapshot final : net::Message {
   std::map<std::string, std::string> entries;
   std::uint64_t version = 0;
   std::string type_name() const override { return "kv.snapshot"; }
-  std::size_t wire_size() const override { return 16 + 32 * entries.size(); }
+  net::WireTypeId wire_type() const override { return kWireKvSnapshot; }
+  void encode(net::Writer& w) const override;
 };
 
 /// A string->string store whose version counts applied updates.
@@ -65,22 +87,22 @@ class KeyValueStore final : public ReplicatedObject {
 struct DocAppend final : net::Message {
   std::string line;
   std::string type_name() const override { return "doc.append"; }
-  std::size_t wire_size() const override { return 16 + line.size(); }
+  net::WireTypeId wire_type() const override { return kWireDocAppend; }
+  void encode(net::Writer& w) const override;
 };
 
 struct DocRead final : net::Message {
   std::string type_name() const override { return "doc.read"; }
+  net::WireTypeId wire_type() const override { return kWireDocRead; }
+  void encode(net::Writer& w) const override;
 };
 
 struct DocContents final : net::Message {
   std::vector<std::string> lines;
   std::uint64_t version = 0;
   std::string type_name() const override { return "doc.contents"; }
-  std::size_t wire_size() const override {
-    std::size_t n = 16;
-    for (const auto& l : lines) n += l.size();
-    return n;
-  }
+  net::WireTypeId wire_type() const override { return kWireDocContents; }
+  void encode(net::Writer& w) const override;
 };
 
 /// An append-only shared document; each append is one version.
@@ -105,11 +127,15 @@ struct TickerSet final : net::Message {
   std::string symbol;
   double price = 0.0;
   std::string type_name() const override { return "ticker.set"; }
+  net::WireTypeId wire_type() const override { return kWireTickerSet; }
+  void encode(net::Writer& w) const override;
 };
 
 struct TickerGet final : net::Message {
   std::string symbol;
   std::string type_name() const override { return "ticker.get"; }
+  net::WireTypeId wire_type() const override { return kWireTickerGet; }
+  void encode(net::Writer& w) const override;
 };
 
 struct TickerQuote final : net::Message {
@@ -117,12 +143,16 @@ struct TickerQuote final : net::Message {
   std::optional<double> price;
   std::uint64_t version = 0;  // updates applied when the quote was taken
   std::string type_name() const override { return "ticker.quote"; }
+  net::WireTypeId wire_type() const override { return kWireTickerQuote; }
+  void encode(net::Writer& w) const override;
 };
 
 struct TickerSnapshot final : net::Message {
   std::map<std::string, double> prices;
   std::uint64_t version = 0;
   std::string type_name() const override { return "ticker.snapshot"; }
+  net::WireTypeId wire_type() const override { return kWireTickerSnapshot; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Latest-price table for a set of stock symbols.
@@ -146,15 +176,21 @@ class StockTicker final : public ReplicatedObject {
 
 struct RegisterBump final : net::Message {
   std::string type_name() const override { return "reg.bump"; }
+  net::WireTypeId wire_type() const override { return kWireRegisterBump; }
+  void encode(net::Writer& w) const override;
 };
 
 struct RegisterRead final : net::Message {
   std::string type_name() const override { return "reg.read"; }
+  net::WireTypeId wire_type() const override { return kWireRegisterRead; }
+  void encode(net::Writer& w) const override;
 };
 
 struct RegisterValue final : net::Message {
   std::uint64_t value = 0;
   std::string type_name() const override { return "reg.value"; }
+  net::WireTypeId wire_type() const override { return kWireRegisterValue; }
+  void encode(net::Writer& w) const override;
 };
 
 /// Counts its own updates; reads return the count. Tests use it to verify

@@ -7,12 +7,14 @@
 // callbacks always execute on the thread inside run(), so protocol state
 // needs no locking.
 //
-// Paired with net::Network this is a loopback transport with real elapsed
-// time: send() samples the configured latency model and delivery happens
-// that many *wall-clock* nanoseconds later, in-process. Determinism is NOT
+// Paired with net::LoopbackTransport this runs the stack in-process with
+// real elapsed time: send() samples the configured latency model and
+// delivery happens that many *wall-clock* nanoseconds later. Paired with
+// net::UdpTransport it drives real sockets (the poll timer and protocol
+// timers share this loop), one process per node. Determinism is NOT
 // provided — the rng is seeded, but event interleaving follows the real
 // clock. All experiments stay on SimExecutor; this runtime exists for
-// live traffic (live_cli today, real sockets tomorrow).
+// live traffic (live_cli, single- or multi-process).
 #pragma once
 
 #include <atomic>

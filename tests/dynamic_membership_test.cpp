@@ -10,7 +10,7 @@
 
 #include "client/handler.hpp"
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
 #include "sim/simulator.hpp"
@@ -50,7 +50,7 @@ struct Fixture {
   }
 
   sim::Simulator sim;
-  net::Network network;
+  net::LoopbackTransport network;
   gcs::Directory directory;
   replication::ServiceGroups groups = replication::ServiceGroups::for_service(1);
   std::vector<std::unique_ptr<gcs::Endpoint>> endpoints;

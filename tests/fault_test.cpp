@@ -7,7 +7,7 @@
 
 #include "fault/dependability.hpp"
 #include "fault/schedule.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "sim/simulator.hpp"
 
 namespace aqueduct::fault {
@@ -72,7 +72,7 @@ TEST(FaultSchedule, RandomPairsEveryCrashWithALaterRestart) {
 
 TEST(FaultApply, FiresCallbacksAtScheduledTimes) {
   sim::Simulator sim(1);
-  net::Network network(sim, std::make_unique<sim::FixedDuration>(
+  net::LoopbackTransport network(sim, std::make_unique<sim::FixedDuration>(
                                 milliseconds(1)));
   std::vector<std::pair<std::size_t, sim::TimePoint>> crashes, restarts;
 

@@ -8,7 +8,7 @@
 
 #include "client/fifo_handler.hpp"
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "replication/fifo.hpp"
 #include "replication/objects.hpp"
 #include "sim/simulator.hpp"
@@ -56,7 +56,7 @@ struct Fixture {
   void settle(sim::Duration d = seconds(2)) { sim.run_for(d); }
 
   sim::Simulator sim;
-  net::Network network;
+  net::LoopbackTransport network;
   gcs::Directory directory;
   ServiceGroups groups = ServiceGroups::for_service(2);
   std::vector<std::unique_ptr<gcs::Endpoint>> endpoints;

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "sim/simulator.hpp"
 
 namespace aqueduct::gcs {
@@ -44,7 +44,7 @@ struct Fixture {
   }
 
   sim::Simulator sim;
-  net::Network network;
+  net::LoopbackTransport network;
   Directory directory;
   std::vector<std::unique_ptr<Endpoint>> endpoints;
 };

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "sim/simulator.hpp"
 
 namespace aqueduct::gcs {
@@ -55,7 +55,7 @@ struct Fixture {
   Member& member(std::size_t i) { return endpoints[i]->member(kGroup); }
 
   sim::Simulator sim;
-  net::Network network;
+  net::LoopbackTransport network;
   Directory directory;
   std::vector<std::unique_ptr<Endpoint>> endpoints;
   std::map<std::size_t, std::vector<std::pair<net::NodeId, std::string>>> delivered;

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "sim/simulator.hpp"
 
 namespace aqueduct::gcs {
@@ -72,7 +72,7 @@ struct Fixture {
   }
 
   sim::Simulator sim;
-  net::Network network;
+  net::LoopbackTransport network;
   Directory directory;
   std::vector<std::unique_ptr<Endpoint>> endpoints;
   std::map<std::size_t, std::vector<std::pair<net::NodeId, std::string>>> delivered;
@@ -311,7 +311,7 @@ TEST(GcsDirectory, ClaimThenLookup) {
 
 TEST(GcsGroups, IndependentGroupsDoNotInterfere) {
   sim::Simulator sim(1);
-  net::Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
+  net::LoopbackTransport network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
   Directory directory;
   Endpoint a(sim, network, directory), b(sim, network, directory);
   std::vector<std::string> got_g1, got_g2;

@@ -10,7 +10,7 @@
 #include "client/fifo_handler.hpp"
 #include "client/handler.hpp"
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "replication/fifo.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
@@ -24,7 +24,7 @@ using std::chrono::seconds;
 
 TEST(MultiService, TwoSequentialServicesAreIsolated) {
   sim::Simulator sim(3);
-  net::Network network(sim, std::make_unique<sim::NormalDuration>(
+  net::LoopbackTransport network(sim, std::make_unique<sim::NormalDuration>(
                                 milliseconds(1), std::chrono::microseconds(200)));
   gcs::Directory directory;
   const auto groups_a = replication::ServiceGroups::for_service(1);
@@ -97,7 +97,7 @@ TEST(MultiService, SequentialAndFifoHandlersCoexist) {
   // One client process talks TOTAL to service A and FIFO to service B
   // through the same gateway endpoint — the paper's Figure 2 picture.
   sim::Simulator sim(9);
-  net::Network network(sim, std::make_unique<sim::NormalDuration>(
+  net::LoopbackTransport network(sim, std::make_unique<sim::NormalDuration>(
                                 milliseconds(1), std::chrono::microseconds(200)));
   gcs::Directory directory;
   const auto groups_a = replication::ServiceGroups::for_service(1);

@@ -1,11 +1,11 @@
-// Message-level tracing at the network layer, observed through the
-// obs::TraceSink pipeline (network.tracing() is the per-simulation hub).
+// Message-level tracing at the transport layer, observed through the
+// obs::TraceSink pipeline (transport.tracing() is the per-simulation hub).
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "obs/trace.hpp"
 #include "runtime/sim_executor.hpp"
 
@@ -24,13 +24,13 @@ struct NullEndpoint final : Endpoint {
 };
 
 struct RecordingSink final : obs::TraceSink {
-  std::vector<TraceEvent> events;
+  std::vector<obs::MessageEvent> events;
   void on_message(const obs::MessageEvent& e) override { events.push_back(e); }
 };
 
 TEST(NetworkTrace, ObservesDeliveriesAndDrops) {
   runtime::SimExecutor sim(1);
-  Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
+  LoopbackTransport network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
   NullEndpoint a, b;
   const NodeId ida = network.attach(a);
   const NodeId idb = network.attach(b);
@@ -56,7 +56,7 @@ TEST(NetworkTrace, ObservesDeliveriesAndDrops) {
 
 TEST(NetworkTrace, LossEventsTagged) {
   runtime::SimExecutor sim(2);
-  Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
+  LoopbackTransport network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
   NullEndpoint a, b;
   const NodeId ida = network.attach(a);
   const NodeId idb = network.attach(b);
@@ -75,7 +75,7 @@ TEST(NetworkTrace, LossEventsTagged) {
 
 TEST(NetworkTrace, RemovedSinkStopsObserving) {
   runtime::SimExecutor sim(3);
-  Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
+  LoopbackTransport network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
   NullEndpoint a, b;
   const NodeId ida = network.attach(a);
   const NodeId idb = network.attach(b);

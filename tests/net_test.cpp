@@ -1,4 +1,4 @@
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 
 #include <gtest/gtest.h>
 
@@ -30,10 +30,10 @@ struct Recorder final : Endpoint {
 
 struct Fixture {
   sim::Simulator sim{1};
-  Network network{sim, std::make_unique<sim::FixedDuration>(milliseconds(1))};
+  LoopbackTransport network{sim, std::make_unique<sim::FixedDuration>(milliseconds(1))};
 };
 
-TEST(Network, DeliversAfterLatency) {
+TEST(LoopbackTransport, DeliversAfterLatency) {
   Fixture f;
   Recorder a, b;
   const NodeId ida = f.network.attach(a);
@@ -47,7 +47,7 @@ TEST(Network, DeliversAfterLatency) {
   EXPECT_EQ(b.received[0].second, "hi");
 }
 
-TEST(Network, AssignsDistinctIds) {
+TEST(LoopbackTransport, AssignsDistinctIds) {
   Fixture f;
   Recorder a, b, c;
   const NodeId ida = f.network.attach(a);
@@ -58,7 +58,7 @@ TEST(Network, AssignsDistinctIds) {
   EXPECT_TRUE(f.network.is_attached(ida));
 }
 
-TEST(Network, MulticastReachesAllDestinations) {
+TEST(LoopbackTransport, MulticastReachesAllDestinations) {
   Fixture f;
   Recorder a, b, c;
   const NodeId ida = f.network.attach(a);
@@ -71,7 +71,7 @@ TEST(Network, MulticastReachesAllDestinations) {
   EXPECT_TRUE(a.received.empty());
 }
 
-TEST(Network, DetachedDestinationDropsSilently) {
+TEST(LoopbackTransport, DetachedDestinationDropsSilently) {
   Fixture f;
   Recorder a, b;
   const NodeId ida = f.network.attach(a);
@@ -83,7 +83,7 @@ TEST(Network, DetachedDestinationDropsSilently) {
   EXPECT_EQ(f.network.stats().messages_dropped_detached, 1u);
 }
 
-TEST(Network, DetachedSenderCannotSend) {
+TEST(LoopbackTransport, DetachedSenderCannotSend) {
   Fixture f;
   Recorder a, b;
   const NodeId ida = f.network.attach(a);
@@ -94,7 +94,7 @@ TEST(Network, DetachedSenderCannotSend) {
   EXPECT_TRUE(b.received.empty());
 }
 
-TEST(Network, InFlightMessageToCrashedNodeDropped) {
+TEST(LoopbackTransport, InFlightMessageToCrashedNodeDropped) {
   Fixture f;
   Recorder a, b;
   const NodeId ida = f.network.attach(a);
@@ -105,7 +105,7 @@ TEST(Network, InFlightMessageToCrashedNodeDropped) {
   EXPECT_TRUE(b.received.empty());
 }
 
-TEST(Network, LossDropsApproximatelyAtRate) {
+TEST(LoopbackTransport, LossDropsApproximatelyAtRate) {
   Fixture f;
   Recorder a, b;
   const NodeId ida = f.network.attach(a);
@@ -119,7 +119,7 @@ TEST(Network, LossDropsApproximatelyAtRate) {
   EXPECT_NEAR(delivered, 0.7, 0.05);
 }
 
-TEST(Network, PartitionBlocksCrossTraffic) {
+TEST(LoopbackTransport, PartitionBlocksCrossTraffic) {
   Fixture f;
   Recorder a, b, c;
   const NodeId ida = f.network.attach(a);
@@ -134,7 +134,7 @@ TEST(Network, PartitionBlocksCrossTraffic) {
   EXPECT_EQ(f.network.stats().messages_dropped_partition, 1u);
 }
 
-TEST(Network, HealRestoresTraffic) {
+TEST(LoopbackTransport, HealRestoresTraffic) {
   Fixture f;
   Recorder a, b;
   const NodeId ida = f.network.attach(a);
@@ -146,7 +146,7 @@ TEST(Network, HealRestoresTraffic) {
   EXPECT_EQ(b.received.size(), 1u);
 }
 
-TEST(Network, PerLinkLatencyOverride) {
+TEST(LoopbackTransport, PerLinkLatencyOverride) {
   Fixture f;
   Recorder a, b, c;
   const NodeId ida = f.network.attach(a);
@@ -163,7 +163,7 @@ TEST(Network, PerLinkLatencyOverride) {
   EXPECT_EQ(b.received.size(), 1u);
 }
 
-TEST(Network, SlowNodeLatencyAppliesBothDirections) {
+TEST(LoopbackTransport, SlowNodeLatencyAppliesBothDirections) {
   Fixture f;
   Recorder a, b;
   const NodeId ida = f.network.attach(a);
@@ -180,7 +180,7 @@ TEST(Network, SlowNodeLatencyAppliesBothDirections) {
   EXPECT_EQ(b.received.size(), 1u);
 }
 
-TEST(Network, StatsCountSentAndDelivered) {
+TEST(LoopbackTransport, StatsCountSentAndDelivered) {
   Fixture f;
   Recorder a, b;
   const NodeId ida = f.network.attach(a);
@@ -194,12 +194,12 @@ TEST(Network, StatsCountSentAndDelivered) {
   EXPECT_GT(f.network.stats().bytes_sent, 0u);
 }
 
-TEST(Network, VariableLatencyCanReorder) {
+TEST(LoopbackTransport, VariableLatencyCanReorder) {
   // With high-variance latency, two messages sent back to back can arrive
   // out of order — the reliable-FIFO layer above must handle this; the raw
   // network explicitly does not.
   sim::Simulator sim(3);
-  Network network(sim, std::make_unique<sim::NormalDuration>(
+  LoopbackTransport network(sim, std::make_unique<sim::NormalDuration>(
                            milliseconds(10), milliseconds(8)));
   Recorder a, b;
   const NodeId ida = network.attach(a);

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "harness/scenario.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -220,13 +220,13 @@ struct NullEndpoint final : net::Endpoint {
 
 TEST(NetworkStats, SnapshotAssembledFromRegistry) {
   sim::Simulator sim(1);
-  net::Network network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
+  net::LoopbackTransport network(sim, std::make_unique<sim::FixedDuration>(milliseconds(1)));
   NullEndpoint a, b;
   const net::NodeId ida = network.attach(a);
   const net::NodeId idb = network.attach(b);
   network.send(ida, idb, std::make_shared<PingMsg>());
   sim.run();
-  const net::NetworkStats stats = network.stats();
+  const net::TransportStats stats = network.stats();
   EXPECT_EQ(stats.messages_sent, 1u);
   EXPECT_EQ(stats.messages_delivered, 1u);
   EXPECT_EQ(stats.bytes_sent, 100u);
@@ -432,7 +432,7 @@ TEST(ObservabilityIntegration, RegistryAggregatesAcrossInstances) {
   EXPECT_GT(reg.histogram("client.read_response_ms").count(), 0u);
 
   // The network-level view matches the registry too.
-  EXPECT_EQ(scenario.network_stats().messages_sent,
+  EXPECT_EQ(scenario.transport_stats().messages_sent,
             reg.counter("net.messages_sent").value());
 }
 

@@ -8,7 +8,7 @@
 
 #include "client/proxy.hpp"
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
 #include "sim/simulator.hpp"
@@ -54,7 +54,7 @@ struct Fixture {
   }
 
   sim::Simulator sim;
-  net::Network network;
+  net::LoopbackTransport network;
   gcs::Directory directory;
   replication::ServiceGroups groups = replication::ServiceGroups::for_service(1);
   std::vector<std::unique_ptr<gcs::Endpoint>> endpoints;

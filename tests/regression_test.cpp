@@ -9,7 +9,7 @@
 
 #include "client/handler.hpp"
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
 #include "sim/simulator.hpp"
@@ -36,7 +36,7 @@ TEST(Regression, JoinerDrainsMessagesThatRacedItsInstall) {
   // A slow link from the coordinator to the joiner makes the install
   // arrive *after* data multicast at the same time.
   sim::Simulator sim(1);
-  net::Network network(sim,
+  net::LoopbackTransport network(sim,
                        std::make_unique<sim::FixedDuration>(milliseconds(1)));
   gcs::Directory directory;
   const gcs::GroupId group{5};
@@ -103,7 +103,7 @@ struct ReplicaFixture {
   }
 
   sim::Simulator sim;
-  net::Network network;
+  net::LoopbackTransport network;
   gcs::Directory directory;
   replication::ServiceGroups groups = replication::ServiceGroups::for_service(1);
   std::vector<std::unique_ptr<gcs::Endpoint>> endpoints;
@@ -179,7 +179,7 @@ TEST(Regression, GroupInfoEpochSurvivesSequencerFailover) {
 // complete consistently.
 TEST(Regression, ViewChangeCompletesUnderHeavyLoss) {
   sim::Simulator sim(11);
-  net::Network network(sim, std::make_unique<sim::NormalDuration>(
+  net::LoopbackTransport network(sim, std::make_unique<sim::NormalDuration>(
                                 milliseconds(2), milliseconds(1)));
   gcs::Directory directory;
   const gcs::GroupId group{9};

@@ -7,7 +7,7 @@
 
 #include "client/handler.hpp"
 #include "gcs/endpoint.hpp"
-#include "net/network.hpp"
+#include "net/loopback.hpp"
 #include "replication/objects.hpp"
 #include "replication/replica.hpp"
 #include "sim/simulator.hpp"
@@ -63,7 +63,7 @@ struct Fixture {
   ReplicaServer& sequencer() { return *replicas[0]; }
 
   sim::Simulator sim;
-  net::Network network;
+  net::LoopbackTransport network;
   gcs::Directory directory;
   ServiceGroups groups = ServiceGroups::for_service(1);
   std::vector<std::unique_ptr<gcs::Endpoint>> endpoints;

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Layering lint: the protocol stack must not name concrete infrastructure.
 
-Two rules, same motivation — keep the protocol stack substitutable:
+Three rules, same motivation — keep the protocol stack substitutable:
 
 1. Executors. Everything in src/{net,gcs,replication,client,fault} (and
    src/core, which is executor-free entirely) is written against
@@ -17,9 +17,18 @@ Two rules, same motivation — keep the protocol stack substitutable:
    Chrome trace) belongs to composition roots, and a protocol file naming
    a sink could smuggle I/O into the deterministic hot path.
 
-Composition roots (src/harness, src/runner, tests, benches, examples) are
-allowed to name all of these; that is where executors and exporters are
-built.
+3. Transports. Everything above src/net — including src/harness, which
+   must stay backend-agnostic so the same Scenario can one day run over
+   sockets — is written against net::Transport (net/transport.hpp).
+   Including net/loopback.hpp or net/udp_transport.hpp from those layers
+   would hard-wire the stack to one backend; concrete transports are
+   constructed only in composition roots (examples, tests, benches) or
+   through the make_loopback_transport() factory.
+
+Composition roots (src/runner, tests, benches, examples) are allowed to
+name all of these; that is where executors, exporters, and transports are
+built. src/harness is a composition root for executors and exporters but
+not for transports (rule 3).
 
 Exits non-zero listing every offending include.
 """
@@ -51,32 +60,51 @@ FORBIDDEN = {h: "concrete executor" for h in FORBIDDEN_EXECUTORS}
 FORBIDDEN.update({h: "concrete telemetry exporter"
                   for h in FORBIDDEN_EXPORTERS})
 
+# Layers that must stay transport-agnostic: everything above src/net,
+# including the harness (rule 3). src/net itself implements the backends.
+TRANSPORT_AGNOSTIC_DIRS = ["src/gcs", "src/replication", "src/client",
+                           "src/fault", "src/core", "src/harness"]
+
+# Headers naming a concrete transport backend.
+FORBIDDEN_TRANSPORTS = {
+    "net/loopback.hpp": "concrete transport backend",
+    "net/udp_transport.hpp": "concrete transport backend",
+}
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
 
 
-def main() -> int:
+def scan(dirs, forbidden, what):
     violations = []
-    for layer in PROTOCOL_DIRS:
+    for layer in dirs:
         for path in sorted((REPO / layer).rglob("*")):
             if path.suffix not in {".hpp", ".cpp", ".h", ".cc"}:
                 continue
             for lineno, line in enumerate(
                     path.read_text(encoding="utf-8").splitlines(), start=1):
                 match = INCLUDE_RE.match(line)
-                if match and match.group(1) in FORBIDDEN:
+                if match and match.group(1) in forbidden:
                     violations.append(
                         f"{path.relative_to(REPO)}:{lineno}: "
-                        f"protocol layer includes {match.group(1)} "
-                        f"({FORBIDDEN[match.group(1)]})")
+                        f"{what} includes {match.group(1)} "
+                        f"({forbidden[match.group(1)]})")
+    return violations
+
+
+def main() -> int:
+    violations = scan(PROTOCOL_DIRS, FORBIDDEN, "protocol layer")
+    violations += scan(TRANSPORT_AGNOSTIC_DIRS, FORBIDDEN_TRANSPORTS,
+                       "transport-agnostic layer")
     if violations:
         print("layering violations (protocol code must depend only on "
-              "runtime/executor.hpp and the obs interfaces):",
-              file=sys.stderr)
+              "runtime/executor.hpp, net/transport.hpp, and the obs "
+              "interfaces):", file=sys.stderr)
         for v in violations:
             print(f"  {v}", file=sys.stderr)
         return 1
     print(f"layering OK: {len(PROTOCOL_DIRS)} protocol layers depend only "
-          "on the Executor interface and obs interfaces")
+          "on the Executor interface and obs interfaces; "
+          f"{len(TRANSPORT_AGNOSTIC_DIRS)} layers name only net::Transport")
     return 0
 
 

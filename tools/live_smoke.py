@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Multi-process deployment smoke test.
+
+Launches a full replicated service as six separate OS processes talking
+over localhost UDP — sequencer, two primaries, two secondaries, and one
+workload client — waits for all of them to exit, and asserts:
+
+  * every process exited 0 (each one self-checks locally: the client
+    requires >0 completed requests, every primary requires zero GSN
+    conflicts and store version == CSN);
+  * the client completed at least one request end to end over the wire;
+  * no process counted a single wire-codec decode error;
+  * committed-prefix agreement ACROSS processes: every primary's CSN is
+    within --csn-slack of the maximum, and the maximum is > 0 (the
+    in-flight tail a process may not have committed when the duration cap
+    fired).
+
+Per-process reports are merged into one BENCH_live_multiproc.json. Like
+BENCH_live.json it is wall-clock-dependent and has no baseline — it is an
+artifact, not a bench-trend gate.
+
+Usage: tools/live_smoke.py [--bin build/examples/live_cli]
+                           [--duration 10] [--requests 15]
+                           [--base-port 7421] [--out BENCH_live_multiproc.json]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bin", default="build/examples/live_cli")
+    parser.add_argument("--duration", type=float, default=10.0)
+    parser.add_argument("--requests", type=int, default=15)
+    parser.add_argument("--base-port", type=int, default=7421)
+    parser.add_argument("--csn-slack", type=int, default=2)
+    parser.add_argument("--out", default="BENCH_live_multiproc.json")
+    args = parser.parse_args()
+
+    binary = pathlib.Path(args.bin).resolve()
+    if not binary.exists():
+        print(f"live_smoke: binary not found: {binary}", file=sys.stderr)
+        return 2
+
+    names = ["sequencer", "primary1", "primary2",
+             "secondary1", "secondary2", "client1"]
+    roles = {"sequencer": "sequencer", "primary1": "primary",
+             "primary2": "primary", "secondary1": "secondary",
+             "secondary2": "secondary", "client1": "client"}
+    addr = {name: f"127.0.0.1:{args.base_port + i}"
+            for i, name in enumerate(names)}
+    peer_flags = []
+    for name in names:
+        peer_flags += ["--peer", f"{name}={addr[name]}"]
+
+    failures = []
+    reports = {}
+    with tempfile.TemporaryDirectory(prefix="live_smoke_") as tmp:
+        tmpdir = pathlib.Path(tmp)
+        procs = {}
+        for name in names:
+            cmd = [str(binary), "--role", roles[name],
+                   "--listen", addr[name],
+                   "--duration", str(args.duration),
+                   "--requests", str(args.requests),
+                   "--json-out", str(tmpdir / f"{name}.json")]
+            cmd += peer_flags
+            log = open(tmpdir / f"{name}.log", "w")
+            procs[name] = (subprocess.Popen(cmd, stdout=log, stderr=log), log)
+
+        # The client exits as soon as its workload completes; servers run to
+        # the duration cap. Give everyone the cap plus generous slack.
+        deadline = args.duration + 30.0
+        for name, (proc, log) in procs.items():
+            try:
+                code = proc.wait(timeout=deadline)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+                code = None
+            log.close()
+            log_text = (tmpdir / f"{name}.log").read_text()
+            if code != 0:
+                status = "timeout" if code is None else f"exit {code}"
+                failures.append(f"{name}: {status}\n--- {name} log ---\n"
+                                f"{log_text}")
+                continue
+            report_path = tmpdir / f"{name}.json"
+            if not report_path.exists():
+                failures.append(f"{name}: wrote no report")
+                continue
+            reports[name] = json.loads(report_path.read_text())
+
+    # Cross-process assertions over the merged reports.
+    if not failures:
+        client = reports["client1"]
+        if client.get("requests_completed", 0) <= 0:
+            failures.append("client1 completed no requests over the wire")
+        for name, report in reports.items():
+            if report.get("decode_errors", 0) != 0:
+                failures.append(
+                    f"{name}: {report['decode_errors']} wire decode errors")
+        primaries = [n for n in names
+                     if roles[n] in ("sequencer", "primary", "publisher")]
+        csns = {n: reports[n].get("csn", 0) for n in primaries
+                if not reports[n].get("recovering", False)}
+        max_csn = max(csns.values(), default=0)
+        if max_csn <= 0:
+            failures.append("no primary committed anything")
+        for name, csn in csns.items():
+            if csn + args.csn_slack < max_csn:
+                failures.append(
+                    f"committed-prefix divergence: {name} csn={csn}, "
+                    f"max={max_csn} (slack {args.csn_slack})")
+
+    merged = {
+        "bench": "live_multiproc",
+        "processes": len(names),
+        "ok": not failures,
+        "failures": failures,
+        "reports": reports,
+    }
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    if failures:
+        print("live_smoke: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    csn_list = ", ".join(f"{n}={reports[n]['csn']}" for n in sorted(csns))
+    print(f"live_smoke: OK — {len(names)} processes, client completed "
+          f"{reports['client1']['requests_completed']} requests, "
+          f"csn agreement [{csn_list}], 0 decode errors; wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
