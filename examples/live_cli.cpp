@@ -9,6 +9,8 @@
 //            --listen HOST:PORT --peer NAME=HOST:PORT [--peer ...]
 //            [--duration SEC] [--requests N] [--seed S]
 //            [--json-out FILE] [--no-json]
+//            [--chaos-loss P] [--chaos-duplicate P] [--chaos-reorder P]
+//            [--chaos-delay-ms MS]
 //
 // Single-process mode boots a sequencer, two primaries, two secondaries,
 // and two workload clients with different QoS specs (a strict low-deadline
@@ -25,7 +27,12 @@
 //
 // Multi-process mode (--role) runs ONE node of the service per OS process
 // over localhost UDP: the identical protocol stack, but messages cross a
-// real socket through the wire codec (net/codec.hpp). Every process gets
+// real socket through the wire codec (net/codec.hpp).
+// The --chaos-* flags wrap this process's UDP socket in the chaos
+// decorator (net/chaos.hpp): outbound messages are dropped, duplicated,
+// reordered, or delayed with the given parameters before they reach the
+// wire, so a cluster of chaos-flagged processes exercises the gray-failure
+// hardening over real sockets (tools/live_smoke.py --chaos drives this). Every process gets
 // the same --peer address book; --listen must match this process's own
 // entry, which names it (e.g. "primary2") and fixes its NodeId. The
 // process whose name is "sequencer" bootstraps the groups; everyone else
@@ -53,6 +60,7 @@
 #include "gcs/endpoint.hpp"
 #include "harness/scenario.hpp"
 #include "harness/stats.hpp"
+#include "net/transport.hpp"
 #include "net/udp_transport.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
@@ -77,6 +85,8 @@ namespace {
       "    --listen HOST:PORT --peer NAME=HOST:PORT [--peer ...]\n"
       "    [--duration SEC] [--requests N] [--seed S]\n"
       "    [--json-out FILE] [--no-json]\n"
+      "    [--chaos-loss P] [--chaos-duplicate P] [--chaos-reorder P]\n"
+      "    [--chaos-delay-ms MS]\n"
       "  where NAME is sequencer, primaryN, secondaryN, publisher, or\n"
       "  clientN, and --listen matches this process's --peer entry.\n");
   std::exit(2);
@@ -206,6 +216,16 @@ struct MultiprocOptions {
   std::uint64_t seed = 42;
   std::string json_out = "BENCH_live.json";
   bool write_json = true;
+  // Gray-failure injection on this process's outbound path (0 = off).
+  double chaos_loss = 0.0;
+  double chaos_duplicate = 0.0;
+  double chaos_reorder = 0.0;
+  double chaos_delay_ms = 0.0;
+
+  bool chaos_enabled() const {
+    return chaos_loss > 0.0 || chaos_duplicate > 0.0 || chaos_reorder > 0.0 ||
+           chaos_delay_ms > 0.0;
+  }
 };
 
 int run_multiproc(const MultiprocOptions& opt) {
@@ -250,7 +270,28 @@ int run_multiproc(const MultiprocOptions& opt) {
   replication::register_wire_codecs();
 
   auto exec = runtime::make_executor(runtime::Kind::kRealTime, opt.seed);
-  net::UdpTransport transport(*exec, ucfg);
+  std::unique_ptr<net::Transport> transport_owner =
+      std::make_unique<net::UdpTransport>(*exec, ucfg);
+  if (opt.chaos_enabled()) {
+    // Wrap the socket in the chaos decorator: every send from this process
+    // runs the gray-failure pipeline before it reaches the wire. Each
+    // process degrades only its own outbound path, so a chaos-flagged
+    // cluster models per-host gray failures, not a lossy switch.
+    transport_owner = net::make_chaos_transport(std::move(transport_owner));
+    net::FaultInjection& chaos = *transport_owner->fault_injection();
+    if (opt.chaos_loss > 0.0) chaos.set_loss_probability(opt.chaos_loss);
+    if (opt.chaos_duplicate > 0.0) {
+      chaos.set_duplicate_probability(opt.chaos_duplicate);
+    }
+    if (opt.chaos_reorder > 0.0) {
+      chaos.set_reorder_probability(opt.chaos_reorder);
+    }
+    if (opt.chaos_delay_ms > 0.0) {
+      chaos.set_default_delay(std::make_shared<sim::FixedDuration>(
+          sim::from_ms(opt.chaos_delay_ms)));
+    }
+  }
+  net::Transport& transport = *transport_owner;
 
   // Per-process join directory: everyone but the sequencer is told where
   // the groups' coordinator lives; the sequencer finds its directory empty,
@@ -269,6 +310,13 @@ int run_multiproc(const MultiprocOptions& opt) {
   std::printf("live_cli[%s]: node n%u listening on %s:%u, %zu peers, %.1fs\n",
               self_name.c_str(), self->id.value(), listen_host.c_str(),
               listen_port, ucfg.peers.size(), opt.duration_s);
+  if (opt.chaos_enabled()) {
+    std::printf(
+        "live_cli[%s]: chaos on outbound: loss=%.2f dup=%.2f reorder=%.2f "
+        "delay=%.1fms\n",
+        self_name.c_str(), opt.chaos_loss, opt.chaos_duplicate,
+        opt.chaos_reorder, opt.chaos_delay_ms);
+  }
 
   int exit_code = 0;
   std::uint64_t completed = 0;
@@ -295,6 +343,11 @@ int run_multiproc(const MultiprocOptions& opt) {
     w.field("messages_delivered", tstats.messages_delivered);
     w.field("decode_errors", tstats.decode_errors);
     w.field("bytes_sent", tstats.bytes_sent);
+    w.field("chaos", opt.chaos_enabled());
+    w.field("messages_dropped_loss", tstats.messages_dropped_loss);
+    w.field("messages_duplicated", tstats.messages_duplicated);
+    w.field("messages_reordered", tstats.messages_reordered);
+    w.field("messages_delayed", tstats.messages_delayed);
     extra(w);
     w.end_object();
     out << "\n";
@@ -399,6 +452,17 @@ int run_multiproc(const MultiprocOptions& opt) {
       w.field("recovering", server.recovering());
     });
   }
+  if (opt.chaos_enabled()) {
+    const net::TransportStats ts = transport.stats();
+    std::printf(
+        "%s: chaos injected: dropped=%llu duplicated=%llu reordered=%llu "
+        "delayed=%llu\n",
+        self_name.c_str(),
+        static_cast<unsigned long long>(ts.messages_dropped_loss),
+        static_cast<unsigned long long>(ts.messages_duplicated),
+        static_cast<unsigned long long>(ts.messages_reordered),
+        static_cast<unsigned long long>(ts.messages_delayed));
+  }
   return exit_code;
 }
 
@@ -497,7 +561,16 @@ int main(int argc, char** argv) {
   std::string role;
   std::string listen;
   std::vector<PeerSpec> peers;
+  double chaos_loss = 0.0;
+  double chaos_duplicate = 0.0;
+  double chaos_reorder = 0.0;
+  double chaos_delay_ms = 0.0;
 
+  auto parse_probability = [&](const std::string& s) {
+    const double p = parse_double(s);
+    if (p < 0.0 || p > 1.0) usage();
+    return p;
+  };
   auto next_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage();
     return argv[++i];
@@ -542,6 +615,15 @@ int main(int argc, char** argv) {
       listen = next_value(i);
     } else if (arg == "--peer") {
       peers.push_back(parse_peer(next_value(i)));
+    } else if (arg == "--chaos-loss") {
+      chaos_loss = parse_probability(next_value(i));
+    } else if (arg == "--chaos-duplicate") {
+      chaos_duplicate = parse_probability(next_value(i));
+    } else if (arg == "--chaos-reorder") {
+      chaos_reorder = parse_probability(next_value(i));
+    } else if (arg == "--chaos-delay-ms") {
+      chaos_delay_ms = parse_double(next_value(i));
+      if (chaos_delay_ms < 0.0) usage();
     } else {
       usage();
     }
@@ -559,7 +641,18 @@ int main(int argc, char** argv) {
     opt.seed = seed;
     opt.json_out = json_out;
     opt.write_json = write_json;
+    opt.chaos_loss = chaos_loss;
+    opt.chaos_duplicate = chaos_duplicate;
+    opt.chaos_reorder = chaos_reorder;
+    opt.chaos_delay_ms = chaos_delay_ms;
     return run_multiproc(opt);
+  }
+  // The single-process scenario injects faults through fault::FaultSchedule
+  // (see sweep_cli's chaos plans); the --chaos-* flags are for the
+  // per-process UDP deployment only.
+  if (chaos_loss > 0.0 || chaos_duplicate > 0.0 || chaos_reorder > 0.0 ||
+      chaos_delay_ms > 0.0) {
+    usage();
   }
 
   // A small cluster with fast service times so a couple of wall-clock

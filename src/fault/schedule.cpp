@@ -19,9 +19,48 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kInboundLoss: return "inbound_loss";
     case FaultKind::kOutboundLoss: return "outbound_loss";
     case FaultKind::kLatencySpike: return "latency_spike";
+    case FaultKind::kDegradeLink: return "degrade_link";
+    case FaultKind::kPartialPartition: return "partial_partition";
+    case FaultKind::kHealLink: return "heal_link";
+    case FaultKind::kDuplicateStorm: return "duplicate_storm";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kThrottleLink: return "throttle_link";
+    case FaultKind::kHealGray: return "heal_gray";
   }
   return "unknown";
 }
+
+namespace {
+bool is_gray(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDegradeLink:
+    case FaultKind::kPartialPartition:
+    case FaultKind::kHealLink:
+    case FaultKind::kDuplicateStorm:
+    case FaultKind::kReorder:
+    case FaultKind::kThrottleLink:
+    case FaultKind::kHealGray:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Kinds that act on the whole network and need no replica-index → NodeId
+/// resolution.
+bool is_global(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kHeal:
+    case FaultKind::kLoss:
+    case FaultKind::kDuplicateStorm:
+    case FaultKind::kReorder:
+    case FaultKind::kHealGray:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
 
 FaultSchedule& FaultSchedule::crash(std::size_t replica, sim::Duration at) {
   FaultEvent e;
@@ -132,6 +171,127 @@ FaultSchedule& FaultSchedule::latency_spike(std::size_t replica,
   return *this;
 }
 
+FaultSchedule& FaultSchedule::degrade_link(std::size_t from, std::size_t to,
+                                           sim::Duration extra_mean,
+                                           sim::Duration extra_std, double loss,
+                                           sim::Duration at,
+                                           sim::Duration duration) {
+  AQUEDUCT_CHECK_MSG(extra_mean > sim::Duration::zero() || loss > 0.0,
+                     "degrade_link with neither extra delay nor loss");
+  FaultEvent e;
+  e.kind = FaultKind::kDegradeLink;
+  e.at = at;
+  e.replica = from;
+  e.peer = to;
+  e.probability = loss;
+  e.latency_mean = extra_mean;
+  e.latency_std = extra_std;
+  events_.push_back(std::move(e));
+  if (duration > sim::Duration::zero()) heal_link(from, to, at + duration);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::partial_partition(std::size_t a, std::size_t b,
+                                                sim::Duration at,
+                                                sim::Duration duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kPartialPartition;
+  e.at = at;
+  e.replica = a;
+  e.peer = b;
+  events_.push_back(std::move(e));
+  if (duration > sim::Duration::zero()) heal_link(a, b, at + duration);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::heal_link(std::size_t a, std::size_t b,
+                                        sim::Duration at) {
+  FaultEvent e;
+  e.kind = FaultKind::kHealLink;
+  e.at = at;
+  e.replica = a;
+  e.peer = b;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::duplicate_storm(double probability,
+                                              sim::Duration at,
+                                              sim::Duration duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kDuplicateStorm;
+  e.at = at;
+  e.probability = probability;
+  events_.push_back(std::move(e));
+  if (duration > sim::Duration::zero() && probability > 0.0) {
+    duplicate_storm(0.0, at + duration);
+  }
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::reorder(double probability, sim::Duration window,
+                                      sim::Duration at, sim::Duration duration) {
+  AQUEDUCT_CHECK_MSG(probability == 0.0 || window > sim::Duration::zero(),
+                     "reorder needs a positive window");
+  FaultEvent e;
+  e.kind = FaultKind::kReorder;
+  e.at = at;
+  e.probability = probability;
+  e.latency_mean = window;
+  events_.push_back(std::move(e));
+  if (duration > sim::Duration::zero() && probability > 0.0) {
+    reorder(0.0, window, at + duration);
+  }
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::throttle_link(std::size_t from, std::size_t to,
+                                            sim::Duration min_gap,
+                                            sim::Duration at,
+                                            sim::Duration duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kThrottleLink;
+  e.at = at;
+  e.replica = from;
+  e.peer = to;
+  e.latency_mean = min_gap;
+  events_.push_back(std::move(e));
+  if (duration > sim::Duration::zero() && min_gap > sim::Duration::zero()) {
+    throttle_link(from, to, sim::Duration::zero(), at + duration);
+  }
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::heal_gray(sim::Duration at) {
+  FaultEvent e;
+  e.kind = FaultKind::kHealGray;
+  e.at = at;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::wan_topology(
+    const std::vector<std::size_t>& region_of,
+    const std::vector<std::vector<WanLink>>& matrix, sim::Duration at) {
+  for (const auto& row : matrix) {
+    AQUEDUCT_CHECK_MSG(row.size() == matrix.size(),
+                       "WAN latency matrix must be square");
+  }
+  for (std::size_t region : region_of) {
+    AQUEDUCT_CHECK_MSG(region < matrix.size(),
+                       "replica assigned to a region outside the matrix");
+  }
+  for (std::size_t i = 0; i < region_of.size(); ++i) {
+    for (std::size_t j = 0; j < region_of.size(); ++j) {
+      if (i == j) continue;
+      const WanLink& link = matrix[region_of[i]][region_of[j]];
+      if (link.mean <= sim::Duration::zero()) continue;
+      degrade_link(i, j, link.mean, link.jitter, /*loss=*/0.0, at);
+    }
+  }
+  return *this;
+}
+
 FaultSchedule FaultSchedule::random(std::uint64_t seed,
                                     const RandomFaultParams& params) {
   AQUEDUCT_CHECK_MSG(params.crash_candidates > params.first_candidate,
@@ -210,12 +370,22 @@ void apply(const FaultSchedule& schedule, runtime::Executor& exec,
     const bool needs_network = event.kind != FaultKind::kCrash &&
                                event.kind != FaultKind::kRestart;
     if (needs_network) {
-      AQUEDUCT_CHECK_MSG(shared->network != nullptr,
-                         "network-affecting fault without a FaultInjection "
-                         "target (real transports have none)");
+      AQUEDUCT_CHECK_MSG(
+          shared->network != nullptr,
+          "schedule injects '"
+              << to_string(event.kind) << "' at " << sim::format(event.at)
+              << " but Transport::fault_injection() returned nullptr — this "
+                 "backend cannot inject faults (wrap it via "
+                 "net::make_chaos_transport() to get an injectable surface)");
+      AQUEDUCT_CHECK_MSG(
+          !is_gray(event.kind) || shared->network->supports_gray_faults(),
+          "schedule injects gray-failure action '"
+              << to_string(event.kind) << "' at " << sim::format(event.at)
+              << " but the transport's FaultInjection surface only supports "
+                 "crash-era faults — wrap the transport via "
+                 "net::make_chaos_transport()");
       AQUEDUCT_CHECK_MSG(static_cast<bool>(shared->node_id) ||
-                             event.kind == FaultKind::kLoss ||
-                             event.kind == FaultKind::kHeal,
+                             is_global(event.kind),
                          "fault schedule needs a node_id resolver");
     }
     exec.at(sim::kEpoch + event.at, [event, shared, &exec] {
@@ -275,6 +445,44 @@ void apply(const FaultSchedule& schedule, runtime::Executor& exec,
                     [node, net] { net->clear_node_latency(node); });
           break;
         }
+        case FaultKind::kDegradeLink: {
+          const net::NodeId from = shared->node_id(event.replica);
+          const net::NodeId to = shared->node_id(event.peer);
+          if (event.latency_mean > sim::Duration::zero()) {
+            net->set_link_delay(from, to,
+                                std::make_shared<sim::NormalDuration>(
+                                    event.latency_mean, event.latency_std));
+          }
+          if (event.probability > 0.0) {
+            net->set_link_loss(from, to, event.probability);
+          }
+          break;
+        }
+        case FaultKind::kPartialPartition:
+          net->partial_partition(shared->node_id(event.replica),
+                                 shared->node_id(event.peer));
+          break;
+        case FaultKind::kHealLink:
+          net->heal_link(shared->node_id(event.replica),
+                         shared->node_id(event.peer));
+          break;
+        case FaultKind::kDuplicateStorm:
+          net->set_duplicate_probability(event.probability);
+          break;
+        case FaultKind::kReorder:
+          if (event.latency_mean > sim::Duration::zero()) {
+            net->set_reorder_window(event.latency_mean);
+          }
+          net->set_reorder_probability(event.probability);
+          break;
+        case FaultKind::kThrottleLink:
+          net->set_link_throttle(shared->node_id(event.replica),
+                                 shared->node_id(event.peer),
+                                 event.latency_mean);
+          break;
+        case FaultKind::kHealGray:
+          net->heal_gray();
+          break;
       }
     });
   }

@@ -34,6 +34,22 @@ enum class FaultKind {
   kOutboundLoss,  // loss on everything `replica` sends
   kLatencySpike,  // Normal(latency_mean, latency_std) on all of `replica`'s
                   // links for `duration`, then back to the default model
+
+  // Gray-failure kinds. These require a transport whose FaultInjection
+  // surface reports supports_gray_faults() — i.e. one wrapped via
+  // net::make_chaos_transport(); apply() fails loudly otherwise.
+  kDegradeLink,       // extra Normal(latency_mean, latency_std) delay and/or
+                      // `probability` loss on the directional (replica, peer)
+                      // link — a slow-but-alive / lossy link
+  kPartialPartition,  // blackhole (replica, peer) both directions, leaving
+                      // every other link intact
+  kHealLink,          // restore (replica, peer): remove the partial
+                      // partition and all per-link gray overrides
+  kDuplicateStorm,    // duplicate each message with `probability`
+  kReorder,           // hold back messages with `probability` by a uniform
+                      // extra delay in [0, latency_mean)
+  kThrottleLink,      // serialize (replica, peer) sends >= latency_mean apart
+  kHealGray,          // reset every gray-failure knob and all loss settings
 };
 
 const char* to_string(FaultKind kind);
@@ -49,9 +65,11 @@ struct FaultEvent {
   /// Partition sides (replica indices).
   std::vector<std::size_t> side_a;
   std::vector<std::size_t> side_b;
-  /// Drop probability for the loss kinds (0 clears the override).
+  /// Drop probability for the loss kinds, duplicate probability for
+  /// kDuplicateStorm, holdback probability for kReorder (0 clears).
   double probability = 0.0;
-  /// Latency-spike distribution and how long it lasts.
+  /// Latency-spike / degrade-link delay distribution; doubles as the
+  /// reorder window (kReorder) and the throttle min-gap (kThrottleLink).
   sim::Duration latency_mean = sim::Duration::zero();
   sim::Duration latency_std = sim::Duration::zero();
   sim::Duration duration = sim::Duration::zero();
@@ -106,6 +124,56 @@ class FaultSchedule {
                                sim::Duration std, sim::Duration at,
                                sim::Duration duration);
 
+  // --- Gray-failure builders (need a chaos-wrapped transport) ---------
+  // A zero `duration` means "until explicitly healed"; a positive one
+  // appends the matching heal/clear event at `at + duration`, so the
+  // schedule stays pure, printable data.
+
+  /// Degrades the directional link `from` → `to`: extra
+  /// Normal(extra_mean, extra_std) delay per message (if extra_mean > 0)
+  /// and drop probability `loss` (if > 0). A positive duration emits a
+  /// heal_link at the end, restoring the whole link.
+  FaultSchedule& degrade_link(std::size_t from, std::size_t to,
+                              sim::Duration extra_mean, sim::Duration extra_std,
+                              double loss, sim::Duration at,
+                              sim::Duration duration = sim::Duration::zero());
+  /// Blackholes the (a, b) pair both directions, everyone else untouched.
+  FaultSchedule& partial_partition(
+      std::size_t a, std::size_t b, sim::Duration at,
+      sim::Duration duration = sim::Duration::zero());
+  /// Restores the (a, b) pair (partial partition + per-link overrides).
+  FaultSchedule& heal_link(std::size_t a, std::size_t b, sim::Duration at);
+  /// Duplicates every message with `probability` (0 ends the storm).
+  FaultSchedule& duplicate_storm(double probability, sim::Duration at,
+                                 sim::Duration duration = sim::Duration::zero());
+  /// Holds back messages with `probability` by uniform extra delay in
+  /// [0, window), letting later sends overtake them.
+  FaultSchedule& reorder(double probability, sim::Duration window,
+                         sim::Duration at,
+                         sim::Duration duration = sim::Duration::zero());
+  /// Serializes the directional link `from` → `to` to one message per
+  /// `min_gap` — a slow-but-alive link (min_gap 0 clears).
+  FaultSchedule& throttle_link(std::size_t from, std::size_t to,
+                               sim::Duration min_gap, sim::Duration at,
+                               sim::Duration duration = sim::Duration::zero());
+  /// Resets every gray-failure knob and all loss settings.
+  FaultSchedule& heal_gray(sim::Duration at);
+
+  /// One entry of a WAN latency matrix: mean one-way extra delay and
+  /// jitter (Normal std) for messages from one region to another.
+  struct WanLink {
+    sim::Duration mean = sim::Duration::zero();
+    sim::Duration jitter = sim::Duration::zero();
+  };
+
+  /// Installs a WAN topology at `at`: `region_of[i]` places replica i in a
+  /// region, `matrix[r][s]` describes the r → s link (zero mean = LAN-local,
+  /// no override). Emits one degrade_link per ordered cross-region replica
+  /// pair, so asymmetric matrices yield asymmetric links.
+  FaultSchedule& wan_topology(const std::vector<std::size_t>& region_of,
+                              const std::vector<std::vector<WanLink>>& matrix,
+                              sim::Duration at);
+
   /// Derives a crash/restart plan from `seed` (same seed, same plan).
   static FaultSchedule random(std::uint64_t seed,
                               const RandomFaultParams& params);
@@ -122,7 +190,12 @@ class FaultSchedule {
 /// Binds a schedule to one concrete run. The callbacks translate replica
 /// indices into actions on the harness's objects; `node_id` resolves the
 /// *current incarnation*'s NodeId at injection time (the id of a reborn
-/// replica differs from its pre-crash one).
+/// replica differs from its pre-crash one). `network` is whatever
+/// Transport::fault_injection() returned for the run's transport — any
+/// backend, not just the loopback; nullptr means the transport cannot
+/// inject faults at all, and gray-failure kinds additionally require
+/// network->supports_gray_faults() (a chaos-wrapped transport). apply()
+/// checks both up front and fails loudly.
 struct FaultTargets {
   std::function<void(std::size_t)> crash;
   std::function<void(std::size_t)> restart;

@@ -90,6 +90,7 @@ void Member::send_join_request() {
 
 void Member::leave() {
   if (!joined_ || stopped_) return;
+  leave_requested_ = true;
   const net::NodeId coordinator = acting_coordinator();
   if (coordinator == self_) {
     pending_leavers_.insert(self_);
@@ -600,6 +601,17 @@ void Member::finish_flush() {
       send_(m, install);
     }
   }
+  // Suspected old-view members excluded from the new view get a raw,
+  // best-effort copy too: a *live* evictee (gray failure — slow or
+  // partially partitioned, not crashed) would otherwise never learn it was
+  // ejected and would run on forever with a dead membership. Raw because
+  // its reliable channels die with the view; loss is acceptable — a
+  // genuinely crashed or fully partitioned evictee is unreachable anyway.
+  for (const net::NodeId m : view_.members) {
+    if (m != self_ && !recipients.contains(m) && !install->view.contains(m)) {
+      send_(m, install);
+    }
+  }
   last_install_ = install;
   coordinating_ = false;
   handle_install(install);
@@ -674,8 +686,18 @@ void Member::install_view(const std::shared_ptr<const InstallMsg>& msg) {
   metrics_.view_changes.inc();
 
   if (!view_.contains(self_)) {
-    // We left (or were excluded): shut down cleanly.
+    // We left (or were excluded): shut down cleanly. An exclusion install
+    // only reaches a member that is still running and reachable — i.e. the
+    // group's failure detector ejected a live process (gray failure: slow
+    // or partially partitioned); a fully partitioned member never receives
+    // it. Surface that to the owner so it can reincarnate rather than run
+    // on forever with a dead membership. Deferred: the callback typically
+    // destroys this member.
+    const bool evicted = !leave_requested_;
     stop();
+    if (evicted && on_eviction_) {
+      exec_.post([cb = on_eviction_] { cb(); });
+    }
     return;
   }
 

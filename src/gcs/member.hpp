@@ -59,6 +59,7 @@ class Member {
   using DeliverFn =
       std::function<void(net::NodeId from, const net::MessagePtr& payload)>;
   using ViewFn = std::function<void(const View& view)>;
+  using EvictionFn = std::function<void()>;
 
   /// `obs` is the simulation's observability context (aggregate "gcs.*"
   /// metrics are mirrored into its registry); pass nullptr to fall back to
@@ -77,6 +78,16 @@ class Member {
   /// Registers the view-change callback. Fired on every installed view,
   /// including the first one after join().
   void set_on_view(ViewFn fn) { on_view_ = std::move(fn); }
+
+  /// Registers the eviction callback: fired (deferred, via the executor)
+  /// when a view that *excludes* this still-running member is installed and
+  /// leave() was never called — i.e. the group's failure detector ejected a
+  /// live process it mistook for dead. Only reachable over intact links, so
+  /// it signals a gray failure (slow or partially partitioned member), not
+  /// a crash: a fully partitioned member never receives the install at all.
+  /// The member has already stop()ped when the callback runs; the owner
+  /// typically treats it as a crash and reincarnates the process.
+  void set_on_eviction(EvictionFn fn) { on_eviction_ = std::move(fn); }
 
   /// Starts the join protocol. If the group is empty this member bootstraps
   /// a singleton view immediately; otherwise a view including this member
@@ -170,6 +181,7 @@ class Member {
   SendFn send_;
   DeliverFn on_deliver_;
   ViewFn on_view_;
+  EvictionFn on_eviction_;
 
   /// Liveness token captured (weakly) by self-scheduled simulator events so
   /// they become no-ops if the member is destroyed before they fire — a
@@ -180,6 +192,7 @@ class Member {
   bool stopped_ = false;
   bool joined_ = false;
   bool join_requested_ = false;
+  bool leave_requested_ = false;  // distinguishes leave() from eviction
   bool blocked_ = false;
   View view_;
 

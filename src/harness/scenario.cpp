@@ -100,6 +100,9 @@ void Scenario::build() {
   transport_ = net::make_loopback_transport(
       *exec_, std::make_unique<sim::NormalDuration>(config_.net_latency_mean,
                                                     config_.net_latency_std));
+  if (config_.chaos) {
+    transport_ = net::make_chaos_transport(std::move(transport_));
+  }
 
   // The sequencer (slot 0) is the first primary-group joiner (rank 0 =
   // leader), then primaries, then secondaries.
@@ -186,9 +189,20 @@ std::unique_ptr<replication::ReplicaServer> Scenario::make_replica_server(
       std::chrono::duration_cast<sim::Duration>(config_.service_mean / speed),
       std::chrono::duration_cast<sim::Duration>(config_.service_std / speed));
   rc.lazy_update_interval = config_.lazy_update_interval;
-  return std::make_unique<replication::ReplicaServer>(
+  auto server = std::make_unique<replication::ReplicaServer>(
       *exec_, endpoint, groups_, is_primary,
       std::make_unique<replication::KeyValueStore>(), std::move(rc));
+  // A group that ejects a live-but-gray replica leaves the server crashed;
+  // reincarnate the slot after a supervisor delay (the reborn process joins
+  // under a fresh NodeId, escaping any identity-keyed blackhole).
+  if (config_.eviction_restart_delay > sim::Duration::zero()) {
+    server->set_on_evicted([this, index] {
+      exec_->after(config_.eviction_restart_delay, [this, index] {
+        if (replicas_[index]->crashed()) restart_replica(index);
+      });
+    });
+  }
+  return server;
 }
 
 void Scenario::schedule_crash(std::size_t replica_index, sim::TimePoint at) {

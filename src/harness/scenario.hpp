@@ -91,6 +91,16 @@ struct ScenarioConfig {
   /// reached) so late replies and final publications drain. Under
   /// kRealTime this is real seconds — live_cli shortens it.
   sim::Duration drain = std::chrono::seconds(2);
+  /// Wraps the transport in the chaos decorator so fault schedules can
+  /// script gray failures (degrade_link, partial_partition,
+  /// duplicate_storm, reorder, throttle_link, WAN matrices) on top of the
+  /// crash-era faults. Decisions are drawn from the run's seed.
+  bool chaos = false;
+  /// How long after a group evicts a still-running replica (gray failure:
+  /// partial partition or slow link fooled the failure detector) the
+  /// harness reincarnates the slot, modelling a process supervisor. The
+  /// evicted server has already crash()ed itself; zero disables restarts.
+  sim::Duration eviction_restart_delay = std::chrono::seconds(1);
 };
 
 /// Per-client results of a run.
@@ -168,7 +178,8 @@ class Scenario {
   /// Snapshot of the transport counters (assembled from the metrics
   /// registry).
   net::TransportStats transport_stats() const { return transport_->stats(); }
-  /// The loopback transport every scenario process is attached to.
+  /// The transport every scenario process is attached to (a loopback,
+  /// chaos-wrapped when config.chaos is set).
   net::Transport& transport() { return *transport_; }
   /// The simulation-wide metrics registry + trace hub. Register trace
   /// sinks here before run().

@@ -14,6 +14,10 @@
 //     between OS processes, with a per-peer address book and the wire
 //     codec (net/codec.hpp) for framing. Used by live_cli's multi-process
 //     deployment.
+//   * ChaosTransport (net/chaos.hpp) — a decorator that wraps either
+//     backend and adds a seeded-deterministic gray-failure layer (loss,
+//     extra delay, reordering, duplication, partial partitions, link
+//     throttling) on the send path. Built through make_chaos_transport().
 //
 // The layering lint (tools/check_layering.py) enforces that protocol code
 // includes this header and not the concrete transport headers.
@@ -27,6 +31,7 @@
 #include "net/node.hpp"
 #include "obs/observability.hpp"
 #include "runtime/executor.hpp"
+#include "sim/check.hpp"
 #include "sim/random.hpp"
 
 namespace aqueduct::net {
@@ -56,12 +61,23 @@ struct TransportStats {
   /// serializes.
   std::uint64_t decode_errors = 0;
   std::uint64_t bytes_sent = 0;
+  /// Gray-failure counters. Only the chaos decorator (net/chaos.hpp)
+  /// duplicates, reorders, or injects extra delay on purpose; on bare
+  /// backends these stay 0.
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_reordered = 0;
+  std::uint64_t messages_delayed = 0;
 };
 
 /// Fault-injection surface of a transport that can misbehave on demand.
-/// Only the loopback implements it (failure-injection experiments are
-/// DES-only); real-socket transports return nullptr from
-/// Transport::fault_injection() and suffer only genuine faults.
+/// The loopback implements the crash-era core (latency overrides, loss,
+/// partitions); bare real-socket transports return nullptr from
+/// Transport::fault_injection() and suffer only genuine faults. Wrapping
+/// any backend in the chaos decorator (make_chaos_transport) yields a
+/// surface that additionally supports the gray-failure knobs below —
+/// check supports_gray_faults() before scripting them. Protocol layers
+/// and fault schedules name only this interface, never a concrete
+/// implementation.
 class FaultInjection {
  public:
   virtual ~FaultInjection() = default;
@@ -108,8 +124,125 @@ class FaultInjection {
   virtual void partition(std::vector<NodeId> side_a,
                          std::vector<NodeId> side_b) = 0;
 
-  /// Removes any active partition.
+  /// Removes any active partition (including partial_partition() links).
   virtual void heal() = 0;
+
+  // --- Gray-failure surface -------------------------------------------
+  //
+  // Slow-but-alive links, duplicated/reordered delivery, and partial
+  // partitions. Only the chaos decorator implements these; the defaults
+  // fail loudly so a schedule scripting gray faults against a bare
+  // backend is a configuration error, not a silent no-op.
+
+  /// True when the gray-failure knobs below are implemented. Callers
+  /// (e.g. fault::FaultSchedule::apply) must check this before using them.
+  virtual bool supports_gray_faults() const { return false; }
+
+  /// Extra delay added to every message without a more specific override,
+  /// sampled per message. nullptr clears.
+  virtual void set_default_delay(
+      std::shared_ptr<sim::DurationDistribution> extra) {
+    (void)extra;
+    gray_unsupported("set_default_delay");
+  }
+
+  /// Directional extra delay for messages from `from` to `to`, sampled per
+  /// message — the primitive behind asymmetric links and WAN latency
+  /// matrices. Overrides node-level and default extra delay for that link.
+  virtual void set_link_delay(NodeId from, NodeId to,
+                              std::shared_ptr<sim::DurationDistribution> extra) {
+    (void)from;
+    (void)to;
+    (void)extra;
+    gray_unsupported("set_link_delay");
+  }
+
+  /// Removes a directional extra-delay override.
+  virtual void clear_link_delay(NodeId from, NodeId to) {
+    (void)from;
+    (void)to;
+    gray_unsupported("clear_link_delay");
+  }
+
+  /// Probability in [0, 1] that a message is sent twice (each copy delayed
+  /// independently, so duplicates also reorder). Applies to every link
+  /// without a per-link override.
+  virtual void set_duplicate_probability(double p) {
+    (void)p;
+    gray_unsupported("set_duplicate_probability");
+  }
+
+  /// Directional per-link duplication probability; overrides the global
+  /// knob for that link. p == 0 with no global knob disables.
+  virtual void set_link_duplicate(NodeId from, NodeId to, double p) {
+    (void)from;
+    (void)to;
+    (void)p;
+    gray_unsupported("set_link_duplicate");
+  }
+
+  /// Removes a directional per-link duplication override.
+  virtual void clear_link_duplicate(NodeId from, NodeId to) {
+    (void)from;
+    (void)to;
+    gray_unsupported("clear_link_duplicate");
+  }
+
+  /// Probability in [0, 1] that a message is held back by an extra uniform
+  /// delay in [0, reorder window), letting later sends overtake it.
+  virtual void set_reorder_probability(double p) {
+    (void)p;
+    gray_unsupported("set_reorder_probability");
+  }
+
+  /// Maximum holdback used by reordering (default 50 ms).
+  virtual void set_reorder_window(sim::Duration window) {
+    (void)window;
+    gray_unsupported("set_reorder_window");
+  }
+
+  /// Serializes the directional link `from` → `to` so consecutive messages
+  /// enter the wrapped backend at least `min_gap` apart — a slow-but-alive
+  /// link that stays connected but cannot sustain throughput. Zero clears.
+  virtual void set_link_throttle(NodeId from, NodeId to,
+                                 sim::Duration min_gap) {
+    (void)from;
+    (void)to;
+    (void)min_gap;
+    gray_unsupported("set_link_throttle");
+  }
+
+  /// Blackholes traffic between `a` and `b` (both directions) without
+  /// touching any other link — a partial partition. Undone by heal_link()
+  /// or heal().
+  virtual void partial_partition(NodeId a, NodeId b) {
+    (void)a;
+    (void)b;
+    gray_unsupported("partial_partition");
+  }
+
+  /// Restores the (a, b) pair: removes the partial partition and any
+  /// per-link delay/loss/duplication/throttle overrides, both directions.
+  virtual void heal_link(NodeId a, NodeId b) {
+    (void)a;
+    (void)b;
+    gray_unsupported("heal_link");
+  }
+
+  /// Resets every gray-failure knob (delays, duplication, reordering,
+  /// throttles, partial partitions) and all loss settings. Full-mesh
+  /// partitions installed via partition() are also healed.
+  virtual void heal_gray() { gray_unsupported("heal_gray"); }
+
+ protected:
+  [[noreturn]] static void gray_unsupported(const char* what) {
+    AQUEDUCT_CHECK_MSG(false, "FaultInjection::"
+                                  << what
+                                  << " needs gray-failure support — wrap the "
+                                     "transport via net::make_chaos_transport() "
+                                     "(this backend only injects crash-era "
+                                     "faults)");
+  }
 };
 
 /// Abstract message mover: endpoint attach/detach, unreliable datagram
@@ -172,5 +305,13 @@ class Transport {
 std::unique_ptr<Transport> make_loopback_transport(
     runtime::Executor& exec,
     std::unique_ptr<sim::DurationDistribution> default_latency);
+
+/// Wraps any backend (loopback or UDP) in the chaos decorator
+/// (a ChaosTransport, net/chaos.hpp): the returned transport's
+/// fault_injection() supports the full gray-failure surface with
+/// seeded-deterministic decisions drawn from `exec.rng().split()` of the
+/// wrapped backend's executor. Messages the chaos layer lets through are
+/// forwarded to `inner` unchanged.
+std::unique_ptr<Transport> make_chaos_transport(std::unique_ptr<Transport> inner);
 
 }  // namespace aqueduct::net

@@ -21,6 +21,7 @@ ReplicaServer::Instruments::Instruments(obs::MetricsRegistry& reg)
       state_snapshots_served(reg.counter("repl.state_snapshots_served")),
       state_snapshots_installed(reg.counter("repl.state_snapshots_installed")),
       recoveries_completed(reg.counter("repl.recoveries_completed")),
+      evictions(reg.counter("repl.evictions")),
       service_ms(reg.histogram("repl.service_ms")),
       queueing_ms(reg.histogram("repl.queueing_ms")),
       lazy_wait_ms(reg.histogram("repl.lazy_wait_ms")) {}
@@ -81,9 +82,29 @@ void ReplicaServer::start() {
     stall_task_->start();
   }
 
+  // Being ejected from any service group while still running (the failure
+  // detector mistook a gray-failed process for dead) is fatal: the member
+  // has stopped, so this replica would otherwise run on forever outside the
+  // commit stream. Treat it as a crash; the harness reincarnates the slot.
+  const auto evicted = [this, weak = std::weak_ptr<const bool>(alive_)] {
+    if (weak.expired()) return;
+    on_member_eviction();
+  };
+  qos_member_->set_on_eviction(evicted);
+  replication_member_->set_on_eviction(evicted);
+  if (primary_member_ != nullptr) primary_member_->set_on_eviction(evicted);
+
   qos_member_->join();
   replication_member_->join();
   if (primary_member_ != nullptr) primary_member_->join();
+}
+
+void ReplicaServer::on_member_eviction() {
+  if (crashed_) return;
+  ++stats_.evictions;
+  metrics_.evictions.inc();
+  crash();
+  if (on_evicted_) on_evicted_();  // may destroy this server — return at once
 }
 
 void ReplicaServer::crash() {

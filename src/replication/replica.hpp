@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -77,6 +78,11 @@ struct ReplicaStats {
   std::uint64_t state_snapshots_served = 0;
   std::uint64_t state_snapshots_installed = 0;
   std::uint64_t recoveries_completed = 0;
+  /// Times a group ejected this still-running replica (gray failure: the
+  /// failure detector mistook a slow / partially partitioned process for
+  /// dead). The replica treats each as a self-crash; the harness restarts
+  /// the slot so it rejoins with a fresh identity.
+  std::uint64_t evictions = 0;
 };
 
 class ReplicaServer {
@@ -120,6 +126,12 @@ class ReplicaServer {
   /// Changes T_L at runtime (the consistency/timeliness tuning knob).
   void set_lazy_update_interval(sim::Duration interval);
 
+  /// Registers a hook fired right after this replica crash()es itself
+  /// because a group evicted it while it was still running (see
+  /// ReplicaStats::evictions). The harness uses it to reincarnate the slot.
+  /// Runs from an executor callback; it may destroy this server.
+  void set_on_evicted(std::function<void()> fn) { on_evicted_ = std::move(fn); }
+
  private:
   // ---- message handlers (via the QoS / replication / primary groups) ----
   void on_qos_deliver(net::NodeId from, const net::MessagePtr& msg);
@@ -142,6 +154,7 @@ class ReplicaServer {
   void handle_state_request(net::NodeId from);
   void handle_state_snapshot(const StateSnapshot& snap);
   void check_commit_stall();
+  void on_member_eviction();
 
   // ---- sequencer ----
   void sequence_update(const UpdateRequest& request);
@@ -214,6 +227,10 @@ class ReplicaServer {
 
   bool started_ = false;
   bool crashed_ = false;
+  std::function<void()> on_evicted_;
+  /// Liveness token captured (weakly) by the members' deferred eviction
+  /// callbacks — a restart may destroy this server while one is queued.
+  std::shared_ptr<const bool> alive_ = std::make_shared<bool>(true);
 
   // Roles (derived from the primary-group view).
   bool is_sequencer_ = false;
@@ -303,6 +320,7 @@ class ReplicaServer {
     obs::Counter& state_snapshots_served;
     obs::Counter& state_snapshots_installed;
     obs::Counter& recoveries_completed;
+    obs::Counter& evictions;
     obs::Histogram& service_ms;
     obs::Histogram& queueing_ms;
     obs::Histogram& lazy_wait_ms;

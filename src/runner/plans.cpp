@@ -427,6 +427,177 @@ SeedRecord run_chaos_recovery(const Unit& unit, std::size_t requests) {
   return rec;
 }
 
+// ------------------------------------------------------------ gray failures
+
+/// Invariant collection shared by the gray plans: no replica crashes in
+/// them, so every replica is checked and primaries must agree on the
+/// committed prefix.
+ChaosInvariants collect_gray_invariants(
+    harness::Scenario& scenario,
+    const std::vector<harness::ClientResult>& results,
+    std::uint64_t expected_reads) {
+  ChaosInvariants inv;
+  for (const auto& r : results) {
+    if (r.stats.reads_completed + r.stats.reads_abandoned != expected_reads) {
+      ++inv.liveness_violations;
+    }
+    inv.staleness_violations += r.stats.staleness_violations;
+  }
+  std::uint64_t max_csn = 0;
+  const std::size_t num_primaries = 3;  // chaos_config(…, 3, 3, …) layout
+  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+    inv.gsn_conflicts += scenario.replica(i).stats().gsn_conflicts;
+  }
+  for (std::size_t i = 0; i <= num_primaries; ++i) {
+    const auto& replica = scenario.replica(i);
+    const auto& store =
+        dynamic_cast<const replication::KeyValueStore&>(replica.object());
+    if (store.version() != replica.csn()) ++inv.csn_mismatches;
+    max_csn = std::max(max_csn, replica.csn());
+  }
+  for (std::size_t i = 1; i <= num_primaries; ++i) {
+    if (scenario.replica(i).csn() + 2 < max_csn) ++inv.divergences;
+  }
+  return inv;
+}
+
+constexpr auto kGrayOnset = seconds(5);
+constexpr auto kGrayHealAt = seconds(18);
+
+/// Severity ladder for the gray_failure plan. Each point layers more
+/// degradation onto the same window [kGrayOnset, kGrayHealAt): reordering
+/// and duplication first, then a slow-but-alive primary with lossy
+/// sequencer links, then a partial partition plus a throttled link.
+fault::FaultSchedule gray_severity_schedule(std::size_t point) {
+  fault::FaultSchedule plan;
+  const auto window = kGrayHealAt - kGrayOnset;
+  switch (point) {
+    case 0:  // baseline — no degradation
+      break;
+    case 1:  // mild
+      plan.reorder(0.10, milliseconds(20), kGrayOnset)
+          .duplicate_storm(0.05, kGrayOnset);
+      break;
+    case 2:  // moderate
+      plan.reorder(0.20, milliseconds(30), kGrayOnset)
+          .duplicate_storm(0.10, kGrayOnset)
+          .latency_spike(2, milliseconds(3), milliseconds(1), kGrayOnset,
+                         window)
+          .degrade_link(0, 2, milliseconds(2), milliseconds(1), 0.05,
+                        kGrayOnset)
+          .degrade_link(2, 0, milliseconds(2), milliseconds(1), 0.05,
+                        kGrayOnset);
+      break;
+    case 3:  // severe
+      plan.reorder(0.30, milliseconds(40), kGrayOnset)
+          .duplicate_storm(0.25, kGrayOnset)
+          .latency_spike(2, milliseconds(4), milliseconds(2), kGrayOnset,
+                         window)
+          .degrade_link(0, 2, milliseconds(3), milliseconds(1), 0.10,
+                        kGrayOnset)
+          .degrade_link(2, 0, milliseconds(3), milliseconds(1), 0.10,
+                        kGrayOnset)
+          .throttle_link(0, 3, milliseconds(2), kGrayOnset)
+          .partial_partition(2, 5, kGrayOnset + seconds(1), seconds(6));
+      break;
+  }
+  plan.heal_gray(kGrayHealAt);
+  return plan;
+}
+
+/// Severity ladder: timing-failure rate inside vs outside the degradation
+/// window and time-to-detect (first deadline miss after onset), with the
+/// safety counters that must pool to 0. The chaos decorator wraps the
+/// loopback, so the whole trajectory stays a pure function of the seed.
+SeedRecord run_gray_failure(const Unit& unit, std::size_t requests) {
+  harness::ScenarioConfig config = chaos_config(unit.seed, 3, 3, requests);
+  config.chaos = true;
+  harness::Scenario scenario(std::move(config));
+  UnitTelemetry telemetry(scenario);
+  scenario.apply_faults(gray_severity_schedule(unit.point));
+
+  auto results = scenario.run();
+
+  const double onset_s = sim::to_sec(sim::Duration(kGrayOnset));
+  const double heal_s = sim::to_sec(sim::Duration(kGrayHealAt));
+  std::uint64_t degraded_reads = 0, degraded_failures = 0;
+  std::uint64_t steady_reads = 0, steady_failures = 0;
+  double detect_s = -1.0;
+  for (const auto& client : results) {
+    for (std::size_t i = 0; i < client.read_completed_at.size(); ++i) {
+      const double t = client.read_completed_at[i];
+      const bool degraded = unit.point > 0 && t >= onset_s && t < heal_s;
+      const bool failed = client.read_timing_failures[i];
+      (degraded ? degraded_reads : steady_reads) += 1;
+      if (failed) {
+        (degraded ? degraded_failures : steady_failures) += 1;
+        if (degraded && (detect_s < 0.0 || t - onset_s < detect_s)) {
+          detect_s = t - onset_s;
+        }
+      }
+    }
+  }
+
+  SeedRecord rec;
+  rec.value("severity", static_cast<double>(unit.point));
+  rec.counter("degraded_reads", degraded_reads);
+  rec.counter("degraded_failures", degraded_failures);
+  rec.counter("steady_reads", steady_reads);
+  rec.counter("steady_failures", steady_failures);
+  rec.counter("detected", detect_s >= 0.0 ? 1 : 0);
+  if (detect_s >= 0.0) rec.sample("time_to_detect_s", {detect_s});
+
+  const net::TransportStats ts = scenario.transport_stats();
+  rec.counter("messages_duplicated", ts.messages_duplicated);
+  rec.counter("messages_reordered", ts.messages_reordered);
+  rec.counter("messages_delayed", ts.messages_delayed);
+  rec.counter("messages_dropped_loss", ts.messages_dropped_loss);
+
+  collect_gray_invariants(scenario, results, requests / 2).report(rec);
+  telemetry.report(scenario, rec);
+  return rec;
+}
+
+/// Seed-randomized gray chaos: reordering + duplication + a degraded link
+/// + a partial partition, all healed before the run ends. The gtest suite
+/// fans this across 12 seeds and asserts the invariants pool to 0.
+SeedRecord run_gray_chaos(const Unit& unit, std::size_t requests) {
+  harness::ScenarioConfig config = chaos_config(unit.seed, 3, 3, requests);
+  config.chaos = true;
+  harness::Scenario scenario(std::move(config));
+  UnitTelemetry telemetry(scenario);
+
+  sim::Rng gray(unit.seed * 6271 + 17);
+  const std::size_t num_replicas = scenario.num_replicas();
+  fault::FaultSchedule plan;
+  plan.reorder(0.05 + 0.25 * gray.uniform(),
+               milliseconds(10 + gray.uniform_int(40)), seconds(4));
+  plan.duplicate_storm(0.02 + 0.18 * gray.uniform(), seconds(4));
+  plan.loss(0.05, seconds(4));
+  const std::size_t from = gray.uniform_int(num_replicas);
+  std::size_t to = gray.uniform_int(num_replicas);
+  if (to == from) to = (to + 1) % num_replicas;
+  plan.degrade_link(from, to, milliseconds(1 + gray.uniform_int(3)),
+                    milliseconds(1), 0.05, seconds(5));
+  // Partial partition between a primary and a secondary, healed after 5s.
+  plan.partial_partition(1 + gray.uniform_int(3), 4 + gray.uniform_int(3),
+                         seconds(6), seconds(5));
+  plan.heal_gray(seconds(14));
+  scenario.apply_faults(plan);
+
+  auto results = scenario.run();
+
+  SeedRecord rec;
+  const net::TransportStats ts = scenario.transport_stats();
+  rec.counter("messages_duplicated", ts.messages_duplicated);
+  rec.counter("messages_reordered", ts.messages_reordered);
+  rec.counter("messages_delayed", ts.messages_delayed);
+  rec.counter("messages_dropped_loss", ts.messages_dropped_loss);
+  collect_gray_invariants(scenario, results, requests / 2).report(rec);
+  telemetry.report(scenario, rec);
+  return rec;
+}
+
 std::vector<Plan> build_plans() {
   std::vector<Plan> all;
 
@@ -486,6 +657,33 @@ std::vector<Plan> build_plans() {
     p.default_requests = 80;
     p.points = {"crash_loss"};
     p.run = run_chaos;
+    all.push_back(std::move(p));
+  }
+  {
+    Plan p;
+    p.name = "gray_failure";
+    p.description =
+        "gray-failure severity ladder (reorder/duplication/slow links/"
+        "partial partition) over the chaos transport: timing-failure rate "
+        "and time-to-detect vs severity; safety counters must pool to 0";
+    p.default_requests = 120;
+    p.points = {"baseline", "mild", "moderate", "severe"};
+    p.binomials = {
+        {"degraded_timing_failure", "degraded_failures", "degraded_reads"},
+        {"steady_timing_failure", "steady_failures", "steady_reads"},
+    };
+    p.run = run_gray_failure;
+    all.push_back(std::move(p));
+  }
+  {
+    Plan p;
+    p.name = "gray_chaos";
+    p.description =
+        "randomized reorder+duplication+partial-partition gray chaos over "
+        "the chaos transport; invariant violations must pool to 0";
+    p.default_requests = 80;
+    p.points = {"gray"};
+    p.run = run_gray_chaos;
     all.push_back(std::move(p));
   }
   {

@@ -61,5 +61,27 @@ TEST(ChaosRecovery, SafetyInvariantsHoldAcrossReincarnations) {
   run_chaos_plan("chaos_recovery");
 }
 
+// Gray failures (chaos-wrapped transport): every seed layers reordering,
+// duplication, loss, a degraded link, and a primary↔secondary partial
+// partition — the failure detector may evict live replicas, which must
+// rejoin and re-synchronize rather than diverge. Committed-prefix
+// agreement, zero GSN conflicts, and zero staleness violations must
+// survive all of it.
+TEST(ChaosGrayFailure, SafetyInvariantsHoldUnderGrayFaults) {
+  run_chaos_plan("gray_chaos");
+}
+
+// The gray_failure severity ladder must merge byte-identically for any
+// worker-thread count (chaos decisions are seed-deterministic, so the
+// whole sweep is too).
+TEST(ChaosGrayFailure, SeverityLadderJsonIsThreadCountInvariant) {
+  const runner::Plan* plan = runner::find_plan("gray_failure");
+  ASSERT_NE(plan, nullptr);
+  const runner::SweepSpec spec1 = runner::make_spec(*plan, 5, 3, 1, 40);
+  const runner::SweepSpec spec8 = runner::make_spec(*plan, 5, 3, 8, 40);
+  EXPECT_EQ(runner::sweep_json(spec1, runner::run_sweep(spec1)),
+            runner::sweep_json(spec8, runner::run_sweep(spec8)));
+}
+
 }  // namespace
 }  // namespace aqueduct

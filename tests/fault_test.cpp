@@ -8,6 +8,7 @@
 #include "fault/dependability.hpp"
 #include "fault/schedule.hpp"
 #include "net/loopback.hpp"
+#include "sim/check.hpp"
 #include "sim/simulator.hpp"
 
 namespace aqueduct::fault {
@@ -68,6 +69,107 @@ TEST(FaultSchedule, RandomPairsEveryCrashWithALaterRestart) {
   }
   EXPECT_EQ(crashes, restarts);
   EXPECT_GE(crashes, 1u);
+}
+
+TEST(FaultSchedule, GrayBuildersEmitPairedHeals) {
+  FaultSchedule s;
+  s.degrade_link(0, 2, milliseconds(3), milliseconds(1), 0.05, seconds(5),
+                 seconds(4));
+  s.partial_partition(1, 4, seconds(6), seconds(5));
+  s.duplicate_storm(0.2, seconds(2), seconds(3));
+  s.reorder(0.3, milliseconds(40), seconds(2), seconds(3));
+  s.throttle_link(0, 3, milliseconds(2), seconds(4), seconds(2));
+
+  const auto events = s.events();
+  auto count = [&](FaultKind kind) {
+    std::size_t n = 0;
+    for (const auto& e : events) n += e.kind == kind;
+    return n;
+  };
+  // Each bounded fault carries its own end: degrade/partition restore the
+  // link, storm/reorder/throttle re-arm with a zero knob.
+  EXPECT_EQ(count(FaultKind::kHealLink), 2u);
+  EXPECT_EQ(count(FaultKind::kDuplicateStorm), 2u);
+  EXPECT_EQ(count(FaultKind::kReorder), 2u);
+  EXPECT_EQ(count(FaultKind::kThrottleLink), 2u);
+  for (const auto& e : events) {
+    if (e.kind == FaultKind::kDuplicateStorm && e.at == seconds(5)) {
+      EXPECT_DOUBLE_EQ(e.probability, 0.0);
+    }
+    if (e.kind == FaultKind::kHealLink && e.at == seconds(9)) {
+      EXPECT_EQ(e.replica, 0u);
+      EXPECT_EQ(e.peer, 2u);
+    }
+  }
+}
+
+TEST(FaultSchedule, WanTopologyDegradesOnlyCrossRegionLinks) {
+  FaultSchedule s;
+  // Replicas 0,1 in region 0; replicas 2,3 in region 1. Asymmetric matrix:
+  // region 0 → 1 is 30ms, region 1 → 0 is 50ms.
+  FaultSchedule::WanLink to1{milliseconds(30), milliseconds(5)};
+  FaultSchedule::WanLink to0{milliseconds(50), milliseconds(5)};
+  s.wan_topology({0, 0, 1, 1},
+                 {{{}, to1},
+                  {to0, {}}},
+                 seconds(1));
+
+  const auto events = s.events();
+  ASSERT_EQ(events.size(), 8u) << "2x2 cross-region ordered pairs";
+  for (const auto& e : events) {
+    EXPECT_EQ(e.kind, FaultKind::kDegradeLink);
+    const bool from_r0 = e.replica < 2;
+    const bool to_r0 = e.peer < 2;
+    EXPECT_NE(from_r0, to_r0) << "intra-region links must stay LAN-local";
+    EXPECT_EQ(e.latency_mean, from_r0 ? milliseconds(30) : milliseconds(50));
+  }
+}
+
+TEST(FaultApply, GrayKindsRequireGraySupportAndFailLoudly) {
+  sim::Simulator sim(1);
+  net::LoopbackTransport network(sim, std::make_unique<sim::FixedDuration>(
+                                milliseconds(1)));
+  FaultSchedule s;
+  s.duplicate_storm(0.2, seconds(1));
+
+  FaultTargets targets;
+  targets.node_id = [](std::size_t) { return net::NodeId{1}; };
+  targets.num_replicas = 4;
+  targets.network = &network;  // crash-era only: supports_gray_faults false
+  EXPECT_THROW(apply(s, sim, std::move(targets)), InvariantViolation);
+
+  FaultTargets none;
+  none.node_id = [](std::size_t) { return net::NodeId{1}; };
+  none.num_replicas = 4;
+  none.network = nullptr;
+  EXPECT_THROW(apply(s, sim, std::move(none)), InvariantViolation);
+}
+
+TEST(FaultApply, GrayEventsDriveChaosKnobsAtScheduledTimes) {
+  sim::Simulator sim(1);
+  auto transport = net::make_chaos_transport(net::make_loopback_transport(
+      sim, std::make_unique<sim::FixedDuration>(milliseconds(1))));
+  net::FaultInjection* fi = transport->fault_injection();
+  ASSERT_NE(fi, nullptr);
+
+  FaultSchedule s;
+  s.degrade_link(0, 1, milliseconds(2), milliseconds(1), 0.25, seconds(2),
+                 seconds(3));
+
+  FaultTargets targets;
+  targets.node_id = [](std::size_t i) {
+    return net::NodeId{static_cast<std::uint32_t>(i + 1)};
+  };
+  targets.num_replicas = 2;
+  targets.network = fi;
+  apply(s, sim, std::move(targets));
+
+  sim.run_for(seconds(1));
+  EXPECT_DOUBLE_EQ(fi->loss_probability(net::NodeId{1}, net::NodeId{2}), 0.0);
+  sim.run_for(seconds(2));
+  EXPECT_DOUBLE_EQ(fi->loss_probability(net::NodeId{1}, net::NodeId{2}), 0.25);
+  sim.run_for(seconds(3));  // past the paired heal_link at t=5s
+  EXPECT_DOUBLE_EQ(fi->loss_probability(net::NodeId{1}, net::NodeId{2}), 0.0);
 }
 
 TEST(FaultApply, FiresCallbacksAtScheduledTimes) {

@@ -214,5 +214,85 @@ TEST(GcsFailure, NoFlushGapsWithoutSenderCrash) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Gray-failure eviction: a *live* member the failure detector ejects (its
+// links to part of the group are dead, but the coordinator can still reach
+// it) must receive the excluding install and fire on_eviction, so its
+// owner can reincarnate it. A full crash never triggers the callback.
+// ---------------------------------------------------------------------------
+
+struct ChaosFixture {
+  explicit ChaosFixture(std::size_t n, std::uint64_t seed = 1) : sim(seed) {
+    network = net::make_chaos_transport(net::make_loopback_transport(
+        sim, std::make_unique<sim::NormalDuration>(milliseconds(2),
+                                                   milliseconds(1))));
+    for (std::size_t i = 0; i < n; ++i) {
+      endpoints.push_back(std::make_unique<Endpoint>(sim, *network, directory));
+      auto& member = endpoints[i]->member(kGroup);
+      member.set_on_view([this, i](const View& v) { views[i].push_back(v); });
+      member.set_on_eviction([this, i] { evicted.push_back(i); });
+    }
+  }
+
+  void join_all() {
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      sim.after(milliseconds(5), [this, i] { endpoints[i]->member(kGroup).join(); });
+      sim.run_for(milliseconds(50));
+    }
+    sim.run_for(seconds(2));
+  }
+
+  Member& member(std::size_t i) { return endpoints[i]->member(kGroup); }
+
+  sim::Simulator sim;
+  std::unique_ptr<net::Transport> network;
+  Directory directory;
+  std::vector<std::unique_ptr<Endpoint>> endpoints;
+  std::map<std::size_t, std::vector<View>> views;
+  std::vector<std::size_t> evicted;
+};
+
+TEST(GcsFailure, PartiallyPartitionedMemberIsEvictedAndNotified) {
+  ChaosFixture f(4);
+  f.join_all();
+  ASSERT_EQ(f.member(0).view().size(), 4u);
+
+  // Cut only the 1 ↔ 2 pair; both stay reachable from the coordinator.
+  f.network->fault_injection()->partial_partition(f.member(1).self(),
+                                                  f.member(2).self());
+  f.sim.run_for(seconds(8));  // suspicion + view change + install
+
+  ASSERT_FALSE(f.evicted.empty())
+      << "the ejected live member must learn of its eviction";
+  for (const std::size_t i : f.evicted) {
+    EXPECT_TRUE(i == 1 || i == 2) << "only the partitioned pair is suspect";
+    EXPECT_FALSE(f.member(i).joined());
+  }
+  // Survivors agree on a view that excludes every evictee.
+  for (const std::size_t i : f.evicted) {
+    EXPECT_FALSE(f.member(0).view().contains(f.member(i).self()));
+  }
+  EXPECT_GE(f.member(0).view().size(), 2u);
+}
+
+TEST(GcsFailure, CrashedMemberNeverFiresEviction) {
+  ChaosFixture f(4);
+  f.join_all();
+  f.endpoints[3]->crash();
+  f.sim.run_for(seconds(8));
+  EXPECT_TRUE(f.evicted.empty())
+      << "a fail-stop crash must not look like a gray eviction";
+}
+
+TEST(GcsFailure, VoluntaryLeaveDoesNotFireEviction) {
+  ChaosFixture f(4);
+  f.join_all();
+  f.member(3).leave();
+  f.sim.run_for(seconds(4));
+  EXPECT_FALSE(f.member(3).joined());
+  EXPECT_TRUE(f.evicted.empty());
+  EXPECT_EQ(f.member(0).view().size(), 3u);
+}
+
 }  // namespace
 }  // namespace aqueduct::gcs

@@ -16,6 +16,12 @@ Gated metrics:
                     and the Pc(d) lower bound, i.e. the pooled Wilson lower
                     bound of steady-state deadline-hit probability
                     (1 - upper CI bound of the steady timing-failure rate);
+  gray_failure    — per-severity timing-failure rate inside the degradation
+                    window (hardening must not erode under gray faults),
+                    the steady-state Pc(d) lower bound outside it, zero
+                    safety-invariant violations (absolute), and a nonzero
+                    injected-fault total (the chaos layer must actually
+                    have fired);
   obs_overhead    — telemetry cost: overhead_percent against the absolute
                     <2% budget (the one wall-clock-derived exception — it
                     is a ratio of two runs on the same machine, so the
@@ -109,6 +115,48 @@ def recovery_gates(_baseline: dict) -> list[Gate]:
     ]
 
 
+def gray_failure_gates(baseline: dict) -> list[Gate]:
+    def point_rate(doc: dict, point: int) -> float:
+        failures = trials = 0
+        for r in doc["runs"]:
+            if r["point"] == point:
+                failures += r["degraded_failures"]
+                trials += r["degraded_reads"]
+        if trials == 0:
+            raise KeyError(f"no degraded reads at severity point {point}")
+        return failures / trials
+
+    def injected(doc: dict) -> float:
+        return float(sum(r[k] for r in doc["runs"]
+                         for k in ("messages_duplicated",
+                                   "messages_reordered",
+                                   "messages_delayed",
+                                   "messages_dropped_loss")))
+
+    severities = sorted({r["point"] for r in baseline["runs"]})
+    gates = []
+    for point in severities:
+        if point == 0:
+            continue  # baseline severity has no degradation window
+        # 2% absolute slack: the per-point rate sits on ~400 reads, so a
+        # couple of flipped outcomes must not flag.
+        gates.append(Gate(f"degraded tf rate @severity {point}",
+                          lambda d, p=point: point_rate(d, p),
+                          "max", slack=0.02))
+    gates += [
+        Gate("Pc(d) lower bound (steady)",
+             lambda d: 1.0 - float(d["pooled"]["steady_timing_failure"]
+                                   ["ci_upper"]),
+             "min", slack=0.02),
+        Gate("safety-invariant violations",
+             lambda d: float(d["pooled"]["violations"]),
+             "max", absolute_limit=0.0),
+        Gate("faults injected",
+             injected, "min", absolute_limit=1.0),
+    ]
+    return gates
+
+
 def obs_overhead_gates(baseline: dict) -> list[Gate]:
     budget = float(baseline.get("budget_percent", 2.0))
     return [
@@ -131,6 +179,7 @@ def obs_overhead_gates(baseline: dict) -> list[Gate]:
 GATE_BUILDERS = {
     "selection_scale": selection_scale_gates,
     "recovery": recovery_gates,
+    "gray_failure": gray_failure_gates,
     "obs_overhead": obs_overhead_gates,
 }
 

@@ -20,10 +20,11 @@ Three rules, same motivation — keep the protocol stack substitutable:
 3. Transports. Everything above src/net — including src/harness, which
    must stay backend-agnostic so the same Scenario can one day run over
    sockets — is written against net::Transport (net/transport.hpp).
-   Including net/loopback.hpp or net/udp_transport.hpp from those layers
-   would hard-wire the stack to one backend; concrete transports are
-   constructed only in composition roots (examples, tests, benches) or
-   through the make_loopback_transport() factory.
+   Including net/loopback.hpp, net/udp_transport.hpp, or net/chaos.hpp
+   from those layers would hard-wire the stack to one backend (or one
+   fault-injection implementation); concrete transports are constructed
+   only in composition roots (examples, tests, benches) or through the
+   make_loopback_transport() / make_chaos_transport() factories.
 
 Composition roots (src/runner, tests, benches, examples) are allowed to
 name all of these; that is where executors, exporters, and transports are
@@ -65,10 +66,15 @@ FORBIDDEN.update({h: "concrete telemetry exporter"
 TRANSPORT_AGNOSTIC_DIRS = ["src/gcs", "src/replication", "src/client",
                            "src/fault", "src/core", "src/harness"]
 
-# Headers naming a concrete transport backend.
+# Headers naming a concrete transport backend. The chaos decorator counts:
+# protocol layers and fault schedules reach the gray-failure knobs through
+# net::FaultInjection on a transport built via make_chaos_transport(), so
+# naming ChaosTransport above src/net would re-couple them to one
+# implementation of that surface.
 FORBIDDEN_TRANSPORTS = {
     "net/loopback.hpp": "concrete transport backend",
     "net/udp_transport.hpp": "concrete transport backend",
+    "net/chaos.hpp": "concrete transport decorator",
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')

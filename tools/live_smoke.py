@@ -15,6 +15,15 @@ workload client — waits for all of them to exit, and asserts:
     in-flight tail a process may not have committed when the duration cap
     fired).
 
+With --chaos every process additionally wraps its UDP socket in the chaos
+decorator (live_cli --chaos-* flags): modest loss, duplication, reordering,
+and extra delay on every outbound message. The same assertions must then
+hold under gray failure, plus:
+
+  * the cluster actually injected faults (the summed chaos counters across
+    all reports are nonzero) — a silently disabled chaos layer fails the
+    smoke test rather than vacuously passing it.
+
 Per-process reports are merged into one BENCH_live_multiproc.json. Like
 BENCH_live.json it is wall-clock-dependent and has no baseline — it is an
 artifact, not a bench-trend gate.
@@ -22,6 +31,7 @@ artifact, not a bench-trend gate.
 Usage: tools/live_smoke.py [--bin build/examples/live_cli]
                            [--duration 10] [--requests 15]
                            [--base-port 7421] [--out BENCH_live_multiproc.json]
+                           [--chaos]
 """
 
 import argparse
@@ -38,9 +48,18 @@ def main() -> int:
     parser.add_argument("--duration", type=float, default=10.0)
     parser.add_argument("--requests", type=int, default=15)
     parser.add_argument("--base-port", type=int, default=7421)
-    parser.add_argument("--csn-slack", type=int, default=2)
+    parser.add_argument("--csn-slack", type=int, default=None,
+                        help="allowed CSN gap below the max (default 2, "
+                             "or 4 under --chaos: degraded links leave a "
+                             "longer in-flight tail at the duration cap)")
     parser.add_argument("--out", default="BENCH_live_multiproc.json")
+    parser.add_argument("--chaos", action="store_true",
+                        help="inject gray failures (loss, duplication, "
+                             "reordering, delay) on every process's "
+                             "outbound UDP path")
     args = parser.parse_args()
+    if args.csn_slack is None:
+        args.csn_slack = 4 if args.chaos else 2
 
     binary = pathlib.Path(args.bin).resolve()
     if not binary.exists():
@@ -57,6 +76,13 @@ def main() -> int:
     peer_flags = []
     for name in names:
         peer_flags += ["--peer", f"{name}={addr[name]}"]
+    chaos_flags = []
+    if args.chaos:
+        # Modest gray failure on every outbound path: enough that the chaos
+        # counters are clearly nonzero over a ~10 s run, mild enough that
+        # the gcs retransmit/flush machinery keeps the cluster live.
+        chaos_flags = ["--chaos-loss", "0.03", "--chaos-duplicate", "0.08",
+                       "--chaos-reorder", "0.12", "--chaos-delay-ms", "2"]
 
     failures = []
     reports = {}
@@ -69,7 +95,7 @@ def main() -> int:
                    "--duration", str(args.duration),
                    "--requests", str(args.requests),
                    "--json-out", str(tmpdir / f"{name}.json")]
-            cmd += peer_flags
+            cmd += peer_flags + chaos_flags
             log = open(tmpdir / f"{name}.log", "w")
             procs[name] = (subprocess.Popen(cmd, stdout=log, stderr=log), log)
 
@@ -105,6 +131,15 @@ def main() -> int:
             if report.get("decode_errors", 0) != 0:
                 failures.append(
                     f"{name}: {report['decode_errors']} wire decode errors")
+        injected = sum(report.get(key, 0)
+                       for report in reports.values()
+                       for key in ("messages_dropped_loss",
+                                   "messages_duplicated",
+                                   "messages_reordered",
+                                   "messages_delayed"))
+        if args.chaos and injected == 0:
+            failures.append("--chaos was requested but no process injected "
+                            "a single fault (chaos layer inactive?)")
         primaries = [n for n in names
                      if roles[n] in ("sequencer", "primary", "publisher")]
         csns = {n: reports[n].get("csn", 0) for n in primaries
@@ -121,6 +156,7 @@ def main() -> int:
     merged = {
         "bench": "live_multiproc",
         "processes": len(names),
+        "chaos": args.chaos,
         "ok": not failures,
         "failures": failures,
         "reports": reports,
@@ -134,9 +170,11 @@ def main() -> int:
             print(f"  {f}", file=sys.stderr)
         return 1
     csn_list = ", ".join(f"{n}={reports[n]['csn']}" for n in sorted(csns))
+    chaos_note = f", {injected} faults injected" if args.chaos else ""
     print(f"live_smoke: OK — {len(names)} processes, client completed "
           f"{reports['client1']['requests_completed']} requests, "
-          f"csn agreement [{csn_list}], 0 decode errors; wrote {out_path}")
+          f"csn agreement [{csn_list}], 0 decode errors{chaos_note}; "
+          f"wrote {out_path}")
     return 0
 
 
