@@ -6,9 +6,10 @@
 
 namespace aqueduct::client {
 
-InfoRepository::InfoRepository(std::size_t window_size, sim::Duration resolution)
+InfoRepository::InfoRepository(std::size_t window_size, sim::Duration resolution,
+                               double truncation_epsilon)
     : window_size_(window_size),
-      model_(resolution),
+      model_(resolution, truncation_epsilon),
       arrival_rate_(window_size) {
   AQUEDUCT_CHECK(window_size_ > 0);
 }
@@ -30,9 +31,31 @@ void InfoRepository::record_publication(
     const replication::PerfPublication& perf, sim::TimePoint now) {
   if (perf.has_sample) {
     core::PerfHistory& h = history(perf.replica);
-    h.service.push(perf.ts);
-    h.queueing.push(perf.tq);
-    if (perf.deferred) h.lazy_wait.push(perf.tb);
+    const std::uint64_t pre_version = h.version();
+    const auto evicted_ts = h.service.push(perf.ts);
+    const auto evicted_tq = h.queueing.push(perf.tq);
+    std::optional<sim::Duration> tb;
+    std::optional<sim::Duration> evicted_tb;
+    if (perf.deferred) {
+      tb = perf.tb;
+      evicted_tb = h.lazy_wait.push(perf.tb);
+    }
+    if (cache_enabled_) {
+      // Fold the push into the memoized integer state in place — the next
+      // query then rematerializes the pmfs without a convolution. An entry
+      // that was already stale (or never built) just stays version-behind
+      // and rebuilds on its next query.
+      const auto it = estimates_.find(perf.replica);
+      if (it != estimates_.end() && it->second.valid &&
+          it->second.history_version == pre_version &&
+          it->second.state.built()) {
+        it->second.state.apply_publication(perf.ts, evicted_ts, perf.tq,
+                                           evicted_tq, tb, evicted_tb);
+        it->second.history_version = h.version();
+        it->second.dirty = true;
+        ++cache_stats_.incremental_updates;
+      }
+    }
   }
   if (perf.lazy) {
     arrival_rate_.record(perf.lazy->n_u, perf.lazy->t_u);
@@ -44,8 +67,22 @@ void InfoRepository::record_reply(net::NodeId replica,
                                   sim::Duration gateway_delay,
                                   sim::TimePoint now) {
   core::PerfHistory& h = history(replica);
+  const std::uint64_t pre_version = h.version();
   h.set_gateway_delay(gateway_delay);
   h.last_reply_at = now;
+  if (cache_enabled_) {
+    // The gateway delay only enters at materialization time (it shifts the
+    // grid), so the integer state is already current — just mark the pmfs
+    // stale and sync the version.
+    const auto it = estimates_.find(replica);
+    if (it != estimates_.end() && it->second.valid &&
+        it->second.history_version == pre_version &&
+        it->second.state.built()) {
+      it->second.history_version = h.version();
+      it->second.dirty = true;
+      ++cache_stats_.incremental_updates;
+    }
+  }
 }
 
 namespace {
@@ -159,36 +196,44 @@ void InfoRepository::estimate_cdfs(
 
   CachedEstimate& e = estimates_[id];
   const std::uint64_t version = h.version();
-  const bool pmfs_current = e.valid && e.history_version == version &&
-                            e.fallback_lazy_wait == fallback_lazy_wait;
-  if (!pmfs_current) {
-    // Publication/reply (or a fallback change) invalidated the entry:
-    // redo the Eq. 5/6 convolutions.
-    e.immediate = model_.immediate_pmf(h);
-    e.has_deferred = want_deferred;
-    e.deferred = want_deferred ? model_.deferred_from_immediate(
-                                     e.immediate, h, fallback_lazy_wait)
-                               : core::Pmf{};
+
+  bool rebuilt = false;
+  if (!e.valid || e.history_version != version) {
+    // The entry is missing or fell behind without a delta being applied
+    // (first sight of this replica, or the state predates the memo entry):
+    // rebuild the integer counts from the windows by convolution.
+    e.state.rebuild(h, model_.resolution());
     e.history_version = version;
-    e.fallback_lazy_wait = fallback_lazy_wait;
     e.valid = true;
+    e.dirty = true;
+    e.has_deferred = false;
+    rebuilt = true;
+    ++cache_stats_.rebuilds;
+  }
+
+  if (e.dirty || e.fallback_lazy_wait != fallback_lazy_wait ||
+      (want_deferred && !e.has_deferred)) {
+    // The integer state is current but the materialized pmfs lag it (an
+    // incremental update, a gateway shift, a fallback change, or a replica
+    // that turned secondary): rematerialize — scaling and prefix sums
+    // only, no convolution beyond the state's own lazily built deferred
+    // product.
+    const double epsilon = model_.truncation_epsilon();
+    e.immediate = e.state.immediate(h.gateway_delay(), epsilon);
+    e.has_deferred = e.has_deferred || want_deferred;
+    e.deferred = e.has_deferred
+                     ? e.state.deferred(h.gateway_delay(), fallback_lazy_wait,
+                                        epsilon)
+                     : core::Pmf{};
+    e.fallback_lazy_wait = fallback_lazy_wait;
+    e.dirty = false;
     e.deadline = deadline;
     e.immediate_cdf = e.immediate.cdf(deadline);
     e.deferred_cdf = e.deferred.cdf(deadline);
-    ++cache_stats_.rebuilds;
-  } else if (want_deferred && !e.has_deferred) {
-    // The replica turned secondary between queries: complete the entry
-    // with the deferred pmf (the immediate one is still current).
-    e.deferred = model_.deferred_from_immediate(e.immediate, h,
-                                                fallback_lazy_wait);
-    e.has_deferred = true;
-    e.deadline = deadline;
-    e.immediate_cdf = e.immediate.cdf(deadline);
-    e.deferred_cdf = e.deferred.cdf(deadline);
-    ++cache_stats_.rebuilds;
+    if (!rebuilt) ++cache_stats_.incremental_refreshes;
   } else if (e.deadline != deadline) {
     // Same distributions, new deadline: re-evaluate the CDFs from the
-    // cached pmfs (a linear scan, no convolution).
+    // cached pmfs (an O(1) prefix-sum probe, no convolution).
     e.deadline = deadline;
     e.immediate_cdf = e.immediate.cdf(deadline);
     e.deferred_cdf = e.deferred.cdf(deadline);

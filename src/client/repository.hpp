@@ -12,6 +12,13 @@
 // deadline — keyed on (history version, deferred fallback, deadline).
 // A read against an unchanged replica costs a hash lookup instead of two
 // O(window²) convolutions (see DESIGN.md "Information repository caching").
+//
+// Each memo entry additionally owns the replica's integer-count convolution
+// state (core::ResponseState), kept current *incrementally*: a window push
+// subtracts the evicted sample's cross terms and adds the new sample's in
+// O(window + span) integer additions, so even a mutated replica pays no
+// convolution on the next read — only a cheap rematerialization of its
+// pmfs (see DESIGN.md "Selection at scale").
 #pragma once
 
 #include <cstdint>
@@ -35,13 +42,22 @@ struct RepositoryCacheStats {
   /// Deadline, fallback, and history version all matched: the candidate's
   /// CDFs were served without touching a pmf.
   std::uint64_t hits = 0;
-  /// History version (or fallback) changed: pmfs rebuilt by convolution.
+  /// History version changed with no delta applied (entry missing or
+  /// stale): the integer state was rebuilt by convolution.
   std::uint64_t rebuilds = 0;
   /// Pmfs were current but the deadline differed: CDFs re-evaluated from
-  /// the cached pmfs (a linear scan, no convolution).
+  /// the cached pmfs (an O(1) prefix-sum probe, no convolution).
   std::uint64_t cdf_refreshes = 0;
+  /// A window push or gateway update was folded into the entry's integer
+  /// state in place (O(window + span) additions, no convolution).
+  std::uint64_t incremental_updates = 0;
+  /// Pmfs/CDFs rematerialized from an incrementally maintained state —
+  /// the post-mutation read that a rebuild used to pay convolutions for.
+  std::uint64_t incremental_refreshes = 0;
 
-  std::uint64_t lookups() const { return hits + rebuilds + cdf_refreshes; }
+  std::uint64_t lookups() const {
+    return hits + rebuilds + cdf_refreshes + incremental_refreshes;
+  }
 };
 
 /// Membership-churn bookkeeping: what record_group_info() evicted and
@@ -58,8 +74,11 @@ struct RepositoryChurnStats {
 class InfoRepository {
  public:
   /// `window_size` is the sliding-window length l (the paper evaluates 10
-  /// and 20); `resolution` buckets the response-time pmfs.
-  InfoRepository(std::size_t window_size, sim::Duration resolution);
+  /// and 20); `resolution` buckets the response-time pmfs;
+  /// `truncation_epsilon` bounds the materialized pmfs' support (see
+  /// ResponseTimeModel — 0 keeps the exact full support).
+  InfoRepository(std::size_t window_size, sim::Duration resolution,
+                 double truncation_epsilon = 0.0);
 
   // ---- ingestion ----
 
@@ -132,13 +151,20 @@ class InfoRepository {
  private:
   /// Memoized per-replica Eq. 5/6 artifacts. `history_version` and
   /// `fallback_lazy_wait` key the pmfs; `deadline` additionally keys the
-  /// CDF values evaluated from them.
+  /// CDF values evaluated from them. `state` holds the integer convolution
+  /// counts; record_publication()/record_reply() keep it current in place
+  /// (setting `dirty` so the next query rematerializes the pmfs without
+  /// convolving), and `history_version` tracks how far it has been synced.
   struct CachedEstimate {
     bool valid = false;
+    /// The pmfs/CDFs lag the (current) integer state and need
+    /// rematerializing on the next query.
+    bool dirty = false;
     /// The deferred pmf is filled lazily (primaries never ask for it).
     bool has_deferred = false;
     std::uint64_t history_version = 0;
     std::optional<sim::Duration> fallback_lazy_wait;
+    core::ResponseState state;
     core::Pmf immediate;
     core::Pmf deferred;
     sim::Duration deadline = sim::Duration::zero();

@@ -1,7 +1,7 @@
 #include "core/pmf.hpp"
 
 #include <algorithm>
-#include <map>
+#include <limits>
 
 #include "sim/check.hpp"
 
@@ -9,11 +9,18 @@ namespace aqueduct::core {
 
 namespace {
 
-sim::Duration bucket(sim::Duration v, sim::Duration resolution) {
-  const auto r = resolution.count();
-  if (r <= 1) return v;
-  // Round to the nearest bucket center-left (floor), keeping 0 at 0.
-  return sim::Duration((v.count() / r) * r);
+/// Widest dense grid a single pmf may occupy. Response-time values are
+/// bounded (milliseconds to seconds) and resolutions are >= 100us in every
+/// model configuration, so real spans are a few hundred buckets; hitting
+/// this cap means a caller picked a resolution wildly too fine for its
+/// value range and would silently burn memory.
+constexpr std::size_t kMaxSpan = std::size_t{1} << 22;
+
+/// Grid index of value v at resolution r: truncating division, so the
+/// bucket *value* (index * r) reproduces the sparse representation's
+/// floor-to-bucket rule `(v / r) * r` exactly (identity when r <= 1).
+std::int64_t bucket_index(std::int64_t v, std::int64_t r) {
+  return r <= 1 ? v : v / r;
 }
 
 // Thread-local so shared-nothing sweep workers (src/runner) meter their own
@@ -27,10 +34,47 @@ std::uint64_t Pmf::convolutions_performed() { return g_convolutions; }
 
 void Pmf::reset_convolution_counter() { g_convolutions = 0; }
 
+void Pmf::count_convolution() { ++g_convolutions; }
+
+void Pmf::finalize() {
+  std::size_t lo = 0;
+  std::size_t hi = mass_.size();
+  while (lo < hi && mass_[lo] == 0.0) ++lo;
+  while (hi > lo && mass_[hi - 1] == 0.0) --hi;
+  if (lo == hi) {
+    origin_ = sim::Duration::zero();
+    mass_.clear();
+    prefix_.clear();
+    nonzero_ = 0;
+    return;
+  }
+  if (lo > 0 || hi < mass_.size()) {
+    origin_ += sim::Duration(static_cast<std::int64_t>(lo) *
+                             resolution_.count());
+    mass_.erase(mass_.begin() + static_cast<std::ptrdiff_t>(hi), mass_.end());
+    mass_.erase(mass_.begin(), mass_.begin() + static_cast<std::ptrdiff_t>(lo));
+  }
+  prefix_.resize(mass_.size());
+  // Accumulate only nonzero buckets, in ascending order — the same additions
+  // in the same order as a sequential scan over the sparse entry list, so
+  // cdf() values are bit-identical to that scan.
+  double acc = 0.0;
+  nonzero_ = 0;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    if (mass_[i] != 0.0) {
+      acc += mass_[i];
+      ++nonzero_;
+    }
+    prefix_[i] = acc;
+  }
+}
+
 Pmf Pmf::point_mass(sim::Duration value) {
   Pmf pmf;
-  pmf.entries_.emplace_back(value, 1.0);
+  pmf.origin_ = value;
   pmf.resolution_ = sim::Duration(1);
+  pmf.mass_.assign(1, 1.0);
+  pmf.finalize();
   return pmf;
 }
 
@@ -40,10 +84,47 @@ Pmf Pmf::from_samples(std::span<const sim::Duration> samples,
   Pmf pmf;
   pmf.resolution_ = resolution;
   if (samples.empty()) return pmf;
-  std::map<sim::Duration, double> mass;
-  const double p = 1.0 / static_cast<double>(samples.size());
-  for (const sim::Duration s : samples) mass[bucket(s, resolution)] += p;
-  pmf.entries_.assign(mass.begin(), mass.end());
+
+  const std::int64_t r = resolution.count();
+  std::int64_t min_idx = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_idx = std::numeric_limits<std::int64_t>::min();
+  for (const sim::Duration s : samples) {
+    const std::int64_t idx = bucket_index(s.count(), r);
+    min_idx = std::min(min_idx, idx);
+    max_idx = std::max(max_idx, idx);
+  }
+  const auto span = static_cast<std::size_t>(max_idx - min_idx) + 1;
+  AQUEDUCT_CHECK_MSG(span <= kMaxSpan,
+                     "pmf span too wide for the chosen resolution");
+
+  // Count occurrences per bucket, then scale once: mass = count * (1/n).
+  // ResponseState materializes its integer convolution counts with the same
+  // single multiply, which is what makes the cached and uncached Eq. 5/6
+  // pipelines bit-identical.
+  std::vector<std::int64_t> counts(span, 0);
+  for (const sim::Duration s : samples) {
+    ++counts[static_cast<std::size_t>(bucket_index(s.count(), r) - min_idx)];
+  }
+  const double inv = 1.0 / static_cast<double>(samples.size());
+  pmf.origin_ = sim::Duration(min_idx * r);
+  pmf.mass_.resize(span);
+  for (std::size_t i = 0; i < span; ++i) {
+    pmf.mass_[i] = static_cast<double>(counts[i]) * inv;
+  }
+  pmf.finalize();
+  return pmf;
+}
+
+Pmf Pmf::from_grid(sim::Duration origin, sim::Duration resolution,
+                   std::vector<double> mass) {
+  AQUEDUCT_CHECK(resolution > sim::Duration::zero());
+  AQUEDUCT_CHECK_MSG(mass.size() <= kMaxSpan,
+                     "pmf span too wide for the chosen resolution");
+  Pmf pmf;
+  pmf.origin_ = origin;
+  pmf.resolution_ = resolution;
+  pmf.mass_ = std::move(mass);
+  pmf.finalize();
   return pmf;
 }
 
@@ -52,55 +133,122 @@ Pmf Pmf::convolve(const Pmf& other) const {
   out.resolution_ = std::max(resolution_, other.resolution_);
   if (empty() || other.empty()) return out;
   ++g_convolutions;
-  std::map<sim::Duration, double> mass;
-  for (const auto& [xv, xp] : entries_) {
-    for (const auto& [yv, yp] : other.entries_) {
-      mass[bucket(xv + yv, out.resolution_)] += xp * yp;
+
+  const std::int64_t rr = out.resolution_.count();
+  const std::int64_t rx = resolution_.count();
+  const std::int64_t ry = other.resolution_.count();
+  const std::int64_t ox = origin_.count();
+  const std::int64_t oy = other.origin_.count();
+  // Bucket index is monotone in the value, so the extreme sums bound the
+  // output grid.
+  const std::int64_t lo = bucket_index(ox + oy, rr);
+  const std::int64_t hi = bucket_index(
+      ox + static_cast<std::int64_t>(mass_.size() - 1) * rx + oy +
+          static_cast<std::int64_t>(other.mass_.size() - 1) * ry,
+      rr);
+  const auto span = static_cast<std::size_t>(hi - lo) + 1;
+  AQUEDUCT_CHECK_MSG(span <= kMaxSpan,
+                     "convolution span too wide for the chosen resolution");
+
+  // x-major accumulation: per output bucket the products arrive in the same
+  // (x ascending, y ascending) order as the sparse map implementation, so
+  // the sums round identically.
+  std::vector<double> m(span, 0.0);
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    const double xp = mass_[i];
+    if (xp == 0.0) continue;
+    const std::int64_t xv = ox + static_cast<std::int64_t>(i) * rx;
+    for (std::size_t j = 0; j < other.mass_.size(); ++j) {
+      const double yp = other.mass_[j];
+      if (yp == 0.0) continue;
+      const std::int64_t yv = oy + static_cast<std::int64_t>(j) * ry;
+      m[static_cast<std::size_t>(bucket_index(xv + yv, rr) - lo)] += xp * yp;
     }
   }
-  out.entries_.assign(mass.begin(), mass.end());
+  out.origin_ = sim::Duration(lo * rr);
+  out.mass_ = std::move(m);
+  out.finalize();
   return out;
 }
 
 Pmf Pmf::shift(sim::Duration offset) const {
-  Pmf out;
-  out.resolution_ = resolution_;
-  out.entries_.reserve(entries_.size());
-  for (const auto& [v, p] : entries_) out.entries_.emplace_back(v + offset, p);
+  Pmf out = *this;
+  if (!out.mass_.empty()) out.origin_ += offset;
   return out;
 }
 
-double Pmf::cdf(sim::Duration d) const {
-  double acc = 0.0;
-  for (const auto& [v, p] : entries_) {
-    if (v > d) break;
-    acc += p;
+Pmf Pmf::truncate_tail(double epsilon) const {
+  if (epsilon <= 0.0 || empty()) return *this;
+  const double total = prefix_.back();
+  // Smallest k whose upper-tail mass (total - prefix_[k]) is <= epsilon;
+  // the tail is non-increasing in k, so binary search the crossover. k
+  // always exists (the tail above the last bucket is 0) and mass_[k] > 0
+  // (the tail only shrinks at nonzero buckets), so no trailing zeros.
+  std::size_t lo = 0;
+  std::size_t hi = prefix_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (total - prefix_[mid] <= epsilon) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
   }
-  return acc;
+  if (lo + 1 == mass_.size()) return *this;
+  Pmf out;
+  out.origin_ = origin_;
+  out.resolution_ = resolution_;
+  out.mass_.assign(mass_.begin(),
+                   mass_.begin() + static_cast<std::ptrdiff_t>(lo) + 1);
+  out.finalize();
+  return out;
 }
 
 sim::Duration Pmf::mean() const {
   AQUEDUCT_CHECK(!empty());
   double acc = 0.0;
-  for (const auto& [v, p] : entries_) acc += static_cast<double>(v.count()) * p;
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    if (mass_[i] == 0.0) continue;
+    const std::int64_t v =
+        origin_.count() + static_cast<std::int64_t>(i) * resolution_.count();
+    acc += static_cast<double>(v) * mass_[i];
+  }
   return sim::Duration(static_cast<sim::Duration::rep>(acc));
 }
 
 sim::Duration Pmf::quantile(double p) const {
   AQUEDUCT_CHECK(!empty());
   AQUEDUCT_CHECK(p > 0.0 && p <= 1.0);
-  double acc = 0.0;
-  for (const auto& [v, prob] : entries_) {
-    acc += prob;
-    if (acc + 1e-12 >= p) return v;
+  // First bucket where the cumulative mass crosses the threshold, under the
+  // exact predicate the old sequential scan used (`acc + 1e-12 >= p`). The
+  // predicate is monotone in the index, so binary search finds the same
+  // bucket the scan would return — a nonzero one, since the prefix only
+  // crosses at buckets that add mass.
+  std::size_t lo = 0;
+  std::size_t hi = prefix_.size();  // == size means "never crossed"
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (prefix_[mid] + 1e-12 >= p) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
   }
-  return entries_.back().first;
+  if (lo == prefix_.size()) lo = prefix_.size() - 1;  // return the max value
+  return origin_ + sim::Duration(static_cast<std::int64_t>(lo) *
+                                 resolution_.count());
 }
 
-double Pmf::total_mass() const {
-  double acc = 0.0;
-  for (const auto& [v, p] : entries_) acc += p;
-  return acc;
+std::vector<std::pair<sim::Duration, double>> Pmf::entries() const {
+  std::vector<std::pair<sim::Duration, double>> out;
+  out.reserve(nonzero_);
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    if (mass_[i] == 0.0) continue;
+    out.emplace_back(origin_ + sim::Duration(static_cast<std::int64_t>(i) *
+                                             resolution_.count()),
+                     mass_[i]);
+  }
+  return out;
 }
 
 }  // namespace aqueduct::core

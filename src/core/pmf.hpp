@@ -4,6 +4,17 @@
 // by forming the pmfs of the measured service time S and queueing delay W
 // from sliding windows, then computing the pmf of R = S + W + G as a
 // discrete convolution (plus the lazy-wait U for deferred reads).
+//
+// Representation (see DESIGN.md "Selection at scale"): a pmf is a flat
+// contiguous array of probabilities over a fixed-resolution grid — mass_[i]
+// is the probability at value origin_ + i * resolution_ — plus a running
+// prefix-sum array, so cdf() is an O(1) index computation and quantile() a
+// binary search instead of the linear entry scans the sparse map
+// representation needed. Support is bounded: truncate_tail() drops upper-
+// tail buckets whose cumulative mass is below a configurable epsilon, which
+// both bounds the error (CDF shifts by at most epsilon at any deadline,
+// total mass stays within [1 - epsilon, 1]) and keeps convolution operands
+// short on the selection hot path.
 #pragma once
 
 #include <cstddef>
@@ -29,8 +40,21 @@ class Pmf {
   static Pmf from_samples(std::span<const sim::Duration> samples,
                           sim::Duration resolution);
 
-  bool empty() const { return entries_.empty(); }
-  std::size_t support_size() const { return entries_.size(); }
+  /// Dense-grid factory: mass[i] sits at `origin + i * resolution`. Leading
+  /// and trailing zero buckets are trimmed; an all-zero vector yields an
+  /// empty pmf. This is how ResponseState materializes Eq. 5/6 pmfs from
+  /// its integer convolution counts.
+  static Pmf from_grid(sim::Duration origin, sim::Duration resolution,
+                       std::vector<double> mass);
+
+  bool empty() const { return mass_.empty(); }
+
+  /// Number of grid buckets holding nonzero mass.
+  std::size_t support_size() const { return nonzero_; }
+
+  /// Width of the stored grid in buckets (>= support_size(); the dense
+  /// array includes interior zero buckets).
+  std::size_t span() const { return mass_.size(); }
 
   /// pmf of X + Y for independent X ~ *this, Y ~ other. The result is
   /// re-bucketed at the coarser of the two resolutions. If either operand
@@ -41,37 +65,66 @@ class Pmf {
   /// done directly: the paper adds the latest gateway delay G this way).
   Pmf shift(sim::Duration offset) const;
 
-  /// P(X <= d). Returns 0 for an empty pmf.
-  double cdf(sim::Duration d) const;
+  /// Bounded-support quantization: drops buckets off the upper tail while
+  /// the removed cumulative mass stays <= epsilon. The result's CDF is
+  /// within epsilon below the exact CDF at every deadline and its
+  /// total_mass() is within [total - epsilon, total]. epsilon <= 0 returns
+  /// *this unchanged.
+  Pmf truncate_tail(double epsilon) const;
+
+  /// P(X <= d). Returns 0 for an empty pmf. O(1): an index into the
+  /// prefix-sum array.
+  double cdf(sim::Duration d) const {
+    if (mass_.empty() || d < origin_) return 0.0;
+    const auto idx = static_cast<std::size_t>((d - origin_).count() /
+                                              resolution_.count());
+    return idx >= prefix_.size() ? prefix_.back() : prefix_[idx];
+  }
 
   /// Expected value. Requires !empty().
   sim::Duration mean() const;
 
   /// Smallest x with P(X <= x) >= p. Requires !empty() and p in (0, 1].
+  /// O(log n): binary search over the prefix sums.
   sim::Duration quantile(double p) const;
 
-  /// Sum of all probabilities (1.0 up to rounding for a non-empty pmf).
-  double total_mass() const;
+  /// Sum of all probabilities (1.0 up to rounding for a non-empty,
+  /// untruncated pmf). O(1).
+  double total_mass() const { return prefix_.empty() ? 0.0 : prefix_.back(); }
 
-  /// (value, probability) pairs sorted by value.
-  const std::vector<std::pair<sim::Duration, double>>& entries() const {
-    return entries_;
-  }
+  /// (value, probability) pairs for the nonzero buckets, sorted by value.
+  /// Materialized on demand — a diagnostics/testing view, not a hot path.
+  std::vector<std::pair<sim::Duration, double>> entries() const;
+
+  /// Value of the first (nonzero) grid bucket. Requires !empty().
+  sim::Duration min_value() const { return origin_; }
 
   sim::Duration resolution() const { return resolution_; }
 
   /// Thread-local count of non-trivial convolutions performed (both
-  /// operands non-empty) on the calling thread. The O(n·m) double loop
-  /// dominates the selection hot path, so benches and cache-effectiveness
-  /// tests meter it. Thread-local (not process-wide) so concurrent sweep
-  /// workers neither race nor perturb each other's stats; a simulation runs
-  /// entirely on one thread, so per-run deltas stay exact.
+  /// operands non-empty) on the calling thread. Full convolutions dominate
+  /// the uncached selection path, so benches and cache-effectiveness tests
+  /// meter them; ResponseState's integer convolutions count here too, its
+  /// O(window) incremental delta updates deliberately do not. Thread-local
+  /// (not process-wide) so concurrent sweep workers neither race nor
+  /// perturb each other's stats; a simulation runs entirely on one thread,
+  /// so per-run deltas stay exact.
   static std::uint64_t convolutions_performed();
   static void reset_convolution_counter();
 
+  /// Called by ResponseState when it performs a full integer convolution,
+  /// so cached-vs-uncached convolution accounting covers both pipelines.
+  static void count_convolution();
+
  private:
-  std::vector<std::pair<sim::Duration, double>> entries_;
+  /// Trims zero edges and rebuilds prefix_/nonzero_ from mass_.
+  void finalize();
+
+  sim::Duration origin_{0};      // value of mass_[0]
   sim::Duration resolution_{1};
+  std::vector<double> mass_;     // probability per grid bucket
+  std::vector<double> prefix_;   // prefix_[i] = sum(mass_[0..i])
+  std::size_t nonzero_ = 0;
 };
 
 }  // namespace aqueduct::core

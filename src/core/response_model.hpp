@@ -67,12 +67,119 @@ struct PerfHistory {
   std::uint64_t gateway_version_ = 0;
 };
 
+/// Integer-count convolution state for one replica's Eq. 5/6 pipeline.
+///
+/// Window pmfs are relative frequencies count/n, so every derived mass is an
+/// integer count times one inverse: (S*W)[k] = C[k] / (nS*nW) where
+/// C = cS (*) cW is a convolution of integer histograms, and likewise for
+/// the deferred D = C (*) cU. ResponseState keeps cS/cW/cU and C (and D,
+/// built lazily — primaries never ask for it) as integer arrays and exposes
+/// two operations:
+///
+///   - rebuild(): recompute everything from the windows (one metered
+///     convolution for C; one more for D on first deferred use);
+///   - apply_publication(): fold one window push in as a delta — subtract
+///     the evicted sample's cross terms, add the new one's — in
+///     O(window + span) integer additions with no convolution at all.
+///
+/// Because the integer arithmetic is exact, an incrementally maintained
+/// state is *identical* (not approximately equal) to a rebuilt one, and the
+/// float pmfs materialized from it — mass[k] = count[k] * (1/n), the same
+/// single multiply Pmf::from_samples uses — are bit-identical whichever
+/// route produced the counts. That is what lets InfoRepository's memo apply
+/// deltas while the uncached ResponseTimeModel rebuilds from scratch, with
+/// the coherence tests still requiring bitwise-equal CDFs.
+///
+/// The latest gateway delay G and the deferred fallback wait are *not* part
+/// of the state: they enter at materialization time as shifts, so a
+/// gateway-only update never touches the integer arrays.
+class ResponseState {
+ public:
+  ResponseState() = default;
+
+  /// True once rebuild() has run with a non-empty service window.
+  bool built() const { return built_; }
+
+  /// Recomputes the window histograms and C from `history`. Counts one
+  /// convolution when both the service and queueing windows are non-empty.
+  /// The deferred product D is dropped and rebuilt on next demand.
+  void rebuild(const PerfHistory& history, sim::Duration resolution);
+
+  /// Applies one performance publication as a delta: `ts`/`tq` (and `tb`
+  /// when the publication carried a deferred sample) are the pushed values,
+  /// each paired with the value its window evicted (nullopt while the
+  /// window was still filling). Requires built(); the caller must keep the
+  /// pushes it forwards here in lockstep with the underlying PerfHistory.
+  void apply_publication(sim::Duration ts,
+                         const std::optional<sim::Duration>& evicted_ts,
+                         sim::Duration tq,
+                         const std::optional<sim::Duration>& evicted_tq,
+                         const std::optional<sim::Duration>& tb,
+                         const std::optional<sim::Duration>& evicted_tb);
+
+  /// Materializes the Eq. 5 pmf: C scaled to probabilities, tail-truncated
+  /// at `epsilon` (see Pmf::truncate_tail), shifted by the exact gateway
+  /// delay. Empty when no service samples exist.
+  Pmf immediate(const std::optional<sim::Duration>& gateway,
+                double epsilon) const;
+
+  /// Materializes the Eq. 6 pmf. With lazy-wait samples this is D scaled
+  /// and truncated (building D first if needed — the one lazy convolution);
+  /// otherwise `fallback` shifts the immediate pmf; otherwise empty.
+  Pmf deferred(const std::optional<sim::Duration>& gateway,
+               const std::optional<sim::Duration>& fallback,
+               double epsilon) const;
+
+ private:
+  /// Sorted (bucket index, count) histogram of one sliding window.
+  struct SparseCounts {
+    std::vector<std::pair<std::int64_t, std::int64_t>> bins;
+    std::int64_t n = 0;  // total samples
+
+    void clear() { bins.clear(); n = 0; }
+    void add(std::int64_t idx, std::int64_t delta);
+  };
+
+  /// Contiguous counts over [lo, lo + c.size()) bucket indices.
+  struct DenseCounts {
+    std::int64_t lo = 0;
+    std::vector<std::int64_t> c;
+
+    void clear() { lo = 0; c.clear(); }
+    bool empty() const { return c.empty(); }
+    void add(std::int64_t idx, std::int64_t delta);
+  };
+
+  void rebuild_c();
+  void build_d() const;
+  Pmf materialize(const DenseCounts& counts, double inv, std::int64_t shift_idx,
+                  double epsilon) const;
+
+  sim::Duration resolution_{1};
+  bool built_ = false;
+  SparseCounts s_, w_, u_;
+  bool c_built_ = false;
+  DenseCounts c_;  // cS (*) cW (only while both windows are non-empty)
+  // D = C (*) cU, built on first deferred() and kept in sync by deltas.
+  // Mutable because laziness is invisible to callers: deferred() is
+  // logically const.
+  mutable bool d_built_ = false;
+  mutable DenseCounts d_;
+};
+
 /// Computes F^I_{R_i}(d) and F^D_{R_i}(d) from a PerfHistory.
+///
+/// `truncation_epsilon` bounds the materialized pmfs' support: upper-tail
+/// buckets are dropped while the removed mass stays <= epsilon, so every
+/// reported CDF is within epsilon *below* the exact value (conservative:
+/// a truncated model never over-credits a replica with meeting a deadline).
+/// 0 (the default) keeps the full support.
 class ResponseTimeModel {
  public:
   explicit ResponseTimeModel(
-      sim::Duration resolution = std::chrono::milliseconds(1))
-      : resolution_(resolution) {}
+      sim::Duration resolution = std::chrono::milliseconds(1),
+      double truncation_epsilon = 0.0)
+      : resolution_(resolution), epsilon_(truncation_epsilon) {}
 
   /// pmf of S + W + G (Eq. 5). Empty if the service window is empty.
   Pmf immediate_pmf(const PerfHistory& history) const;
@@ -83,10 +190,10 @@ class ResponseTimeModel {
   Pmf deferred_pmf(const PerfHistory& history,
                    std::optional<sim::Duration> fallback_lazy_wait = {}) const;
 
-  /// Eq. 6 from an already-computed Eq. 5 pmf: adds the U term without
-  /// re-convolving S + W + G. Bit-identical to deferred_pmf() when
-  /// `immediate` equals immediate_pmf(history); memo rebuilds use it to
-  /// halve their convolution cost.
+  /// Eq. 6 given an already-computed Eq. 5 pmf. Bit-identical to
+  /// deferred_pmf() when `immediate` equals immediate_pmf(history). With no
+  /// lazy-wait samples the fallback shifts `immediate` directly (zero
+  /// convolutions); with samples the integer pipeline recomputes C and D.
   Pmf deferred_from_immediate(
       const Pmf& immediate, const PerfHistory& history,
       std::optional<sim::Duration> fallback_lazy_wait = {}) const;
@@ -100,11 +207,11 @@ class ResponseTimeModel {
                       std::optional<sim::Duration> fallback_lazy_wait = {}) const;
 
   sim::Duration resolution() const { return resolution_; }
+  double truncation_epsilon() const { return epsilon_; }
 
  private:
-  Pmf window_pmf(const SlidingWindow<sim::Duration>& window) const;
-
   sim::Duration resolution_;
+  double epsilon_ = 0.0;
 };
 
 }  // namespace aqueduct::core

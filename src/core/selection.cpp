@@ -42,15 +42,75 @@ class CdfAccumulator {
   double sec_delayed_cdf_ = 1.0;
 };
 
+/// The Algorithm 1 visiting order (line 2): least recently used first,
+/// ties broken by decreasing distribution-function value, then by id —
+/// a strict total order, so every evaluation strategy sees the exact same
+/// sequence.
+bool visit_before(const CandidateReplica& a, const CandidateReplica& b,
+                  bool by_ert) {
+  if (by_ert && a.ert != b.ert) return a.ert > b.ert;
+  if (a.immediate_cdf != b.immediate_cdf) {
+    return a.immediate_cdf > b.immediate_cdf;
+  }
+  return a.id < b.id;
+}
+
 void sort_candidates(std::vector<CandidateReplica>& candidates, bool by_ert) {
   std::sort(candidates.begin(), candidates.end(),
             [by_ert](const CandidateReplica& a, const CandidateReplica& b) {
-              if (by_ert && a.ert != b.ert) return a.ert > b.ert;
-              if (a.immediate_cdf != b.immediate_cdf) {
-                return a.immediate_cdf > b.immediate_cdf;
-              }
-              return a.id < b.id;
+              return visit_before(a, b, by_ert);
             });
+}
+
+/// The enumerate-and-grow loop of Algorithm 1 over a stream of candidates
+/// in visiting order. `next()` yields the next candidate; the loop runs at
+/// most `n` steps, stopping at the first prefix with P_K(d) >= pc. Shared
+/// by the exhaustive strategy (stream = a sorted vector) and the pruned
+/// one (stream = lazy heap pops), which is what makes the two bit-identical
+/// by construction: same include order, same accumulator arithmetic.
+template <typename Next>
+SelectionResult grow_prefix(std::size_t n, Next&& next, double stale_factor,
+                            double pc, bool tolerate_one_failure) {
+  SelectionResult result;
+  CdfAccumulator acc(stale_factor);
+
+  if (!tolerate_one_failure) {
+    // Ablation variant: no failure allowance — every selected replica
+    // contributes to P_K(d), including the first.
+    for (std::size_t i = 0; i < n; ++i) {
+      const CandidateReplica r = next();
+      result.selected.push_back(r.id);
+      if (acc.include(r, pc)) {
+        result.satisfied = true;
+        break;
+      }
+    }
+    result.predicted_probability = acc.probability();
+    return result;
+  }
+
+  // Lines 3–16: the member of K with the highest immediate CDF is held out
+  // of the accumulators, which simulates its failure — the returned set
+  // meets the constraint even if its best member crashes.
+  CandidateReplica max_cdf = next();
+  result.selected.push_back(max_cdf.id);
+  for (std::size_t i = 1; i < n; ++i) {
+    const CandidateReplica r = next();
+    result.selected.push_back(r.id);
+    bool found = false;
+    if (r.immediate_cdf > max_cdf.immediate_cdf) {
+      found = acc.include(max_cdf, pc);
+      max_cdf = r;
+    } else {
+      found = acc.include(r, pc);
+    }
+    if (found) {
+      result.satisfied = true;
+      break;
+    }
+  }
+  result.predicted_probability = acc.probability();
+  return result;
 }
 
 }  // namespace
@@ -65,55 +125,75 @@ SelectionResult ProbabilisticSelector::select(SelectionContext& ctx) {
   SelectionResult result;
   if (candidates.empty()) return result;
 
-  // Line 2: visit least-recently-used replicas first (hot-spot avoidance);
-  // ties broken by decreasing distribution-function value.
-  sort_candidates(candidates, options_.sort_by_ert);
-
-  CdfAccumulator acc(stale_factor);
+  const bool by_ert = options_.sort_by_ert;
+  const bool tolerate = options_.tolerate_one_failure;
   const double pc = qos.min_probability;
+  const std::size_t n = candidates.size();
 
-  if (!options_.tolerate_one_failure) {
-    // Ablation variant: no failure allowance — every selected replica
-    // contributes to P_K(d), including the first.
-    for (const CandidateReplica& r : candidates) {
-      result.selected.push_back(r.id);
-      if (acc.include(r, pc)) {
-        result.satisfied = true;
-        break;
+  if (options_.subset_search == ProbabilisticOptions::SubsetSearch::kPruned) {
+    // Bound step of the branch-and-bound: every include() multiplies the
+    // failure product by a factor <= 1, so P_K(d) grows monotonically as
+    // the prefix extends — the probability with *every* candidate folded
+    // in (minus the member the exhausted loop would hold out: the
+    // first-in-visiting-order maximum immediate CDF) bounds what any
+    // prefix can reach. One O(n) pass decides the branch; the bound is a
+    // float routing decision only — both branches below compute exact,
+    // bit-identical results.
+    std::size_t held_out = n;  // n = none (no failure allowance)
+    if (tolerate) {
+      held_out = 0;
+      for (std::size_t i = 1; i < n; ++i) {
+        if (candidates[i].immediate_cdf > candidates[held_out].immediate_cdf ||
+            (candidates[i].immediate_cdf ==
+                 candidates[held_out].immediate_cdf &&
+             visit_before(candidates[i], candidates[held_out], by_ert))) {
+          held_out = i;
+        }
       }
     }
-    result.predicted_probability = acc.probability();
-    return result;
+    CdfAccumulator bound(stale_factor);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != held_out) bound.include(candidates[i], pc);
+    }
+    if (bound.probability() >= pc) {
+      // Some prefix satisfies Pc(d): pop the visiting order lazily off a
+      // max-heap so the search pays O(n + k log n) for a set that settles
+      // after k replicas, instead of sorting all n.
+      const auto heap_comp = [by_ert](const CandidateReplica& a,
+                                      const CandidateReplica& b) {
+        return visit_before(b, a, by_ert);
+      };
+      std::make_heap(candidates.begin(), candidates.end(), heap_comp);
+      auto heap_end = candidates.end();
+      const auto next = [&]() -> CandidateReplica {
+        std::pop_heap(candidates.begin(), heap_end, heap_comp);
+        return *--heap_end;
+      };
+      return grow_prefix(n, next, stale_factor, pc, tolerate);
+    }
+    // No prefix can satisfy: the answer is the full pool in visiting
+    // order, with the exact accumulator fold the exhaustive loop performs.
+    // Fall through to the sorted scan.
   }
 
-  // Lines 3–16: the member of K with the highest immediate CDF is held out
-  // of the accumulators, which simulates its failure — the returned set
-  // meets the constraint even if its best member crashes.
-  std::size_t max_cdf = 0;  // index into candidates
-  result.selected.push_back(candidates[0].id);
-  for (std::size_t i = 1; i < candidates.size(); ++i) {
-    const CandidateReplica& r = candidates[i];
-    result.selected.push_back(r.id);
-    bool found = false;
-    if (r.immediate_cdf > candidates[max_cdf].immediate_cdf) {
-      found = acc.include(candidates[max_cdf], pc);
-      max_cdf = i;
-    } else {
-      found = acc.include(r, pc);
-    }
-    if (found) {
-      result.satisfied = true;
-      break;
-    }
-  }
-  result.predicted_probability = acc.probability();
-  return result;
+  // Line 2: visit least-recently-used replicas first (hot-spot avoidance);
+  // ties broken by decreasing distribution-function value.
+  sort_candidates(candidates, by_ert);
+  std::size_t pos = 0;
+  const auto next = [&]() -> const CandidateReplica& {
+    return candidates[pos++];
+  };
+  return grow_prefix(n, next, stale_factor, pc, tolerate);
 }
 
 std::string ProbabilisticSelector::name() const {
   std::string n = "probabilistic";
   if (!options_.tolerate_one_failure) n += "/no-failure-allowance";
   if (!options_.sort_by_ert) n += "/greedy-cdf-order";
+  if (options_.subset_search ==
+      ProbabilisticOptions::SubsetSearch::kExhaustiveScan) {
+    n += "/exhaustive-scan";
+  }
   return n;
 }
 

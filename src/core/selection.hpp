@@ -77,6 +77,25 @@ class ReplicaSelector {
 
 /// Knobs for ablation studies of Algorithm 1's two design choices.
 struct ProbabilisticOptions {
+  /// How the growing-prefix subset search is evaluated. Both strategies
+  /// return bit-identical results (same selected set, same order, same
+  /// predicted probability to the last ulp) — kPruned is an evaluation
+  /// strategy, not a different policy.
+  enum class SubsetSearch {
+    /// Branch-and-bound over a lazily sorted candidate stream: an O(n)
+    /// reachability bound first decides whether *any* prefix can satisfy
+    /// Pc(d) (the loop's P_K(d) is monotone in the prefix, so the
+    /// all-included probability bounds every prefix); when it can, the
+    /// sorted order is popped off a heap one candidate at a time, so a
+    /// selection that settles after k replicas costs O(n + k log n)
+    /// instead of the full O(n log n) sort.
+    kPruned,
+    /// The paper's literal enumerate-and-grow: sort everything, scan the
+    /// prefix. Kept as the oracle the scale bench and the property tests
+    /// compare kPruned against.
+    kExhaustiveScan,
+  };
+
   /// Exclude the selected member with the highest immediate CDF from the
   /// P_K(d) computation, so the chosen set tolerates one replica failure
   /// (paper Section 5.3). Disabling this reproduces the non-fault-tolerant
@@ -86,6 +105,7 @@ struct ProbabilisticOptions {
   /// avoidance). Disabling sorts by decreasing immediate CDF instead
   /// (pure greedy — all clients then pick the same fast replicas).
   bool sort_by_ert = true;
+  SubsetSearch subset_search = SubsetSearch::kPruned;
 };
 
 /// The paper's Algorithm 1: state-based probabilistic replica selection.

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/check.hpp"
@@ -19,14 +20,21 @@ class SlidingWindow {
     ring_.reserve(capacity_);
   }
 
-  void push(const T& value) {
+  /// Appends a value; once the window is full, returns the measurement it
+  /// displaced (the oldest). Incremental consumers (ResponseState) use the
+  /// evicted value to subtract the old sample's contribution from derived
+  /// convolutions instead of rebuilding them.
+  std::optional<T> push(const T& value) {
+    std::optional<T> evicted;
     if (ring_.size() < capacity_) {
       ring_.push_back(value);
     } else {
+      evicted = ring_[next_];
       ring_[next_] = value;
       next_ = (next_ + 1) % capacity_;
     }
     ++version_;
+    return evicted;
   }
 
   std::size_t size() const { return ring_.size(); }

@@ -90,10 +90,17 @@ TEST(RepositoryCache, PublicationInvalidatesOnlyThatReplica) {
   }
   (void)repo.candidates(qos(100), sim::kEpoch);
   repo.reset_cache_stats();
+  core::Pmf::reset_convolution_counter();
   repo.record_publication(sample(3, 60, 5), sim::kEpoch + seconds(1));
   (void)repo.candidates(qos(100), sim::kEpoch + seconds(1));
-  EXPECT_EQ(repo.cache_stats().rebuilds, 1u);  // replica 3 only
+  // The push was folded into replica 3's integer state in place, so its
+  // next query rematerializes the pmfs without any convolution — and the
+  // other three replicas are pure hits.
+  EXPECT_EQ(repo.cache_stats().incremental_updates, 1u);
+  EXPECT_EQ(repo.cache_stats().incremental_refreshes, 1u);  // replica 3 only
+  EXPECT_EQ(repo.cache_stats().rebuilds, 0u);
   EXPECT_EQ(repo.cache_stats().hits, 3u);
+  EXPECT_EQ(core::Pmf::convolutions_performed(), 0u);
 }
 
 TEST(RepositoryCache, GatewayUpdateInvalidates) {
@@ -103,9 +110,16 @@ TEST(RepositoryCache, GatewayUpdateInvalidates) {
   repo.record_publication(sample(3, 50), sim::kEpoch);
   (void)repo.candidates(qos(100), sim::kEpoch);
   repo.reset_cache_stats();
+  core::Pmf::reset_convolution_counter();
   repo.record_reply(net::NodeId{2}, milliseconds(3), sim::kEpoch + seconds(1));
   const auto candidates = repo.candidates(qos(52), sim::kEpoch + seconds(1));
-  EXPECT_EQ(repo.cache_stats().rebuilds, 1u);
+  // A gateway change only shifts replica 2's materialized grid (the
+  // integer state is untouched): no rebuild, no convolution. Replica 3
+  // merely sees the new deadline.
+  EXPECT_EQ(repo.cache_stats().incremental_refreshes, 1u);
+  EXPECT_EQ(repo.cache_stats().rebuilds, 0u);
+  EXPECT_EQ(repo.cache_stats().cdf_refreshes, 1u);
+  EXPECT_EQ(core::Pmf::convolutions_performed(), 0u);
   // 50ms service + 3ms gateway > 52ms: the new gateway delay is visible.
   const auto it = std::find_if(candidates.begin(), candidates.end(),
                                [](const auto& c) { return c.id == net::NodeId{2}; });

@@ -222,6 +222,59 @@ TEST_P(FailureToleranceProperty, SurvivesLossOfBestMember) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FailureToleranceProperty,
                          ::testing::Range<std::uint64_t>(1, 41));
 
+// --- pruned search vs the exhaustive oracle --------------------------------
+
+class PrunedSearchOracleProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrunedSearchOracleProperty, BitIdenticalToExhaustiveScan) {
+  // kPruned is an evaluation strategy, not a policy: across random pools
+  // (with deliberately duplicated erts and CDFs to stress tie-breaking),
+  // every option combination, satisfiable and unsatisfiable specs alike,
+  // it must return the exact selected sequence and the bitwise-equal
+  // predicted probability of the literal enumerate-and-grow scan.
+  sim::Rng rng(GetParam() * 131 + 7);
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(trial % 3 == 0 ? 200 : 24);
+    std::vector<CandidateReplica> pool;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // Quantized draws so distinct replicas often share a cdf or an ert.
+      const double immed = rng.uniform_int(12) / 12.0;
+      pool.push_back(replica(i + 2, rng.bernoulli(0.5), immed,
+                             rng.uniform_int(8) / 8.0 * 0.4,
+                             static_cast<int>(100 * rng.uniform_int(9))));
+    }
+    const double stale_factor = rng.uniform();
+    const QoSSpec spec =
+        qos(std::clamp(rng.uniform() * 1.3, 0.05, 0.999),  // often unsatisfiable
+            100 + static_cast<int>(rng.uniform_int(200)));
+
+    for (const bool tolerate : {true, false}) {
+      for (const bool by_ert : {true, false}) {
+        ProbabilisticSelector pruned(ProbabilisticOptions{
+            .tolerate_one_failure = tolerate, .sort_by_ert = by_ert});
+        ProbabilisticSelector oracle(ProbabilisticOptions{
+            .tolerate_one_failure = tolerate,
+            .sort_by_ert = by_ert,
+            .subset_search =
+                ProbabilisticOptions::SubsetSearch::kExhaustiveScan});
+        sim::Rng r1(1), r2(1);
+        const auto got = run(pruned, pool, stale_factor, spec, r1);
+        const auto want = run(oracle, pool, stale_factor, spec, r2);
+        ASSERT_EQ(got.selected, want.selected)
+            << "seed " << GetParam() << " trial " << trial << " n " << n
+            << " tolerate " << tolerate << " by_ert " << by_ert;
+        EXPECT_EQ(got.satisfied, want.satisfied);
+        // Bitwise, not approximate: same include order, same arithmetic.
+        EXPECT_EQ(got.predicted_probability, want.predicted_probability);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrunedSearchOracleProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
 // --- baselines ---------------------------------------------------------------
 
 TEST(SelectAllSelector, TakesEverything) {
@@ -283,6 +336,12 @@ TEST(SelectorNames, AreDescriptive) {
   EXPECT_EQ(ProbabilisticSelector(ProbabilisticOptions{.tolerate_one_failure = false})
                 .name(),
             "probabilistic/no-failure-allowance");
+  EXPECT_EQ(ProbabilisticSelector(
+                ProbabilisticOptions{
+                    .subset_search =
+                        ProbabilisticOptions::SubsetSearch::kExhaustiveScan})
+                .name(),
+            "probabilistic/exhaustive-scan");
   EXPECT_EQ(SelectAllSelector{}.name(), "select-all");
   EXPECT_EQ(FixedKSelector{3}.name(), "fixed-k/3");
 }

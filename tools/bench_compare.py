@@ -10,8 +10,14 @@ any machine; wall-clock fields (selections/sec, wall seconds) are reported
 in the JSON but never gated.
 
 Gated metrics:
-  selection_scale — cached_convolutions_per_read per (replicas, window)
-                    point (the memoized hot path must not regress);
+  selection_scale — cached_convolutions_per_read per verify point and
+                    convolutions_per_read per scale/open-loop point (the
+                    memoized hot path must not regress), zero tolerance on
+                    selection mismatches vs the uncached and
+                    exhaustive-scan oracles, and the absolute open-loop
+                    ns/selection budget committed with the baseline;
+                    --include-wall-clock adds relative ns/selection trend
+                    gates (off by default: machine-dependent);
   recovery        — pooled mean time-to-rejoin (seconds of simulated time)
                     and the Pc(d) lower bound, i.e. the pooled Wilson lower
                     bound of steady-state deadline-hit probability
@@ -79,7 +85,8 @@ class Gate:
         return ok, base, new, delta
 
 
-def selection_scale_gates(baseline: dict) -> list[Gate]:
+def selection_scale_gates(baseline: dict,
+                          include_wall_clock: bool = False) -> list[Gate]:
     gates = []
     for run in baseline["runs"]:
         key = (run["replicas"], run["window"])
@@ -94,6 +101,58 @@ def selection_scale_gates(baseline: dict) -> list[Gate]:
         # flag on a single extra rebuild.
         gates.append(Gate(f"conv/read r={key[0]} w={key[1]}", extract,
                           "max", slack=0.5))
+
+        def mismatches(doc: dict, key=key) -> float:
+            for r in doc["runs"]:
+                if (r["replicas"], r["window"]) == key:
+                    return float(r["mismatches"])
+            raise KeyError(f"no (replicas, window) == {key} in fresh run set")
+
+        # Absolute zero tolerance: the memoized + pruned path must stay
+        # bit-identical to the uncached and exhaustive-scan oracles.
+        gates.append(Gate(f"selection mismatches r={key[0]} w={key[1]}",
+                          mismatches, "max", absolute_limit=0.0))
+
+    for run in baseline.get("scale_runs", []):
+        key = (run["replicas"], run["window"])
+
+        def scale_conv(doc: dict, key=key) -> float:
+            for r in doc["scale_runs"]:
+                if (r["replicas"], r["window"]) == key:
+                    return float(r["convolutions_per_read"])
+            raise KeyError(f"no scale point (replicas, window) == {key}")
+
+        gates.append(Gate(f"scale conv/read r={key[0]} w={key[1]}",
+                          scale_conv, "max", slack=0.5))
+        if include_wall_clock:
+            def scale_ns(doc: dict, key=key) -> float:
+                for r in doc["scale_runs"]:
+                    if (r["replicas"], r["window"]) == key:
+                        return float(r["ns_per_selection"])
+                raise KeyError(f"no scale point (replicas, window) == {key}")
+
+            gates.append(Gate(f"scale ns/selection r={key[0]} w={key[1]}",
+                              scale_ns, "max"))
+
+    if "open_loop" in baseline:
+        gates.append(Gate(
+            "open-loop conv/read",
+            lambda d: float(d["open_loop"]["convolutions_per_read"]),
+            "max", slack=0.5))
+        # The absolute ns/selection budget committed with the baseline. A
+        # wall-clock gate, but with ~5x headroom over the measured value it
+        # holds on any CI-class runner; catching a return to the
+        # convolution-per-read regime (50-100x slower) is what matters.
+        budget = float(baseline["open_loop"]["budget_ns_per_selection"])
+        gates.append(Gate(
+            "open-loop ns/selection (budget)",
+            lambda d: float(d["open_loop"]["ns_per_selection"]),
+            "max", absolute_limit=budget))
+        if include_wall_clock:
+            gates.append(Gate(
+                "open-loop ns/selection (trend)",
+                lambda d: float(d["open_loop"]["ns_per_selection"]),
+                "max"))
     return gates
 
 
@@ -190,6 +249,10 @@ def main() -> int:
     parser.add_argument("fresh", help="freshly produced BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="relative regression tolerance (default 0.20)")
+    parser.add_argument("--include-wall-clock", action="store_true",
+                        help="also gate relative ns/selection trends "
+                             "(selection_scale only; off by default because "
+                             "wall clock is machine-dependent)")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -207,9 +270,14 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
+    if kind == "selection_scale":
+        gates = selection_scale_gates(baseline, args.include_wall_clock)
+    else:
+        gates = GATE_BUILDERS[kind](baseline)
+
     failures = 0
     print(f"bench-trend gate: {kind} (tolerance ±{args.tolerance:.0%})")
-    for gate in GATE_BUILDERS[kind](baseline):
+    for gate in gates:
         try:
             ok, base, new, delta = gate.check(baseline, fresh, args.tolerance)
         except KeyError as e:
