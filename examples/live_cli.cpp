@@ -362,7 +362,9 @@ int run_multiproc(const MultiprocOptions& opt) {
                 .min_probability = self->index % 2 == 1 ? 0.9 : 0.5};
     spec.request_delay = std::chrono::milliseconds(50);
     spec.num_requests = opt.requests;
-    harness::WorkloadClient workload(*exec, endpoint, groups, std::move(spec),
+    const shard::ShardMap shard_map(opt.seed, /*num_shards=*/1);
+    harness::WorkloadClient workload(*exec, endpoint, shard_map, {groups},
+                                     std::move(spec),
                                      /*window_size=*/20);
     exec->after(start_delay(*self), [&] { workload.start(); });
     // Poll for completion so a finished workload exits without burning the

@@ -229,7 +229,8 @@ void ClientHandler::on_retry(const replication::RequestId& id) {
           this->id(),
           obs::SlaSpec{req.qos.staleness_threshold, req.qos.deadline,
                        req.qos.min_probability},
-          exec_.now(), /*timing_failure=*/true, /*staleness=*/0, req.attempts);
+          exec_.now(), /*timing_failure=*/true, /*staleness=*/0, req.attempts,
+          config_.shard);
       if (req.read_done) req.read_done(outcome);
     } else if (req.update_done) {
       UpdateOutcome outcome;
@@ -364,7 +365,8 @@ void ClientHandler::complete_read(const replication::RequestId& id,
       this->id(),
       obs::SlaSpec{req.qos.staleness_threshold, req.qos.deadline,
                    req.qos.min_probability},
-      exec_.now(), outcome.timing_failure, outcome.staleness, req.attempts);
+      exec_.now(), outcome.timing_failure, outcome.staleness, req.attempts,
+      config_.shard);
   check_alarm(req.qos);
   if (req.read_done) req.read_done(outcome);
 }

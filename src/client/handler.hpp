@@ -52,6 +52,11 @@ struct ClientConfig {
   double retry_jitter = 0.1;
   /// Give up after this many retries (the outcome reports failure).
   std::uint32_t max_retries = 10;
+  /// Shard tag for SLA monitoring in a sharded service: the router sets
+  /// the handler's shard index so the monitor keys (client, shard, spec)
+  /// and names gauges `sla.c<id>.s<shard>.spec<k>.*`. -1 (unsharded)
+  /// keeps the pre-shard key and gauge names bit-for-bit.
+  std::int64_t shard = -1;
 };
 
 /// Delivered to the application when a read completes (or is abandoned).

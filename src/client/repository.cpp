@@ -14,17 +14,34 @@ InfoRepository::InfoRepository(std::size_t window_size, sim::Duration resolution
   AQUEDUCT_CHECK(window_size_ > 0);
 }
 
+InfoRepository::Slot* InfoRepository::find_slot(net::NodeId id) {
+  auto it = slot_of_.find(id);
+  return it == slot_of_.end() ? nullptr : &slots_[it->second];
+}
+
+const InfoRepository::Slot* InfoRepository::find_slot(net::NodeId id) const {
+  auto it = slot_of_.find(id);
+  return it == slot_of_.end() ? nullptr : &slots_[it->second];
+}
+
 core::PerfHistory& InfoRepository::history(net::NodeId replica) {
-  auto it = histories_.find(replica);
-  if (it == histories_.end()) {
-    it = histories_.emplace(replica, core::PerfHistory(window_size_)).first;
+  if (Slot* s = find_slot(replica)) {
+    s->has_history = true;
+    return s->history;
+  }
+  auto it = orphans_.find(replica);
+  if (it == orphans_.end()) {
+    it = orphans_.emplace(replica, core::PerfHistory(window_size_)).first;
   }
   return it->second;
 }
 
 const core::PerfHistory* InfoRepository::find_history(net::NodeId replica) const {
-  auto it = histories_.find(replica);
-  return it == histories_.end() ? nullptr : &it->second;
+  if (const Slot* s = find_slot(replica)) {
+    return s->has_history ? &s->history : nullptr;
+  }
+  auto it = orphans_.find(replica);
+  return it == orphans_.end() ? nullptr : &it->second;
 }
 
 void InfoRepository::record_publication(
@@ -44,15 +61,16 @@ void InfoRepository::record_publication(
       // Fold the push into the memoized integer state in place — the next
       // query then rematerializes the pmfs without a convolution. An entry
       // that was already stale (or never built) just stays version-behind
-      // and rebuilds on its next query.
-      const auto it = estimates_.find(perf.replica);
-      if (it != estimates_.end() && it->second.valid &&
-          it->second.history_version == pre_version &&
-          it->second.state.built()) {
-        it->second.state.apply_publication(perf.ts, evicted_ts, perf.tq,
-                                           evicted_tq, tb, evicted_tb);
-        it->second.history_version = h.version();
-        it->second.dirty = true;
+      // and rebuilds on its next query. Orphans (non-candidates) carry no
+      // memo: nothing queries them.
+      Slot* slot = find_slot(perf.replica);
+      if (slot != nullptr && slot->estimate.valid &&
+          slot->estimate.history_version == pre_version &&
+          slot->estimate.state.built()) {
+        slot->estimate.state.apply_publication(perf.ts, evicted_ts, perf.tq,
+                                               evicted_tq, tb, evicted_tb);
+        slot->estimate.history_version = h.version();
+        slot->estimate.dirty = true;
         ++cache_stats_.incremental_updates;
       }
     }
@@ -74,12 +92,12 @@ void InfoRepository::record_reply(net::NodeId replica,
     // The gateway delay only enters at materialization time (it shifts the
     // grid), so the integer state is already current — just mark the pmfs
     // stale and sync the version.
-    const auto it = estimates_.find(replica);
-    if (it != estimates_.end() && it->second.valid &&
-        it->second.history_version == pre_version &&
-        it->second.state.built()) {
-      it->second.history_version = h.version();
-      it->second.dirty = true;
+    Slot* slot = find_slot(replica);
+    if (slot != nullptr && slot->estimate.valid &&
+        slot->estimate.history_version == pre_version &&
+        slot->estimate.state.built()) {
+      slot->estimate.history_version = h.version();
+      slot->estimate.dirty = true;
       ++cache_stats_.incremental_updates;
     }
   }
@@ -104,23 +122,64 @@ void InfoRepository::record_group_info(const replication::GroupInfo& info) {
   if (roles_ && info.epoch <= roles_->epoch) return;  // stale broadcast
   std::unordered_set<net::NodeId> previous;
   if (roles_) previous = role_members(*roles_);
+  const bool boot = previous.empty();
   roles_ = info;
-  if (previous.empty()) return;  // boot: nothing to evict or warm up
-
   const std::unordered_set<net::NodeId> current = role_members(info);
 
-  // Evict departed incarnations. NodeIds are never reused, so a replica
-  // missing from the new role map is dead for good — its samples must
-  // never blend into a reborn successor's Eq. 5/6 predictions.
-  for (auto it = histories_.begin(); it != histories_.end();) {
-    if (current.contains(it->first)) {
-      ++it;
-      continue;
+  // Rebuild the slot vector in the new candidates() emission order
+  // (primaries then secondaries), carrying each surviving id's history —
+  // and its memo entry, so a role reshuffle costs no reconvolution — over
+  // from its old slot or from the orphan map.
+  std::vector<Slot> next;
+  next.reserve(info.primaries.size() + info.secondaries.size());
+  std::unordered_map<net::NodeId, std::size_t> next_of;
+  auto add_slot = [&](net::NodeId id, bool is_primary) {
+    Slot s(window_size_);
+    s.id = id;
+    s.is_primary = is_primary;
+    if (Slot* old = find_slot(id)) {
+      s.has_history = old->has_history;
+      s.history = std::move(old->history);
+      s.estimate = std::move(old->estimate);
+      old->has_history = false;  // consumed; skip in the sweep below
+    } else if (auto it = orphans_.find(id); it != orphans_.end()) {
+      s.has_history = true;
+      s.history = std::move(it->second);
+      orphans_.erase(it);
     }
-    estimates_.erase(it->first);
-    it = histories_.erase(it);
-    ++churn_stats_.histories_evicted;
+    next_of.emplace(id, next.size());
+    next.push_back(std::move(s));
+  };
+  for (const net::NodeId id : info.primaries) add_slot(id, true);
+  for (const net::NodeId id : info.secondaries) add_slot(id, false);
+
+  // Old-slot histories that left the candidate set: a node still named by
+  // the role map (promoted to sequencer) parks in the orphan map; a
+  // departed incarnation is evicted for good. NodeIds are never reused, so
+  // a replica missing from the new role map is dead — its samples must
+  // never blend into a reborn successor's Eq. 5/6 predictions.
+  for (Slot& old : slots_) {
+    if (!old.has_history || next_of.contains(old.id)) continue;
+    if (current.contains(old.id)) {
+      orphans_.emplace(old.id, std::move(old.history));
+    } else {
+      ++churn_stats_.histories_evicted;
+    }
   }
+  if (!boot) {
+    for (auto it = orphans_.begin(); it != orphans_.end();) {
+      if (current.contains(it->first)) {
+        ++it;
+        continue;
+      }
+      it = orphans_.erase(it);
+      ++churn_stats_.histories_evicted;
+    }
+  }
+  slots_ = std::move(next);
+  slot_of_ = std::move(next_of);
+
+  if (boot) return;  // boot: nothing to warm up
 
   // Warm up replicas that newly appear after boot (reincarnations or late
   // joiners): without samples the selector treats them as unknowns (zero
@@ -130,16 +189,14 @@ void InfoRepository::record_group_info(const replication::GroupInfo& info) {
   // delay, last reply time) stays empty: it is genuinely unknown.
   const core::PerfHistory* publisher = find_history(info.lazy_publisher);
   if (publisher == nullptr || !publisher->has_samples()) return;
-  for (const net::NodeId id : current) {
-    if (id == info.sequencer || previous.contains(id) ||
-        histories_.contains(id)) {
+  for (Slot& s : slots_) {
+    if (s.has_history || s.id == info.sequencer || previous.contains(s.id)) {
       continue;
     }
-    core::PerfHistory seeded(window_size_);
-    seeded.service = publisher->service;
-    seeded.queueing = publisher->queueing;
-    seeded.lazy_wait = publisher->lazy_wait;
-    histories_.emplace(id, std::move(seeded));
+    s.history.service = publisher->service;
+    s.history.queueing = publisher->queueing;
+    s.history.lazy_wait = publisher->lazy_wait;
+    s.has_history = true;
     ++churn_stats_.replicas_warmed;
   }
 }
@@ -153,6 +210,7 @@ std::vector<core::CandidateReplica> InfoRepository::candidates(
     const core::QoSSpec& qos, sim::TimePoint now) const {
   std::vector<core::CandidateReplica> out;
   if (!roles_) return out;
+  out.reserve(slots_.size());
 
   // Deferred reads wait on average about half a lazy interval when no t_b
   // samples exist yet; use that as the bootstrap U estimate.
@@ -161,30 +219,29 @@ std::vector<core::CandidateReplica> InfoRepository::candidates(
     fallback_u = lazy_tracker_.period() / 2;
   }
 
-  auto add = [&](net::NodeId id, bool is_primary) {
+  // One linear walk, no hashing: the slots already sit in emission order.
+  for (const Slot& s : slots_) {
     core::CandidateReplica c;
-    c.id = id;
-    c.is_primary = is_primary;
-    if (const core::PerfHistory* h = find_history(id)) {
-      estimate_cdfs(id, *h, qos.deadline, fallback_u, c);
-      c.ert = now - h->last_reply_at;
+    c.id = s.id;
+    c.is_primary = s.is_primary;
+    if (s.has_history) {
+      estimate_cdfs(s, qos.deadline, fallback_u, c);
+      c.ert = now - s.history.last_reply_at;
     } else {
       // Never heard from: maximal ert so the LRU sort tries it first, zero
       // CDFs so the model never credits it with meeting the deadline.
       c.ert = now - sim::kEpoch;
     }
     out.push_back(c);
-  };
-
-  for (const net::NodeId id : roles_->primaries) add(id, true);
-  for (const net::NodeId id : roles_->secondaries) add(id, false);
+  }
   return out;
 }
 
 void InfoRepository::estimate_cdfs(
-    net::NodeId id, const core::PerfHistory& h, sim::Duration deadline,
+    const Slot& slot, sim::Duration deadline,
     std::optional<sim::Duration> fallback_lazy_wait,
     core::CandidateReplica& out) const {
+  const core::PerfHistory& h = slot.history;
   const bool want_deferred = !out.is_primary;
   if (!cache_enabled_) {
     out.immediate_cdf = model_.immediate_cdf(h, deadline);
@@ -194,7 +251,7 @@ void InfoRepository::estimate_cdfs(
     return;
   }
 
-  CachedEstimate& e = estimates_[id];
+  CachedEstimate& e = slot.estimate;
   const std::uint64_t version = h.version();
 
   bool rebuilt = false;
@@ -258,7 +315,9 @@ core::SelectionContext InfoRepository::selection_context(
 
 void InfoRepository::set_cache_enabled(bool enabled) {
   cache_enabled_ = enabled;
-  if (!enabled) estimates_.clear();
+  if (!enabled) {
+    for (Slot& s : slots_) s.estimate = CachedEstimate{};
+  }
 }
 
 double InfoRepository::stale_factor(core::Staleness a, sim::TimePoint now) const {

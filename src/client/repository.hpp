@@ -10,8 +10,8 @@
 // mutates a history (PerfHistory::version()), so the repository memoizes
 // each replica's immediate/deferred pmfs — and their CDF at the last-seen
 // deadline — keyed on (history version, deferred fallback, deadline).
-// A read against an unchanged replica costs a hash lookup instead of two
-// O(window²) convolutions (see DESIGN.md "Information repository caching").
+// A read against an unchanged replica costs nothing but a version compare
+// (see DESIGN.md "Information repository caching").
 //
 // Each memo entry additionally owns the replica's integer-count convolution
 // state (core::ResponseState), kept current *incrementally*: a window push
@@ -19,6 +19,16 @@
 // O(window + span) integer additions, so even a mutated replica pays no
 // convolution on the next read — only a cheap rematerialization of its
 // pmfs (see DESIGN.md "Selection at scale").
+//
+// Storage is *slot-indexed*: the role map's candidates (primaries then
+// secondaries, the exact order candidates() emits) live in a flat vector,
+// one slot per ring/group position, with history and memo entry embedded.
+// Assembling the Algorithm 1 input is then a single linear walk with no
+// per-candidate hashing — the constant that dominated the selection hot
+// path at large N (ROADMAP item 1). NodeId-keyed lookups survive only on
+// the ingestion paths (a hash map from id to slot index, touched once per
+// publication/reply, plus a side map for histories of nodes outside the
+// role map: the sequencer's pre-promotion life and pre-roles broadcasts).
 #pragma once
 
 #include <cstdint>
@@ -92,10 +102,10 @@ class InfoRepository {
   void record_reply(net::NodeId replica, sim::Duration gateway_delay,
                     sim::TimePoint now);
 
-  /// Latest role map from the sequencer. Evicts histories of replicas that
-  /// departed (so Eq. 5/6 never mix incarnations) and warms up replicas
-  /// that newly appear after boot (reincarnations) from the lazy
-  /// publisher's history.
+  /// Latest role map from the sequencer. Rebuilds the slot vector in the
+  /// new candidate order, evicts histories of replicas that departed (so
+  /// Eq. 5/6 never mix incarnations) and warms up replicas that newly
+  /// appear after boot (reincarnations) from the lazy publisher's history.
   void record_group_info(const replication::GroupInfo& info);
 
   // ---- queries ----
@@ -105,8 +115,9 @@ class InfoRepository {
 
   /// Builds the Algorithm 1 input vector V for a read with spec `qos`:
   /// every primary (except the sequencer) and every secondary, with
-  /// F^I(d), F^D(d) and ert filled in. CDFs are served from the memo when
-  /// the replica's history is unchanged since the last query.
+  /// F^I(d), F^D(d) and ert filled in — one linear walk over the slot
+  /// vector, CDFs served from each slot's memo when its history is
+  /// unchanged since the last query.
   std::vector<core::CandidateReplica> candidates(const core::QoSSpec& qos,
                                                  sim::TimePoint now) const;
 
@@ -172,22 +183,44 @@ class InfoRepository {
     double deferred_cdf = 0.0;
   };
 
-  /// F^I(d) / F^D(d) for one replica, through the memo (or bypassing it
-  /// when the cache is disabled).
-  void estimate_cdfs(net::NodeId id, const core::PerfHistory& history,
-                     sim::Duration deadline,
+  /// One candidate position of the current role map, in the order
+  /// candidates() emits (primaries then secondaries). History and memo
+  /// entry are embedded so the hot path never hashes.
+  struct Slot {
+    explicit Slot(std::size_t window) : history(window) {}
+    net::NodeId id;
+    bool is_primary = false;
+    /// Whether any publication/reply/warm-up touched the history yet — a
+    /// silent slot must present as "never heard from" (zero CDFs, maximal
+    /// ert), exactly like a missing hash-map entry used to.
+    bool has_history = false;
+    core::PerfHistory history;
+    // The memo is observably pure: candidates() stays const.
+    mutable CachedEstimate estimate;
+  };
+
+  Slot* find_slot(net::NodeId id);
+  const Slot* find_slot(net::NodeId id) const;
+
+  /// F^I(d) / F^D(d) for one slot, through its memo (or bypassing it when
+  /// the cache is disabled).
+  void estimate_cdfs(const Slot& slot, sim::Duration deadline,
                      std::optional<sim::Duration> fallback_lazy_wait,
                      core::CandidateReplica& out) const;
 
   std::size_t window_size_;
   core::ResponseTimeModel model_;
-  std::unordered_map<net::NodeId, core::PerfHistory> histories_;
+  /// Candidate slots in emission order; rebuilt on each role-map change.
+  std::vector<Slot> slots_;
+  /// NodeId -> slot index (ingestion paths only, never the read path).
+  std::unordered_map<net::NodeId, std::size_t> slot_of_;
+  /// Histories of nodes outside the candidate set: pre-roles publications
+  /// and the sequencer's pre-promotion life.
+  std::unordered_map<net::NodeId, core::PerfHistory> orphans_;
   core::ArrivalRateEstimator arrival_rate_;
   core::LazyIntervalTracker lazy_tracker_;
   std::optional<replication::GroupInfo> roles_;
 
-  // The memo is observably pure: candidates() stays const.
-  mutable std::unordered_map<net::NodeId, CachedEstimate> estimates_;
   mutable RepositoryCacheStats cache_stats_;
   RepositoryChurnStats churn_stats_;
   bool cache_enabled_ = true;

@@ -62,7 +62,7 @@ bool is_global(FaultKind kind) {
 }
 }  // namespace
 
-FaultSchedule& FaultSchedule::crash(std::size_t replica, sim::Duration at) {
+FaultSchedule& FaultSchedule::crash(SlotRef replica, sim::Duration at) {
   FaultEvent e;
   e.kind = FaultKind::kCrash;
   e.at = at;
@@ -71,7 +71,7 @@ FaultSchedule& FaultSchedule::crash(std::size_t replica, sim::Duration at) {
   return *this;
 }
 
-FaultSchedule& FaultSchedule::restart(std::size_t replica, sim::Duration at) {
+FaultSchedule& FaultSchedule::restart(SlotRef replica, sim::Duration at) {
   FaultEvent e;
   e.kind = FaultKind::kRestart;
   e.at = at;
@@ -80,7 +80,7 @@ FaultSchedule& FaultSchedule::restart(std::size_t replica, sim::Duration at) {
   return *this;
 }
 
-FaultSchedule& FaultSchedule::crash_restart(std::size_t replica,
+FaultSchedule& FaultSchedule::crash_restart(SlotRef replica,
                                             sim::Duration crash_at,
                                             sim::Duration restart_at) {
   AQUEDUCT_CHECK_MSG(restart_at > crash_at,
@@ -89,8 +89,8 @@ FaultSchedule& FaultSchedule::crash_restart(std::size_t replica,
   return restart(replica, restart_at);
 }
 
-FaultSchedule& FaultSchedule::partition(std::vector<std::size_t> side_a,
-                                        std::vector<std::size_t> side_b,
+FaultSchedule& FaultSchedule::partition(std::vector<SlotRef> side_a,
+                                        std::vector<SlotRef> side_b,
                                         sim::Duration at) {
   FaultEvent e;
   e.kind = FaultKind::kPartition;
@@ -118,7 +118,7 @@ FaultSchedule& FaultSchedule::loss(double probability, sim::Duration at) {
   return *this;
 }
 
-FaultSchedule& FaultSchedule::link_loss(std::size_t from, std::size_t to,
+FaultSchedule& FaultSchedule::link_loss(SlotRef from, SlotRef to,
                                         double probability, sim::Duration at) {
   FaultEvent e;
   e.kind = FaultKind::kLinkLoss;
@@ -130,7 +130,7 @@ FaultSchedule& FaultSchedule::link_loss(std::size_t from, std::size_t to,
   return *this;
 }
 
-FaultSchedule& FaultSchedule::inbound_loss(std::size_t replica,
+FaultSchedule& FaultSchedule::inbound_loss(SlotRef replica,
                                            double probability,
                                            sim::Duration at) {
   FaultEvent e;
@@ -142,7 +142,7 @@ FaultSchedule& FaultSchedule::inbound_loss(std::size_t replica,
   return *this;
 }
 
-FaultSchedule& FaultSchedule::outbound_loss(std::size_t replica,
+FaultSchedule& FaultSchedule::outbound_loss(SlotRef replica,
                                             double probability,
                                             sim::Duration at) {
   FaultEvent e;
@@ -154,7 +154,7 @@ FaultSchedule& FaultSchedule::outbound_loss(std::size_t replica,
   return *this;
 }
 
-FaultSchedule& FaultSchedule::latency_spike(std::size_t replica,
+FaultSchedule& FaultSchedule::latency_spike(SlotRef replica,
                                             sim::Duration mean,
                                             sim::Duration std,
                                             sim::Duration at,
@@ -171,7 +171,7 @@ FaultSchedule& FaultSchedule::latency_spike(std::size_t replica,
   return *this;
 }
 
-FaultSchedule& FaultSchedule::degrade_link(std::size_t from, std::size_t to,
+FaultSchedule& FaultSchedule::degrade_link(SlotRef from, SlotRef to,
                                            sim::Duration extra_mean,
                                            sim::Duration extra_std, double loss,
                                            sim::Duration at,
@@ -191,7 +191,7 @@ FaultSchedule& FaultSchedule::degrade_link(std::size_t from, std::size_t to,
   return *this;
 }
 
-FaultSchedule& FaultSchedule::partial_partition(std::size_t a, std::size_t b,
+FaultSchedule& FaultSchedule::partial_partition(SlotRef a, SlotRef b,
                                                 sim::Duration at,
                                                 sim::Duration duration) {
   FaultEvent e;
@@ -204,7 +204,7 @@ FaultSchedule& FaultSchedule::partial_partition(std::size_t a, std::size_t b,
   return *this;
 }
 
-FaultSchedule& FaultSchedule::heal_link(std::size_t a, std::size_t b,
+FaultSchedule& FaultSchedule::heal_link(SlotRef a, SlotRef b,
                                         sim::Duration at) {
   FaultEvent e;
   e.kind = FaultKind::kHealLink;
@@ -245,7 +245,7 @@ FaultSchedule& FaultSchedule::reorder(double probability, sim::Duration window,
   return *this;
 }
 
-FaultSchedule& FaultSchedule::throttle_link(std::size_t from, std::size_t to,
+FaultSchedule& FaultSchedule::throttle_link(SlotRef from, SlotRef to,
                                             sim::Duration min_gap,
                                             sim::Duration at,
                                             sim::Duration duration) {
@@ -287,6 +287,33 @@ FaultSchedule& FaultSchedule::wan_topology(
       const WanLink& link = matrix[region_of[i]][region_of[j]];
       if (link.mean <= sim::Duration::zero()) continue;
       degrade_link(i, j, link.mean, link.jitter, /*loss=*/0.0, at);
+    }
+  }
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::hot_shard(std::size_t shard, std::size_t slots,
+                                        sim::Duration extra_mean,
+                                        sim::Duration extra_std,
+                                        sim::Duration at,
+                                        sim::Duration duration) {
+  AQUEDUCT_CHECK_MSG(slots > 0, "hot_shard needs at least one slot");
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    latency_spike(SlotRef{shard, slot}, extra_mean, extra_std, at, duration);
+  }
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::correlated_rack_failure(std::size_t rack_slot,
+                                                      std::size_t num_shards,
+                                                      sim::Duration crash_at,
+                                                      sim::Duration restart_at) {
+  AQUEDUCT_CHECK_MSG(num_shards > 0, "correlated rack failure needs shards");
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    if (restart_at > crash_at) {
+      crash_restart(SlotRef{shard, rack_slot}, crash_at, restart_at);
+    } else {
+      crash(SlotRef{shard, rack_slot}, crash_at);
     }
   }
   return *this;
@@ -390,25 +417,40 @@ void apply(const FaultSchedule& schedule, runtime::Executor& exec,
     }
     exec.at(sim::kEpoch + event.at, [event, shared, &exec] {
       net::FaultInjection* net = shared->network;
+      // (shard, slot) -> flat index. Without a resolver only shard 0 is
+      // addressable and the slot doubles as the flat index (the pre-shard
+      // contract).
+      const auto flat = [&shared](SlotRef ref) {
+        if (shared->slot_index) return shared->slot_index(ref);
+        AQUEDUCT_CHECK_MSG(ref.shard == 0,
+                           "fault event targets shard "
+                               << ref.shard
+                               << " but FaultTargets has no slot_index "
+                                  "resolver (single-group harness)");
+        return ref.slot;
+      };
+      const auto node_of = [&shared, &flat](SlotRef ref) {
+        return shared->node_id(flat(ref));
+      };
       switch (event.kind) {
         case FaultKind::kCrash:
           AQUEDUCT_CHECK_MSG(static_cast<bool>(shared->crash),
                              "fault schedule needs a crash callback");
-          shared->crash(event.replica);
+          shared->crash(flat(event.replica));
           break;
         case FaultKind::kRestart:
           AQUEDUCT_CHECK_MSG(static_cast<bool>(shared->restart),
                              "fault schedule needs a restart callback");
-          shared->restart(event.replica);
+          shared->restart(flat(event.replica));
           break;
         case FaultKind::kPartition: {
           std::vector<net::NodeId> a, b;
           a.reserve(event.side_a.size());
           b.reserve(event.side_b.size());
-          for (std::size_t idx : event.side_a)
-            a.push_back(shared->node_id(idx));
-          for (std::size_t idx : event.side_b)
-            b.push_back(shared->node_id(idx));
+          for (const SlotRef ref : event.side_a)
+            a.push_back(node_of(ref));
+          for (const SlotRef ref : event.side_b)
+            b.push_back(node_of(ref));
           net->partition(std::move(a), std::move(b));
           break;
         }
@@ -420,24 +462,24 @@ void apply(const FaultSchedule& schedule, runtime::Executor& exec,
           break;
         case FaultKind::kLinkLoss:
           if (event.probability > 0.0) {
-            net->set_link_loss(shared->node_id(event.replica),
-                               shared->node_id(event.peer),
+            net->set_link_loss(node_of(event.replica),
+                               node_of(event.peer),
                                event.probability);
           } else {
-            net->clear_link_loss(shared->node_id(event.replica),
-                                 shared->node_id(event.peer));
+            net->clear_link_loss(node_of(event.replica),
+                                 node_of(event.peer));
           }
           break;
         case FaultKind::kInboundLoss:
-          net->set_inbound_loss(shared->node_id(event.replica),
+          net->set_inbound_loss(node_of(event.replica),
                                 event.probability);
           break;
         case FaultKind::kOutboundLoss:
-          net->set_outbound_loss(shared->node_id(event.replica),
+          net->set_outbound_loss(node_of(event.replica),
                                  event.probability);
           break;
         case FaultKind::kLatencySpike: {
-          const net::NodeId node = shared->node_id(event.replica);
+          const net::NodeId node = node_of(event.replica);
           net->set_node_latency(node, std::make_shared<sim::NormalDuration>(
                                           event.latency_mean,
                                           event.latency_std));
@@ -446,8 +488,8 @@ void apply(const FaultSchedule& schedule, runtime::Executor& exec,
           break;
         }
         case FaultKind::kDegradeLink: {
-          const net::NodeId from = shared->node_id(event.replica);
-          const net::NodeId to = shared->node_id(event.peer);
+          const net::NodeId from = node_of(event.replica);
+          const net::NodeId to = node_of(event.peer);
           if (event.latency_mean > sim::Duration::zero()) {
             net->set_link_delay(from, to,
                                 std::make_shared<sim::NormalDuration>(
@@ -459,12 +501,12 @@ void apply(const FaultSchedule& schedule, runtime::Executor& exec,
           break;
         }
         case FaultKind::kPartialPartition:
-          net->partial_partition(shared->node_id(event.replica),
-                                 shared->node_id(event.peer));
+          net->partial_partition(node_of(event.replica),
+                                 node_of(event.peer));
           break;
         case FaultKind::kHealLink:
-          net->heal_link(shared->node_id(event.replica),
-                         shared->node_id(event.peer));
+          net->heal_link(node_of(event.replica),
+                         node_of(event.peer));
           break;
         case FaultKind::kDuplicateStorm:
           net->set_duplicate_probability(event.probability);
@@ -476,8 +518,8 @@ void apply(const FaultSchedule& schedule, runtime::Executor& exec,
           net->set_reorder_probability(event.probability);
           break;
         case FaultKind::kThrottleLink:
-          net->set_link_throttle(shared->node_id(event.replica),
-                                 shared->node_id(event.peer),
+          net->set_link_throttle(node_of(event.replica),
+                                 node_of(event.peer),
                                  event.latency_mean);
           break;
         case FaultKind::kHealGray:

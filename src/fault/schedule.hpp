@@ -54,17 +54,34 @@ enum class FaultKind {
 
 const char* to_string(FaultKind kind);
 
+/// Stable replica identity: the `slot`-th server slot of shard `shard`.
+/// Slots survive reincarnation (a restarted replica keeps its SlotRef while
+/// its NodeId changes), so schedules written against SlotRefs replay
+/// correctly across crash/restart cycles on any shard. A bare index
+/// converts implicitly to (shard 0, slot) — the single-group scenario is
+/// the 1-shard special case, and every pre-shard schedule keeps meaning
+/// exactly what it meant.
+struct SlotRef {
+  std::size_t shard = 0;
+  std::size_t slot = 0;
+  constexpr SlotRef() = default;
+  constexpr SlotRef(std::size_t flat_slot) : slot(flat_slot) {}  // NOLINT
+  constexpr SlotRef(std::size_t shard, std::size_t slot)
+      : shard(shard), slot(slot) {}
+  friend constexpr auto operator<=>(SlotRef, SlotRef) = default;
+};
+
 struct FaultEvent {
   FaultKind kind = FaultKind::kCrash;
   /// Injection time as an offset from sim::kEpoch.
   sim::Duration at = sim::Duration::zero();
-  /// Target replica index (crash/restart/loss shaping/latency spike).
-  std::size_t replica = 0;
-  /// Link-loss destination replica index.
-  std::size_t peer = 0;
-  /// Partition sides (replica indices).
-  std::vector<std::size_t> side_a;
-  std::vector<std::size_t> side_b;
+  /// Target replica slot (crash/restart/loss shaping/latency spike).
+  SlotRef replica;
+  /// Link-loss destination replica slot.
+  SlotRef peer;
+  /// Partition sides (replica slots).
+  std::vector<SlotRef> side_a;
+  std::vector<SlotRef> side_b;
   /// Drop probability for the loss kinds, duplicate probability for
   /// kDuplicateStorm, holdback probability for kReorder (0 clears).
   double probability = 0.0;
@@ -105,22 +122,22 @@ struct RandomFaultParams {
 /// sim::kEpoch; events() returns them sorted by time (stable for ties).
 class FaultSchedule {
  public:
-  FaultSchedule& crash(std::size_t replica, sim::Duration at);
-  FaultSchedule& restart(std::size_t replica, sim::Duration at);
+  FaultSchedule& crash(SlotRef replica, sim::Duration at);
+  FaultSchedule& restart(SlotRef replica, sim::Duration at);
   /// crash + restart of the same replica (restart_at > crash_at).
-  FaultSchedule& crash_restart(std::size_t replica, sim::Duration crash_at,
+  FaultSchedule& crash_restart(SlotRef replica, sim::Duration crash_at,
                                sim::Duration restart_at);
-  FaultSchedule& partition(std::vector<std::size_t> side_a,
-                           std::vector<std::size_t> side_b, sim::Duration at);
+  FaultSchedule& partition(std::vector<SlotRef> side_a,
+                           std::vector<SlotRef> side_b, sim::Duration at);
   FaultSchedule& heal(sim::Duration at);
   FaultSchedule& loss(double probability, sim::Duration at);
-  FaultSchedule& link_loss(std::size_t from, std::size_t to,
+  FaultSchedule& link_loss(SlotRef from, SlotRef to,
                            double probability, sim::Duration at);
-  FaultSchedule& inbound_loss(std::size_t replica, double probability,
+  FaultSchedule& inbound_loss(SlotRef replica, double probability,
                               sim::Duration at);
-  FaultSchedule& outbound_loss(std::size_t replica, double probability,
+  FaultSchedule& outbound_loss(SlotRef replica, double probability,
                                sim::Duration at);
-  FaultSchedule& latency_spike(std::size_t replica, sim::Duration mean,
+  FaultSchedule& latency_spike(SlotRef replica, sim::Duration mean,
                                sim::Duration std, sim::Duration at,
                                sim::Duration duration);
 
@@ -133,16 +150,16 @@ class FaultSchedule {
   /// Normal(extra_mean, extra_std) delay per message (if extra_mean > 0)
   /// and drop probability `loss` (if > 0). A positive duration emits a
   /// heal_link at the end, restoring the whole link.
-  FaultSchedule& degrade_link(std::size_t from, std::size_t to,
+  FaultSchedule& degrade_link(SlotRef from, SlotRef to,
                               sim::Duration extra_mean, sim::Duration extra_std,
                               double loss, sim::Duration at,
                               sim::Duration duration = sim::Duration::zero());
   /// Blackholes the (a, b) pair both directions, everyone else untouched.
   FaultSchedule& partial_partition(
-      std::size_t a, std::size_t b, sim::Duration at,
+      SlotRef a, SlotRef b, sim::Duration at,
       sim::Duration duration = sim::Duration::zero());
   /// Restores the (a, b) pair (partial partition + per-link overrides).
-  FaultSchedule& heal_link(std::size_t a, std::size_t b, sim::Duration at);
+  FaultSchedule& heal_link(SlotRef a, SlotRef b, sim::Duration at);
   /// Duplicates every message with `probability` (0 ends the storm).
   FaultSchedule& duplicate_storm(double probability, sim::Duration at,
                                  sim::Duration duration = sim::Duration::zero());
@@ -153,7 +170,7 @@ class FaultSchedule {
                          sim::Duration duration = sim::Duration::zero());
   /// Serializes the directional link `from` → `to` to one message per
   /// `min_gap` — a slow-but-alive link (min_gap 0 clears).
-  FaultSchedule& throttle_link(std::size_t from, std::size_t to,
+  FaultSchedule& throttle_link(SlotRef from, SlotRef to,
                                sim::Duration min_gap, sim::Duration at,
                                sim::Duration duration = sim::Duration::zero());
   /// Resets every gray-failure knob and all loss settings.
@@ -173,6 +190,24 @@ class FaultSchedule {
   FaultSchedule& wan_topology(const std::vector<std::size_t>& region_of,
                               const std::vector<std::vector<WanLink>>& matrix,
                               sim::Duration at);
+
+  // --- Cross-shard builders -------------------------------------------
+
+  /// Hot shard: every server slot of `shard` (slots [0, slots)) suffers a
+  /// Normal(extra_mean, extra_std) latency spike on all its links for
+  /// `duration` — the network-level signature of one overloaded replica
+  /// group in a sharded pool.
+  FaultSchedule& hot_shard(std::size_t shard, std::size_t slots,
+                           sim::Duration extra_mean, sim::Duration extra_std,
+                           sim::Duration at, sim::Duration duration);
+
+  /// Correlated rack failure: slot `rack_slot` of *every* shard in
+  /// [0, num_shards) crashes at `crash_at` — the groups share physical
+  /// racks, so one rack loss takes the same slot from each of them — and
+  /// (if restart_at > crash_at) restarts together at `restart_at`.
+  FaultSchedule& correlated_rack_failure(
+      std::size_t rack_slot, std::size_t num_shards, sim::Duration crash_at,
+      sim::Duration restart_at = sim::Duration::zero());
 
   /// Derives a crash/restart plan from `seed` (same seed, same plan).
   static FaultSchedule random(std::uint64_t seed,
@@ -202,6 +237,11 @@ struct FaultTargets {
   std::function<net::NodeId(std::size_t)> node_id;
   net::FaultInjection* network = nullptr;
   std::size_t num_replicas = 0;
+  /// Maps a (shard, slot) reference onto the flat index the callbacks
+  /// above consume. Null restricts the schedule to shard 0 (identity on
+  /// the slot): single-group harnesses need not provide one, and a
+  /// multi-shard event against such a target fails loudly in apply().
+  std::function<std::size_t(SlotRef)> slot_index;
 };
 
 /// Schedules every event of `schedule` onto `exec`. Network-affecting kinds

@@ -14,18 +14,28 @@ namespace aqueduct::harness {
 // ---------------------------------------------------------------------------
 
 WorkloadClient::WorkloadClient(runtime::Executor& exec, gcs::Endpoint& endpoint,
-                               replication::ServiceGroups groups,
+                               const shard::ShardMap& map,
+                               std::vector<replication::ServiceGroups> groups,
                                ClientSpec spec, std::size_t window_size)
     : exec_(exec), spec_(std::move(spec)) {
-  client::ClientConfig config;
-  config.window_size = window_size;
-  if (spec_.selector) config.selector = spec_.selector();
-  handler_ = std::make_unique<client::ClientHandler>(exec, endpoint, groups,
-                                                     std::move(config));
+  // One handler per shard, constructed in shard order by the router so the
+  // per-handler RNG splits are deterministic. The shard tag is only set in
+  // a genuinely sharded run: the single-shard SLA gauges must keep their
+  // pre-shard names bit-for-bit.
+  const bool sharded = map.num_shards() > 1;
+  router_ = std::make_unique<shard::ShardRouter>(
+      exec, endpoint, map, std::move(groups),
+      [this, window_size, sharded](std::size_t shard) {
+        client::ClientConfig config;
+        config.window_size = window_size;
+        if (spec_.selector) config.selector = spec_.selector();
+        if (sharded) config.shard = static_cast<std::int64_t>(shard);
+        return config;
+      });
 }
 
 void WorkloadClient::start() {
-  handler_->start();
+  router_->start();
   if (spec_.arrival == Arrival::kClosedLoop) {
     issue_next();
   } else {
@@ -49,22 +59,28 @@ void WorkloadClient::schedule_open_arrival() {
 void WorkloadClient::issue_next() {
   if (issued_ >= spec_.num_requests) return;
   const std::size_t n = issued_++;
+  const std::string key = "k" + std::to_string(n % spec_.num_keys);
   if (n % 2 == 0) {
     // Write: put a fresh value.
     auto put = std::make_shared<replication::KvPut>();
-    put->key = "k" + std::to_string(n % 16);
+    put->key = key;
     put->value = "v" + std::to_string(n);
-    handler_->update(put, [this](const client::UpdateOutcome&) { on_complete(); });
+    router_->update(key, put,
+                    [this](const client::UpdateOutcome&) { on_complete(); });
   } else {
     auto get = std::make_shared<replication::KvGet>();
-    get->key = "k" + std::to_string(n % 16);
-    handler_->read(get, spec_.qos, [this](const client::ReadOutcome& outcome) {
-      read_response_times_.push_back(sim::to_sec(outcome.response_time));
-      reply_staleness_.push_back(static_cast<double>(outcome.staleness));
-      read_completed_at_.push_back(sim::to_sec(exec_.now() - sim::kEpoch));
-      read_timing_failures_.push_back(outcome.timing_failure);
-      on_complete();
-    });
+    get->key = key;
+    router_->read(key, get, spec_.qos,
+                  [this](const client::ReadOutcome& outcome) {
+                    read_response_times_.push_back(
+                        sim::to_sec(outcome.response_time));
+                    reply_staleness_.push_back(
+                        static_cast<double>(outcome.staleness));
+                    read_completed_at_.push_back(
+                        sim::to_sec(exec_.now() - sim::kEpoch));
+                    read_timing_failures_.push_back(outcome.timing_failure);
+                    on_complete();
+                  });
   }
 }
 
@@ -77,7 +93,7 @@ void WorkloadClient::on_complete() {
 
 ClientResult WorkloadClient::result_with_stats() const {
   ClientResult r;
-  r.stats = handler_->stats();
+  r.stats = router_->stats();
   r.read_response_times = read_response_times_;
   r.reply_staleness = reply_staleness_;
   r.read_completed_at = read_completed_at_;
@@ -89,13 +105,16 @@ ClientResult WorkloadClient::result_with_stats() const {
 // Scenario
 // ---------------------------------------------------------------------------
 
-Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)),
+      shard_map_(config_.seed, config_.num_shards == 0 ? 1 : config_.num_shards) {
   build();
 }
 
 Scenario::~Scenario() = default;
 
 void Scenario::build() {
+  AQUEDUCT_CHECK_MSG(config_.num_shards >= 1, "num_shards must be >= 1");
   exec_ = runtime::make_executor(config_.runtime, config_.seed);
   transport_ = net::make_loopback_transport(
       *exec_, std::make_unique<sim::NormalDuration>(config_.net_latency_mean,
@@ -104,10 +123,18 @@ void Scenario::build() {
     transport_ = net::make_chaos_transport(std::move(transport_));
   }
 
-  // The sequencer (slot 0) is the first primary-group joiner (rank 0 =
-  // leader), then primaries, then secondaries.
-  const std::size_t num_servers =
-      1 + config_.num_primaries + config_.num_secondaries;
+  // Shard k's groups live under service id 1 + k; all shards share the one
+  // transport/directory substrate (gcs multiplexes by group id).
+  groups_.reserve(config_.num_shards);
+  for (std::size_t k = 0; k < config_.num_shards; ++k) {
+    groups_.push_back(replication::ServiceGroups::for_service(
+        static_cast<std::uint32_t>(1 + k)));
+  }
+
+  // Flat shard-major layout. Within a shard, the sequencer (slot 0) is the
+  // first primary-group joiner (rank 0 = leader), then primaries, then
+  // secondaries.
+  const std::size_t num_servers = config_.num_shards * servers_per_shard();
   for (std::size_t index = 0; index < num_servers; ++index) {
     auto endpoint = std::make_unique<gcs::Endpoint>(*exec_, *transport_,
                                                     directory_, config_.gcs);
@@ -116,11 +143,22 @@ void Scenario::build() {
   }
   incarnations_.assign(num_servers, 0);
 
+  // Per-shard liveness gauges only exist in a genuinely sharded run: a new
+  // metric name would change the single-shard telemetry digest.
+  if (config_.num_shards > 1) {
+    obs::MetricsRegistry& reg = observability().metrics;
+    for (std::size_t k = 0; k < config_.num_shards; ++k) {
+      live_gauges_.push_back(
+          &reg.gauge("shard" + std::to_string(k) + ".replicas_live"));
+      live_gauges_.back()->set(static_cast<double>(servers_per_shard()));
+    }
+  }
+
   for (const ClientSpec& spec : config_.clients) {
     auto endpoint = std::make_unique<gcs::Endpoint>(*exec_, *transport_,
                                                     directory_, config_.gcs);
     workloads_.push_back(std::make_unique<WorkloadClient>(
-        *exec_, *endpoint, groups_, spec, config_.window_size));
+        *exec_, *endpoint, shard_map_, groups_, spec, config_.window_size));
     endpoints_.push_back(std::move(endpoint));
   }
 }
@@ -138,12 +176,12 @@ std::vector<ClientResult> Scenario::run() {
   ran_ = true;
   if (snapshotter_) snapshotter_->start();
 
-  // Staggered start: the sequencer boots first so it becomes the
-  // primary-group leader; replicas follow, then clients after the groups
-  // have settled. Offsets are relative to now(): under kSim now() is
-  // kEpoch here (identical schedule to an absolute one); under kRealTime
-  // construction already consumed wall time, so relative is the only
-  // correct choice.
+  // Staggered start: each shard's sequencer boots before its followers so
+  // it becomes that primary group's leader; replicas follow, then clients
+  // after the groups have settled. Offsets are relative to now(): under
+  // kSim now() is kEpoch here (identical schedule to an absolute one);
+  // under kRealTime construction already consumed wall time, so relative
+  // is the only correct choice.
   sim::Duration at = sim::Duration::zero();
   for (auto& replica : replicas_) {
     exec_->after(at, [r = replica.get()] { r->start(); });
@@ -178,7 +216,9 @@ std::vector<ClientResult> Scenario::run() {
 
 std::unique_ptr<replication::ReplicaServer> Scenario::make_replica_server(
     std::size_t index, gcs::Endpoint& endpoint) {
-  const bool is_primary = index <= config_.num_primaries;  // 0 = sequencer
+  const std::size_t shard = shard_of(index);
+  const std::size_t slot = index % servers_per_shard();
+  const bool is_primary = slot <= config_.num_primaries;  // slot 0 = sequencer
   double speed = 1.0;
   if (index < config_.speed_factors.size() &&
       config_.speed_factors[index] > 0.0) {
@@ -190,13 +230,14 @@ std::unique_ptr<replication::ReplicaServer> Scenario::make_replica_server(
       std::chrono::duration_cast<sim::Duration>(config_.service_std / speed));
   rc.lazy_update_interval = config_.lazy_update_interval;
   auto server = std::make_unique<replication::ReplicaServer>(
-      *exec_, endpoint, groups_, is_primary,
+      *exec_, endpoint, groups_[shard], is_primary,
       std::make_unique<replication::KeyValueStore>(), std::move(rc));
   // A group that ejects a live-but-gray replica leaves the server crashed;
   // reincarnate the slot after a supervisor delay (the reborn process joins
   // under a fresh NodeId, escaping any identity-keyed blackhole).
   if (config_.eviction_restart_delay > sim::Duration::zero()) {
-    server->set_on_evicted([this, index] {
+    server->set_on_evicted([this, index, shard] {
+      refresh_live_gauge(shard);
       exec_->after(config_.eviction_restart_delay, [this, index] {
         if (replicas_[index]->crashed()) restart_replica(index);
       });
@@ -220,27 +261,44 @@ void Scenario::schedule_restart(std::size_t replica_index, sim::TimePoint at) {
 void Scenario::crash_replica(std::size_t replica_index) {
   AQUEDUCT_CHECK(replica_index < replicas_.size());
   if (!replicas_[replica_index]->crashed()) replicas_[replica_index]->crash();
+  refresh_live_gauge(shard_of(replica_index));
 }
 
 std::size_t Scenario::live_replicas_excluding(std::size_t index) const {
+  const std::size_t begin = shard_of(index) * servers_per_shard();
+  const std::size_t end = begin + servers_per_shard();
   std::size_t live = 0;
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     if (i != index && !replicas_[i]->crashed()) ++live;
   }
   return live;
 }
 
 std::size_t Scenario::live_primaries_excluding(std::size_t index) const {
+  const std::size_t begin = shard_of(index) * servers_per_shard();
+  const std::size_t end = begin + servers_per_shard();
   std::size_t live = 0;
-  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     if (i != index && replicas_[i]->is_primary() && !replicas_[i]->crashed())
       ++live;
   }
   return live;
 }
 
+void Scenario::refresh_live_gauge(std::size_t shard) {
+  if (live_gauges_.empty()) return;
+  const std::size_t begin = shard * servers_per_shard();
+  const std::size_t end = begin + servers_per_shard();
+  std::size_t live = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!replicas_[i]->crashed()) ++live;
+  }
+  live_gauges_[shard]->set(static_cast<double>(live));
+}
+
 void Scenario::restart_replica(std::size_t replica_index) {
   AQUEDUCT_CHECK(replica_index < replicas_.size());
+  const replication::ServiceGroups& groups = groups_[shard_of(replica_index)];
   replication::ReplicaServer& old = *replicas_[replica_index];
   if (!old.crashed()) old.crash();
   const net::NodeId old_id = endpoints_[replica_index]->id();
@@ -254,14 +312,15 @@ void Scenario::restart_replica(std::size_t replica_index) {
   // no surviving member to fail over to (a joiner chasing such an entry
   // would retry against a dead process forever). When any other member is
   // alive its failover coordinator refreshes the entry itself, and erasing
-  // it here could split the group into two disjoint views.
+  // it here could split the group into two disjoint views. Liveness is
+  // judged within the slot's own shard: other shards' groups are disjoint.
   if (was_primary && live_primaries_excluding(replica_index) == 0) {
-    directory_.forget_if(groups_.primary, old_id);
+    directory_.forget_if(groups.primary, old_id);
   }
   if (live_replicas_excluding(replica_index) == 0) {
-    directory_.forget_if(groups_.replication, old_id);
+    directory_.forget_if(groups.replication, old_id);
     // Clients are QoS-group members too; only forget when none exist.
-    if (workloads_.empty()) directory_.forget_if(groups_.qos, old_id);
+    if (workloads_.empty()) directory_.forget_if(groups.qos, old_id);
   }
 
   endpoints_[replica_index]->reincarnate();
@@ -269,6 +328,7 @@ void Scenario::restart_replica(std::size_t replica_index) {
       make_replica_server(replica_index, *endpoints_[replica_index]);
   replicas_[replica_index]->start();
   ++incarnations_[replica_index];
+  refresh_live_gauge(shard_of(replica_index));
 }
 
 std::uint32_t Scenario::incarnation(std::size_t replica_index) const {
@@ -293,6 +353,13 @@ void Scenario::apply_faults(const fault::FaultSchedule& schedule) {
   targets.node_id = [this](std::size_t i) { return replica_node(i); };
   targets.network = transport_->fault_injection();
   targets.num_replicas = replicas_.size();
+  targets.slot_index = [this](fault::SlotRef ref) {
+    AQUEDUCT_CHECK_MSG(ref.shard < num_shards(),
+                       "fault SlotRef names a shard this scenario lacks");
+    AQUEDUCT_CHECK_MSG(ref.slot < servers_per_shard(),
+                       "fault SlotRef slot out of range");
+    return slot_index(ref.shard, ref.slot);
+  };
   fault::apply(schedule, *exec_, std::move(targets));
 }
 

@@ -6,6 +6,13 @@
 // replicas plus a sequencer (4 primary, 6 secondary), service delay drawn
 // from a normal distribution with mean 100 ms, two clients issuing 1000
 // alternating write/read requests with a 1000 ms request delay.
+//
+// With `num_shards > 1` the scenario partitions the object space across
+// that many independent replica groups (each with its own sequencer,
+// primaries, and secondaries) sharing one transport, one directory, and one
+// executor; clients route keyed requests through a shard::ShardRouter.
+// `num_shards == 1` is byte-for-byte the pre-shard scenario: same
+// construction order, same RNG draws, same metric names.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +36,8 @@
 #include "replication/replica.hpp"
 #include "replication/service.hpp"
 #include "runtime/executor.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_map.hpp"
 
 namespace aqueduct::harness {
 
@@ -54,6 +63,10 @@ struct ClientSpec {
   sim::Duration request_delay = std::chrono::milliseconds(1000);
   /// Total requests issued, alternating write/read (even = write).
   std::size_t num_requests = 1000;
+  /// Distinct keys the workload cycles over ("k0".."k<n-1>", request n
+  /// touching key n % num_keys). In a sharded scenario the ShardMap
+  /// spreads these keys across the replica groups.
+  std::size_t num_keys = 16;
   /// Null = the paper's probabilistic selector (Algorithm 1).
   SelectorFactory selector;
   Arrival arrival = Arrival::kClosedLoop;
@@ -65,6 +78,10 @@ struct ScenarioConfig {
   /// paper's discrete-event experiments deterministically; kRealTime runs
   /// the identical protocol stack against the wall clock (live_cli).
   runtime::Kind runtime = runtime::Kind::kSim;
+  /// Independent replica groups the object space is partitioned across.
+  /// Every shard gets its own sequencer + primaries + secondaries (the
+  /// sizes below are per shard) on the shared substrate.
+  std::size_t num_shards = 1;
   std::size_t num_primaries = 4;    // excluding the sequencer
   std::size_t num_secondaries = 6;
   /// Simulated background load: service delay ~ Normal(mean, std).
@@ -80,7 +97,8 @@ struct ScenarioConfig {
   /// Per-replica service-speed factors modelling a heterogeneous testbed
   /// (the paper's hosts ranged 300 MHz-1 GHz). Factor f scales the
   /// replica's service-time distribution by 1/f (2.0 = twice as fast).
-  /// Indexed like replica(): 0 = sequencer, then primaries, then
+  /// Indexed like replica(): flat over shards — shard s's sequencer is
+  /// index s * (1 + primaries + secondaries), then its primaries, then its
   /// secondaries; missing entries default to 1.0.
   std::vector<double> speed_factors;
   gcs::Config gcs;
@@ -133,8 +151,9 @@ class Scenario {
   /// Returns per-client results in ClientSpec order.
   std::vector<ClientResult> run();
 
-  /// Schedules a fail-stop crash of the i-th replica at `at` (0-based over
-  /// primaries then secondaries; the sequencer is index_sequencer()).
+  /// Schedules a fail-stop crash of the i-th replica at `at` (flat index:
+  /// shard-major, slot 0 of each shard is its sequencer; see
+  /// slot_index()).
   void schedule_crash(std::size_t replica_index, sim::TimePoint at);
 
   /// Schedules a restart (reincarnation + rejoin) of the i-th replica.
@@ -145,8 +164,9 @@ class Scenario {
 
   /// Restarts the i-th replica slot now: crashes it if still live, destroys
   /// the dead server, reincarnates the endpoint under a fresh NodeId, and
-  /// boots a new ReplicaServer that rejoins the service groups and runs the
-  /// state-transfer protocol. Callable any number of times per slot.
+  /// boots a new ReplicaServer that rejoins its shard's service groups and
+  /// runs the state-transfer protocol. Callable any number of times per
+  /// slot.
   void restart_replica(std::size_t replica_index);
 
   /// How many times the i-th replica slot has been reborn (0 = original).
@@ -159,8 +179,9 @@ class Scenario {
   bool replica_alive(std::size_t replica_index) const;
 
   /// Schedules every event of `schedule` onto this scenario's executor
-  /// (crashes/restarts resolve against replica slots; network faults
-  /// against the current incarnations' NodeIds). Call before run().
+  /// (crashes/restarts resolve against (shard, slot) replica slots;
+  /// network faults against the current incarnations' NodeIds). Call
+  /// before run().
   void apply_faults(const fault::FaultSchedule& schedule);
 
   /// Installs a dependability manager that polls the replication level and
@@ -170,11 +191,39 @@ class Scenario {
     return dependability_.get();
   }
 
+  /// Shard 0's sequencer (the only one pre-shard code knew about).
   std::size_t index_sequencer() const { return 0; }
+  /// Sequencer slot of shard `shard`.
+  std::size_t index_sequencer(std::size_t shard) const {
+    return shard * servers_per_shard();
+  }
   std::size_t num_replicas() const { return replicas_.size(); }
+
+  // ---- shard topology ----
+  std::size_t num_shards() const { return config_.num_shards; }
+  /// Server slots per shard: sequencer + primaries + secondaries.
+  std::size_t servers_per_shard() const {
+    return 1 + config_.num_primaries + config_.num_secondaries;
+  }
+  /// Flat replica index of shard `shard`'s `slot`-th server.
+  std::size_t slot_index(std::size_t shard, std::size_t slot) const {
+    return shard * servers_per_shard() + slot;
+  }
+  /// Shard that owns flat replica index `replica_index`.
+  std::size_t shard_of(std::size_t replica_index) const {
+    return replica_index / servers_per_shard();
+  }
+  /// The key-placement ring clients route by (seeded from config.seed).
+  const shard::ShardMap& shard_map() const { return shard_map_; }
+  /// Shard `shard`'s gcs group ids.
+  const replication::ServiceGroups& groups(std::size_t shard = 0) const {
+    return groups_.at(shard);
+  }
 
   runtime::Executor& executor() { return *exec_; }
   replication::ReplicaServer& replica(std::size_t index) { return *replicas_.at(index); }
+  std::size_t num_workloads() const { return workloads_.size(); }
+  WorkloadClient& workload(std::size_t index) { return *workloads_.at(index); }
   /// Snapshot of the transport counters (assembled from the metrics
   /// registry).
   net::TransportStats transport_stats() const { return transport_->stats(); }
@@ -198,42 +247,57 @@ class Scenario {
 
  private:
   void build();
-  /// Builds the ReplicaServer for slot `index` against `endpoint` (role and
-  /// speed factor derive from the index). Shared by build() and
-  /// restart_replica().
+  /// Builds the ReplicaServer for flat slot `index` against `endpoint`
+  /// (shard, role and speed factor derive from the index). Shared by
+  /// build() and restart_replica().
   std::unique_ptr<replication::ReplicaServer> make_replica_server(
       std::size_t index, gcs::Endpoint& endpoint);
+  /// Live servers of `index`'s shard, excluding `index` itself.
   std::size_t live_replicas_excluding(std::size_t index) const;
   std::size_t live_primaries_excluding(std::size_t index) const;
+  /// Re-computes shard `shard`'s `shard<k>.replicas_live` gauge (no-op in
+  /// single-shard mode, where the gauges are not registered).
+  void refresh_live_gauge(std::size_t shard);
 
   ScenarioConfig config_;
+  shard::ShardMap shard_map_;
   std::unique_ptr<runtime::Executor> exec_;
   std::unique_ptr<net::Transport> transport_;
   gcs::Directory directory_;
-  replication::ServiceGroups groups_ = replication::ServiceGroups::for_service(1);
+  /// groups_[k] = shard k's gcs group ids (service id 1 + k).
+  std::vector<replication::ServiceGroups> groups_;
   std::vector<std::unique_ptr<gcs::Endpoint>> endpoints_;
-  // replicas_[0] = sequencer, then primaries, then secondaries.
+  // Flat, shard-major: replicas_[slot_index(s, 0)] = shard s's sequencer,
+  // then its primaries, then its secondaries.
   std::vector<std::unique_ptr<replication::ReplicaServer>> replicas_;
   std::vector<std::uint32_t> incarnations_;  // per replica slot
   std::vector<std::unique_ptr<WorkloadClient>> workloads_;
+  std::vector<obs::Gauge*> live_gauges_;  // per shard; empty when 1 shard
   std::unique_ptr<fault::DependabilityManager> dependability_;
   std::unique_ptr<obs::MetricsSnapshotter> snapshotter_;
   bool ran_ = false;
 };
 
 /// Drives one client: issues `num_requests` alternating write/read
-/// operations against the replicated key-value store, waiting
-/// `request_delay` after each completion before issuing the next.
+/// operations against the replicated key-value store (routed per key
+/// through a ShardRouter), waiting `request_delay` after each completion
+/// before issuing the next.
 class WorkloadClient {
  public:
   WorkloadClient(runtime::Executor& exec, gcs::Endpoint& endpoint,
-                 replication::ServiceGroups groups, ClientSpec spec,
-                 std::size_t window_size);
+                 const shard::ShardMap& map,
+                 std::vector<replication::ServiceGroups> groups,
+                 ClientSpec spec, std::size_t window_size);
 
   void start();
   bool done() const { return completed_ >= spec_.num_requests; }
-  const client::ClientHandler& handler() const { return *handler_; }
-  client::ClientHandler& handler() { return *handler_; }
+  /// Shard 0's handler — the only one in a single-shard scenario (kept so
+  /// pre-shard tests and benches read repository/selector state as
+  /// before).
+  const client::ClientHandler& handler() const { return router_->handler(0); }
+  client::ClientHandler& handler() { return router_->handler(0); }
+  const shard::ShardRouter& router() const { return *router_; }
+  shard::ShardRouter& router() { return *router_; }
   ClientResult result() const { return result_with_stats(); }
 
  private:
@@ -244,7 +308,7 @@ class WorkloadClient {
 
   runtime::Executor& exec_;
   ClientSpec spec_;
-  std::unique_ptr<client::ClientHandler> handler_;
+  std::unique_ptr<shard::ShardRouter> router_;
   std::unique_ptr<sim::Rng> arrival_rng_;
   std::size_t issued_ = 0;
   std::size_t completed_ = 0;

@@ -96,6 +96,7 @@ void JsonLinesSink::on_sla(const SlaEvent& e) {
   w.field("type", e.violating ? "sla_violation" : "sla_recovered");
   w.field("t_ns", ns_since_epoch(e.at));
   w.field("client", e.client.value());
+  if (e.shard >= 0) w.field("shard", static_cast<std::uint64_t>(e.shard));
   w.field("spec", e.spec_index);
   w.field("failure_rate", e.failure_rate);
   w.field("wilson_lower", e.wilson_lower);

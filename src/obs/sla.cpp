@@ -35,34 +35,41 @@ SlaMonitor::SlaMonitor(MetricsRegistry& metrics, TraceHub& trace,
 
 void SlaMonitor::record_read(net::NodeId client, const SlaSpec& spec,
                              sim::TimePoint now, bool timing_failure,
-                             std::uint64_t staleness, std::uint32_t attempts) {
+                             std::uint64_t staleness, std::uint32_t attempts,
+                             std::int64_t shard) {
   const std::lock_guard<std::mutex> lock(mu_);
 
-  // Find the entry for (client, spec); specs per client are few, so a scan
-  // over the client's registrations is cheaper than hashing the spec.
+  // Find the entry for (client, shard, spec); specs per handler are few, so
+  // a scan over its registrations is cheaper than hashing the spec.
   Entry* entry = nullptr;
   std::uint32_t next_index = 0;
-  for (auto it = entries_.lower_bound({client, 0});
-       it != entries_.end() && it->first.first == client; ++it) {
+  for (auto it = entries_.lower_bound(Key{client, shard, 0});
+       it != entries_.end() && it->first.client == client &&
+       it->first.shard == shard;
+       ++it) {
     if (it->second.spec == spec) {
       entry = &it->second;
       break;
     }
-    next_index = it->first.second + 1;
+    next_index = it->first.spec_index + 1;
   }
   if (entry == nullptr) {
     Entry fresh;
     fresh.spec_index = next_index;
     fresh.spec = spec;
     fresh.ring.reserve(config_.window);
+    // Untagged handlers keep the pre-shard gauge names bit-for-bit.
+    const std::string shard_tag =
+        shard < 0 ? "" : ".s" + std::to_string(shard);
     const std::string prefix = "sla.c" + std::to_string(client.value()) +
-                               ".spec" + std::to_string(next_index) + ".";
+                               shard_tag + ".spec" +
+                               std::to_string(next_index) + ".";
     fresh.g_failure_rate = &metrics_.gauge(prefix + "failure_rate");
     fresh.g_wilson_lower = &metrics_.gauge(prefix + "wilson_lower");
     fresh.g_violating = &metrics_.gauge(prefix + "violating");
     fresh.g_avg_staleness = &metrics_.gauge(prefix + "avg_staleness");
     fresh.g_avg_attempts = &metrics_.gauge(prefix + "avg_attempts");
-    entry = &entries_.emplace(std::make_pair(client, next_index),
+    entry = &entries_.emplace(Key{client, shard, next_index},
                               std::move(fresh)).first->second;
   }
   Entry& e = *entry;
@@ -101,6 +108,7 @@ void SlaMonitor::record_read(net::NodeId client, const SlaSpec& spec,
       SlaEvent event;
       event.at = now;
       event.client = client;
+      event.shard = shard;
       event.spec_index = e.spec_index;
       event.violating = violating_now;
       event.failure_rate = ci.point;
@@ -120,10 +128,11 @@ void SlaMonitor::record_read(net::NodeId client, const SlaSpec& spec,
   e.g_avg_attempts->set(static_cast<double>(e.window_attempts) / n);
 }
 
-SlaStatus SlaMonitor::status_of(const Entry& e, net::NodeId client,
+SlaStatus SlaMonitor::status_of(const Entry& e, const Key& key,
                                 sim::TimePoint now) const {
   SlaStatus s;
-  s.client = client;
+  s.client = key.client;
+  s.shard = key.shard;
   s.spec_index = e.spec_index;
   s.spec = e.spec;
   s.total_reads = e.total_reads;
@@ -154,7 +163,7 @@ std::vector<SlaStatus> SlaMonitor::statuses(sim::TimePoint now) const {
   std::vector<SlaStatus> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
-    out.push_back(status_of(entry, key.first, now));
+    out.push_back(status_of(entry, key, now));
   }
   return out;
 }

@@ -73,10 +73,12 @@ struct SlaConfig {
   std::size_t min_samples = 10;
 };
 
-/// Point-in-time view of one monitored (client, spec) pair.
+/// Point-in-time view of one monitored (client, shard, spec) tuple.
 struct SlaStatus {
   net::NodeId client;
-  std::uint32_t spec_index = 0;  ///< k-th spec seen for this client.
+  /// Shard tag of the recording handler; -1 = untagged (unsharded client).
+  std::int64_t shard = -1;
+  std::uint32_t spec_index = 0;  ///< k-th spec seen for this (client, shard).
   SlaSpec spec;
   std::uint64_t total_reads = 0;
   std::uint64_t window_reads = 0;
@@ -98,6 +100,7 @@ struct SlaStatus {
 struct SlaEvent {
   sim::TimePoint at;
   net::NodeId client;
+  std::int64_t shard = -1;  ///< -1 = untagged (unsharded client).
   std::uint32_t spec_index = 0;
   bool violating = false;  ///< true: entered violation; false: recovered.
   double failure_rate = 0.0;
@@ -118,11 +121,14 @@ class SlaMonitor {
   /// `timing_failure` is the paper's definition: no acceptable reply
   /// within d. `staleness` is the observed version lag of the reply (0 for
   /// failures). `attempts` counts selection rounds (1 = no retry).
+  /// `shard` tags the recording handler's shard in a sharded service
+  /// (gauges become `sla.c<id>.s<shard>.spec<k>.*`); the default -1 keeps
+  /// the unsharded key and gauge names bit-for-bit.
   void record_read(net::NodeId client, const SlaSpec& spec, sim::TimePoint now,
                    bool timing_failure, std::uint64_t staleness,
-                   std::uint32_t attempts);
+                   std::uint32_t attempts, std::int64_t shard = -1);
 
-  /// All monitored pairs, ordered by (client, spec_index).
+  /// All monitored tuples, ordered by (client, shard, spec_index).
   std::vector<SlaStatus> statuses(sim::TimePoint now) const;
 
   /// Total transitions into violation across all pairs.
@@ -157,15 +163,24 @@ class SlaMonitor {
     Gauge* g_avg_attempts = nullptr;
   };
 
-  SlaStatus status_of(const Entry& e, net::NodeId client,
+  /// Monitoring key. Ordered so statuses() lists by (client, shard, spec);
+  /// `shard` is -1 for unsharded clients, keeping their keys and gauge
+  /// names identical to the pre-shard monitor.
+  struct Key {
+    net::NodeId client;
+    std::int64_t shard = -1;
+    std::uint32_t spec_index = 0;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  SlaStatus status_of(const Entry& e, const Key& key,
                       sim::TimePoint now) const;
 
   MetricsRegistry& metrics_;
   TraceHub& trace_;
   SlaConfig config_;
   mutable std::mutex mu_;
-  /// Key: (client, registration index of the spec for that client).
-  std::map<std::pair<net::NodeId, std::uint32_t>, Entry> entries_;
+  std::map<Key, Entry> entries_;
   Counter* violations_total_ = nullptr;
 };
 

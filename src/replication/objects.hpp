@@ -74,6 +74,9 @@ class KeyValueStore final : public ReplicatedObject {
 
   std::uint64_t version() const { return version_; }
   std::size_t size() const { return entries_.size(); }
+  /// Full contents — lets shard tests assert that a group only ever holds
+  /// keys its shard owns (no cross-shard leakage).
+  const std::map<std::string, std::string>& entries() const { return entries_; }
 
  private:
   std::map<std::string, std::string> entries_;

@@ -598,6 +598,235 @@ SeedRecord run_gray_chaos(const Unit& unit, std::size_t requests) {
   return rec;
 }
 
+// ------------------------------------------------------------ shard plans
+
+/// Invariants of a sharded run. On top of the chaos counters (checked per
+/// shard — groups are independent, so agreement is intra-shard), the
+/// placement invariant: a replica's store may only ever hold keys its
+/// shard owns. Any cross-shard GSN/key leakage pools into `violations`.
+struct ShardInvariants {
+  std::uint64_t liveness_violations = 0;
+  std::uint64_t staleness_violations = 0;
+  std::uint64_t gsn_conflicts = 0;
+  std::uint64_t csn_mismatches = 0;
+  std::uint64_t divergences = 0;
+  /// Keys found in some replica's store that the ShardMap places on a
+  /// different shard.
+  std::uint64_t leaked_keys = 0;
+
+  void report(SeedRecord& rec) const {
+    rec.counter("liveness_violations", liveness_violations);
+    rec.counter("staleness_violations", staleness_violations);
+    rec.counter("gsn_conflicts", gsn_conflicts);
+    rec.counter("csn_mismatches", csn_mismatches);
+    rec.counter("divergences", divergences);
+    rec.counter("leaked_keys", leaked_keys);
+    rec.counter("violations", liveness_violations + staleness_violations +
+                                  gsn_conflicts + csn_mismatches + divergences +
+                                  leaked_keys);
+  }
+};
+
+ShardInvariants collect_shard_invariants(
+    harness::Scenario& scenario,
+    const std::vector<harness::ClientResult>& results,
+    std::uint64_t expected_reads) {
+  ShardInvariants inv;
+  for (const auto& r : results) {
+    if (r.stats.reads_completed + r.stats.reads_abandoned != expected_reads) {
+      ++inv.liveness_violations;
+    }
+    inv.staleness_violations += r.stats.staleness_violations;
+  }
+  const std::size_t sps = scenario.servers_per_shard();
+  for (std::size_t shard = 0; shard < scenario.num_shards(); ++shard) {
+    std::uint64_t max_csn = 0;
+    for (std::size_t slot = 0; slot < sps; ++slot) {
+      const auto& replica = scenario.replica(scenario.slot_index(shard, slot));
+      inv.gsn_conflicts += replica.stats().gsn_conflicts;
+      // Placement: every stored key must hash to this shard, crashed or
+      // not — a misplaced key means an update crossed group boundaries.
+      const auto& store =
+          dynamic_cast<const replication::KeyValueStore&>(replica.object());
+      for (const auto& [key, value] : store.entries()) {
+        if (scenario.shard_map().shard_for(key) != shard) ++inv.leaked_keys;
+      }
+      if (replica.crashed() || !replica.is_primary() || replica.recovering()) {
+        continue;
+      }
+      if (store.version() != replica.csn()) ++inv.csn_mismatches;
+      max_csn = std::max(max_csn, replica.csn());
+    }
+    // Committed-prefix agreement inside the shard (slot 0 = sequencer).
+    for (std::size_t slot = 1; slot < sps; ++slot) {
+      const auto& replica = scenario.replica(scenario.slot_index(shard, slot));
+      if (replica.crashed() || !replica.is_primary() || replica.recovering()) {
+        continue;
+      }
+      if (replica.csn() + 2 < max_csn) ++inv.divergences;
+    }
+  }
+  return inv;
+}
+
+harness::ScenarioConfig shard_config(std::uint64_t seed, std::size_t shards,
+                                     std::size_t requests) {
+  harness::ScenarioConfig config;
+  config.seed = seed;
+  config.num_shards = shards;
+  config.num_primaries = 1;
+  config.num_secondaries = 1;
+  config.lazy_update_interval = seconds(2);
+  for (int c = 0; c < 2; ++c) {
+    config.clients.push_back(harness::ClientSpec{
+        .qos = {.staleness_threshold = 2,
+                .deadline = milliseconds(250),
+                .min_probability = 0.5},
+        .request_delay = milliseconds(200),
+        .num_requests = requests,
+        .num_keys = 64,
+    });
+  }
+  return config;
+}
+
+/// Per-shard routed request tallies across every workload client.
+std::vector<std::uint64_t> routed_per_shard(harness::Scenario& scenario) {
+  std::vector<std::uint64_t> routed(scenario.num_shards(), 0);
+  for (std::size_t w = 0; w < scenario.num_workloads(); ++w) {
+    const auto& router = scenario.workload(w).router();
+    for (std::size_t k = 0; k < routed.size(); ++k) {
+      routed[k] += router.route_stats(k).reads_routed +
+                   router.route_stats(k).updates_routed;
+    }
+  }
+  return routed;
+}
+
+constexpr std::size_t kShardScalingCounts[] = {1, 4, 16};
+
+/// Same substrate, same workload, 1 → 4 → 16 replica groups: routing
+/// balance, intra-shard agreement, and the placement invariant must hold
+/// at every width.
+SeedRecord run_shard_scaling(const Unit& unit, std::size_t requests) {
+  const std::size_t shards = kShardScalingCounts[unit.point % 3];
+  harness::Scenario scenario(shard_config(unit.seed, shards, requests));
+  UnitTelemetry telemetry(scenario);
+  auto results = scenario.run();
+
+  std::uint64_t reads_completed = 0, reads_abandoned = 0;
+  std::uint64_t timing_failures = 0, retries = 0, updates_completed = 0;
+  std::vector<double> read_ms;
+  for (const auto& r : results) {
+    reads_completed += r.stats.reads_completed;
+    reads_abandoned += r.stats.reads_abandoned;
+    timing_failures += r.stats.timing_failures;
+    retries += r.stats.retries;
+    updates_completed += r.stats.updates_completed;
+    for (const double s : r.read_response_times) read_ms.push_back(s * 1000.0);
+  }
+  const std::vector<std::uint64_t> routed = routed_per_shard(scenario);
+  std::uint64_t total_routed = 0, max_routed = 0;
+  for (const std::uint64_t r : routed) {
+    total_routed += r;
+    max_routed = std::max(max_routed, r);
+  }
+  const double mean_routed =
+      static_cast<double>(total_routed) / static_cast<double>(routed.size());
+
+  SeedRecord rec;
+  rec.value("shards", static_cast<double>(shards));
+  // max/mean shard load: 1.0 = perfectly uniform routing.
+  rec.value("balance_ratio",
+            mean_routed == 0.0 ? 0.0
+                               : static_cast<double>(max_routed) / mean_routed);
+  // Simulated-time span of the run, for deterministic throughput trends
+  // (ops per simulated second; wall time is excluded from sweep JSON).
+  rec.value("sim_end_s", sim::to_sec(scenario.executor().now() - sim::kEpoch));
+  rec.counter("reads_completed", reads_completed);
+  rec.counter("reads_abandoned", reads_abandoned);
+  rec.counter("updates_completed", updates_completed);
+  rec.counter("timing_failures", timing_failures);
+  rec.counter("retries", retries);
+  rec.sample("read_ms", std::move(read_ms));
+  collect_shard_invariants(scenario, results, requests / 2).report(rec);
+  telemetry.report(scenario, rec);
+  return rec;
+}
+
+constexpr std::size_t kHotShardShards = 16;
+constexpr auto kShardFaultOnset = seconds(5);
+constexpr auto kShardFaultHeal = seconds(16);
+
+/// Cross-shard fault matrix on a 16-shard pool: a uniform baseline, one
+/// overloaded (hot) replica group, and a correlated rack failure taking
+/// the same slot from every shard at once. Faults on one shard must never
+/// bleed into another's agreement or placement invariants.
+SeedRecord run_hot_shard(const Unit& unit, std::size_t requests) {
+  harness::Scenario scenario(
+      shard_config(unit.seed, kHotShardShards, requests));
+  UnitTelemetry telemetry(scenario);
+
+  // The hot group is whichever shard owns the workload's first key, so the
+  // fault always lands on shard that actually serves traffic.
+  const std::size_t hot = scenario.shard_map().shard_for("k0");
+  fault::FaultSchedule plan;
+  switch (unit.point) {
+    case 0:  // uniform — no faults
+      break;
+    case 1:  // one overloaded replica group: the spike has to clear the
+             // 250 ms deadline, or the hot shard is invisible to the QoS
+             // contract and the degraded window carries no signal
+      plan.hot_shard(hot, scenario.servers_per_shard(), milliseconds(300),
+                     milliseconds(80), kShardFaultOnset,
+                     kShardFaultHeal - kShardFaultOnset);
+      break;
+    case 2:  // shared rack: every shard loses its secondary, then recovers
+      plan.correlated_rack_failure(/*rack_slot=*/2, kHotShardShards,
+                                   kShardFaultOnset + seconds(1),
+                                   kShardFaultHeal - seconds(4));
+      break;
+  }
+  scenario.apply_faults(plan);
+  auto results = scenario.run();
+
+  const double onset_s = sim::to_sec(sim::Duration(kShardFaultOnset));
+  const double heal_s = sim::to_sec(sim::Duration(kShardFaultHeal));
+  std::uint64_t degraded_reads = 0, degraded_failures = 0;
+  std::uint64_t steady_reads = 0, steady_failures = 0;
+  for (const auto& client : results) {
+    for (std::size_t i = 0; i < client.read_completed_at.size(); ++i) {
+      const double t = client.read_completed_at[i];
+      const bool degraded = unit.point > 0 && t >= onset_s && t < heal_s;
+      const bool failed = client.read_timing_failures[i];
+      (degraded ? degraded_reads : steady_reads) += 1;
+      if (failed) (degraded ? degraded_failures : steady_failures) += 1;
+    }
+  }
+  std::uint64_t reborn = 0;
+  for (std::size_t i = 0; i < scenario.num_replicas(); ++i) {
+    reborn += scenario.incarnation(i);
+  }
+  const std::vector<std::uint64_t> routed = routed_per_shard(scenario);
+  std::uint64_t total_routed = 0;
+  for (const std::uint64_t r : routed) total_routed += r;
+
+  SeedRecord rec;
+  rec.value("hot_shard", static_cast<double>(hot));
+  rec.value("hot_fraction",
+            total_routed == 0 ? 0.0
+                              : static_cast<double>(routed[hot]) /
+                                    static_cast<double>(total_routed));
+  rec.counter("degraded_reads", degraded_reads);
+  rec.counter("degraded_failures", degraded_failures);
+  rec.counter("steady_reads", steady_reads);
+  rec.counter("steady_failures", steady_failures);
+  rec.counter("reborn", reborn);
+  collect_shard_invariants(scenario, results, requests / 2).report(rec);
+  telemetry.report(scenario, rec);
+  return rec;
+}
+
 std::vector<Plan> build_plans() {
   std::vector<Plan> all;
 
@@ -684,6 +913,38 @@ std::vector<Plan> build_plans() {
     p.default_requests = 80;
     p.points = {"gray"};
     p.run = run_gray_chaos;
+    all.push_back(std::move(p));
+  }
+  {
+    Plan p;
+    p.name = "shard_scaling";
+    p.description =
+        "sharded service at 1/4/16 replica groups (sequencer + 1 primary + "
+        "1 secondary each) on one substrate: routing balance, intra-shard "
+        "agreement, and key-placement invariants (must pool to 0)";
+    p.default_requests = 120;
+    p.points = {"shards_1", "shards_4", "shards_16"};
+    p.binomials = {
+        {"timing_failure", "timing_failures", "reads_completed"},
+    };
+    p.run = run_shard_scaling;
+    all.push_back(std::move(p));
+  }
+  {
+    Plan p;
+    p.name = "hot_shard";
+    p.description =
+        "cross-shard fault matrix on a 16-shard pool: uniform baseline, one "
+        "hot (overloaded) replica group, correlated rack failure; "
+        "per-window failure rates plus agreement/placement invariants "
+        "(must pool to 0)";
+    p.default_requests = 120;
+    p.points = {"uniform", "hot_shard", "correlated_rack"};
+    p.binomials = {
+        {"degraded_timing_failure", "degraded_failures", "degraded_reads"},
+        {"steady_timing_failure", "steady_failures", "steady_reads"},
+    };
+    p.run = run_hot_shard;
     all.push_back(std::move(p));
   }
   {

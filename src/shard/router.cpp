@@ -1,0 +1,81 @@
+#include "shard/router.hpp"
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "sim/check.hpp"
+
+namespace aqueduct::shard {
+
+ShardRouter::ShardRouter(
+    runtime::Executor& exec, gcs::Endpoint& endpoint, const ShardMap& map,
+    std::vector<replication::ServiceGroups> groups,
+    std::function<client::ClientConfig(std::size_t)> config)
+    : map_(map) {
+  AQUEDUCT_CHECK_MSG(groups.size() == map.num_shards(),
+                     "one ServiceGroups per shard required");
+  const std::size_t shards = groups.size();
+  handlers_.reserve(shards);
+  route_stats_.resize(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    handlers_.push_back(std::make_unique<client::ClientHandler>(
+        exec, endpoint, groups[k], config(k)));
+  }
+  if (shards > 1) {
+    obs::MetricsRegistry& reg = endpoint.observability().metrics;
+    for (std::size_t k = 0; k < shards; ++k) {
+      const std::string prefix = "shard" + std::to_string(k) + ".";
+      reads_routed_.push_back(&reg.counter(prefix + "reads_routed"));
+      updates_routed_.push_back(&reg.counter(prefix + "updates_routed"));
+    }
+  }
+}
+
+ShardRouter::~ShardRouter() = default;
+
+void ShardRouter::start() {
+  for (auto& handler : handlers_) handler->start();
+}
+
+void ShardRouter::read(std::string_view key, net::MessagePtr op,
+                       const core::QoSSpec& qos,
+                       client::ClientHandler::ReadCallback done) {
+  const std::size_t shard = map_.shard_for(key);
+  ++route_stats_.at(shard).reads_routed;
+  if (!reads_routed_.empty()) reads_routed_[shard]->inc();
+  handlers_.at(shard)->read(std::move(op), qos, std::move(done));
+}
+
+void ShardRouter::update(std::string_view key, net::MessagePtr op,
+                         client::ClientHandler::UpdateCallback done) {
+  const std::size_t shard = map_.shard_for(key);
+  ++route_stats_.at(shard).updates_routed;
+  if (!updates_routed_.empty()) updates_routed_[shard]->inc();
+  handlers_.at(shard)->update(std::move(op), std::move(done));
+}
+
+client::ClientStats ShardRouter::stats() const {
+  client::ClientStats total;
+  for (const auto& handler : handlers_) {
+    const client::ClientStats& s = handler->stats();
+    total.reads_issued += s.reads_issued;
+    total.reads_completed += s.reads_completed;
+    total.reads_abandoned += s.reads_abandoned;
+    total.updates_issued += s.updates_issued;
+    total.updates_completed += s.updates_completed;
+    total.timing_failures += s.timing_failures;
+    total.deferred_replies += s.deferred_replies;
+    total.retries += s.retries;
+    total.transmit_attempts += s.transmit_attempts;
+    total.total_retry_backoff += s.total_retry_backoff;
+    total.staleness_violations += s.staleness_violations;
+    total.replicas_selected_total += s.replicas_selected_total;
+    total.selection_attempts += s.selection_attempts;
+    total.total_response_time += s.total_response_time;
+    total.total_update_response_time += s.total_update_response_time;
+  }
+  return total;
+}
+
+}  // namespace aqueduct::shard

@@ -1,0 +1,102 @@
+#include "shard/shard_map.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace aqueduct::shard {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::uint64_t seed, std::size_t num_shards,
+                   std::size_t vnodes_per_shard)
+    : seed_(seed), vnodes_per_shard_(vnodes_per_shard) {
+  AQUEDUCT_CHECK_MSG(num_shards > 0, "ShardMap needs at least one shard");
+  AQUEDUCT_CHECK_MSG(vnodes_per_shard > 0, "ShardMap needs vnodes");
+  ring_.reserve(num_shards * vnodes_per_shard);
+  for (std::size_t s = 0; s < num_shards; ++s) add_shard();
+}
+
+std::uint64_t ShardMap::key_hash(std::string_view key) const {
+  // Seed-mix the content hash so distinct seeds explore distinct placements
+  // of the same key population.
+  return mix64(fnv1a64(key) ^ seed_);
+}
+
+std::size_t ShardMap::shard_for(std::string_view key) const {
+  return shard_for_hash(key_hash(key));
+}
+
+std::size_t ShardMap::shard_for_hash(std::uint64_t hash) const {
+  AQUEDUCT_CHECK_MSG(!ring_.empty(), "ShardMap ring is empty");
+  // First vnode at or after the hash; wrap to the ring start past the top.
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), hash,
+                             [](const Vnode& v, std::uint64_t h) {
+                               return v.point < h;
+                             });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+void ShardMap::insert_shard(std::size_t shard) {
+  for (std::size_t v = 0; v < vnodes_per_shard_; ++v) {
+    Vnode node;
+    // Vnode points derive from (seed, shard, vnode index) alone, so a
+    // shard's points are identical whether it was present at construction
+    // or joined later — the minimal-remap property depends on this.
+    node.point = mix64(seed_ ^ mix64(shard * 0x10001ULL + v));
+    node.shard = static_cast<std::uint32_t>(shard);
+    const auto pos = std::lower_bound(
+        ring_.begin(), ring_.end(), node.point,
+        [](const Vnode& a, std::uint64_t p) { return a.point < p; });
+    ring_.insert(pos, node);
+  }
+}
+
+std::size_t ShardMap::add_shard() {
+  const std::size_t shard = next_shard_id_++;
+  insert_shard(shard);
+  ++num_active_;
+  return shard;
+}
+
+void ShardMap::remove_shard(std::size_t shard) {
+  AQUEDUCT_CHECK_MSG(contains(shard), "removing a shard not on the ring");
+  AQUEDUCT_CHECK_MSG(num_active_ > 1, "cannot remove the last shard");
+  std::erase_if(ring_, [shard](const Vnode& v) { return v.shard == shard; });
+  --num_active_;
+}
+
+bool ShardMap::contains(std::size_t shard) const {
+  return std::any_of(ring_.begin(), ring_.end(),
+                     [shard](const Vnode& v) { return v.shard == shard; });
+}
+
+std::vector<std::size_t> ShardMap::shards() const {
+  std::vector<std::size_t> out;
+  for (const Vnode& v : ring_) out.push_back(v.shard);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace aqueduct::shard

@@ -1,0 +1,141 @@
+// Property suite for the seeded consistent-hash ring (shard/shard_map.hpp).
+//
+// The two properties the sharded scenarios lean on:
+//   * balance — with 128 vnodes per shard the max/mean key load across
+//     shards stays within a constant factor, for every seed (the routing
+//     balance_ratio the shard_scaling bench reports rides on this);
+//   * minimal remap — adding a shard moves keys only onto the new shard,
+//     removing one moves only the keys it owned. Every other key keeps its
+//     placement bit-for-bit, which is what makes rebalance scenarios
+//     incremental rather than a full reshuffle.
+// Placement must also be a pure function of (seed, shard set, key): two
+// independently constructed maps agree everywhere.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/shard_map.hpp"
+
+namespace aqueduct::shard {
+namespace {
+
+std::vector<std::string> make_keys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back("k" + std::to_string(i));
+  return keys;
+}
+
+std::vector<std::size_t> placements(const ShardMap& map,
+                                    const std::vector<std::string>& keys) {
+  std::vector<std::size_t> out;
+  out.reserve(keys.size());
+  for (const auto& k : keys) out.push_back(map.shard_for(k));
+  return out;
+}
+
+TEST(ShardMap, PlacementIsAPureFunctionOfSeedAndShardSet) {
+  const auto keys = make_keys(512);
+  const ShardMap a(/*seed=*/7, /*num_shards=*/8);
+  const ShardMap b(/*seed=*/7, /*num_shards=*/8);
+  EXPECT_EQ(placements(a, keys), placements(b, keys));
+
+  // A different seed is a different ring: some key must move (512 keys
+  // across 8 shards collide with probability ~0 only under a broken hash).
+  const ShardMap c(/*seed=*/8, /*num_shards=*/8);
+  EXPECT_NE(placements(a, keys), placements(c, keys));
+}
+
+TEST(ShardMap, HashLookupMatchesKeyLookup) {
+  const ShardMap map(/*seed=*/3, /*num_shards=*/16);
+  for (const auto& key : make_keys(256)) {
+    EXPECT_EQ(map.shard_for(key), map.shard_for_hash(map.key_hash(key)));
+  }
+}
+
+TEST(ShardMapProperty, BalanceRatioBoundedOverTwentySeeds) {
+  // 10k keys over 16 shards, 20 seeds: the max/mean load ratio must stay
+  // within a constant factor. 128 vnodes give a relative spread of roughly
+  // 1/sqrt(128) ~ 9%; 1.5x max/mean (and 0.5x min/mean) leaves generous
+  // headroom while still catching a broken ring (a single-vnode ring
+  // routinely exceeds 2x).
+  constexpr std::size_t kShards = 16;
+  const auto keys = make_keys(10000);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ShardMap map(seed, kShards);
+    std::vector<std::size_t> load(kShards, 0);
+    for (const auto& key : keys) ++load[map.shard_for(key)];
+    std::size_t max_load = 0, min_load = keys.size();
+    for (const std::size_t l : load) {
+      max_load = std::max(max_load, l);
+      min_load = std::min(min_load, l);
+    }
+    const double mean =
+        static_cast<double>(keys.size()) / static_cast<double>(kShards);
+    EXPECT_LT(static_cast<double>(max_load) / mean, 1.5) << "seed " << seed;
+    EXPECT_GT(static_cast<double>(min_load) / mean, 0.5) << "seed " << seed;
+  }
+}
+
+TEST(ShardMapProperty, AddShardMovesKeysOnlyOntoTheNewShard) {
+  const auto keys = make_keys(20000);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ShardMap map(seed, /*num_shards=*/8);
+    const auto before = placements(map, keys);
+    const std::size_t added = map.add_shard();
+    EXPECT_EQ(added, 8u);
+    EXPECT_EQ(map.num_shards(), 9u);
+
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const std::size_t now = map.shard_for(keys[i]);
+      if (now != before[i]) {
+        // Minimal remap: a moved key may only land on the new shard.
+        EXPECT_EQ(now, added) << keys[i] << " seed " << seed;
+        ++moved;
+      }
+    }
+    // The new shard should take ~1/9 of the keys — neither nothing (ring
+    // not extended) nor a reshuffle (hash not consistent).
+    const double fraction =
+        static_cast<double>(moved) / static_cast<double>(keys.size());
+    EXPECT_GT(fraction, 0.04) << "seed " << seed;
+    EXPECT_LT(fraction, 0.25) << "seed " << seed;
+  }
+}
+
+TEST(ShardMapProperty, RemoveShardMovesOnlyItsOwnKeys) {
+  const auto keys = make_keys(20000);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    ShardMap map(seed, /*num_shards=*/8);
+    const auto before = placements(map, keys);
+    const std::size_t victim = seed % 8;
+    map.remove_shard(victim);
+    EXPECT_FALSE(map.contains(victim));
+    EXPECT_EQ(map.num_shards(), 7u);
+
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const std::size_t now = map.shard_for(keys[i]);
+      EXPECT_NE(now, victim) << keys[i] << " seed " << seed;
+      if (before[i] != victim) {
+        // Survivors keep their placement bit-for-bit.
+        EXPECT_EQ(now, before[i]) << keys[i] << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ShardMap, RetiredIdsAreNeverReused) {
+  ShardMap map(/*seed=*/11, /*num_shards=*/4);
+  map.remove_shard(2);
+  EXPECT_EQ(map.add_shard(), 4u);  // not 2
+  EXPECT_FALSE(map.contains(2));
+  EXPECT_TRUE(map.contains(4));
+  EXPECT_EQ(map.shards(), (std::vector<std::size_t>{0, 1, 3, 4}));
+}
+
+}  // namespace
+}  // namespace aqueduct::shard

@@ -216,6 +216,76 @@ def gray_failure_gates(baseline: dict) -> list[Gate]:
     return gates
 
 
+def shards_gates(baseline: dict) -> list[Gate]:
+    # BENCH_shards.json embeds two sweeps: "scaling" (shard_scaling plan,
+    # 1/4/16 replica groups) and "faults" (hot_shard plan, 16-shard
+    # hot-shard / correlated-rack matrix).
+    def point_sum(doc: dict, section: str, point: int, keys) -> float:
+        return float(sum(r[k] for r in doc[section]["runs"]
+                         if r["point"] == point for k in keys))
+
+    def pc_lower(doc: dict, point: int) -> float:
+        failures = point_sum(doc, "scaling", point, ("timing_failures",))
+        trials = point_sum(doc, "scaling", point, ("reads_completed",))
+        if trials == 0:
+            raise KeyError(f"no completed reads at scaling point {point}")
+        return 1.0 - failures / trials
+
+    def throughput(doc: dict, point: int) -> float:
+        ops = point_sum(doc, "scaling", point,
+                        ("reads_completed", "updates_completed"))
+        sim_s = point_sum(doc, "scaling", point, ("sim_end_s",))
+        if sim_s == 0:
+            raise KeyError(f"no simulated time at scaling point {point}")
+        return ops / sim_s
+
+    def hot_rate(doc: dict) -> float:
+        failures = point_sum(doc, "faults", 1, ("degraded_failures",))
+        trials = point_sum(doc, "faults", 1, ("degraded_reads",))
+        if trials == 0:
+            raise KeyError("no degraded reads at the hot-shard point")
+        return failures / trials
+
+    def rack_restarts_per_seed(doc: dict) -> float:
+        runs = [r for r in doc["faults"]["runs"] if r["point"] == 2]
+        if not runs:
+            raise KeyError("no runs at the correlated-rack point")
+        return sum(r["reborn"] for r in runs) / len(runs)
+
+    points = sorted({(r["point"], r["shards"])
+                     for r in baseline["scaling"]["runs"]})
+    gates = []
+    for point, shards in points:
+        # 2% absolute slack, same reasoning as the gray-failure gates: the
+        # per-point rate sits on ~10^3 reads, so a couple of flipped
+        # outcomes must not flag.
+        gates.append(Gate(f"Pc(d) lower bound @{int(shards)} shards",
+                          lambda d, p=point: pc_lower(d, p),
+                          "min", slack=0.02))
+        # Simulated-time throughput is deterministic per seed set; 0.5
+        # ops/s of slack absorbs request-accounting shifts.
+        gates.append(Gate(f"throughput ops/sim-s @{int(shards)} shards",
+                          lambda d, p=point: throughput(d, p),
+                          "min", slack=0.5))
+    gates += [
+        Gate("degraded tf rate @hot shard", hot_rate, "max", slack=0.02),
+        Gate("Pc(d) lower bound (steady, faults)",
+             lambda d: 1.0 - float(d["faults"]["pooled"]
+                                   ["steady_timing_failure"]["ci_upper"]),
+             "min", slack=0.02),
+        # The acceptance floor: agreement and key-placement counters from
+        # both sweeps, pooled. Any cross-shard leak fails the gate outright.
+        Gate("safety-invariant violations (scaling + faults)",
+             lambda d: float(d["scaling"]["pooled"]["violations"]) +
+             float(d["faults"]["pooled"]["violations"]),
+             "max", absolute_limit=0.0),
+        # Every shard must lose and restart its rack slot: 16 per seed.
+        Gate("rack restarts per seed", rack_restarts_per_seed,
+             "min", absolute_limit=16.0),
+    ]
+    return gates
+
+
 def obs_overhead_gates(baseline: dict) -> list[Gate]:
     budget = float(baseline.get("budget_percent", 2.0))
     return [
@@ -240,6 +310,7 @@ GATE_BUILDERS = {
     "recovery": recovery_gates,
     "gray_failure": gray_failure_gates,
     "obs_overhead": obs_overhead_gates,
+    "shards": shards_gates,
 }
 
 

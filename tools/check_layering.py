@@ -42,7 +42,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 
 # Layers that must stay runtime- and exporter-agnostic.
 PROTOCOL_DIRS = ["src/net", "src/gcs", "src/replication", "src/client",
-                 "src/fault", "src/core"]
+                 "src/fault", "src/core", "src/shard"]
 
 # Headers naming a concrete executor.
 FORBIDDEN_EXECUTORS = [
@@ -64,7 +64,8 @@ FORBIDDEN.update({h: "concrete telemetry exporter"
 # Layers that must stay transport-agnostic: everything above src/net,
 # including the harness (rule 3). src/net itself implements the backends.
 TRANSPORT_AGNOSTIC_DIRS = ["src/gcs", "src/replication", "src/client",
-                           "src/fault", "src/core", "src/harness"]
+                           "src/fault", "src/core", "src/shard",
+                           "src/harness"]
 
 # Headers naming a concrete transport backend. The chaos decorator counts:
 # protocol layers and fault schedules reach the gray-failure knobs through
